@@ -1,0 +1,123 @@
+//! The H-tree routing network that carries address and data between the
+//! array's port and its subarrays.
+
+use mcpat_circuit::metrics::CircuitMetrics;
+use mcpat_circuit::repeater::RepeatedWire;
+use mcpat_tech::{TechParams, WireType};
+
+/// Branching overhead: each level of the tree adds stub capacitance
+/// beyond the direct path to the target mat.
+const BRANCH_FACTOR: f64 = 1.3;
+
+/// An H-tree over an `nx × ny` grid of mats of physical size
+/// `mat_w × mat_h` meters, carrying `addr_bits` inbound and `data_bits`
+/// bidirectional.
+#[derive(Debug, Clone)]
+pub struct HTree {
+    /// Horizontal mats.
+    pub nx: usize,
+    /// Vertical mats.
+    pub ny: usize,
+    /// Path length from the port to the farthest mat, m.
+    pub path_length: f64,
+    addr_bits: u32,
+    data_bits: u32,
+    wire: RepeatedWire,
+    tech: TechParams,
+}
+
+impl HTree {
+    /// Builds the tree for a mat grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    #[must_use]
+    pub fn new(
+        tech: &TechParams,
+        nx: usize,
+        ny: usize,
+        mat_w: f64,
+        mat_h: f64,
+        addr_bits: u32,
+        data_bits: u32,
+    ) -> HTree {
+        assert!(nx > 0 && ny > 0, "H-tree needs at least one mat");
+        let total_w = nx as f64 * mat_w;
+        let total_h = ny as f64 * mat_h;
+        let path_length = (total_w / 2.0 + total_h / 2.0).max(1e-6);
+        let wire = RepeatedWire::energy_derated(tech, WireType::Intermediate, path_length, 1.10);
+        HTree {
+            nx,
+            ny,
+            path_length,
+            addr_bits,
+            data_bits,
+            wire,
+            tech: *tech,
+        }
+    }
+
+    /// One-way latency from port to the farthest mat, s.
+    #[must_use]
+    pub fn delay(&self) -> f64 {
+        self.wire.metrics.delay
+    }
+
+    /// Dynamic energy of one access (address in + data out with ~50%
+    /// toggle rate, including branch stubs), J.
+    #[must_use]
+    pub fn access_energy(&self) -> f64 {
+        let bits = f64::from(self.addr_bits) + 0.5 * f64::from(self.data_bits);
+        bits * self.wire.metrics.energy_per_op * BRANCH_FACTOR
+    }
+
+    /// Full metrics for one access through the tree.
+    #[must_use]
+    pub fn metrics(&self) -> CircuitMetrics {
+        let levels = ((self.nx * self.ny) as f64).log2().ceil().max(1.0);
+        let bits = f64::from(self.addr_bits + self.data_bits);
+        let _ = self.tech;
+        CircuitMetrics {
+            // Wiring area: tracks × pitch × total length approximation.
+            area: self.wire.metrics.area * bits * BRANCH_FACTOR,
+            delay: self.delay(),
+            energy_per_op: self.access_energy(),
+            leakage: self.wire.metrics.leakage.scaled(bits * levels / 2.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N45, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn bigger_grids_have_longer_paths() {
+        let t = tech();
+        let small = HTree::new(&t, 2, 2, 200e-6, 200e-6, 16, 128);
+        let big = HTree::new(&t, 8, 8, 200e-6, 200e-6, 16, 128);
+        assert!(big.path_length > small.path_length);
+        assert!(big.delay() > small.delay());
+    }
+
+    #[test]
+    fn energy_scales_with_data_width() {
+        let t = tech();
+        let narrow = HTree::new(&t, 4, 4, 100e-6, 100e-6, 16, 64);
+        let wide = HTree::new(&t, 4, 4, 100e-6, 100e-6, 16, 512);
+        assert!(wide.access_energy() > 3.0 * narrow.access_energy());
+    }
+
+    #[test]
+    fn single_mat_tree_is_cheap() {
+        let t = tech();
+        let h = HTree::new(&t, 1, 1, 50e-6, 50e-6, 10, 64);
+        assert!(h.delay() < 100e-12);
+    }
+}

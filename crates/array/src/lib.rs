@@ -1,0 +1,38 @@
+//! # mcpat-array — CACTI-style memory array modeling for mcpat-rs
+//!
+//! Every RAM-like structure in a processor — caches, register files,
+//! rename tables, branch predictor tables, queues, directories, TLBs —
+//! is modeled in McPAT by the same machinery CACTI uses for caches: the
+//! array is partitioned into a grid of subarrays ("mats"), each with its
+//! own decoder, wordline drivers, bitlines and sense amplifiers, stitched
+//! together by an H-tree; an **optimizer** enumerates partitionings
+//! (`Ndwl × Ndbl × Nspd`) and picks the one that meets the timing
+//! constraint with the best energy/area.
+//!
+//! * [`spec`] — what the architect asks for ([`ArraySpec`]);
+//! * [`mat`] — the electrical model of a single subarray;
+//! * [`htree`] — the routing network joining subarrays to the port;
+//! * [`solve`] — the partition optimizer producing a [`SolvedArray`];
+//! * [`cache`] — tag + data assembly for set-associative caches.
+//!
+//! ```
+//! use mcpat_array::{ArraySpec, OptTarget};
+//! use mcpat_tech::{TechNode, DeviceType, TechParams};
+//!
+//! let tech = TechParams::new(TechNode::N65, DeviceType::Hp, 360.0);
+//! // A 32 KB, 64 B-block data array with one read/write port.
+//! let spec = ArraySpec::ram(32 * 1024, 64);
+//! let solved = spec.solve(&tech, OptTarget::EnergyDelay).unwrap();
+//! assert!(solved.access_time < 3e-9);
+//! assert!(solved.area > 0.0);
+//! ```
+
+pub mod cache;
+pub mod htree;
+pub mod mat;
+pub mod solve;
+pub mod spec;
+
+pub use cache::{CacheArray, CacheSpec};
+pub use solve::{ArrayError, SolvedArray};
+pub use spec::{ArrayKind, ArraySpec, OptTarget, Ports};

@@ -1,0 +1,402 @@
+//! The electrical model of one subarray ("mat"): cells, wordlines,
+//! bitlines, sense amplifiers, row decoder, and — for CAMs — search and
+//! match lines.
+
+use mcpat_circuit::decoder::RowDecoder;
+use mcpat_circuit::gate::BufferChain;
+use mcpat_circuit::metrics::{CircuitMetrics, StaticPower};
+use mcpat_tech::{TechParams, WireType};
+
+use crate::spec::{ArrayKind, Ports};
+
+/// Fraction of the supply the bitline swings before the sense amplifier
+/// resolves.
+const SENSE_SWING_FRACTION: f64 = 0.10;
+
+/// Sense amplifier energy at 90 nm (scales linearly with feature size), J.
+const SENSEAMP_ENERGY_90NM: f64 = 6.0e-15;
+
+/// Sense amplifier resolution delay in FO4s.
+const SENSEAMP_DELAY_FO4: f64 = 2.0;
+
+/// Layout height of the sense-amp + precharge + write-driver stripe at
+/// the bottom of a subarray, in feature sizes.
+const COLUMN_PERIPHERY_HEIGHT_F: f64 = 40.0;
+
+/// One subarray of an array organization.
+#[derive(Debug, Clone)]
+pub struct Mat {
+    /// Storage rows in this subarray.
+    pub rows: usize,
+    /// Storage columns (bits per row) in this subarray.
+    pub cols: usize,
+    kind: ArrayKind,
+    ports: Ports,
+    /// Physical cell height including extra port tracks, m.
+    pub cell_height: f64,
+    /// Physical cell width including extra port tracks, m.
+    pub cell_width: f64,
+    tech: TechParams,
+}
+
+/// Per-operation electrical results for one mat.
+#[derive(Debug, Clone, Copy)]
+pub struct MatMetrics {
+    /// Decode + wordline + bitline + sense critical path for a read, s.
+    pub read_delay: f64,
+    /// Critical path for a write, s.
+    pub write_delay: f64,
+    /// Dynamic energy of a read in this mat, J.
+    pub read_energy: f64,
+    /// Dynamic energy of a write, J.
+    pub write_energy: f64,
+    /// Dynamic energy of an associative search (CAM only, else 0), J.
+    pub search_energy: f64,
+    /// Search critical path (CAM only, else 0), s.
+    pub search_delay: f64,
+    /// Layout area of the mat including its decoder and column
+    /// periphery, m².
+    pub area: f64,
+    /// Mat width, m.
+    pub width: f64,
+    /// Mat height, m.
+    pub height: f64,
+    /// Static power of cells + periphery, W.
+    pub leakage: StaticPower,
+    /// The slowest internal stage, which bounds the random cycle time, s.
+    pub max_stage_delay: f64,
+}
+
+impl Mat {
+    /// Builds the model of a `rows × cols` subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn new(
+        tech: &TechParams,
+        rows: usize,
+        cols: usize,
+        kind: ArrayKind,
+        ports: Ports,
+    ) -> Mat {
+        assert!(rows > 0 && cols > 0, "mat dimensions must be positive");
+        let f = tech.node.feature_m();
+        let local_pitch = tech.wire(WireType::Local).pitch;
+        let (mut cell_h, mut cell_w) = match kind {
+            ArrayKind::Ram => {
+                let c = tech.sram_cell();
+                (c.height, c.width)
+            }
+            ArrayKind::Cam => {
+                let c = tech.cam_cell();
+                (c.height, c.width)
+            }
+            ArrayKind::Edram => {
+                let c = tech.edram_cell();
+                (c.height, c.width)
+            }
+        };
+        // Extra RAM ports add one wordline track (height) and a bitline
+        // pair (width) each; extra search ports add a matchline track and
+        // a searchline pair.
+        let extra_ram = ports.total_ram().saturating_sub(1) as f64;
+        let extra_search = if kind == ArrayKind::Cam {
+            ports.search.saturating_sub(1) as f64
+        } else {
+            0.0
+        };
+        cell_h += (extra_ram + extra_search) * local_pitch;
+        cell_w += (extra_ram + extra_search) * 2.0 * local_pitch;
+        let _ = f;
+        Mat {
+            rows,
+            cols,
+            kind,
+            ports,
+            cell_height: cell_h,
+            cell_width: cell_w,
+            tech: *tech,
+        }
+    }
+
+    /// Wordline capacitance (one row, one port), F.
+    fn wordline_cap(&self) -> f64 {
+        let wire = self.tech.wire(WireType::Local);
+        let per_cell = match self.kind {
+            ArrayKind::Ram | ArrayKind::Cam => {
+                self.tech.sram_cell().wordline_cap_contribution(&self.tech.device)
+            }
+            ArrayKind::Edram => self.tech.gate_cap(self.tech.edram_cell().w_access),
+        };
+        self.cols as f64 * (per_cell + wire.c_per_m * self.cell_width)
+    }
+
+    /// Bitline capacitance (one column, one port), F.
+    fn bitline_cap(&self) -> f64 {
+        let wire = self.tech.wire(WireType::Local);
+        let per_cell = match self.kind {
+            ArrayKind::Ram | ArrayKind::Cam => {
+                self.tech.sram_cell().bitline_cap_contribution(&self.tech.device)
+            }
+            ArrayKind::Edram => self.tech.drain_cap(self.tech.edram_cell().w_access),
+        };
+        self.rows as f64 * (per_cell + wire.c_per_m * self.cell_height)
+            + self.tech.drain_cap(4.0 * self.tech.min_w_nmos()) // precharge devices
+    }
+
+    /// Cell read current available to move the bitline, A.
+    fn read_current(&self) -> f64 {
+        match self.kind {
+            ArrayKind::Ram | ArrayKind::Cam => self.tech.sram_cell().read_current(&self.tech.device),
+            ArrayKind::Edram => {
+                // Charge-sharing read: treat as an equivalent current that
+                // dumps the storage cap in ~2 FO4.
+                let cell = self.tech.edram_cell();
+                cell.c_storage * self.tech.device.vdd / (2.0 * self.tech.fo4())
+            }
+        }
+    }
+
+    /// Per-cell standby leakage, W.
+    fn cell_leakage(&self) -> f64 {
+        let t = self.tech.temperature;
+        // Array cells conventionally use longer channels / higher Vt.
+        let lc = self.tech.device.long_channel_leakage_reduction;
+        match self.kind {
+            ArrayKind::Ram => self.tech.sram_cell().leakage_power(&self.tech.device, t) * lc,
+            ArrayKind::Cam => self.tech.cam_cell().leakage_power(&self.tech.device, t) * lc,
+            ArrayKind::Edram => 0.05 * self.tech.sram_cell().leakage_power(&self.tech.device, t),
+        }
+    }
+
+    /// Evaluates the mat.
+    ///
+    /// `active_cols` — columns whose bitlines actually swing on a read
+    /// (after any column-select gating); `written_cols` — columns driven
+    /// on a write; `search_bits` — CAM compare width (0 for RAM).
+    #[must_use]
+    pub fn evaluate(&self, active_cols: usize, written_cols: usize, search_bits: u32) -> MatMetrics {
+        let tech = &self.tech;
+        let vdd = tech.device.vdd;
+        let fo4 = tech.fo4();
+        let f = tech.node.feature_m();
+
+        // --- Decoder + wordline -------------------------------------------------
+        let c_wl = self.wordline_cap();
+        let decoder = RowDecoder::new(tech, self.rows, c_wl);
+        let dec = decoder.metrics();
+
+        // --- Bitline read path --------------------------------------------------
+        let c_bl = self.bitline_cap();
+        let v_swing = (SENSE_SWING_FRACTION * vdd).max(0.05);
+        let i_read = self.read_current();
+        let t_bl = c_bl * v_swing / i_read;
+        let senseamp_delay = SENSEAMP_DELAY_FO4 * fo4;
+        let senseamp_energy = SENSEAMP_ENERGY_90NM * tech.node.scale_from_90nm();
+
+        // All active columns swing by v_swing and are precharged back.
+        let e_bl_read = active_cols as f64 * c_bl * vdd * v_swing;
+        let e_sense = active_cols as f64 * senseamp_energy;
+        let e_wl = tech.switch_energy(c_wl) * 2.0; // rise + fall
+
+        let read_delay = dec.delay + t_bl + senseamp_delay;
+        let read_energy = dec.energy_per_op + e_wl + e_bl_read + e_sense;
+
+        // --- Write path ---------------------------------------------------------
+        // Full-swing differential write on the written columns.
+        let e_bl_write = written_cols as f64 * c_bl * vdd * vdd;
+        let write_driver = BufferChain::for_load(tech, c_bl);
+        let wd = write_driver.metrics();
+        let write_delay = dec.delay + wd.delay + 2.0 * fo4;
+        let write_energy = dec.energy_per_op + e_wl + e_bl_write + wd.energy_per_op;
+
+        // --- CAM search path ----------------------------------------------------
+        let (search_energy, search_delay) = if self.kind == ArrayKind::Cam && search_bits > 0 {
+            let cam = tech.cam_cell();
+            let wire = tech.wire(WireType::Local);
+            let c_sl = self.rows as f64
+                * (cam.searchline_cap_contribution(&tech.device) + wire.c_per_m * self.cell_height);
+            let c_ml = search_bits as f64 * cam.matchline_cap_contribution(&tech.device)
+                + wire.c_per_m * self.cell_width;
+            let sl_driver = BufferChain::for_load(tech, c_sl);
+            let slm = sl_driver.metrics();
+            // Worst case: every matchline was precharged and discharges.
+            let e_ml = self.rows as f64 * c_ml * vdd * v_swing;
+            let e_sl = search_bits as f64 * (tech.switch_energy(c_sl) + slm.energy_per_op);
+            let i_ml = tech.device.i_on_n * cam.w_compare;
+            let t_ml = c_ml * v_swing / i_ml;
+            let e = e_ml + e_sl + self.rows as f64 * senseamp_energy * 0.25;
+            let d = slm.delay + t_ml + senseamp_delay;
+            (e, d)
+        } else {
+            (0.0, 0.0)
+        };
+
+        // --- Area ---------------------------------------------------------------
+        let cells_w = self.cols as f64 * self.cell_width;
+        let cells_h = self.rows as f64 * self.cell_height;
+        // Decoder strip on the left: width from its gate area spread over
+        // the rows; column periphery strip on the bottom.
+        let dec_strip_w = (dec.area / cells_h.max(1e-9)).max(10.0 * f);
+        let periph_h = COLUMN_PERIPHERY_HEIGHT_F * f;
+        let width = cells_w + dec_strip_w;
+        let height = cells_h + periph_h;
+        let area = width * height;
+
+        // --- Leakage ------------------------------------------------------------
+        let n_cells = (self.rows * self.cols) as f64;
+        let cell_leak = n_cells * self.cell_leakage();
+        // Sense amps + precharge + write drivers per column.
+        let periph_w = 8.0 * tech.min_w_nmos();
+        let periph_leak = self.cols as f64
+            * (tech.subthreshold_leakage(periph_w, periph_w) + tech.gate_leakage(periph_w, periph_w));
+        let leakage = StaticPower {
+            subthreshold: cell_leak + periph_leak,
+            gate: 0.0,
+        } + dec.leakage;
+
+        let max_stage_delay = dec
+            .delay
+            .max(t_bl + senseamp_delay)
+            .max(wd.delay)
+            .max(search_delay);
+
+        MatMetrics {
+            read_delay,
+            write_delay,
+            read_energy,
+            write_energy,
+            search_energy,
+            search_delay,
+            area,
+            width,
+            height,
+            leakage,
+            max_stage_delay,
+        }
+    }
+
+    /// The per-access metrics with all columns active (the common case
+    /// used by the solver before column-select gating).
+    #[must_use]
+    pub fn evaluate_full(&self, search_bits: u32) -> MatMetrics {
+        self.evaluate(self.cols, self.cols, search_bits)
+    }
+
+    /// Access the port configuration.
+    #[must_use]
+    pub fn ports(&self) -> Ports {
+        self.ports
+    }
+
+    /// The spec kind this mat models.
+    #[must_use]
+    pub fn kind(&self) -> ArrayKind {
+        self.kind
+    }
+
+    /// Helper exposing the raw metrics as a [`CircuitMetrics`] for reads.
+    #[must_use]
+    pub fn read_metrics(&self) -> CircuitMetrics {
+        let m = self.evaluate_full(0);
+        CircuitMetrics {
+            area: m.area,
+            delay: m.read_delay,
+            energy_per_op: m.read_energy,
+            leakage: m.leakage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N65, DeviceType::Hp, 360.0)
+    }
+
+    fn ram_mat(rows: usize, cols: usize) -> Mat {
+        Mat::new(&tech(), rows, cols, ArrayKind::Ram, Ports::single_rw())
+    }
+
+    #[test]
+    fn taller_mats_have_slower_bitlines() {
+        let short = ram_mat(64, 128).evaluate_full(0);
+        let tall = ram_mat(1024, 128).evaluate_full(0);
+        assert!(tall.read_delay > short.read_delay);
+    }
+
+    #[test]
+    fn wider_mats_burn_more_read_energy() {
+        let narrow = ram_mat(256, 64).evaluate_full(0);
+        let wide = ram_mat(256, 512).evaluate_full(0);
+        assert!(wide.read_energy > 4.0 * narrow.read_energy);
+    }
+
+    #[test]
+    fn extra_ports_grow_the_cell() {
+        let t = tech();
+        let single = Mat::new(&t, 128, 128, ArrayKind::Ram, Ports::single_rw());
+        let multi = Mat::new(&t, 128, 128, ArrayKind::Ram, Ports::reg_file(6, 3));
+        assert!(multi.cell_height > single.cell_height);
+        assert!(multi.cell_width > single.cell_width);
+        let a1 = single.evaluate_full(0).area;
+        let a9 = multi.evaluate_full(0).area;
+        assert!(a9 > 2.0 * a1, "9-port cell should be much bigger");
+    }
+
+    #[test]
+    fn cam_search_costs_energy() {
+        let t = tech();
+        let cam = Mat::new(
+            &t,
+            64,
+            64,
+            ArrayKind::Cam,
+            Ports {
+                search: 1,
+                ..Ports::single_rw()
+            },
+        );
+        let m = cam.evaluate_full(40);
+        assert!(m.search_energy > 0.0);
+        assert!(m.search_delay > 0.0);
+    }
+
+    #[test]
+    fn read_energy_magnitude_is_plausible() {
+        // A 256×512 (16 KB) subarray read at 65 nm should be tens of pJ.
+        let m = ram_mat(256, 512).evaluate_full(0);
+        assert!(m.read_energy > 1e-12 && m.read_energy < 1e-9, "{:e}", m.read_energy);
+    }
+
+    #[test]
+    fn leakage_magnitude_is_plausible() {
+        // 32 K cells at 65 nm HP, 360 K: milliwatt-scale.
+        let m = ram_mat(256, 128).evaluate_full(0);
+        let leak = m.leakage.total();
+        assert!(leak > 1e-5 && leak < 1e-1, "{leak:e}");
+    }
+
+    #[test]
+    fn edram_mat_is_denser_but_leakier_logicwise() {
+        let t = tech();
+        let sram = Mat::new(&t, 512, 512, ArrayKind::Ram, Ports::single_rw());
+        let edram = Mat::new(&t, 512, 512, ArrayKind::Edram, Ports::single_rw());
+        assert!(edram.evaluate_full(0).area < sram.evaluate_full(0).area);
+        assert!(edram.evaluate_full(0).leakage.total() < sram.evaluate_full(0).leakage.total());
+    }
+
+    #[test]
+    fn write_uses_full_swing_and_costs_more_per_column() {
+        let mat = ram_mat(256, 256);
+        let m = mat.evaluate(256, 256, 0);
+        // Full-swing writes dominate the low-swing read bitline energy for
+        // equal column counts (sense energy aside).
+        assert!(m.write_energy > m.read_energy * 0.8);
+    }
+}

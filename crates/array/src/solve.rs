@@ -1,0 +1,462 @@
+//! The array partition optimizer.
+//!
+//! This is McPAT's "engine + internal representation + optimizer" applied
+//! to a single storage array: enumerate `Ndwl × Ndbl × Nspd`
+//! partitionings, evaluate each candidate's power/area/timing with the
+//! [`crate::mat::Mat`] and [`crate::htree::HTree`] models,
+//! reject the ones that violate the cycle-time constraint, and return the
+//! best under the requested objective.
+
+use crate::htree::HTree;
+use crate::mat::Mat;
+use crate::spec::{ArrayKind, ArraySpec, OptTarget};
+use mcpat_circuit::metrics::{CircuitMetrics, StaticPower};
+use mcpat_circuit::mux::Multiplexer;
+use mcpat_tech::TechParams;
+use std::fmt;
+
+/// Area overhead multiplying the raw mat+H-tree area: ECC bits,
+/// row/column redundancy, BIST, and intra-array routing that the
+/// idealized mat model does not capture.
+const ARRAY_AREA_OVERHEAD: f64 = 1.55;
+
+/// Errors from the array solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayError {
+    /// The spec has zero entries or zero bits per entry.
+    DegenerateSpec {
+        /// Array name from the spec.
+        name: String,
+    },
+    /// No enumerated partitioning met the constraints.
+    NoFeasiblePartition {
+        /// Array name from the spec.
+        name: String,
+        /// The cycle time demanded, if one was set, s.
+        required_cycle: Option<f64>,
+        /// The best cycle time any candidate achieved, s.
+        best_cycle: f64,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::DegenerateSpec { name } => {
+                write!(f, "array `{name}` has zero entries or zero width")
+            }
+            ArrayError::NoFeasiblePartition {
+                name,
+                required_cycle,
+                best_cycle,
+            } => match required_cycle {
+                Some(req) => write!(
+                    f,
+                    "array `{name}`: no partitioning meets the {:.0} ps cycle constraint (best achieved {:.0} ps)",
+                    req * 1e12,
+                    best_cycle * 1e12
+                ),
+                None => write!(f, "array `{name}`: no valid partitioning found"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// A fully solved array: the chosen organization plus its
+/// power/area/timing results.
+#[derive(Debug, Clone)]
+pub struct SolvedArray {
+    /// Name echoed from the spec.
+    pub name: String,
+    /// Horizontal mat count (wordline divisions).
+    pub ndwl: usize,
+    /// Vertical mat count (bitline divisions).
+    pub ndbl: usize,
+    /// Entries packed per physical row.
+    pub nspd: usize,
+    /// Rows per mat.
+    pub rows_per_mat: usize,
+    /// Columns per mat.
+    pub cols_per_mat: usize,
+    /// End-to-end access latency, s.
+    pub access_time: f64,
+    /// Random-access cycle time (pipelined), s.
+    pub cycle_time: f64,
+    /// Dynamic energy per read, J.
+    pub read_energy: f64,
+    /// Dynamic energy per write, J.
+    pub write_energy: f64,
+    /// Dynamic energy per associative search (CAM only, else 0), J.
+    pub search_energy: f64,
+    /// Total static power, W.
+    pub leakage: StaticPower,
+    /// Total area including periphery and routing, m².
+    pub area: f64,
+    /// Layout height, m.
+    pub height: f64,
+    /// Layout width, m.
+    pub width: f64,
+}
+
+impl SolvedArray {
+    /// Read-path metrics as a uniform [`CircuitMetrics`].
+    #[must_use]
+    pub fn read_metrics(&self) -> CircuitMetrics {
+        CircuitMetrics {
+            area: self.area,
+            delay: self.access_time,
+            energy_per_op: self.read_energy,
+            leakage: self.leakage,
+        }
+    }
+
+    /// Average energy of an access mix with the given read fraction, J.
+    #[must_use]
+    pub fn mixed_energy(&self, read_fraction: f64) -> f64 {
+        let rf = read_fraction.clamp(0.0, 1.0);
+        rf * self.read_energy + (1.0 - rf) * self.write_energy
+    }
+
+    /// Area efficiency: fraction of the footprint that is storage cells.
+    #[must_use]
+    pub fn storage_density_bits_per_m2(&self, total_bits: u64) -> f64 {
+        total_bits as f64 / self.area
+    }
+}
+
+fn pow2s_up_to(max: usize) -> impl Iterator<Item = usize> {
+    (0..).map(|i| 1usize << i).take_while(move |&v| v <= max)
+}
+
+/// Candidate evaluation result used during the search.
+struct Candidate {
+    solved: SolvedArray,
+    score: f64,
+}
+
+/// Runs the optimizer. Prefer [`ArraySpec::solve`].
+///
+/// # Errors
+///
+/// See [`ArrayError`].
+pub fn solve(
+    tech: &TechParams,
+    spec: &ArraySpec,
+    target: OptTarget,
+) -> Result<SolvedArray, ArrayError> {
+    if spec.entries == 0 || spec.bits_per_entry == 0 {
+        return Err(ArrayError::DegenerateSpec {
+            name: spec.name.clone(),
+        });
+    }
+
+    let entries = spec.entries as usize;
+    let bits = spec.bits_per_entry as usize;
+    let access_bits = spec.access_bits.max(1) as usize;
+    let is_cam = spec.kind == ArrayKind::Cam;
+
+    let mut best: Option<Candidate> = None;
+    let mut best_cycle_seen = f64::INFINITY;
+
+    // CAMs keep all search bits on one matchline: no horizontal split,
+    // no row packing.
+    let nspd_options: &[usize] = if is_cam { &[1] } else { &[1, 2, 4, 8] };
+    let max_ndwl = if is_cam { 1 } else { 64 };
+
+    for &nspd in nspd_options {
+        if nspd > entries {
+            continue;
+        }
+        let rows_total = entries.div_ceil(nspd);
+        let cols_total = bits * nspd;
+        for ndbl in pow2s_up_to(128.min(rows_total)) {
+            let rows_per_mat = rows_total.div_ceil(ndbl);
+            if rows_per_mat > 1024 {
+                continue;
+            }
+            for ndwl in pow2s_up_to(max_ndwl.min(cols_total)) {
+                let cols_per_mat = cols_total.div_ceil(ndwl);
+                if cols_per_mat > 2048 {
+                    continue;
+                }
+                if let Some(cand) =
+                    evaluate_candidate(tech, spec, nspd, ndwl, ndbl, rows_per_mat, cols_per_mat,
+                                       access_bits, target)
+                {
+                    best_cycle_seen = best_cycle_seen.min(cand.solved.cycle_time);
+                    let ok_cycle = spec
+                        .max_cycle_time
+                        .is_none_or(|req| cand.solved.cycle_time <= req);
+                    if ok_cycle {
+                        let better = best
+                            .as_ref()
+                            .is_none_or(|b| cand.score < b.score);
+                        if better {
+                            best = Some(cand);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    best.map(|c| c.solved).ok_or(ArrayError::NoFeasiblePartition {
+        name: spec.name.clone(),
+        required_cycle: spec.max_cycle_time,
+        best_cycle: if best_cycle_seen.is_finite() {
+            best_cycle_seen
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Evaluates one explicit `(Ndwl, Ndbl, Nspd)` partitioning without
+/// searching — used by the optimizer-ablation experiment to quantify
+/// what the search buys.
+///
+/// # Errors
+///
+/// Returns [`ArrayError::NoFeasiblePartition`] if the partitioning is
+/// not evaluable (e.g. produces degenerate mats).
+pub fn solve_fixed(
+    tech: &TechParams,
+    spec: &ArraySpec,
+    ndwl: usize,
+    ndbl: usize,
+    nspd: usize,
+) -> Result<SolvedArray, ArrayError> {
+    if spec.entries == 0 || spec.bits_per_entry == 0 {
+        return Err(ArrayError::DegenerateSpec {
+            name: spec.name.clone(),
+        });
+    }
+    let entries = spec.entries as usize;
+    let bits = spec.bits_per_entry as usize;
+    let rows_total = entries.div_ceil(nspd.max(1));
+    let cols_total = bits * nspd.max(1);
+    let rows_per_mat = rows_total.div_ceil(ndbl.max(1));
+    let cols_per_mat = cols_total.div_ceil(ndwl.max(1));
+    evaluate_candidate(
+        tech,
+        spec,
+        nspd.max(1),
+        ndwl.max(1),
+        ndbl.max(1),
+        rows_per_mat,
+        cols_per_mat,
+        spec.access_bits.max(1) as usize,
+        OptTarget::EnergyDelay,
+    )
+    .map(|c| c.solved)
+    .ok_or(ArrayError::NoFeasiblePartition {
+        name: spec.name.clone(),
+        required_cycle: None,
+        best_cycle: 0.0,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_candidate(
+    tech: &TechParams,
+    spec: &ArraySpec,
+    nspd: usize,
+    ndwl: usize,
+    ndbl: usize,
+    rows_per_mat: usize,
+    cols_per_mat: usize,
+    access_bits: usize,
+    target: OptTarget,
+) -> Option<Candidate> {
+    let mat = Mat::new(tech, rows_per_mat, cols_per_mat, spec.kind, spec.ports);
+    let written_per_mat = access_bits.div_ceil(ndwl).min(cols_per_mat);
+    let m = mat.evaluate(cols_per_mat, written_per_mat, spec.search_bits);
+
+    // Column select: the active stripe produces cols_total bits, the port
+    // wants access_bits.
+    let cols_total = cols_per_mat * ndwl;
+    let mux_degree = (cols_total / access_bits.max(1)).max(1);
+    let mux = Multiplexer::new(tech, mux_degree, 20e-15);
+    let mux_m = mux.metrics();
+
+    let addr_bits = (spec.entries.max(2) as f64).log2().ceil() as u32;
+    let htree = HTree::new(
+        tech,
+        ndwl,
+        ndbl,
+        m.width,
+        m.height,
+        addr_bits,
+        spec.access_bits,
+    );
+    let ht = htree.metrics();
+
+    let n_mats = (ndwl * ndbl) as f64;
+    let active = ndwl as f64;
+
+    let read_energy = active * m.read_energy
+        + access_bits as f64 * mux_m.energy_per_op
+        + ht.energy_per_op;
+    let write_energy = active * m.write_energy + ht.energy_per_op;
+    let search_energy = if spec.kind == ArrayKind::Cam {
+        ndbl as f64 * m.search_energy + ht.energy_per_op
+    } else {
+        0.0
+    };
+
+    let access_time = 2.0 * ht.delay + m.read_delay + mux_m.delay;
+    let cycle_time = 1.2 * m.max_stage_delay.max(ht.delay);
+
+    let area = (n_mats * m.area + ht.area) * ARRAY_AREA_OVERHEAD;
+    // Aspect ratio from the mat grid; the overhead (ECC/redundancy/
+    // routing) is apportioned as extra height so width × height = area.
+    let width = ndwl as f64 * m.width;
+    let height = area / width.max(1e-9);
+
+    let leakage = m.leakage.scaled(n_mats)
+        + ht.leakage
+        + mux_m.leakage.scaled(access_bits as f64);
+
+    let solved = SolvedArray {
+        name: spec.name.clone(),
+        ndwl,
+        ndbl,
+        nspd,
+        rows_per_mat,
+        cols_per_mat,
+        access_time,
+        cycle_time,
+        read_energy,
+        write_energy,
+        search_energy,
+        leakage,
+        area,
+        height,
+        width,
+    };
+
+    let score = match target {
+        OptTarget::Delay => access_time,
+        OptTarget::Energy => read_energy,
+        OptTarget::EnergyDelay => read_energy * access_time,
+        OptTarget::EnergyDelaySquared => read_energy * access_time * access_time,
+        OptTarget::Area => area,
+    };
+    if !score.is_finite() {
+        return None;
+    }
+    Some(Candidate { solved, score })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Ports;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N65, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn l1_sized_array_solves_fast_and_small() {
+        let t = tech();
+        let s = ArraySpec::ram(32 * 1024, 64).named("l1d");
+        let a = s.solve(&t, OptTarget::EnergyDelay).unwrap();
+        assert!(a.access_time < 2e-9, "access = {:e}", a.access_time);
+        // A 32 KB array at 65 nm is well under 1 mm².
+        assert!(a.area < 1e-6, "area = {:e} m²", a.area);
+        assert!(a.read_energy > 1e-12 && a.read_energy < 1e-9);
+    }
+
+    #[test]
+    fn bigger_arrays_are_slower_and_leakier() {
+        let t = tech();
+        let small = ArraySpec::ram(32 * 1024, 64).solve(&t, OptTarget::EnergyDelay).unwrap();
+        let big = ArraySpec::ram(2 * 1024 * 1024, 64).solve(&t, OptTarget::EnergyDelay).unwrap();
+        assert!(big.access_time > small.access_time);
+        assert!(big.leakage.total() > 10.0 * small.leakage.total());
+        assert!(big.area > 20.0 * small.area);
+    }
+
+    #[test]
+    fn delay_target_beats_energy_target_on_delay() {
+        let t = tech();
+        let spec = ArraySpec::ram(1024 * 1024, 64);
+        let fast = spec.solve(&t, OptTarget::Delay).unwrap();
+        let frugal = spec.solve(&t, OptTarget::Energy).unwrap();
+        assert!(fast.access_time <= frugal.access_time);
+        assert!(frugal.read_energy <= fast.read_energy);
+    }
+
+    #[test]
+    fn cycle_constraint_is_respected() {
+        let t = tech();
+        let spec = ArraySpec::ram(256 * 1024, 64).with_max_cycle_time(1.0 / 1.4e9);
+        let a = spec.solve(&t, OptTarget::EnergyDelay).unwrap();
+        assert!(a.cycle_time <= 1.0 / 1.4e9 + 1e-15);
+    }
+
+    #[test]
+    fn impossible_cycle_constraint_errors() {
+        let t = tech();
+        let spec = ArraySpec::ram(16 * 1024 * 1024, 64).with_max_cycle_time(1e-12);
+        let err = spec.solve(&t, OptTarget::Delay).unwrap_err();
+        match err {
+            ArrayError::NoFeasiblePartition { best_cycle, .. } => assert!(best_cycle > 1e-12),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_spec_errors() {
+        let t = tech();
+        let spec = ArraySpec::table(0, 32);
+        assert!(matches!(
+            spec.solve(&t, OptTarget::Delay),
+            Err(ArrayError::DegenerateSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn register_file_with_many_ports_solves() {
+        let t = tech();
+        let spec = ArraySpec::table(128, 64)
+            .with_ports(Ports::reg_file(6, 3))
+            .named("int-rf");
+        let a = spec.solve(&t, OptTarget::Delay).unwrap();
+        assert!(a.access_time < 1e-9);
+        assert!(a.read_energy > 0.0);
+    }
+
+    #[test]
+    fn cam_solves_with_search_energy() {
+        let t = tech();
+        let spec = ArraySpec::cam(64, 64, 48).named("stq");
+        let a = spec.solve(&t, OptTarget::EnergyDelay).unwrap();
+        assert!(a.search_energy > 0.0);
+        assert_eq!(a.ndwl, 1, "CAMs are not split horizontally");
+    }
+
+    #[test]
+    fn narrow_access_reads_cost_less_than_full_block() {
+        let t = tech();
+        let full = ArraySpec::ram(512 * 1024, 64).solve(&t, OptTarget::Energy).unwrap();
+        let narrow = ArraySpec::ram(512 * 1024, 64)
+            .with_access_bits(128)
+            .solve(&t, OptTarget::Energy)
+            .unwrap();
+        assert!(narrow.read_energy <= full.read_energy);
+    }
+
+    #[test]
+    fn mixed_energy_interpolates() {
+        let t = tech();
+        let a = ArraySpec::ram(64 * 1024, 64).solve(&t, OptTarget::EnergyDelay).unwrap();
+        let mixed = a.mixed_energy(0.5);
+        assert!(mixed >= a.read_energy.min(a.write_energy));
+        assert!(mixed <= a.read_energy.max(a.write_energy));
+    }
+}

@@ -1,0 +1,303 @@
+//! Array specifications: what the architectural layer asks the solver for.
+
+use crate::solve::{ArrayError, SolvedArray};
+use mcpat_tech::TechParams;
+use std::fmt;
+
+/// Kind of storage array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ArrayKind {
+    /// Decoded random-access SRAM (caches, register files, tables).
+    #[default]
+    Ram,
+    /// Content-addressable memory with a RAM read/write path
+    /// (TLBs, store queues, issue-queue wakeup, reverse RATs).
+    Cam,
+    /// 1T1C embedded DRAM (large L3-class arrays).
+    Edram,
+}
+
+impl fmt::Display for ArrayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArrayKind::Ram => "RAM",
+            ArrayKind::Cam => "CAM",
+            ArrayKind::Edram => "eDRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Port configuration of an array.
+///
+/// Exclusive read/write ports cost a full wordline + bitline pair each;
+/// shared read-write ports cost one each; CAM search ports add
+/// search/match lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Ports {
+    /// Shared read/write ports.
+    pub rw: u32,
+    /// Read-only ports.
+    pub read: u32,
+    /// Write-only ports.
+    pub write: u32,
+    /// Associative search ports (CAM only).
+    pub search: u32,
+}
+
+impl Default for Ports {
+    fn default() -> Ports {
+        Ports {
+            rw: 1,
+            read: 0,
+            write: 0,
+            search: 0,
+        }
+    }
+}
+
+impl Ports {
+    /// A single shared read/write port (the common cache configuration).
+    #[must_use]
+    pub fn single_rw() -> Ports {
+        Ports::default()
+    }
+
+    /// A register-file style port set: `r` read ports and `w` write ports.
+    #[must_use]
+    pub fn reg_file(r: u32, w: u32) -> Ports {
+        Ports {
+            rw: 0,
+            read: r,
+            write: w,
+            search: 0,
+        }
+    }
+
+    /// Total number of RAM-path ports.
+    #[must_use]
+    pub fn total_ram(&self) -> u32 {
+        self.rw + self.read + self.write
+    }
+
+    /// Total ports including search ports.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.total_ram() + self.search
+    }
+}
+
+/// Objective used by the partition optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum OptTarget {
+    /// Minimize access time.
+    Delay,
+    /// Minimize energy·delay (the CACTI default).
+    #[default]
+    EnergyDelay,
+    /// Minimize energy·delay², favoring performance.
+    EnergyDelaySquared,
+    /// Minimize read energy subject to validity.
+    Energy,
+    /// Minimize area subject to validity.
+    Area,
+}
+
+/// A request for a storage array.
+///
+/// Build with [`ArraySpec::ram`], [`ArraySpec::cam`] or
+/// [`ArraySpec::table`], refine with the builder methods, then call
+/// [`ArraySpec::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use mcpat_array::{ArraySpec, Ports, OptTarget};
+/// use mcpat_tech::{TechNode, DeviceType, TechParams};
+///
+/// let tech = TechParams::new(TechNode::N45, DeviceType::Hp, 360.0);
+/// // A 64-entry, 80-bit physical register file with 6R/3W ports.
+/// let spec = ArraySpec::table(64, 80).with_ports(Ports::reg_file(6, 3));
+/// let rf = spec.solve(&tech, OptTarget::Delay).unwrap();
+/// assert!(rf.read_energy > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ArraySpec {
+    /// Number of addressable entries (rows before reshaping).
+    pub entries: u64,
+    /// Bits per entry.
+    pub bits_per_entry: u32,
+    /// Bits read/written per access (≤ `bits_per_entry`;
+    /// equal for most structures, smaller for wide cache blocks
+    /// read out over several beats).
+    pub access_bits: u32,
+    /// Bits compared per search (CAM only; tag width).
+    pub search_bits: u32,
+    /// Kind of array.
+    pub kind: ArrayKind,
+    /// Port configuration.
+    pub ports: Ports,
+    /// Optional cycle-time constraint, s. Solutions whose random cycle
+    /// time exceeds this are rejected.
+    pub max_cycle_time: Option<f64>,
+    /// Human-readable name, carried into reports.
+    pub name: String,
+}
+
+impl ArraySpec {
+    /// A RAM array of `size_bytes` organized in `block_bytes` blocks
+    /// (one block per entry, full block per access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero or doesn't divide `size_bytes`.
+    #[must_use]
+    pub fn ram(size_bytes: u64, block_bytes: u32) -> ArraySpec {
+        assert!(block_bytes > 0, "block size must be positive");
+        assert!(
+            size_bytes.is_multiple_of(u64::from(block_bytes)),
+            "block size must divide array size"
+        );
+        let entries = size_bytes / u64::from(block_bytes);
+        let bits = block_bytes * 8;
+        ArraySpec {
+            entries,
+            bits_per_entry: bits,
+            access_bits: bits,
+            search_bits: 0,
+            kind: ArrayKind::Ram,
+            ports: Ports::single_rw(),
+            max_cycle_time: None,
+            name: String::from("ram"),
+        }
+    }
+
+    /// A small table of `entries` × `bits` (register files, predictor
+    /// tables, queues).
+    #[must_use]
+    pub fn table(entries: u64, bits: u32) -> ArraySpec {
+        ArraySpec {
+            entries,
+            bits_per_entry: bits,
+            access_bits: bits,
+            search_bits: 0,
+            kind: ArrayKind::Ram,
+            ports: Ports::single_rw(),
+            max_cycle_time: None,
+            name: String::from("table"),
+        }
+    }
+
+    /// A CAM of `entries`, each storing `bits` and matching on
+    /// `search_bits` of them.
+    #[must_use]
+    pub fn cam(entries: u64, bits: u32, search_bits: u32) -> ArraySpec {
+        ArraySpec {
+            entries,
+            bits_per_entry: bits,
+            access_bits: bits,
+            search_bits,
+            kind: ArrayKind::Cam,
+            ports: Ports {
+                search: 1,
+                ..Ports::single_rw()
+            },
+            max_cycle_time: None,
+            name: String::from("cam"),
+        }
+    }
+
+    /// Sets the port configuration.
+    #[must_use]
+    pub fn with_ports(mut self, ports: Ports) -> ArraySpec {
+        self.ports = ports;
+        self
+    }
+
+    /// Sets the per-access output width in bits.
+    #[must_use]
+    pub fn with_access_bits(mut self, bits: u32) -> ArraySpec {
+        self.access_bits = bits.min(self.bits_per_entry).max(1);
+        self
+    }
+
+    /// Sets the array kind (e.g. switch a big RAM to eDRAM).
+    #[must_use]
+    pub fn with_kind(mut self, kind: ArrayKind) -> ArraySpec {
+        self.kind = kind;
+        self
+    }
+
+    /// Imposes a cycle-time constraint in seconds.
+    #[must_use]
+    pub fn with_max_cycle_time(mut self, t: f64) -> ArraySpec {
+        self.max_cycle_time = Some(t);
+        self
+    }
+
+    /// Names the array for reporting.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> ArraySpec {
+        self.name = name.into();
+        self
+    }
+
+    /// Total storage capacity in bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.entries * u64::from(self.bits_per_entry)
+    }
+
+    /// Runs the partition optimizer for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError`] if the spec is degenerate (zero entries or
+    /// bits) or no partitioning satisfies the constraints.
+    pub fn solve(&self, tech: &TechParams, target: OptTarget) -> Result<SolvedArray, ArrayError> {
+        crate::solve::solve(tech, self, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_constructor_computes_entries() {
+        let s = ArraySpec::ram(32 * 1024, 64);
+        assert_eq!(s.entries, 512);
+        assert_eq!(s.bits_per_entry, 512);
+        assert_eq!(s.total_bits(), 32 * 1024 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must divide")]
+    fn ram_rejects_nondividing_block() {
+        let _ = ArraySpec::ram(1000, 64);
+    }
+
+    #[test]
+    fn access_bits_clamped_to_entry_width() {
+        let s = ArraySpec::table(64, 32).with_access_bits(128);
+        assert_eq!(s.access_bits, 32);
+    }
+
+    #[test]
+    fn reg_file_ports_count() {
+        let p = Ports::reg_file(6, 3);
+        assert_eq!(p.total_ram(), 9);
+        assert_eq!(p.total(), 9);
+    }
+
+    #[test]
+    fn cam_has_search_port_by_default() {
+        let s = ArraySpec::cam(64, 64, 40);
+        assert_eq!(s.ports.search, 1);
+        assert_eq!(s.kind, ArrayKind::Cam);
+    }
+}

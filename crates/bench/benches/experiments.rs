@@ -1,0 +1,79 @@
+//! Criterion benches — one group per table/figure. Each bench runs the
+//! corresponding experiment end to end, so `cargo bench` both times the
+//! framework and re-executes every reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpat_bench as exp;
+use mcpat_tech::TechNode;
+use std::hint::black_box;
+
+fn bench_validation(c: &mut Criterion) {
+    c.bench_function("T-V1..4 validation table", |b| {
+        b.iter(|| black_box(exp::validation_table()))
+    });
+    c.bench_function("T-V5 runtime validation", |b| {
+        b.iter(|| black_box(exp::runtime_validation()))
+    });
+}
+
+fn bench_case_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case-study");
+    g.sample_size(10);
+    g.bench_function("F-CS1/2 design points (22nm)", |b| {
+        b.iter(|| black_box(exp::case_study_points(TechNode::N22)))
+    });
+    let points = exp::case_study_points(TechNode::N22);
+    g.bench_function("F-CS3/4 metric winners", |b| {
+        b.iter(|| black_box(exp::case_study_metrics(black_box(&points))))
+    });
+    g.finish();
+}
+
+fn bench_tech(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tech");
+    g.sample_size(10);
+    g.bench_function("F-TECH1 scaling sweep", |b| {
+        b.iter(|| black_box(exp::tech_scaling()))
+    });
+    g.bench_function("F-TECH2 device flavors", |b| {
+        b.iter(|| black_box(exp::device_flavors()))
+    });
+    g.finish();
+}
+
+fn bench_wires_noc_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.sample_size(10);
+    g.bench_function("F-WIRE1 wire projections", |b| {
+        b.iter(|| black_box(exp::wire_projections()))
+    });
+    g.bench_function("F-NOC1 router sweep", |b| {
+        b.iter(|| black_box(exp::noc_sweep()))
+    });
+    g.bench_function("F-CLK1 clock share", |b| {
+        b.iter(|| black_box(exp::clock_fraction()))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("A-ABL1 array optimizer", |b| {
+        b.iter(|| black_box(exp::array_ablation()))
+    });
+    g.bench_function("A-ABL2 gating", |b| {
+        b.iter(|| black_box(exp::gating_ablation()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_validation,
+    bench_case_study,
+    bench_tech,
+    bench_wires_noc_clock,
+    bench_ablations
+);
+criterion_main!(benches);

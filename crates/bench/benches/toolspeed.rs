@@ -1,0 +1,74 @@
+//! Criterion benches of the framework itself — McPAT's pitch is *fast*
+//! analytical modeling, so the tool's own evaluation speed is a tracked
+//! quantity: single-array solves, core builds, and whole-chip builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcpat::{Processor, ProcessorConfig};
+use mcpat_array::{ArraySpec, OptTarget};
+use mcpat_mcore::config::CoreConfig;
+use mcpat_mcore::core::CoreModel;
+use mcpat_sim::{run_trace, SystemModel, WorkloadProfile};
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+use std::hint::black_box;
+
+fn bench_array_solver(c: &mut Criterion) {
+    let tech = TechParams::new(TechNode::N32, DeviceType::Hp, 360.0);
+    let mut g = c.benchmark_group("array-solver");
+    for kb in [32u64, 256, 2048, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &kb, |b, &kb| {
+            let spec = ArraySpec::ram(kb * 1024, 64);
+            b.iter(|| black_box(spec.solve(&tech, OptTarget::EnergyDelay).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_core_build(c: &mut Criterion) {
+    let tech = TechParams::new(TechNode::N45, DeviceType::Hp, 360.0);
+    let mut g = c.benchmark_group("core-build");
+    g.bench_function("in-order", |b| {
+        let cfg = CoreConfig::generic_inorder();
+        b.iter(|| black_box(CoreModel::build(&tech, &cfg).unwrap()));
+    });
+    g.bench_function("out-of-order", |b| {
+        let cfg = CoreConfig::generic_ooo();
+        b.iter(|| black_box(CoreModel::build(&tech, &cfg).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_chip_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chip-build");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("niagara", ProcessorConfig::niagara()),
+        ("tulsa", ProcessorConfig::tulsa()),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(Processor::build(&cfg).unwrap())));
+    }
+    g.finish();
+}
+
+fn bench_performance_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf-model");
+    let cfg = ProcessorConfig::niagara2();
+    let wl = WorkloadProfile::splash_like();
+    g.bench_function("analytic 100M-inst system sim", |b| {
+        let sys = SystemModel::new(&cfg);
+        b.iter(|| black_box(sys.simulate(&wl, 100_000_000)));
+    });
+    g.bench_function("trace 100K-op core sim", |b| {
+        let core = CoreConfig::generic_ooo();
+        b.iter(|| black_box(run_trace(&core, &wl, 100_000, 1)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    toolspeed,
+    bench_array_solver,
+    bench_core_build,
+    bench_chip_build,
+    bench_performance_models
+);
+criterion_main!(toolspeed);

@@ -1,0 +1,190 @@
+//! Regenerates every table and figure of the evaluation as text
+//! (paper-published values vs this implementation's measurements).
+//!
+//! Run with: `cargo run --release -p mcpat-bench --bin repro`
+
+use mcpat_bench::*;
+use mcpat_tech::TechNode;
+
+fn header(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+fn main() {
+    header("T-V1..T-V4", "whole-chip validation (published vs modeled)");
+    println!(
+        "{:<12} {:>8} {:>9} {:>7}   {:>8} {:>9} {:>7}",
+        "chip", "pub W", "model W", "err%", "pub mm2", "model mm2", "err%"
+    );
+    for row in validation_table() {
+        println!(
+            "{:<12} {:>8.1} {:>9.1} {:>6.1}%   {:>8.0} {:>9.0} {:>6.1}%",
+            row.name,
+            row.published_power_w,
+            row.modeled_power_w,
+            100.0 * row.power_error(),
+            row.published_area_mm2,
+            row.modeled_area_mm2,
+            100.0 * row.area_error(),
+        );
+        for (name, published, modeled) in &row.shares {
+            println!(
+                "      {:<10} published {:>5.1}%  modeled {:>5.1}%",
+                name,
+                100.0 * published,
+                100.0 * modeled
+            );
+        }
+    }
+
+    header("T-V5", "runtime (typical) power vs peak on the design-target workload");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>14}",
+        "chip", "peak W", "runtime W", "model ratio", "published"
+    );
+    for row in runtime_validation() {
+        println!(
+            "{:<12} {:>8.1} {:>10.1} {:>12.2} {:>14.2}",
+            row.name,
+            row.peak_w,
+            row.runtime_w,
+            row.runtime_w / row.peak_w,
+            row.published_ratio,
+        );
+    }
+
+    for (regime, tlp) in [("abundant TLP", f64::INFINITY), ("limited TLP (32 threads)", 32.0)] {
+        header(
+            "F-CS1/F-CS2",
+            &format!("manycore case study: power & area per design point (22nm, {regime})"),
+        );
+        let points = case_study_points_with_tlp(TechNode::N22, tlp);
+        println!(
+            "{:<18} {:>8} {:>9} {:>9} {:>9} {:>12}",
+            "point", "peak W", "run W", "mm2", "sec", "GIPS"
+        );
+        for p in &points {
+            println!(
+                "{:<18} {:>8.1} {:>9.1} {:>9.1} {:>9.4} {:>12.2}",
+                p.name,
+                p.peak_power_w,
+                p.runtime_power_w,
+                p.area_mm2,
+                p.seconds,
+                p.throughput_ips / 1e9,
+            );
+        }
+        header("F-CS3/F-CS4", &format!("metric winners ({regime})"));
+        for (metric, winner) in case_study_metrics(&points) {
+            println!("  best under {:<6} : {winner}", metric.name());
+        }
+    }
+    println!("  paper shape: the optimum flips with the workload regime — with");
+    println!("  abundant TLP the sea of wimpy in-order cores wins every metric");
+    println!("  (the Niagara thesis); when TLP is scarce the brawny OoO design");
+    println!("  wins the performance-weighted metrics. Within each regime the");
+    println!("  clustering optimum also differs between EDP and ED2P/D, and the");
+    println!("  area term (EDAP/EDA2P) systematically narrows the gap toward the");
+    println!("  smaller designs — the reason the paper argues area must enter");
+    println!("  the objective.");
+
+    header("F-CS5", "case-study EDA2P winner across nodes (abundant TLP)");
+    for (node, winner) in case_study_across_nodes() {
+        println!("  {:>5}: {winner}", node.to_string());
+    }
+    println!("  paper shape: the architectural optimum is stable across nodes when");
+    println!("  the relative costs scale together.");
+
+    header("F-TECH1", "technology scaling of a fixed 8-core chip");
+    println!(
+        "{:>6} {:>9} {:>10} {:>8} {:>8} {:>9}",
+        "node", "total W", "dynamic W", "leak W", "leak %", "area mm2"
+    );
+    for r in tech_scaling() {
+        println!(
+            "{:>6} {:>9.1} {:>10.1} {:>8.1} {:>7.1}% {:>9.1}",
+            r.node.to_string(),
+            r.total_w,
+            r.dynamic_w,
+            r.leakage_w,
+            100.0 * r.leakage_w / r.total_w,
+            r.area_mm2,
+        );
+    }
+    println!("  paper shape: area shrinks ~quadratically; leakage fraction grows.");
+
+    header("F-TECH2", "device flavors at 32nm (HP / LSTP / LOP)");
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>10} {:>10}",
+        "flavor", "FO4 ps", "1MB rd pJ", "1MB leak mW", "core W", "core leak"
+    );
+    for r in device_flavors() {
+        println!(
+            "{:>6} {:>9.1} {:>12.1} {:>12.3} {:>10.2} {:>10.3}",
+            r.flavor.to_string(),
+            r.fo4 * 1e12,
+            r.array_read_j * 1e12,
+            r.array_leakage_w * 1e3,
+            r.core_peak_w,
+            r.core_leakage_w,
+        );
+    }
+    println!("  paper shape: LSTP ≈ orders-of-magnitude lower leakage, slower FO4;");
+    println!("  LOP lowest dynamic energy via reduced Vdd.");
+
+    header("F-WIRE1", "interconnect projections (5mm repeated global wire)");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}",
+        "node", "projection", "ps/mm", "fJ/bit/mm"
+    );
+    for r in wire_projections() {
+        println!(
+            "{:>6} {:>14} {:>12.1} {:>14.1}",
+            r.node.to_string(),
+            r.projection.to_string(),
+            r.delay_s_per_m * 1e12 * 1e-3,
+            r.energy_j_per_m * 1e15 * 1e-3,
+        );
+    }
+    println!("  paper shape: conservative wires are uniformly slower/hungrier and the");
+    println!("  gap widens at smaller nodes.");
+
+    header("F-NOC1", "router cost vs flit width and VC count (32nm, 5 ports)");
+    println!(
+        "{:>6} {:>5} {:>12} {:>10} {:>10}",
+        "flit", "VCs", "pJ/flit", "area mm2", "leak mW"
+    );
+    for r in noc_sweep() {
+        println!(
+            "{:>6} {:>5} {:>12.2} {:>10.4} {:>10.2}",
+            r.flit_bits,
+            r.vcs,
+            r.router_energy_j * 1e12,
+            r.router_area_m2 * 1e6,
+            r.router_leakage_w * 1e3,
+        );
+    }
+
+    header("F-CLK1", "clock-distribution share of chip power across nodes");
+    for r in clock_fraction() {
+        println!("  {:>6}: {:>5.1}%", r.node.to_string(), 100.0 * r.clock_share);
+    }
+
+    header("A-ABL1", "array partition optimizer ablation (2MB array, 45nm)");
+    println!("{:<28} {:>10} {:>10} {:>10}", "layout", "ns", "pJ/read", "mm2");
+    for r in array_ablation() {
+        println!(
+            "{:<28} {:>10.2} {:>10.1} {:>10.2}",
+            r.label,
+            r.access_time * 1e9,
+            r.read_energy * 1e12,
+            r.area * 1e6,
+        );
+    }
+
+    header("A-ABL2", "power-management ablation (light duty, Niagara2)");
+    for r in gating_ablation() {
+        println!("  {:<28} {:>7.1} W", r.label, r.runtime_w);
+    }
+}

@@ -1,0 +1,121 @@
+//! Published reference data for the validation targets.
+//!
+//! Totals (TDP/typical power, die area) are the well-known published
+//! figures. The per-component shares are **reconstructions** of the
+//! kind of breakdown the McPAT paper tabulates — the exact MICRO'09
+//! table values are not available in this offline environment, so treat
+//! the shares as approximate anchors for the *shape* of the breakdown
+//! (see the mismatch notice in DESIGN.md).
+
+use mcpat::ProcessorConfig;
+
+/// Published reference for one chip.
+#[derive(Debug, Clone)]
+pub struct PublishedChip {
+    /// Chip name matching the preset.
+    pub name: &'static str,
+    /// Published power, W.
+    pub power_w: f64,
+    /// Published die area, mm².
+    pub area_mm2: f64,
+    /// Process node, nm (for the table header).
+    pub node_nm: u32,
+    /// Clock, GHz.
+    pub clock_ghz: f64,
+    /// Approximate published component shares of total power
+    /// (name, fraction); reconstructed, see module docs.
+    pub power_shares: &'static [(&'static str, f64)],
+    /// The preset constructor.
+    pub config: fn() -> ProcessorConfig,
+}
+
+/// The four validation targets of the paper.
+#[must_use]
+pub fn published_chips() -> Vec<PublishedChip> {
+    vec![
+        PublishedChip {
+            name: "niagara",
+            power_w: 63.0,
+            area_mm2: 378.0,
+            node_nm: 90,
+            clock_ghz: 1.2,
+            power_shares: &[
+                ("cores", 0.33),
+                ("l2", 0.12),
+                ("noc", 0.08),
+                ("mc", 0.10),
+                ("io", 0.16),
+                ("clock", 0.18),
+            ],
+            config: ProcessorConfig::niagara,
+        },
+        PublishedChip {
+            name: "niagara2",
+            power_w: 84.0,
+            area_mm2: 342.0,
+            node_nm: 65,
+            clock_ghz: 1.4,
+            power_shares: &[
+                ("cores", 0.37),
+                ("l2", 0.12),
+                ("noc", 0.07),
+                ("mc", 0.14),
+                ("io", 0.14),
+                ("clock", 0.13),
+            ],
+            config: ProcessorConfig::niagara2,
+        },
+        PublishedChip {
+            name: "alpha21364",
+            power_w: 125.0,
+            area_mm2: 397.0,
+            node_nm: 180,
+            clock_ghz: 1.2,
+            power_shares: &[
+                ("cores", 0.35),
+                ("l2", 0.06),
+                ("noc", 0.05),
+                ("mc", 0.07),
+                ("io", 0.12),
+                ("clock", 0.33),
+            ],
+            config: ProcessorConfig::alpha21364,
+        },
+        PublishedChip {
+            name: "xeon-tulsa",
+            power_w: 150.0,
+            area_mm2: 435.0,
+            node_nm: 65,
+            clock_ghz: 3.4,
+            power_shares: &[
+                ("cores", 0.45),
+                ("l2", 0.03),
+                ("l3", 0.12),
+                ("io", 0.07),
+                ("clock", 0.30),
+            ],
+            config: ProcessorConfig::tulsa,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_sane_fractions() {
+        for chip in published_chips() {
+            let sum: f64 = chip.power_shares.iter().map(|(_, s)| s).sum();
+            assert!(sum > 0.7 && sum <= 1.05, "{}: shares sum {sum}", chip.name);
+        }
+    }
+
+    #[test]
+    fn configs_build() {
+        for chip in published_chips() {
+            let cfg = (chip.config)();
+            assert_eq!(cfg.name, chip.name);
+        }
+    }
+}

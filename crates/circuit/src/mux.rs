@@ -1,0 +1,131 @@
+//! Pass-gate multiplexers.
+//!
+//! Column selection in arrays, operand selection at functional-unit
+//! inputs, and way selection after tag match are all n-to-1 multiplexers:
+//! a one-hot select bus driving pass transistors whose common output is
+//! rebuffered.
+
+use crate::gate::{BufferChain, GateKind, LogicGate};
+use crate::metrics::CircuitMetrics;
+use mcpat_tech::TechParams;
+
+/// An `n`-to-1 pass-transistor multiplexer with an output buffer, one bit
+/// wide. Replicate (`CircuitMetrics::replicated`) for wider datapaths.
+///
+/// # Examples
+///
+/// ```
+/// use mcpat_circuit::mux::Multiplexer;
+/// use mcpat_tech::{TechNode, DeviceType, TechParams};
+///
+/// let tech = TechParams::new(TechNode::N32, DeviceType::Hp, 360.0);
+/// let mux = Multiplexer::new(&tech, 8, 10e-15);
+/// let per_word = mux.metrics().replicated(64); // a 64-bit 8:1 mux
+/// assert!(per_word.energy_per_op > mux.metrics().energy_per_op);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Multiplexer {
+    inputs: usize,
+    pass_width: f64,
+    out_buffer: BufferChain,
+    select_driver: LogicGate,
+    tech: TechParams,
+}
+
+impl Multiplexer {
+    /// Builds an `inputs`-to-1 single-bit mux driving `c_load` farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is zero.
+    #[must_use]
+    pub fn new(tech: &TechParams, inputs: usize, c_load: f64) -> Multiplexer {
+        assert!(inputs > 0, "mux needs at least one input");
+        let pass_width = 2.0 * tech.min_w_nmos();
+        let out_buffer = BufferChain::for_load(tech, c_load.max(1e-18));
+        let select_driver = LogicGate::new(tech, GateKind::Inverter, 2.0);
+        Multiplexer {
+            inputs,
+            pass_width,
+            out_buffer,
+            select_driver,
+            tech: *tech,
+        }
+    }
+
+    /// Number of data inputs.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Capacitance presented to each data input, F.
+    #[must_use]
+    pub fn input_cap(&self) -> f64 {
+        self.tech.drain_cap(self.pass_width)
+    }
+
+    /// Metrics of one select-and-pass operation.
+    #[must_use]
+    pub fn metrics(&self) -> CircuitMetrics {
+        let n = self.inputs as f64;
+        // Shared output node sees every pass gate's drain.
+        let c_shared = n * self.tech.drain_cap(self.pass_width) + self.out_buffer.input_cap();
+        let r_pass = self.tech.r_eq_n(self.pass_width);
+        let pass_delay = 0.69 * r_pass * c_shared;
+        let buf = self.out_buffer.metrics();
+        let sel = self
+            .select_driver
+            .metrics(self.tech.gate_cap(self.pass_width));
+
+        let gate_leak_width = n * self.pass_width;
+        let leakage = buf.leakage
+            + sel.leakage.scaled(n)
+            + crate::metrics::StaticPower {
+                subthreshold: self.tech.subthreshold_leakage(gate_leak_width, 0.0),
+                gate: self.tech.gate_leakage(gate_leak_width, 0.0),
+            };
+
+        CircuitMetrics {
+            area: buf.area + sel.area * n + n * self.pass_width * 5.0 * self.tech.node.feature_m(),
+            delay: sel.delay + pass_delay + buf.delay,
+            energy_per_op: self.tech.switch_energy(c_shared) + buf.energy_per_op + sel.energy_per_op,
+            leakage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N32, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn wider_muxes_are_slower() {
+        let t = tech();
+        let m2 = Multiplexer::new(&t, 2, 10e-15).metrics();
+        let m32 = Multiplexer::new(&t, 32, 10e-15).metrics();
+        assert!(m32.delay > m2.delay);
+        assert!(m32.energy_per_op > m2.energy_per_op);
+    }
+
+    #[test]
+    fn replication_models_datapath_width() {
+        let t = tech();
+        let bit = Multiplexer::new(&t, 4, 5e-15).metrics();
+        let word = bit.replicated(64);
+        assert!((word.energy_per_op / bit.energy_per_op - 64.0).abs() < 1e-9);
+        assert_eq!(word.delay, bit.delay);
+    }
+
+    #[test]
+    fn one_input_mux_degenerates_gracefully() {
+        let t = tech();
+        let m = Multiplexer::new(&t, 1, 1e-15).metrics();
+        assert!(m.delay > 0.0);
+    }
+}

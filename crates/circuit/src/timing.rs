@@ -1,0 +1,87 @@
+//! Slope-aware delay helpers.
+//!
+//! Most of the framework uses the 0.69·RC Elmore approximation, but the
+//! sense-amplifier input path in the array model is sensitive to the input
+//! slope, for which CACTI (and hence McPAT) uses Horowitz's approximation.
+
+/// Horowitz delay approximation.
+///
+/// * `input_ramp` — 10–90% rise time of the driving signal, s;
+/// * `tf` — RC time constant of the driven node, s;
+/// * `v_s` — switching threshold as a fraction of the supply (typically
+///   0.5 for static logic);
+///
+/// Returns the 50% crossing delay, s.
+///
+/// # Examples
+///
+/// ```
+/// use mcpat_circuit::timing::horowitz;
+/// let step = horowitz(0.0, 1e-10, 0.5);
+/// let slow = horowitz(4e-10, 1e-10, 0.5);
+/// assert!(slow > step, "slow input edges increase delay");
+/// ```
+#[must_use]
+pub fn horowitz(input_ramp: f64, tf: f64, v_s: f64) -> f64 {
+    // CACTI's formulation: delay = tf·√(ln(vs)² + 2·a·b·(1−vs)),
+    // a = ramp/tf, b = 0.5; a step input reduces to tf·|ln(vs)|.
+    let log_vs = v_s.ln();
+    if input_ramp <= 0.0 {
+        return tf * (-log_vs);
+    }
+    let a = input_ramp / tf;
+    let b = 0.5;
+    tf * (log_vs * log_vs + 2.0 * a * b * (1.0 - v_s)).sqrt()
+}
+
+/// 10–90% output rise time of an RC node given its time constant, s.
+#[must_use]
+pub fn rise_time(tf: f64) -> f64 {
+    2.2 * tf
+}
+
+/// Elmore delay (50% point) of a lumped RC, s.
+#[must_use]
+pub fn elmore(r: f64, c: f64) -> f64 {
+    0.69 * r * c
+}
+
+/// Elmore delay of a distributed RC line of total resistance `r` and total
+/// capacitance `c`, s.
+#[must_use]
+pub fn elmore_distributed(r: f64, c: f64) -> f64 {
+    0.38 * r * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horowitz_reduces_to_rc_for_step_input() {
+        let tf = 2e-10;
+        let d = horowitz(0.0, tf, 0.5);
+        assert!((d - tf * 2.0_f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn horowitz_is_monotone_in_ramp() {
+        let tf = 1e-10;
+        let mut last = 0.0;
+        for ramp in [1e-11, 5e-11, 1e-10, 5e-10] {
+            let d = horowitz(ramp, tf, 0.5);
+            assert!(d > last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn distributed_is_faster_than_lumped() {
+        assert!(elmore_distributed(100.0, 1e-12) < elmore(100.0, 1e-12));
+    }
+
+    #[test]
+    fn rise_time_is_2p2_tau() {
+        assert!((rise_time(1e-10) - 2.2e-10).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,125 @@
+//! The `mcpat` command-line front-end — the analog of the original
+//! McPAT executable, with JSON instead of XML as the interface format.
+//!
+//! ```text
+//! mcpat --preset niagara                 # model a built-in preset
+//! mcpat --preset niagara --floorplan     # + ASCII floorplan sketch
+//! mcpat --preset niagara --emit-config   # dump its JSON config template
+//! mcpat chip.json                        # model a JSON configuration
+//! mcpat chip.json stats.json             # + runtime power from stats
+//! ```
+
+use mcpat::{ChipStats, Processor, ProcessorConfig};
+use std::process::ExitCode;
+
+fn preset(name: &str) -> Option<ProcessorConfig> {
+    match name {
+        "niagara" => Some(ProcessorConfig::niagara()),
+        "niagara2" => Some(ProcessorConfig::niagara2()),
+        "alpha21364" => Some(ProcessorConfig::alpha21364()),
+        "tulsa" | "xeon-tulsa" => Some(ProcessorConfig::tulsa()),
+        _ => None,
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: mcpat [--preset <niagara|niagara2|alpha21364|tulsa>] [--emit-config]\n\
+     \x20      mcpat <config.json> [stats.json]\n\
+     \n\
+     Models the configured processor and prints the power/area/timing\n\
+     report (--floorplan adds an ASCII floorplan sketch). With a stats\n\
+     file (mcpat::ChipStats as JSON), also prints runtime power for\n\
+     that interval."
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!("{}", usage());
+        return Ok(());
+    }
+
+    let mut emit_config = false;
+    let mut show_floorplan = false;
+    let mut config: Option<ProcessorConfig> = None;
+    let mut stats: Option<ChipStats> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--preset" => {
+                let name = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--preset needs a name".to_owned())?;
+                config = Some(preset(name).ok_or_else(|| format!("unknown preset `{name}`"))?);
+                i += 2;
+            }
+            "--emit-config" => {
+                emit_config = true;
+                i += 1;
+            }
+            "--floorplan" => {
+                show_floorplan = true;
+                i += 1;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{}", usage()));
+            }
+            path => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                if config.is_none() {
+                    config = Some(
+                        serde_json::from_str(&text)
+                            .map_err(|e| format!("`{path}` is not a valid config: {e}"))?,
+                    );
+                } else {
+                    stats = Some(
+                        serde_json::from_str(&text)
+                            .map_err(|e| format!("`{path}` is not a valid stats file: {e}"))?,
+                    );
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let config = config.ok_or_else(|| format!("no configuration given\n{}", usage()))?;
+    if emit_config {
+        let json = serde_json::to_string_pretty(&config)
+            .map_err(|e| format!("serialization failed: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    let chip = Processor::build(&config).map_err(|e| e.to_string())?;
+    println!("{}", chip.report());
+    if show_floorplan {
+        println!("Floorplan:");
+        println!("{}", chip.floorplan_sketch());
+    }
+
+    if let Some(stats) = stats {
+        let p = chip.runtime_power(&stats);
+        println!("Runtime power over {:.3e} s: {:.2} W", stats.duration_s, p.total());
+        for item in &p.items {
+            println!(
+                "  {:<12} {:>7.2} W (dyn {:>6.2}, leak {:>6.2})",
+                item.name,
+                item.total(),
+                item.dynamic,
+                item.leakage.total()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mcpat: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

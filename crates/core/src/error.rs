@@ -1,0 +1,61 @@
+//! Top-level error type.
+
+use mcpat_array::ArrayError;
+use std::fmt;
+
+/// Errors produced while building or evaluating a processor model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McpatError {
+    /// A storage-array could not be solved.
+    Array(ArrayError),
+    /// The configuration violates an invariant.
+    Config(String),
+}
+
+impl fmt::Display for McpatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McpatError::Array(e) => write!(f, "array solver: {e}"),
+            McpatError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for McpatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McpatError::Array(e) => Some(e),
+            McpatError::Config(_) => None,
+        }
+    }
+}
+
+impl From<ArrayError> for McpatError {
+    fn from(e: ArrayError) -> McpatError {
+        McpatError::Array(e)
+    }
+}
+
+impl From<String> for McpatError {
+    fn from(msg: String) -> McpatError {
+        McpatError::Config(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = McpatError::Config("zero cores".into());
+        assert!(e.to_string().contains("zero cores"));
+    }
+
+    #[test]
+    fn array_errors_convert() {
+        let ae = ArrayError::DegenerateSpec { name: "x".into() };
+        let e: McpatError = ae.clone().into();
+        assert_eq!(e, McpatError::Array(ae));
+    }
+}

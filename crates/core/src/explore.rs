@@ -1,0 +1,286 @@
+//! Design-space exploration: feasibility filtering, Pareto fronts, and
+//! per-metric winners over a set of candidate configurations.
+//!
+//! This is the workflow the McPAT paper's case study performs by hand —
+//! build many chips, evaluate each under the metrics, and compare —
+//! packaged as a reusable utility. Performance evaluation is injected as
+//! a closure so the explorer does not depend on any particular
+//! performance simulator.
+
+use crate::config::ProcessorConfig;
+use crate::error::McpatError;
+use crate::metrics::{best_index, Metric, MetricSet};
+use crate::processor::Processor;
+
+/// Physical budgets a candidate must respect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budgets {
+    /// Maximum die area, m² (`f64::INFINITY` to disable).
+    pub max_area: f64,
+    /// Maximum peak power, W (`f64::INFINITY` to disable).
+    pub max_peak_power: f64,
+}
+
+impl Default for Budgets {
+    fn default() -> Budgets {
+        Budgets {
+            max_area: f64::INFINITY,
+            max_peak_power: f64::INFINITY,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Configuration name.
+    pub name: String,
+    /// Die area, m².
+    pub area: f64,
+    /// Peak power, W.
+    pub peak_power: f64,
+    /// The (energy, delay, area) triple from the injected evaluator.
+    pub metrics: MetricSet,
+}
+
+/// The exploration result.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Candidates inside the budgets, in input order.
+    pub feasible: Vec<Candidate>,
+    /// Names of candidates rejected by the budgets.
+    pub rejected: Vec<String>,
+    /// Indices (into `feasible`) of the energy/delay/area Pareto front.
+    pub pareto: Vec<usize>,
+}
+
+impl Exploration {
+    /// The feasible candidate minimizing a metric.
+    #[must_use]
+    pub fn best(&self, metric: Metric) -> Option<&Candidate> {
+        let sets: Vec<MetricSet> = self.feasible.iter().map(|c| c.metrics).collect();
+        best_index(&sets, metric).map(|i| &self.feasible[i])
+    }
+
+    /// True if every per-metric winner lies on the Pareto front
+    /// (a consistency invariant of correct dominance filtering).
+    #[must_use]
+    pub fn winners_are_pareto(&self) -> bool {
+        let sets: Vec<MetricSet> = self.feasible.iter().map(|c| c.metrics).collect();
+        Metric::ALL.iter().all(|&m| {
+            best_index(&sets, m).is_none_or(|i| self.pareto.contains(&i))
+        })
+    }
+}
+
+/// True if `a` dominates `b` (no worse on all axes, better on one).
+fn dominates(a: &MetricSet, b: &MetricSet) -> bool {
+    let le = a.energy <= b.energy && a.delay <= b.delay && a.area <= b.area;
+    let lt = a.energy < b.energy || a.delay < b.delay || a.area < b.area;
+    le && lt
+}
+
+/// Builds and evaluates every candidate, filters by budgets, and
+/// computes the Pareto front over (energy, delay, area).
+///
+/// `evaluate` receives the built chip and must return the workload
+/// metrics (typically from `mcpat-sim`).
+///
+/// # Errors
+///
+/// Propagates the first build failure ([`McpatError`]); candidates that
+/// merely exceed the budgets are reported in `rejected`, not errors.
+pub fn explore<F>(
+    candidates: &[ProcessorConfig],
+    budgets: Budgets,
+    mut evaluate: F,
+) -> Result<Exploration, McpatError>
+where
+    F: FnMut(&Processor) -> MetricSet,
+{
+    let mut feasible = Vec::new();
+    let mut rejected = Vec::new();
+    for cfg in candidates {
+        let chip = Processor::build(cfg)?;
+        let area = chip.die_area();
+        let peak = chip.peak_power().total();
+        if area > budgets.max_area || peak > budgets.max_peak_power {
+            rejected.push(cfg.name.clone());
+            continue;
+        }
+        let metrics = evaluate(&chip);
+        feasible.push(Candidate {
+            name: cfg.name.clone(),
+            area,
+            peak_power: peak,
+            metrics,
+        });
+    }
+
+    let pareto = (0..feasible.len())
+        .filter(|&i| {
+            !feasible
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(&other.metrics, &feasible[i].metrics))
+        })
+        .collect();
+
+    Ok(Exploration {
+        feasible,
+        rejected,
+        pareto,
+    })
+}
+
+/// Finds the highest clock (within `lo..hi` Hz) at which the chip's
+/// peak power stays within `budget_w`, by bisection (12 iterations,
+/// ≈0.02% resolution). Returns `None` if even `lo` violates the budget.
+///
+/// This is the inverse question McPAT's integrated model makes cheap:
+/// instead of "what does this clock cost", "what clock does this budget
+/// buy".
+///
+/// # Errors
+///
+/// Propagates [`McpatError`] from any rebuild.
+pub fn max_clock_under_power_budget(
+    config: &ProcessorConfig,
+    budget_w: f64,
+    lo_hz: f64,
+    hi_hz: f64,
+) -> Result<Option<f64>, McpatError> {
+    let power_at = |clock: f64| -> Result<f64, McpatError> {
+        let mut cfg = config.clone();
+        cfg.clock_hz = clock;
+        cfg.core.clock_hz = clock;
+        Ok(Processor::build(&cfg)?.peak_power().total())
+    };
+    if power_at(lo_hz)? > budget_w {
+        return Ok(None);
+    }
+    if power_at(hi_hz)? <= budget_w {
+        return Ok(Some(hi_hz));
+    }
+    let (mut lo, mut hi) = (lo_hz, hi_hz);
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if power_at(mid)? <= budget_w {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_mcore::config::CoreConfig;
+    use mcpat_tech::TechNode;
+
+    fn candidates() -> Vec<ProcessorConfig> {
+        [2u32, 4, 8]
+            .into_iter()
+            .map(|n| {
+                ProcessorConfig::manycore(
+                    &format!("m{n}"),
+                    TechNode::N32,
+                    CoreConfig::generic_inorder(),
+                    n,
+                    n.min(2),
+                    1024 * 1024,
+                )
+            })
+            .collect()
+    }
+
+    fn fake_eval(chip: &Processor) -> MetricSet {
+        // Deterministic pseudo-workload: delay inversely proportional to
+        // core count, power proportional.
+        let n = f64::from(chip.config.num_cores);
+        MetricSet::from_power(10.0 * n, 1.0 / n, chip.die_area())
+    }
+
+    #[test]
+    fn budgets_reject_big_chips() {
+        let cands = candidates();
+        let tight = Budgets {
+            max_area: 40e-6, // 40 mm²
+            max_peak_power: f64::INFINITY,
+        };
+        let ex = explore(&cands, tight, fake_eval).unwrap();
+        assert!(!ex.rejected.is_empty());
+        assert!(ex.feasible.len() < cands.len());
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_contains_winners() {
+        let cands = candidates();
+        let ex = explore(&cands, Budgets::default(), fake_eval).unwrap();
+        assert!(!ex.pareto.is_empty());
+        assert!(ex.winners_are_pareto());
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let a = MetricSet { energy: 1.0, delay: 1.0, area: 1.0 };
+        let b = MetricSet { energy: 2.0, delay: 2.0, area: 2.0 };
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &a));
+    }
+
+    #[test]
+    fn clock_bisection_respects_the_budget() {
+        let cfg = ProcessorConfig::manycore(
+            "clk",
+            TechNode::N32,
+            CoreConfig::generic_inorder(),
+            4,
+            2,
+            1024 * 1024,
+        );
+        let budget = 25.0;
+        let clock = max_clock_under_power_budget(&cfg, budget, 0.5e9, 6.0e9)
+            .unwrap()
+            .expect("a feasible clock exists");
+        let mut at = cfg.clone();
+        at.clock_hz = clock;
+        at.core.clock_hz = clock;
+        let p = Processor::build(&at).unwrap().peak_power().total();
+        assert!(p <= budget * 1.001, "power {p} at {clock:e} Hz");
+        // And the budget is actually *used*: 10% more clock violates it.
+        let mut over = cfg.clone();
+        over.clock_hz = clock * 1.1;
+        over.core.clock_hz = clock * 1.1;
+        let p_over = Processor::build(&over).unwrap().peak_power().total();
+        assert!(p_over > budget, "budget not saturated: {p_over}");
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let cfg = ProcessorConfig::manycore(
+            "clk",
+            TechNode::N32,
+            CoreConfig::generic_inorder(),
+            4,
+            2,
+            1024 * 1024,
+        );
+        assert_eq!(
+            max_clock_under_power_budget(&cfg, 0.1, 0.5e9, 6.0e9).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn best_metric_lookup_works() {
+        let cands = candidates();
+        let ex = explore(&cands, Budgets::default(), fake_eval).unwrap();
+        // Delay-optimal = the biggest chip; energy-optimal = the smallest.
+        assert_eq!(ex.best(Metric::Delay).unwrap().name, "m8");
+        assert_eq!(ex.best(Metric::Energy).unwrap().name, "m2");
+    }
+}

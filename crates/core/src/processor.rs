@@ -1,0 +1,500 @@
+//! Whole-processor assembly: the internal chip representation.
+
+use crate::config::ProcessorConfig;
+use crate::error::McpatError;
+use crate::power::{ChipPower, ChipPowerItem};
+use crate::stats::ChipStats;
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_interconnect::noc::{NocConfig, NocModel};
+use mcpat_mcore::core::CoreModel;
+use mcpat_mcore::exu::{FuKind, FunctionalUnit};
+use mcpat_tech::TechParams;
+use mcpat_uncore::clock::ClockNetwork;
+use mcpat_uncore::io::OffChipIo;
+use mcpat_uncore::memctrl::MemCtrl;
+use mcpat_uncore::shared_cache::SharedCache;
+
+/// Layout overhead multiplying the sum of component areas to obtain the
+/// core die area (global routing, power grid, whitespace).
+const DIE_AREA_OVERHEAD: f64 = 1.25;
+
+/// Width of the pad ring around the active area, m.
+const PAD_RING_WIDTH: f64 = 0.6e-3;
+
+/// Clock-sink capacitance contributed per square meter of non-core
+/// logic/cache periphery (≈4 pF/mm², calibrated against Niagara-class
+/// published clock power).
+const CLOCK_SINK_CAP_PER_M2: f64 = 4e-12 / 1e-6;
+
+/// Energy to recharge a power-gated core's virtual supply rail on
+/// wakeup, J per mm² of core area (≈ the decap + rail capacitance).
+const WAKEUP_ENERGY_PER_M2: f64 = 2e-3;
+
+/// One named area entry of the floorplan summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaItem {
+    /// Component name.
+    pub name: String,
+    /// Area, m².
+    pub area: f64,
+}
+
+/// Timing roll-up: the cycle-time limiters of the chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// FO4 delay of the process corner, s.
+    pub fo4: f64,
+    /// Maximum clock supported by the cores' critical arrays, Hz.
+    pub core_max_clock_hz: f64,
+    /// L2 bank cycle time, s (0 if no L2).
+    pub l2_cycle_time: f64,
+    /// The configured target clock, Hz.
+    pub target_clock_hz: f64,
+}
+
+impl TimingReport {
+    /// True if the configured clock is achievable by the latency-critical
+    /// core arrays.
+    #[must_use]
+    pub fn clock_feasible(&self) -> bool {
+        self.core_max_clock_hz >= self.target_clock_hz
+    }
+}
+
+/// A fully built processor.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    /// Configuration echoed.
+    pub config: ProcessorConfig,
+    /// Resolved technology corner.
+    pub tech: TechParams,
+    /// The (homogeneous) core model.
+    pub core: CoreModel,
+    /// One L2 instance (replicated `config.num_l2s` times), if any.
+    pub l2: Option<SharedCache>,
+    /// The L3, if any.
+    pub l3: Option<SharedCache>,
+    /// The on-chip fabric.
+    pub noc: NocModel,
+    /// The memory controller, if any.
+    pub mc: Option<MemCtrl>,
+    /// Other off-chip I/O.
+    pub io: OffChipIo,
+    /// Chip-level shared FPU model (one instance).
+    pub shared_fpu: FunctionalUnit,
+    /// The clock distribution network.
+    pub clock: ClockNetwork,
+}
+
+impl Processor {
+    /// Builds the chip: every component model plus the clock network
+    /// sized from the resulting floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McpatError`] if the configuration is invalid or any
+    /// array fails to solve.
+    pub fn build(config: &ProcessorConfig) -> Result<Processor, McpatError> {
+        config.validate()?;
+        let mut tech = TechParams::new(config.node, config.device_type, config.temperature_k)
+            .with_projection(config.projection)
+            .with_long_channel_leakage(config.long_channel_leakage);
+        if (config.vdd_scale - 1.0).abs() > 1e-9 {
+            tech = tech.with_vdd_scale(config.vdd_scale);
+        }
+
+        let mut core_cfg = config.core.clone();
+        core_cfg.clock_hz = config.clock_hz;
+        let core = CoreModel::build(&tech, &core_cfg).map_err(McpatError::Config)?;
+
+        let l2 = config.l2.as_ref().map(|c| c.build(&tech)).transpose()?;
+        let l3 = config.l3.as_ref().map(|c| c.build(&tech)).transpose()?;
+        let mc = config
+            .mc
+            .as_ref()
+            .map(|c| MemCtrl::build(&tech, c))
+            .transpose()?;
+        let io = OffChipIo::new(&tech, config.io_bandwidth);
+        let shared_fpu = FunctionalUnit::new(&tech, FuKind::Fpu);
+
+        // Fabric link length ≈ the pitch of one cluster tile.
+        let cluster_area = core.area() * f64::from(config.cores_per_cluster())
+            + l2.as_ref().map_or(0.0, SharedCache::area);
+        let link_length = cluster_area.max(1e-12).sqrt();
+        let noc = NocConfig {
+            topology: config.fabric.topology,
+            flit_bits: config.fabric.flit_bits,
+            vcs_per_port: config.fabric.vcs_per_port,
+            buffers_per_vc: config.fabric.buffers_per_vc,
+            link_length,
+            clock_hz: config.clock_hz,
+        }
+        .build(&tech)?;
+
+        // Die area and the clock network over it.
+        let component_area = Self::component_area_sum(
+            config, &core, l2.as_ref(), l3.as_ref(), &noc, mc.as_ref(), &io, &shared_fpu,
+        );
+        let die_area = component_area * DIE_AREA_OVERHEAD;
+        let die_edge = die_area.sqrt();
+
+        let vdd = tech.device.vdd;
+        let core_sink_cap = f64::from(config.num_cores)
+            * 2.0
+            * core.pipeline.clock_energy_per_cycle
+            / (vdd * vdd);
+        let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
+        let clock = ClockNetwork::new(&tech, die_edge, die_edge, config.clock_hz, sink_cap);
+
+        Ok(Processor {
+            config: config.clone(),
+            tech,
+            core,
+            l2,
+            l3,
+            noc,
+            mc,
+            io,
+            shared_fpu,
+            clock,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn component_area_sum(
+        config: &ProcessorConfig,
+        core: &CoreModel,
+        l2: Option<&SharedCache>,
+        l3: Option<&SharedCache>,
+        noc: &NocModel,
+        mc: Option<&MemCtrl>,
+        io: &OffChipIo,
+        shared_fpu: &FunctionalUnit,
+    ) -> f64 {
+        core.area() * f64::from(config.num_cores)
+            + l2.map_or(0.0, SharedCache::area) * f64::from(config.num_l2s)
+            + l3.map_or(0.0, SharedCache::area)
+            + noc.area()
+            + mc.map_or(0.0, MemCtrl::area)
+            + io.area
+            + shared_fpu.area * f64::from(config.num_shared_fpus)
+    }
+
+    /// Floorplan summary: per-component areas (component sums, without
+    /// the whitespace overhead).
+    #[must_use]
+    pub fn area_breakdown(&self) -> Vec<AreaItem> {
+        let c = &self.config;
+        let gating_overhead = if c.power_gating { 1.04 } else { 1.0 };
+        let mut items = vec![AreaItem {
+            name: "cores".into(),
+            area: self.core.area() * f64::from(c.num_cores) * gating_overhead,
+        }];
+        if let Some(l2) = &self.l2 {
+            items.push(AreaItem {
+                name: "l2".into(),
+                area: l2.area() * f64::from(c.num_l2s),
+            });
+        }
+        if let Some(l3) = &self.l3 {
+            items.push(AreaItem {
+                name: "l3".into(),
+                area: l3.area(),
+            });
+        }
+        items.push(AreaItem {
+            name: "noc".into(),
+            area: self.noc.area(),
+        });
+        if let Some(mc) = &self.mc {
+            items.push(AreaItem {
+                name: "mc".into(),
+                area: mc.area(),
+            });
+        }
+        items.push(AreaItem {
+            name: "io".into(),
+            area: self.io.area,
+        });
+        if c.num_shared_fpus > 0 {
+            items.push(AreaItem {
+                name: "shared-fpu".into(),
+                area: self.shared_fpu.area * f64::from(c.num_shared_fpus),
+            });
+        }
+        items.push(AreaItem {
+            name: "clock".into(),
+            area: self.clock.area(),
+        });
+        items
+    }
+
+    /// Die area including layout overhead and the pad ring, m².
+    #[must_use]
+    pub fn die_area(&self) -> f64 {
+        let components: f64 = self.area_breakdown().iter().map(|i| i.area).sum();
+        let active = components * DIE_AREA_OVERHEAD;
+        let edge = active.sqrt() + 2.0 * PAD_RING_WIDTH;
+        edge * edge
+    }
+
+    /// Die area in mm².
+    #[must_use]
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_area() * 1e6
+    }
+
+    /// Timing roll-up.
+    #[must_use]
+    pub fn timing(&self) -> TimingReport {
+        TimingReport {
+            fo4: self.tech.fo4(),
+            core_max_clock_hz: self.core.max_clock_hz(),
+            l2_cycle_time: self.l2.as_ref().map_or(0.0, |l| l.cache.cycle_time),
+            target_clock_hz: self.config.clock_hz,
+        }
+    }
+
+    /// Runtime power from simulator statistics.
+    #[must_use]
+    pub fn runtime_power(&self, stats: &ChipStats) -> ChipPower {
+        let c = &self.config;
+        let mut items = Vec::with_capacity(8);
+
+        // Cores: evaluate each core's stats (broadcast-aware) and sum.
+        // With power gating, an idle core drops to a retention state that
+        // keeps ~10% of its leakage.
+        let mut cores_dynamic = 0.0;
+        let mut cores_leakage_scale = 0.0;
+        let mut core_detail = None;
+        for i in 0..c.num_cores as usize {
+            let cs = stats.core(i);
+            let p = self.core.runtime_power(&cs);
+            cores_dynamic += p.dynamic();
+            let duty = cs.duty();
+            cores_leakage_scale += if c.power_gating {
+                duty + (1.0 - duty) * 0.10
+            } else {
+                1.0
+            };
+            if core_detail.is_none() {
+                core_detail = Some(p);
+            }
+        }
+        let core_detail = core_detail.unwrap_or(mcpat_mcore::core::CorePower { items: vec![] });
+        // Wakeup transitions recharge the gated rail.
+        if c.power_gating && stats.core_wakeups > 0 {
+            let e_wake = WAKEUP_ENERGY_PER_M2 * self.core.area();
+            cores_dynamic += stats.core_wakeups as f64 * e_wake / stats.duration_s.max(1e-12);
+        }
+        items.push(ChipPowerItem {
+            name: "cores".into(),
+            dynamic: cores_dynamic,
+            leakage: self.core.leakage().scaled(cores_leakage_scale),
+        });
+
+        if let Some(l2) = &self.l2 {
+            items.push(ChipPowerItem {
+                name: "l2".into(),
+                dynamic: l2.dynamic_power(&stats.l2),
+                leakage: l2.leakage().scaled(f64::from(c.num_l2s)),
+            });
+        }
+        if let Some(l3) = &self.l3 {
+            items.push(ChipPowerItem {
+                name: "l3".into(),
+                dynamic: l3.dynamic_power(&stats.l3),
+                leakage: l3.leakage(),
+            });
+        }
+        items.push(ChipPowerItem {
+            name: "noc".into(),
+            dynamic: self.noc.dynamic_power(&stats.noc),
+            leakage: self.noc.leakage(),
+        });
+        if let Some(mc) = &self.mc {
+            items.push(ChipPowerItem {
+                name: "mc".into(),
+                dynamic: mc.dynamic_power(&stats.mc),
+                leakage: mc.leakage(),
+            });
+        }
+        items.push(ChipPowerItem {
+            name: "io".into(),
+            dynamic: self.io.power_at_utilization(stats.io_utilization) - self.io.standby_power,
+            leakage: self.io.leakage(),
+        });
+        if c.num_shared_fpus > 0 {
+            let interval = stats.duration_s.max(1e-12);
+            items.push(ChipPowerItem {
+                name: "shared-fpu".into(),
+                dynamic: stats.shared_fpu_ops as f64 * self.shared_fpu.energy_per_op / interval,
+                leakage: self
+                    .shared_fpu
+                    .leakage
+                    .scaled(f64::from(c.num_shared_fpus)),
+            });
+        }
+
+        // Clock: gate the grid by the cores' average idleness when the
+        // core supports clock gating.
+        let avg_duty = if c.num_cores > 0 {
+            (0..c.num_cores as usize)
+                .map(|i| stats.core(i).duty())
+                .sum::<f64>()
+                / f64::from(c.num_cores)
+        } else {
+            0.0
+        };
+        let gated_fraction = if c.core.clock_gating { 1.0 - avg_duty } else { 0.0 };
+        items.push(ChipPowerItem {
+            name: "clock".into(),
+            dynamic: self.clock.dynamic_power_gated(gated_fraction),
+            leakage: self.clock.leakage(),
+        });
+
+        ChipPower {
+            items,
+            core_detail,
+        }
+    }
+
+    /// TDP-style peak power: sustained worst-case activity, W.
+    #[must_use]
+    pub fn peak_power(&self) -> ChipPower {
+        let stats = ChipStats::peak(
+            1e-3,
+            self.config.num_cores,
+            self.config.clock_hz,
+            self.config.core.issue_width,
+            self.config.core.fp_issue_width,
+        );
+        self.runtime_power(&stats)
+    }
+
+    /// Total chip leakage, W.
+    #[must_use]
+    pub fn total_leakage(&self) -> StaticPower {
+        self.peak_power().leakage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn niagara_builds_and_is_plausible() {
+        let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
+        let p = chip.peak_power();
+        let area = chip.die_area_mm2();
+        // Published: 63 W, 378 mm². Accept a generous modeling band here;
+        // the validation bench asserts tighter.
+        assert!(p.total() > 20.0 && p.total() < 160.0, "power {}", p.total());
+        assert!(area > 80.0 && area < 900.0, "area {area}");
+    }
+
+    #[test]
+    fn all_validation_presets_build() {
+        for cfg in [
+            ProcessorConfig::niagara(),
+            ProcessorConfig::niagara2(),
+            ProcessorConfig::alpha21364(),
+            ProcessorConfig::tulsa(),
+        ] {
+            let chip = Processor::build(&cfg).unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            assert!(chip.peak_power().total() > 10.0, "{}", cfg.name);
+            assert!(chip.die_area_mm2() > 50.0, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn breakdown_contains_expected_components() {
+        let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
+        let p = chip.peak_power();
+        for name in ["cores", "l2", "noc", "mc", "io", "clock", "shared-fpu"] {
+            assert!(p.component(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let mut cfg = ProcessorConfig::niagara();
+        cfg.temperature_k = 330.0;
+        let cold = Processor::build(&cfg).unwrap().total_leakage().total();
+        cfg.temperature_k = 380.0;
+        let hot = Processor::build(&cfg).unwrap().total_leakage().total();
+        assert!(hot > 1.5 * cold, "cold {cold} hot {hot}");
+    }
+
+    #[test]
+    fn runtime_power_tracks_utilization() {
+        let chip = Processor::build(&ProcessorConfig::niagara2()).unwrap();
+        let peak = chip.peak_power();
+        let mut quiet = ChipStats::peak(1e-3, 8, 1.4e9, 2, 1);
+        for core in &mut quiet.cores {
+            core.idle_cycles = core.cycles * 9 / 10;
+            core.issues /= 10;
+            core.int_ops /= 10;
+            core.loads /= 10;
+            core.stores /= 10;
+            core.fetches /= 10;
+            core.decodes /= 10;
+        }
+        quiet.io_utilization = 0.1;
+        let p = chip.runtime_power(&quiet);
+        assert!(p.total() < peak.total());
+    }
+
+    #[test]
+    fn true_vdd_scaling_rebuild_matches_first_order_dvfs_direction() {
+        let mut cfg = ProcessorConfig::niagara2();
+        let nominal = Processor::build(&cfg).unwrap();
+        cfg.vdd_scale = 0.85;
+        cfg.clock_hz *= 0.85;
+        cfg.core.clock_hz = cfg.clock_hz;
+        let scaled = Processor::build(&cfg).unwrap();
+        let p_nom = nominal.peak_power();
+        let p_low = scaled.peak_power();
+        // True rebuild: both dynamic and leakage drop.
+        assert!(p_low.dynamic() < p_nom.dynamic());
+        assert!(p_low.leakage().total() < p_nom.leakage().total());
+        // And the first-order V²f law is the right ballpark for dynamic.
+        let first_order = p_nom.dynamic() * 0.85f64.powi(3);
+        let ratio = p_low.dynamic() / first_order;
+        assert!(ratio > 0.7 && ratio < 1.4, "ratio {ratio}");
+        // Timing honestly degrades: the slower corner supports a lower
+        // max clock.
+        assert!(scaled.timing().core_max_clock_hz < nominal.timing().core_max_clock_hz);
+    }
+
+    #[test]
+    fn wakeup_energy_is_charged_only_when_gated() {
+        let mut cfg = ProcessorConfig::niagara2();
+        cfg.power_gating = true;
+        let chip = Processor::build(&cfg).unwrap();
+        let mut stats = ChipStats::peak(1e-3, 8, 1.4e9, 2, 1);
+        let base = chip.runtime_power(&stats).total();
+        stats.core_wakeups = 100_000; // aggressive sleep cycling
+        let with = chip.runtime_power(&stats).total();
+        assert!(with > base, "wakeups must cost energy: {with} vs {base}");
+
+        cfg.power_gating = false;
+        let ungated = Processor::build(&cfg).unwrap();
+        let p1 = ungated.runtime_power(&stats).total();
+        stats.core_wakeups = 0;
+        let p0 = ungated.runtime_power(&stats).total();
+        assert!((p1 - p0).abs() < 1e-12, "no gating, no wakeup cost");
+    }
+
+    #[test]
+    fn timing_report_is_consistent() {
+        let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
+        let t = chip.timing();
+        assert!(t.fo4 > 0.0);
+        assert!(t.core_max_clock_hz > 0.0);
+        assert_eq!(t.target_clock_hz, 1.2e9);
+        // Niagara's modest 1.2 GHz target is feasible at 90 nm.
+        assert!(t.clock_feasible(), "max {:e}", t.core_max_clock_hz);
+    }
+}

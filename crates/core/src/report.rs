@@ -1,0 +1,163 @@
+//! Human-readable report printing — the analog of McPAT's console
+//! output tree.
+
+use crate::power::ChipPower;
+use crate::processor::Processor;
+use std::fmt::Write as _;
+
+impl Processor {
+    /// Renders the classic McPAT-style text report: technology summary,
+    /// floorplan, peak power breakdown, and timing.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let cfg = &self.config;
+        let power = self.peak_power();
+        let timing = self.timing();
+
+        let _ = writeln!(out, "McPAT-rs report: {}", cfg.name);
+        let _ = writeln!(
+            out,
+            "  Technology: {} {} @ {:.0} K, {} wires{}",
+            cfg.node,
+            cfg.device_type,
+            cfg.temperature_k,
+            cfg.projection,
+            if cfg.long_channel_leakage {
+                ", long-channel leakage reduction"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  Clock: {:.2} GHz (core arrays support up to {:.2} GHz; FO4 = {:.1} ps)",
+            cfg.clock_hz / 1e9,
+            timing.core_max_clock_hz / 1e9,
+            timing.fo4 * 1e12
+        );
+        let _ = writeln!(
+            out,
+            "  Organization: {} cores x {} ({}), {} L2 instance(s)",
+            cfg.num_cores,
+            cfg.core.name,
+            match cfg.core.machine_type {
+                mcpat_mcore::config::MachineType::InOrder => "in-order",
+                mcpat_mcore::config::MachineType::OutOfOrder => "out-of-order",
+            },
+            cfg.num_l2s
+        );
+
+        let _ = writeln!(out, "  Die area: {:.1} mm^2", self.die_area_mm2());
+        for item in self.area_breakdown() {
+            let _ = writeln!(out, "    {:<12} {:>8.2} mm^2", item.name, item.area * 1e6);
+        }
+
+        let _ = writeln!(out, "  Peak power: {:.1} W", power.total());
+        let _ = writeln!(
+            out,
+            "    dynamic {:.1} W | subthreshold {:.1} W | gate {:.1} W",
+            power.dynamic(),
+            power.leakage().subthreshold,
+            power.leakage().gate
+        );
+        for item in &power.items {
+            let _ = writeln!(
+                out,
+                "    {:<12} {:>7.2} W  (dyn {:>6.2}, leak {:>6.2})",
+                item.name,
+                item.total(),
+                item.dynamic,
+                item.leakage.total()
+            );
+        }
+
+        let _ = writeln!(out, "  Core unit breakdown (one core):");
+        for item in &power.core_detail.items {
+            let _ = writeln!(
+                out,
+                "    {:<16} {:>7.3} W  (dyn {:>6.3}, leak {:>6.3})",
+                item.name,
+                item.total(),
+                item.dynamic,
+                item.leakage.total()
+            );
+        }
+        out
+    }
+
+    /// Renders the ASCII floorplan sketch (48×20 cells) with a legend.
+    #[must_use]
+    pub fn floorplan_sketch(&self) -> String {
+        let plan = self.floorplan();
+        let mut out = plan.render(48, 20);
+        out.push_str(&format!(
+            "C=core L=L2/L3 M=memctrl I=io+fabric   active {:.1} x {:.1} mm\n",
+            plan.width * 1e3,
+            plan.height * 1e3
+        ));
+        out
+    }
+
+    /// Renders a one-line summary suitable for tables.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let p = self.peak_power();
+        format!(
+            "{:<14} {:>6.1} W ({:>5.1} dyn / {:>5.1} leak)  {:>7.1} mm^2",
+            self.config.name,
+            p.total(),
+            p.dynamic(),
+            p.leakage().total(),
+            self.die_area_mm2()
+        )
+    }
+}
+
+/// Formats any [`ChipPower`] as a percentage table against its total.
+#[must_use]
+pub fn share_table(power: &ChipPower) -> String {
+    let total = power.total().max(1e-12);
+    let mut out = String::new();
+    for item in &power.items {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6.1}%  ({:.2} W)",
+            item.name,
+            100.0 * item.total() / total,
+            item.total()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Processor, ProcessorConfig};
+
+    #[test]
+    fn report_mentions_all_sections() {
+        let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
+        let r = chip.report();
+        for needle in ["Technology", "Clock", "Die area", "Peak power", "ifu", "lsu"] {
+            assert!(r.contains(needle), "report missing `{needle}`:\n{r}");
+        }
+    }
+
+    #[test]
+    fn share_table_sums_to_100() {
+        let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
+        let table = super::share_table(&chip.peak_power());
+        let sum: f64 = table
+            .lines()
+            .filter_map(|l| l.split('%').next()?.split_whitespace().last()?.parse::<f64>().ok())
+            .sum();
+        assert!((sum - 100.0).abs() < 1.0, "sum = {sum}\n{table}");
+    }
+
+    #[test]
+    fn summary_line_is_single_line() {
+        let chip = Processor::build(&ProcessorConfig::alpha21364()).unwrap();
+        assert_eq!(chip.summary_line().lines().count(), 1);
+    }
+}

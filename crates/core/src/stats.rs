@@ -1,0 +1,137 @@
+//! Chip-level runtime statistics — the glue between a performance
+//! simulator and the power model.
+
+use mcpat_interconnect::noc::NocStats;
+use mcpat_mcore::stats::CoreStats;
+use mcpat_uncore::memctrl::MemCtrlStats;
+use mcpat_uncore::shared_cache::SharedCacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Activity counters for one simulated interval of the whole chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChipStats {
+    /// Interval length, s.
+    pub duration_s: f64,
+    /// Per-core statistics. Length must equal the core count, or be 1 to
+    /// broadcast the same counters to every core.
+    pub cores: Vec<CoreStats>,
+    /// Aggregate L2 statistics (all instances combined).
+    pub l2: SharedCacheStats,
+    /// Aggregate L3 statistics.
+    pub l3: SharedCacheStats,
+    /// Fabric traffic.
+    pub noc: NocStats,
+    /// Memory controller traffic.
+    pub mc: MemCtrlStats,
+    /// Utilization of the provisioned other-I/O bandwidth, 0–1.
+    pub io_utilization: f64,
+    /// Shared-FPU operations executed.
+    pub shared_fpu_ops: u64,
+    /// Power-gating state transitions (sleep→wake) across all cores in
+    /// the interval. Each wakeup recharges the core's virtual supply.
+    #[serde(default)]
+    pub core_wakeups: u64,
+}
+
+impl ChipStats {
+    /// A TDP-style worst-case interval of `duration_s` seconds for a chip
+    /// with `num_cores` cores at `clock_hz`, issue width `w`.
+    #[must_use]
+    pub fn peak(duration_s: f64, num_cores: u32, clock_hz: f64, w: u32, fp_w: u32) -> ChipStats {
+        let cycles = (duration_s * clock_hz) as u64;
+        let core = CoreStats::peak(cycles, w, fp_w);
+        // Miss traffic spills into the L2 and memory at peak rates; TDP
+        // assumes a cache-hostile footprint (≈1 L2 access per 4 cycles
+        // per core).
+        let l2_accesses = (core.dcache_misses + core.icache_misses).max(cycles / 4);
+        ChipStats {
+            duration_s,
+            cores: vec![core],
+            l2: SharedCacheStats {
+                interval_s: duration_s,
+                reads: l2_accesses * u64::from(num_cores) * 3 / 4,
+                writes: l2_accesses * u64::from(num_cores) / 4,
+                misses: l2_accesses * u64::from(num_cores) / 10,
+                writebacks: l2_accesses * u64::from(num_cores) / 20,
+                snoops: l2_accesses * u64::from(num_cores) / 8,
+            },
+            l3: SharedCacheStats {
+                interval_s: duration_s,
+                reads: l2_accesses * u64::from(num_cores) / 10,
+                writes: l2_accesses * u64::from(num_cores) / 40,
+                misses: l2_accesses * u64::from(num_cores) / 40,
+                writebacks: l2_accesses * u64::from(num_cores) / 80,
+                snoops: 0,
+            },
+            noc: NocStats {
+                interval_s: duration_s,
+                // Request + response packets of ~4 flits per L2 access.
+                flits: l2_accesses * u64::from(num_cores) * 2 * 4,
+                avg_hops: 0.0,
+            },
+            mc: MemCtrlStats {
+                interval_s: duration_s,
+                bytes_read: l2_accesses * u64::from(num_cores) * 64 / 10,
+                bytes_written: l2_accesses * u64::from(num_cores) * 64 / 40,
+            },
+            io_utilization: 1.0,
+            shared_fpu_ops: cycles / 2,
+            core_wakeups: 0,
+        }
+    }
+
+    /// The statistics of core `i` (broadcasting if only one entry).
+    #[must_use]
+    pub fn core(&self, i: usize) -> CoreStats {
+        if self.cores.is_empty() {
+            CoreStats::default()
+        } else if self.cores.len() == 1 {
+            self.cores[0]
+        } else {
+            self.cores[i.min(self.cores.len() - 1)]
+        }
+    }
+
+    /// Total committed instructions across all cores given the chip has
+    /// `num_cores` cores.
+    #[must_use]
+    pub fn total_commits(&self, num_cores: u32) -> u64 {
+        if self.cores.len() == 1 {
+            self.cores[0].commits * u64::from(num_cores)
+        } else {
+            self.cores.iter().map(|c| c.commits).sum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_stats_populate_every_domain() {
+        let s = ChipStats::peak(1e-3, 8, 1.2e9, 1, 1);
+        assert!(s.cores[0].cycles > 0);
+        assert!(s.l2.reads > 0);
+        assert!(s.mc.bytes_read > 0);
+        assert!(s.noc.flits > 0);
+    }
+
+    #[test]
+    fn core_broadcasts_single_entry() {
+        let s = ChipStats::peak(1e-3, 4, 2e9, 2, 1);
+        assert_eq!(s.core(0).cycles, s.core(3).cycles);
+    }
+
+    #[test]
+    fn total_commits_multiplies_broadcast() {
+        let s = ChipStats::peak(1e-3, 4, 2e9, 2, 1);
+        assert_eq!(s.total_commits(4), s.cores[0].commits * 4);
+    }
+
+    #[test]
+    fn empty_core_list_is_safe() {
+        let s = ChipStats::default();
+        assert_eq!(s.core(5).cycles, 0);
+    }
+}

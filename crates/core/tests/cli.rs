@@ -1,0 +1,92 @@
+//! Integration tests for the `mcpat` command-line front-end.
+
+use std::process::Command;
+
+fn mcpat_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcpat"))
+}
+
+#[test]
+fn preset_produces_a_report() {
+    let out = mcpat_bin().args(["--preset", "niagara"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("McPAT-rs report: niagara"));
+    assert!(text.contains("Peak power"));
+    assert!(text.contains("Die area"));
+}
+
+#[test]
+fn emit_config_round_trips_through_a_file() {
+    let out = mcpat_bin()
+        .args(["--preset", "tulsa", "--emit-config"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"xeon-tulsa\""));
+
+    let dir = std::env::temp_dir();
+    let path = dir.join("mcpat-cli-test-config.json");
+    std::fs::write(&path, &json).unwrap();
+    let out2 = mcpat_bin().arg(&path).output().unwrap();
+    assert!(out2.status.success());
+    let text = String::from_utf8(out2.stdout).unwrap();
+    assert!(text.contains("McPAT-rs report: xeon-tulsa"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_preset_fails_with_message() {
+    let out = mcpat_bin().args(["--preset", "pentium"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown preset"));
+}
+
+#[test]
+fn invalid_config_file_fails_cleanly() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("mcpat-cli-test-garbage.json");
+    std::fs::write(&path, "{ not json }").unwrap();
+    let out = mcpat_bin().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("not a valid config"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let out = mcpat_bin().args(["--perset", "niagara"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn help_flag_prints_usage() {
+    let out = mcpat_bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("usage: mcpat"));
+}
+
+#[test]
+fn stats_file_adds_runtime_section() {
+    // Build a stats file from the library, then feed it to the CLI.
+    let cfg = mcpat::ProcessorConfig::niagara();
+    let stats = mcpat::ChipStats::peak(1e-3, 8, cfg.clock_hz, 1, 1);
+    let dir = std::env::temp_dir();
+    let cfg_path = dir.join("mcpat-cli-test-n.json");
+    let stats_path = dir.join("mcpat-cli-test-s.json");
+    std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+    std::fs::write(&stats_path, serde_json::to_string(&stats).unwrap()).unwrap();
+    let out = mcpat_bin().arg(&cfg_path).arg(&stats_path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Runtime power"), "{text}");
+    let _ = std::fs::remove_file(&cfg_path);
+    let _ = std::fs::remove_file(&stats_path);
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the whole-chip assembly.
+
+use mcpat::{ChipStats, DvfsPoint, Processor, ProcessorConfig};
+use mcpat_mcore::config::CoreConfig;
+use mcpat_tech::TechNode;
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(TechNode::SCALING_STUDY.to_vec())
+}
+
+fn any_manycore() -> impl Strategy<Value = ProcessorConfig> {
+    (
+        any_node(),
+        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+        prop::sample::select(vec![1u32, 2, 4]),
+        prop::bool::ANY,
+    )
+        .prop_filter_map("cluster divides cores", |(node, cores, cluster, ooo)| {
+            if !cores.is_multiple_of(cluster) {
+                return None;
+            }
+            let core = if ooo {
+                CoreConfig::generic_ooo()
+            } else {
+                CoreConfig::generic_inorder()
+            };
+            Some(ProcessorConfig::manycore(
+                "prop-chip",
+                node,
+                core,
+                cores,
+                cluster,
+                u64::from(cluster) * 1024 * 1024,
+            ))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_manycore_config_builds_sanely(cfg in any_manycore()) {
+        let chip = Processor::build(&cfg).unwrap();
+        let p = chip.peak_power();
+        prop_assert!(p.total() > 0.0 && p.total().is_finite());
+        prop_assert!(p.dynamic() > 0.0);
+        prop_assert!(p.leakage().total() > 0.0);
+        prop_assert!(chip.die_area_mm2() > 1.0 && chip.die_area_mm2() < 3000.0);
+        // The breakdown must sum to the total.
+        let sum: f64 = p.items.iter().map(|i| i.dynamic + i.leakage.total()).sum();
+        prop_assert!((sum - p.total()).abs() < 1e-9 * p.total());
+    }
+
+    #[test]
+    fn area_breakdown_sums_below_die_area(cfg in any_manycore()) {
+        let chip = Processor::build(&cfg).unwrap();
+        let components: f64 = chip.area_breakdown().iter().map(|i| i.area).sum();
+        // Die area includes overheads, so it strictly exceeds the sum;
+        // the pad ring adds a fixed perimeter term that dominates tiny
+        // dies, hence the constant allowance.
+        prop_assert!(chip.die_area() > components);
+        prop_assert!(chip.die_area() < components * 2.0 + 30e-6);
+    }
+
+    #[test]
+    fn runtime_power_is_bounded_by_peak_scaled(cfg in any_manycore(), busy in 0.05..1.0f64) {
+        let chip = Processor::build(&cfg).unwrap();
+        let mut stats = ChipStats::peak(
+            1e-3,
+            cfg.num_cores,
+            cfg.clock_hz,
+            cfg.core.issue_width,
+            cfg.core.fp_issue_width,
+        );
+        for core in &mut stats.cores {
+            core.idle_cycles = ((1.0 - busy) * core.cycles as f64) as u64;
+        }
+        let p = chip.runtime_power(&stats);
+        let peak = chip.peak_power();
+        prop_assert!(p.total() <= peak.total() * 1.05);
+        prop_assert!(p.total() >= p.leakage().total() * 0.5);
+    }
+
+    #[test]
+    fn dvfs_total_power_is_monotone_in_voltage(cfg in any_manycore(), v in 0.6..0.95f64) {
+        let chip = Processor::build(&cfg).unwrap();
+        let stats = ChipStats::peak(
+            1e-3,
+            cfg.num_cores,
+            cfg.clock_hz,
+            cfg.core.issue_width,
+            cfg.core.fp_issue_width,
+        );
+        let low = chip.runtime_power_at(&stats, DvfsPoint::ladder(v)).unwrap();
+        let high = chip.runtime_power_at(&stats, DvfsPoint::ladder(v + 0.05)).unwrap();
+        prop_assert!(high.power.total() > low.power.total());
+    }
+
+    #[test]
+    fn serde_round_trip_for_random_configs(cfg in any_manycore()) {
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ProcessorConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mcpat-interconnect — on-chip network models for mcpat-rs
+//!
+//! McPAT models the network-on-chip as routers plus links, in the style
+//! of Orion but built on this framework's own wire and array models:
+//!
+//! * [`router`] — a virtual-channel router: input buffers, route compute,
+//!   VC and switch allocation (matrix arbiters), and a matrix crossbar;
+//! * [`link`] — point-to-point repeated-wire links;
+//! * [`bus`] — a shared bus fabric (the Niagara-style alternative for
+//!   small core counts);
+//! * [`noc`] — whole-network assembly for 2D meshes, rings, and buses,
+//!   with runtime power from flit statistics.
+//!
+//! ```
+//! use mcpat_interconnect::noc::{NocConfig, Topology};
+//! use mcpat_tech::{TechNode, DeviceType, TechParams};
+//!
+//! let tech = TechParams::new(TechNode::N32, DeviceType::Hp, 360.0);
+//! let cfg = NocConfig {
+//!     topology: Topology::Mesh { x: 4, y: 4 },
+//!     flit_bits: 128,
+//!     vcs_per_port: 4,
+//!     buffers_per_vc: 4,
+//!     link_length: 1.5e-3,
+//!     clock_hz: 2.0e9,
+//! };
+//! let noc = cfg.build(&tech).unwrap();
+//! assert!(noc.area() > 0.0);
+//! ```
+
+pub mod bus;
+pub mod link;
+pub mod noc;
+pub mod router;
+
+pub use bus::Bus;
+pub use link::Link;
+pub use noc::{NocConfig, NocModel, NocStats, Topology};
+pub use router::{Router, RouterConfig};

@@ -1,0 +1,214 @@
+//! Execution units: integer ALUs, FP units, complex (multiply/divide)
+//! units, and the result bypass network.
+//!
+//! Functional-unit datapaths have custom layouts that defeat purely
+//! analytical treatment, so McPAT models them **empirically**: transistor
+//! counts calibrated at 90 nm, scaled by feature size and supply voltage.
+//! The bypass network is analytical (repeated wires spanning the EXU).
+
+use crate::config::CoreConfig;
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_circuit::repeater::RepeatedWire;
+use mcpat_tech::{TechParams, WireType};
+
+/// Kinds of functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Integer ALU (add/sub/logic/shift).
+    IntAlu,
+    /// Floating-point unit (add/mul, pipelined).
+    Fpu,
+    /// Complex integer unit (multiply/divide).
+    MulDiv,
+}
+
+impl FuKind {
+    /// Equivalent transistor count of the unit (90 nm calibration).
+    #[must_use]
+    pub fn transistor_count(self) -> f64 {
+        match self {
+            FuKind::IntAlu => 100_000.0,
+            FuKind::Fpu => 1_000_000.0,
+            FuKind::MulDiv => 300_000.0,
+        }
+    }
+
+    /// Fraction of the unit's capacitance switched by a typical operation.
+    #[must_use]
+    pub fn activity_factor(self) -> f64 {
+        match self {
+            FuKind::IntAlu => 0.2,
+            FuKind::Fpu => 0.3,
+            FuKind::MulDiv => 0.3,
+        }
+    }
+}
+
+/// An empirical functional-unit model.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionalUnit {
+    /// Unit kind.
+    pub kind: FuKind,
+    /// Area of one instance, m².
+    pub area: f64,
+    /// Dynamic energy of one operation, J.
+    pub energy_per_op: f64,
+    /// Leakage of one instance, W.
+    pub leakage: StaticPower,
+}
+
+/// Logic transistor density at 90 nm, transistors per m².
+const DENSITY_90NM_PER_M2: f64 = 1.5e12;
+
+/// Average transistor width in the datapath, in feature sizes.
+const AVG_WIDTH_F: f64 = 4.0;
+
+impl FunctionalUnit {
+    /// Builds the empirical model of one unit at a process corner.
+    #[must_use]
+    pub fn new(tech: &TechParams, kind: FuKind) -> FunctionalUnit {
+        let n = kind.transistor_count();
+        let f = tech.node.feature_m();
+        let scale = tech.node.scale_from_90nm();
+
+        let density = DENSITY_90NM_PER_M2 / (scale * scale);
+        let area = n / density;
+
+        let w_avg = AVG_WIDTH_F * f;
+        let c_per_tx = (tech.device.c_g + tech.device.c_d) * w_avg;
+        let energy_per_op =
+            kind.activity_factor() * n * c_per_tx * tech.device.vdd * tech.device.vdd;
+
+        let total_w = n * w_avg / 2.0;
+        let leakage = StaticPower {
+            subthreshold: tech.subthreshold_leakage(total_w / 2.0, total_w / 2.0),
+            gate: tech.gate_leakage(total_w / 2.0, total_w / 2.0),
+        };
+        FunctionalUnit {
+            kind,
+            area,
+            energy_per_op,
+            leakage,
+        }
+    }
+}
+
+/// The assembled execution unit: FUs + bypass network.
+#[derive(Debug, Clone)]
+pub struct Exu {
+    /// Integer ALU instance model.
+    pub alu: FunctionalUnit,
+    /// FPU instance model.
+    pub fpu: FunctionalUnit,
+    /// Mul/div instance model.
+    pub mul: FunctionalUnit,
+    /// ALU count.
+    pub num_alus: u32,
+    /// FPU count.
+    pub num_fpus: u32,
+    /// Mul/div count.
+    pub num_muls: u32,
+    /// Energy of forwarding one result over the bypass network, J.
+    pub bypass_energy_per_transfer: f64,
+    /// Bypass network area, m².
+    pub bypass_area: f64,
+    /// Bypass network leakage, W.
+    pub bypass_leakage: StaticPower,
+}
+
+impl Exu {
+    /// Builds the execution unit for a configuration.
+    #[must_use]
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Exu {
+        let alu = FunctionalUnit::new(tech, FuKind::IntAlu);
+        let fpu = FunctionalUnit::new(tech, FuKind::Fpu);
+        let mul = FunctionalUnit::new(tech, FuKind::MulDiv);
+
+        let fu_area = alu.area * f64::from(cfg.num_alus)
+            + fpu.area * f64::from(cfg.num_fpus)
+            + mul.area * f64::from(cfg.num_muls);
+        // Bypass buses span the EXU datapath twice (operand + result side).
+        let span = 2.0 * fu_area.max(1e-12).sqrt();
+        let bus_bits = f64::from(cfg.word_bits + cfg.phys_tag_bits());
+        let lanes = f64::from(cfg.issue_width);
+        let wire = RepeatedWire::energy_derated(tech, WireType::Intermediate, span, 1.10);
+
+        let bypass_energy_per_transfer = 0.5 * bus_bits * wire.metrics.energy_per_op;
+        let bypass_area = wire.metrics.area * bus_bits * lanes
+            + span * tech.wire(WireType::Intermediate).pitch * bus_bits * lanes;
+        let bypass_leakage = wire.metrics.leakage.scaled(bus_bits * lanes);
+
+        Exu {
+            alu,
+            fpu,
+            mul,
+            num_alus: cfg.num_alus,
+            num_fpus: cfg.num_fpus,
+            num_muls: cfg.num_muls,
+            bypass_energy_per_transfer,
+            bypass_area,
+            bypass_leakage,
+        }
+    }
+
+    /// Total EXU area, m².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.alu.area * f64::from(self.num_alus)
+            + self.fpu.area * f64::from(self.num_fpus)
+            + self.mul.area * f64::from(self.num_muls)
+            + self.bypass_area
+    }
+
+    /// Total EXU leakage, W.
+    #[must_use]
+    pub fn leakage(&self) -> StaticPower {
+        self.alu.leakage.scaled(f64::from(self.num_alus))
+            + self.fpu.leakage.scaled(f64::from(self.num_fpus))
+            + self.mul.leakage.scaled(f64::from(self.num_muls))
+            + self.bypass_leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn fpu_costs_much_more_than_alu() {
+        let t = tech();
+        let alu = FunctionalUnit::new(&t, FuKind::IntAlu);
+        let fpu = FunctionalUnit::new(&t, FuKind::Fpu);
+        assert!(fpu.area > 5.0 * alu.area);
+        assert!(fpu.energy_per_op > 5.0 * alu.energy_per_op);
+    }
+
+    #[test]
+    fn alu_energy_is_picojoule_scale_at_90nm() {
+        let alu = FunctionalUnit::new(&tech(), FuKind::IntAlu);
+        let pj = alu.energy_per_op * 1e12;
+        assert!(pj > 1.0 && pj < 30.0, "{pj} pJ");
+    }
+
+    #[test]
+    fn units_shrink_with_technology() {
+        let a90 = FunctionalUnit::new(&tech(), FuKind::IntAlu);
+        let t32 = TechParams::new(TechNode::N32, DeviceType::Hp, 360.0);
+        let a32 = FunctionalUnit::new(&t32, FuKind::IntAlu);
+        assert!(a32.area < a90.area / 4.0);
+        assert!(a32.energy_per_op < a90.energy_per_op);
+    }
+
+    #[test]
+    fn exu_assembles_and_bypass_costs_energy() {
+        let exu = Exu::build(&tech(), &CoreConfig::generic_ooo());
+        assert!(exu.area() > 0.0);
+        assert!(exu.bypass_energy_per_transfer > 0.0);
+        assert!(exu.leakage().total() > 0.0);
+    }
+}

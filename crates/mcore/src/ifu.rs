@@ -1,0 +1,211 @@
+//! Instruction fetch unit: L1 I-cache, branch prediction (tournament
+//! predictor + BTB + RAS), instruction buffer, and instruction decoders.
+
+use crate::config::CoreConfig;
+use mcpat_array::cache::CacheArray;
+use mcpat_array::{ArrayError, ArraySpec, OptTarget, Ports, SolvedArray};
+use mcpat_circuit::decoder::RowDecoder;
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_tech::TechParams;
+
+/// The assembled fetch unit.
+#[derive(Debug, Clone)]
+pub struct Ifu {
+    /// L1 instruction cache.
+    pub icache: CacheArray,
+    /// Branch target buffer (absent on BTB-less designs like Niagara).
+    pub btb: Option<SolvedArray>,
+    /// Global predictor table.
+    pub global_predictor: Option<SolvedArray>,
+    /// Local predictor level 1 (history) table.
+    pub local_l1: Option<SolvedArray>,
+    /// Local predictor level 2 (counter) table.
+    pub local_l2: Option<SolvedArray>,
+    /// Chooser table.
+    pub chooser: Option<SolvedArray>,
+    /// Return address stack (one per hardware thread).
+    pub ras: Option<SolvedArray>,
+    /// Instruction buffer.
+    pub instruction_buffer: SolvedArray,
+    /// Energy of decoding one instruction, J.
+    pub decode_energy_per_inst: f64,
+    /// Decoder area for all lanes, m².
+    pub decoder_area: f64,
+    /// Decoder leakage for all lanes, W.
+    pub decoder_leakage: StaticPower,
+    /// Number of hardware threads (for RAS replication).
+    threads: u32,
+}
+
+impl Ifu {
+    /// Builds the fetch unit for a core configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArrayError`] from any internal array.
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<Ifu, ArrayError> {
+        let mut icache_spec = cfg.icache.clone();
+        if cfg.enforce_timing {
+            icache_spec = icache_spec.with_max_cycle_time(cfg.cycle_time());
+        }
+        let icache = icache_spec.solve(tech, OptTarget::EnergyDelay)?;
+
+        let opt = OptTarget::EnergyDelay;
+        let table = |entries: u32, bits: u32, name: &str| -> Result<Option<SolvedArray>, ArrayError> {
+            if entries == 0 || bits == 0 {
+                Ok(None)
+            } else {
+                Ok(Some(
+                    ArraySpec::table(u64::from(entries), bits)
+                        .named(name)
+                        .solve(tech, opt)?,
+                ))
+            }
+        };
+
+        let p = &cfg.predictor;
+        let btb = table(cfg.btb_entries, cfg.vaddr_bits + 20, "btb")?;
+        let global_predictor = table(p.global_entries, 2, "bpred-global")?;
+        let local_l1 = table(p.local_l1_entries, 10, "bpred-local-l1")?;
+        let local_l2 = table(p.local_l2_entries, 2, "bpred-local-l2")?;
+        let chooser = table(p.chooser_entries, 2, "bpred-chooser")?;
+        let ras = table(p.ras_entries, cfg.vaddr_bits, "ras")?;
+
+        let ib_entries = u64::from(cfg.instruction_buffer_size.max(1)) * u64::from(cfg.threads);
+        let instruction_buffer = ArraySpec::table(ib_entries, cfg.instruction_bits)
+            .with_ports(Ports::reg_file(cfg.decode_width, cfg.fetch_width))
+            .named("instruction-buffer")
+            .solve(tech, opt)?;
+
+        // One opcode decoder per decode lane: an 8-bit (≤256-row) decode
+        // structure plus control random logic approximated as 4× its
+        // energy.
+        let rows = 1usize << cfg.opcode_bits.min(8);
+        let lane = RowDecoder::new(tech, rows, 5e-15).metrics();
+        let lanes = f64::from(cfg.decode_width);
+        let random_logic_factor = 4.0;
+        let decode_energy_per_inst = lane.energy_per_op * random_logic_factor;
+        let decoder_area = lane.area * random_logic_factor * lanes;
+        let decoder_leakage = lane.leakage.scaled(random_logic_factor * lanes);
+
+        Ok(Ifu {
+            icache,
+            btb,
+            global_predictor,
+            local_l1,
+            local_l2,
+            chooser,
+            ras,
+            instruction_buffer,
+            decode_energy_per_inst,
+            decoder_area,
+            decoder_leakage,
+            threads: cfg.threads,
+        })
+    }
+
+    fn predictor_arrays(&self) -> impl Iterator<Item = &SolvedArray> {
+        [
+            self.global_predictor.as_ref(),
+            self.local_l1.as_ref(),
+            self.local_l2.as_ref(),
+            self.chooser.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// Energy of one branch-direction lookup (all tournament tables), J.
+    #[must_use]
+    pub fn predictor_lookup_energy(&self) -> f64 {
+        self.predictor_arrays().map(|a| a.read_energy).sum()
+    }
+
+    /// Energy of one predictor update after resolution, J.
+    #[must_use]
+    pub fn predictor_update_energy(&self) -> f64 {
+        self.predictor_arrays().map(|a| a.write_energy).sum()
+    }
+
+    /// Energy of one BTB probe, J.
+    #[must_use]
+    pub fn btb_energy(&self) -> f64 {
+        self.btb.as_ref().map_or(0.0, |b| b.read_energy)
+    }
+
+    /// Energy of pushing an instruction through the buffer (write+read), J.
+    #[must_use]
+    pub fn buffer_energy_per_inst(&self) -> f64 {
+        self.instruction_buffer.read_energy + self.instruction_buffer.write_energy
+    }
+
+    /// Total fetch-unit area, m².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        let ras_area = self.ras.as_ref().map_or(0.0, |r| r.area) * f64::from(self.threads);
+        self.icache.area
+            + self.btb.as_ref().map_or(0.0, |b| b.area)
+            + self.predictor_arrays().map(|a| a.area).sum::<f64>()
+            + ras_area
+            + self.instruction_buffer.area
+            + self.decoder_area
+    }
+
+    /// Total fetch-unit leakage, W.
+    #[must_use]
+    pub fn leakage(&self) -> StaticPower {
+        let mut leak = self.icache.leakage
+            + self.instruction_buffer.leakage
+            + self.decoder_leakage;
+        if let Some(b) = &self.btb {
+            leak += b.leakage;
+        }
+        for a in self.predictor_arrays() {
+            leak += a.leakage;
+        }
+        if let Some(r) = &self.ras {
+            leak += r.leakage.scaled(f64::from(self.threads));
+        }
+        leak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn ooo_ifu_builds_with_all_tables() {
+        let ifu = Ifu::build(&tech(), &CoreConfig::generic_ooo()).unwrap();
+        assert!(ifu.btb.is_some());
+        assert!(ifu.global_predictor.is_some());
+        assert!(ifu.predictor_lookup_energy() > 0.0);
+        assert!(ifu.area() > 0.0);
+    }
+
+    #[test]
+    fn niagara_ifu_skips_predictor_and_btb() {
+        let ifu = Ifu::build(&tech(), &CoreConfig::niagara_like()).unwrap();
+        assert!(ifu.btb.is_none());
+        assert!(ifu.global_predictor.is_none());
+        assert_eq!(ifu.predictor_lookup_energy(), 0.0);
+    }
+
+    #[test]
+    fn icache_dominates_ifu_area() {
+        let ifu = Ifu::build(&tech(), &CoreConfig::generic_ooo()).unwrap();
+        assert!(ifu.icache.area > 0.3 * ifu.area());
+    }
+
+    #[test]
+    fn decode_energy_is_positive_and_small() {
+        let ifu = Ifu::build(&tech(), &CoreConfig::generic_inorder()).unwrap();
+        assert!(ifu.decode_energy_per_inst > 1e-15);
+        assert!(ifu.decode_energy_per_inst < 1e-10);
+    }
+}

@@ -1,0 +1,136 @@
+//! Load-store unit: load queue, store queue (both CAMs for address
+//! disambiguation) and the L1 data cache.
+
+use crate::config::CoreConfig;
+use mcpat_array::cache::CacheArray;
+use mcpat_array::{ArrayError, ArraySpec, OptTarget, Ports, SolvedArray};
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_tech::TechParams;
+
+/// The assembled load-store unit.
+#[derive(Debug, Clone)]
+pub struct Lsu {
+    /// L1 data cache.
+    pub dcache: CacheArray,
+    /// Load queue (CAM on addresses for store-to-load forwarding checks).
+    pub load_queue: SolvedArray,
+    /// Store queue (CAM searched by every load).
+    pub store_queue: SolvedArray,
+}
+
+impl Lsu {
+    /// Builds the LSU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArrayError`].
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<Lsu, ArrayError> {
+        let mut dcache_spec = cfg.dcache.clone();
+        if cfg.enforce_timing {
+            dcache_spec = dcache_spec.with_max_cycle_time(cfg.cycle_time());
+        }
+        let dcache = dcache_spec.solve(tech, OptTarget::EnergyDelay)?;
+
+        // Queue entries hold address + data + status; they match on the
+        // block-aligned physical address.
+        let addr_match_bits = cfg.paddr_bits.saturating_sub(3).max(8);
+        let entry_bits = cfg.paddr_bits + cfg.word_bits + 8;
+        let q_ports = Ports {
+            rw: 0,
+            read: 1,
+            write: 1,
+            search: 1,
+        };
+        let load_queue = ArraySpec::cam(
+            u64::from(cfg.load_queue_size.max(1)),
+            entry_bits,
+            addr_match_bits,
+        )
+        .with_ports(q_ports)
+        .named("load-queue")
+        .solve(tech, OptTarget::EnergyDelay)?;
+        let store_queue = ArraySpec::cam(
+            u64::from(cfg.store_queue_size.max(1)),
+            entry_bits,
+            addr_match_bits,
+        )
+        .with_ports(q_ports)
+        .named("store-queue")
+        .solve(tech, OptTarget::EnergyDelay)?;
+
+        Ok(Lsu {
+            dcache,
+            load_queue,
+            store_queue,
+        })
+    }
+
+    /// Energy of executing one load: store-queue search + LQ insert +
+    /// D-cache read hit, J.
+    #[must_use]
+    pub fn load_energy(&self) -> f64 {
+        self.store_queue.search_energy + self.load_queue.write_energy + self.dcache.read_hit_energy
+    }
+
+    /// Energy of executing one store: load-queue search (ordering check)
+    /// + SQ insert + eventual D-cache write, J.
+    #[must_use]
+    pub fn store_energy(&self) -> f64 {
+        self.load_queue.search_energy + self.store_queue.write_energy + self.dcache.write_hit_energy
+    }
+
+    /// Total LSU area, m².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.dcache.area + self.load_queue.area + self.store_queue.area
+    }
+
+    /// Total LSU leakage, W.
+    #[must_use]
+    pub fn leakage(&self) -> StaticPower {
+        self.dcache.leakage + self.load_queue.leakage + self.store_queue.leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn lsu_builds_for_presets() {
+        for cfg in [CoreConfig::generic_ooo(), CoreConfig::niagara_like()] {
+            let lsu = Lsu::build(&tech(), &cfg).unwrap();
+            assert!(lsu.load_energy() > 0.0);
+            assert!(lsu.store_energy() > 0.0);
+            assert!(lsu.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn dcache_dominates_lsu_area() {
+        let lsu = Lsu::build(&tech(), &CoreConfig::generic_ooo()).unwrap();
+        assert!(lsu.dcache.area > 0.5 * lsu.area());
+    }
+
+    #[test]
+    fn bigger_queues_leak_more() {
+        let t = tech();
+        let mut small = CoreConfig::generic_ooo();
+        small.load_queue_size = 8;
+        small.store_queue_size = 8;
+        let mut big = CoreConfig::generic_ooo();
+        big.load_queue_size = 64;
+        big.store_queue_size = 64;
+        let ls = Lsu::build(&t, &small).unwrap();
+        let lb = Lsu::build(&t, &big).unwrap();
+        assert!(
+            lb.load_queue.leakage.total() + lb.store_queue.leakage.total()
+                > ls.load_queue.leakage.total() + ls.store_queue.leakage.total()
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Miscellaneous core control logic.
+//!
+//! Beyond the regular, analytically modeled structures (arrays, CAMs,
+//! ALUs, wires), a real core carries millions of transistors of random
+//! control logic: pipeline control, thread pick/scheduling, exception
+//! handling, debug/test (DFT), fuses, and local clock buffering. McPAT
+//! accounts for these empirically from calibrated transistor budgets;
+//! this module does the same, scaled by machine width, thread count, and
+//! machine type.
+
+use crate::config::CoreConfig;
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_tech::TechParams;
+
+/// Control/random-logic transistor density at 90 nm, transistors per m²
+/// (roughly half datapath density: control logic routes poorly).
+const CONTROL_DENSITY_90NM_PER_M2: f64 = 0.75e12;
+
+/// Fraction of control capacitance switched per active cycle.
+const CONTROL_ACTIVITY: f64 = 0.15;
+
+/// Average control transistor width in feature sizes.
+const AVG_WIDTH_F: f64 = 3.0;
+
+/// Empirical random-logic model for one core.
+#[derive(Debug, Clone, Copy)]
+pub struct MiscLogic {
+    /// Estimated transistor count.
+    pub transistors: f64,
+    /// Area, m².
+    pub area: f64,
+    /// Dynamic energy per active cycle, J.
+    pub energy_per_cycle: f64,
+    /// Leakage, W.
+    pub leakage: StaticPower,
+}
+
+impl MiscLogic {
+    /// Transistor budget for a configuration:
+    /// a base pipeline-control allocation plus per-issue-slot and
+    /// per-thread adders, with an extra allocation for out-of-order
+    /// sequencing.
+    #[must_use]
+    pub fn transistor_budget(cfg: &CoreConfig) -> f64 {
+        if let Some(n) = cfg.misc_logic_transistors {
+            return n;
+        }
+        let base = 3.0e6;
+        let per_issue = 0.8e6 * f64::from(cfg.issue_width);
+        let per_thread = 0.5e6 * f64::from(cfg.threads.saturating_sub(1));
+        let ooo_extra = if cfg.is_ooo() { 4.0e6 } else { 0.0 };
+        base + per_issue + per_thread + ooo_extra
+    }
+
+    /// Builds the model.
+    #[must_use]
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> MiscLogic {
+        let n = Self::transistor_budget(cfg);
+        let scale = tech.node.scale_from_90nm();
+        let f = tech.node.feature_m();
+
+        let density = CONTROL_DENSITY_90NM_PER_M2 / (scale * scale);
+        let area = n / density;
+
+        let w_avg = AVG_WIDTH_F * f;
+        let c_per_tx = (tech.device.c_g + tech.device.c_d) * w_avg;
+        let energy_per_cycle = CONTROL_ACTIVITY * n * c_per_tx * tech.device.vdd * tech.device.vdd;
+
+        let total_w = n * w_avg / 2.0;
+        let leakage = StaticPower {
+            subthreshold: tech.subthreshold_leakage(total_w / 2.0, total_w / 2.0),
+            gate: tech.gate_leakage(total_w / 2.0, total_w / 2.0),
+        };
+        MiscLogic {
+            transistors: n,
+            area,
+            energy_per_cycle,
+            leakage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn ooo_budget_exceeds_inorder() {
+        let ooo = MiscLogic::transistor_budget(&CoreConfig::generic_ooo());
+        let io = MiscLogic::transistor_budget(&CoreConfig::generic_inorder());
+        assert!(ooo > io);
+    }
+
+    #[test]
+    fn threads_add_control() {
+        let one = MiscLogic::transistor_budget(&CoreConfig::generic_inorder());
+        let mut cfg = CoreConfig::generic_inorder();
+        cfg.threads = 8;
+        let eight = MiscLogic::transistor_budget(&cfg);
+        assert!(eight > one + 3.0e6);
+    }
+
+    #[test]
+    fn area_is_square_millimeters_scale() {
+        let m = MiscLogic::build(&tech(), &CoreConfig::generic_ooo());
+        let mm2 = m.area * 1e6;
+        assert!(mm2 > 2.0 && mm2 < 40.0, "{mm2} mm²");
+    }
+
+    #[test]
+    fn energy_per_cycle_is_sub_nanojoule() {
+        let m = MiscLogic::build(&tech(), &CoreConfig::generic_inorder());
+        assert!(m.energy_per_cycle > 1e-12 && m.energy_per_cycle < 5e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Memory management unit: instruction and data TLBs (fully associative
+//! CAMs storing VPN→PPN mappings).
+
+use crate::config::CoreConfig;
+use mcpat_array::{ArrayError, ArraySpec, OptTarget, Ports, SolvedArray};
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_tech::TechParams;
+
+/// Page offset bits assumed for TLB tag sizing (4 KB pages).
+const PAGE_OFFSET_BITS: u32 = 12;
+
+/// The MMU: I-TLB + D-TLB.
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    /// Instruction TLB.
+    pub itlb: SolvedArray,
+    /// Data TLB.
+    pub dtlb: SolvedArray,
+}
+
+impl Mmu {
+    /// Builds the MMU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArrayError`].
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<Mmu, ArrayError> {
+        let vpn_bits = cfg.vaddr_bits.saturating_sub(PAGE_OFFSET_BITS).max(8);
+        let ppn_bits = cfg.paddr_bits.saturating_sub(PAGE_OFFSET_BITS).max(8);
+        let entry_bits = vpn_bits + ppn_bits + 8; // mapping + permission bits
+
+        let build_tlb = |entries: u32, ports: Ports, name: &str| {
+            ArraySpec::cam(u64::from(entries.max(1)), entry_bits, vpn_bits)
+                .with_ports(ports)
+                .named(name)
+                .solve(tech, OptTarget::Delay)
+        };
+        let itlb = build_tlb(cfg.itlb_entries, Ports { rw: 1, read: 0, write: 0, search: 1 }, "itlb")?;
+        // The D-TLB is probed by every memory port.
+        let mem_ports = 2u32.min(cfg.issue_width);
+        let dtlb = build_tlb(
+            cfg.dtlb_entries,
+            Ports { rw: 1, read: 0, write: 0, search: mem_ports },
+            "dtlb",
+        )?;
+        Ok(Mmu { itlb, dtlb })
+    }
+
+    /// Energy of one I-TLB translation, J.
+    #[must_use]
+    pub fn itlb_energy(&self) -> f64 {
+        self.itlb.search_energy + self.itlb.read_energy
+    }
+
+    /// Energy of one D-TLB translation, J.
+    #[must_use]
+    pub fn dtlb_energy(&self) -> f64 {
+        self.dtlb.search_energy + self.dtlb.read_energy
+    }
+
+    /// Total MMU area, m².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.itlb.area + self.dtlb.area
+    }
+
+    /// Total MMU leakage, W.
+    #[must_use]
+    pub fn leakage(&self) -> StaticPower {
+        self.itlb.leakage + self.dtlb.leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    #[test]
+    fn mmu_builds_and_translations_cost_energy() {
+        let t = TechParams::new(TechNode::N90, DeviceType::Hp, 360.0);
+        let mmu = Mmu::build(&t, &CoreConfig::generic_ooo()).unwrap();
+        assert!(mmu.itlb_energy() > 0.0);
+        assert!(mmu.dtlb_energy() > 0.0);
+        assert!(mmu.area() > 0.0);
+        assert!(mmu.leakage().total() > 0.0);
+    }
+
+    #[test]
+    fn bigger_tlbs_cost_more_per_search() {
+        let t = TechParams::new(TechNode::N90, DeviceType::Hp, 360.0);
+        let mut small = CoreConfig::generic_ooo();
+        small.dtlb_entries = 16;
+        let mut big = CoreConfig::generic_ooo();
+        big.dtlb_entries = 256;
+        let ms = Mmu::build(&t, &small).unwrap();
+        let mb = Mmu::build(&t, &big).unwrap();
+        assert!(mb.dtlb.search_energy > ms.dtlb.search_energy);
+    }
+}

@@ -1,0 +1,96 @@
+//! Pipeline registers and the core-local clock load.
+//!
+//! McPAT charges every pipeline stage a rank of flip-flops wide enough
+//! for the in-flight instruction state; together with the latch clock
+//! pins this forms the bulk of the core's clock-network load.
+
+use crate::config::CoreConfig;
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_tech::TechParams;
+
+/// Pipeline latch model for one core.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineRegs {
+    /// Total latch bits in the pipeline.
+    pub total_bits: f64,
+    /// Area, m².
+    pub area: f64,
+    /// Energy per cycle from data toggles (≈30% activity), J.
+    pub data_energy_per_cycle: f64,
+    /// Energy per cycle from clocking every latch, J.
+    pub clock_energy_per_cycle: f64,
+    /// Leakage, W.
+    pub leakage: StaticPower,
+}
+
+/// Fraction of latch bits that toggle in a typical cycle.
+const LATCH_ACTIVITY: f64 = 0.3;
+
+/// Overhead factor for clock wiring/buffers inside the core on top of
+/// raw latch clock-pin load.
+const LOCAL_CLOCK_OVERHEAD: f64 = 1.3;
+
+impl PipelineRegs {
+    /// Builds the pipeline-register model.
+    #[must_use]
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> PipelineRegs {
+        // Per-lane per-stage state: instruction word + two operands +
+        // control (~1.5 words total beyond the instruction).
+        let bits_per_lane_stage =
+            f64::from(cfg.instruction_bits) + 2.5 * f64::from(cfg.word_bits) + 16.0;
+        let lanes = f64::from(cfg.issue_width);
+        let stages = f64::from(cfg.pipeline_depth);
+        let threads_factor = 1.0 + 0.1 * f64::from(cfg.threads.saturating_sub(1));
+        let total_bits = bits_per_lane_stage * lanes * stages * threads_factor;
+
+        let dff = tech.dff();
+        let vdd = tech.device.vdd;
+        PipelineRegs {
+            total_bits,
+            area: dff.area_per_bit * total_bits,
+            data_energy_per_cycle: LATCH_ACTIVITY * total_bits * dff.write_energy(vdd),
+            clock_energy_per_cycle: LOCAL_CLOCK_OVERHEAD * total_bits * dff.clock_energy(vdd),
+            leakage: StaticPower {
+                subthreshold: total_bits
+                    * dff.leakage_power(&tech.device, tech.temperature)
+                    * 0.8,
+                gate: total_bits * dff.leakage_power(&tech.device, tech.temperature) * 0.2,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn deeper_pipelines_have_more_latch_bits() {
+        let t = tech();
+        let shallow = PipelineRegs::build(&t, &CoreConfig::alpha21364_like()); // 7 stages
+        let deep = PipelineRegs::build(&t, &CoreConfig::tulsa_like()); // 31 stages
+        assert!(deep.total_bits > 2.0 * shallow.total_bits);
+        assert!(deep.clock_energy_per_cycle > shallow.clock_energy_per_cycle);
+    }
+
+    #[test]
+    fn clock_energy_is_comparable_to_data_energy() {
+        let p = PipelineRegs::build(&tech(), &CoreConfig::generic_ooo());
+        let ratio = p.clock_energy_per_cycle / p.data_energy_per_cycle;
+        assert!(ratio > 0.5 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn magnitudes_are_plausible() {
+        // A 4-wide 12-deep pipeline: ~10k latch bits, pJ-scale per cycle.
+        let p = PipelineRegs::build(&tech(), &CoreConfig::generic_ooo());
+        assert!(p.total_bits > 5e3 && p.total_bits < 5e4, "{}", p.total_bits);
+        let e = p.clock_energy_per_cycle + p.data_energy_per_cycle;
+        assert!(e > 1e-13 && e < 1e-9, "{e:e}");
+    }
+}

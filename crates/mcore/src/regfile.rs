@@ -1,0 +1,108 @@
+//! Integer and floating-point register files.
+
+use crate::config::CoreConfig;
+use mcpat_array::{ArrayError, ArraySpec, OptTarget, Ports, SolvedArray};
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_tech::TechParams;
+
+/// The core's register files.
+#[derive(Debug, Clone)]
+pub struct RegFiles {
+    /// Integer register file.
+    pub int_rf: SolvedArray,
+    /// FP register file.
+    pub fp_rf: SolvedArray,
+}
+
+impl RegFiles {
+    /// Builds the register files.
+    ///
+    /// In-order machines hold one architectural copy per thread;
+    /// out-of-order machines hold the physical register file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArrayError`].
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<RegFiles, ArrayError> {
+        let (int_regs, fp_regs) = if cfg.is_ooo() {
+            (cfg.phys_int_regs, cfg.phys_fp_regs)
+        } else {
+            (
+                cfg.arch_int_regs * cfg.threads,
+                cfg.arch_fp_regs * cfg.threads,
+            )
+        };
+        // 2 reads + 1 write per issue slot is the classic sizing.
+        let int_ports = Ports::reg_file(2 * cfg.issue_width, cfg.issue_width);
+        let fp_ports = Ports::reg_file(2 * cfg.fp_issue_width.max(1), cfg.fp_issue_width.max(1));
+
+        let mut int_spec = ArraySpec::table(u64::from(int_regs.max(1)), cfg.word_bits)
+            .with_ports(int_ports)
+            .named("int-regfile");
+        let mut fp_spec = ArraySpec::table(u64::from(fp_regs.max(1)), cfg.word_bits)
+            .with_ports(fp_ports)
+            .named("fp-regfile");
+        if cfg.enforce_timing {
+            int_spec = int_spec.with_max_cycle_time(cfg.cycle_time());
+            fp_spec = fp_spec.with_max_cycle_time(cfg.cycle_time());
+        }
+        let int_rf = int_spec.solve(tech, OptTarget::Delay)?;
+        let fp_rf = fp_spec.solve(tech, OptTarget::Delay)?;
+        Ok(RegFiles { int_rf, fp_rf })
+    }
+
+    /// Total register file area, m².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.int_rf.area + self.fp_rf.area
+    }
+
+    /// Total register file leakage, W.
+    #[must_use]
+    pub fn leakage(&self) -> StaticPower {
+        self.int_rf.leakage + self.fp_rf.leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn regfiles_build_for_both_machine_types() {
+        for cfg in [CoreConfig::generic_ooo(), CoreConfig::generic_inorder()] {
+            let rf = RegFiles::build(&tech(), &cfg).unwrap();
+            assert!(rf.area() > 0.0);
+            assert!(rf.int_rf.read_energy > 0.0);
+        }
+    }
+
+    #[test]
+    fn threaded_inorder_core_has_bigger_arch_rf() {
+        let t = tech();
+        let mut one = CoreConfig::generic_inorder();
+        one.threads = 1;
+        let mut eight = CoreConfig::generic_inorder();
+        eight.threads = 8;
+        let rf1 = RegFiles::build(&t, &one).unwrap();
+        let rf8 = RegFiles::build(&t, &eight).unwrap();
+        assert!(rf8.int_rf.area > 2.0 * rf1.int_rf.area);
+    }
+
+    #[test]
+    fn wide_issue_multiplies_ports_and_energy() {
+        let t = tech();
+        let mut narrow = CoreConfig::generic_ooo();
+        narrow.issue_width = 2;
+        let mut wide = CoreConfig::generic_ooo();
+        wide.issue_width = 8;
+        let rn = RegFiles::build(&t, &narrow).unwrap();
+        let rw = RegFiles::build(&t, &wide).unwrap();
+        assert!(rw.int_rf.area > 2.0 * rn.int_rf.area);
+    }
+}

@@ -1,0 +1,167 @@
+//! Register renaming unit: register alias tables, free list, and the
+//! intra-group dependency-check logic.
+//!
+//! McPAT models the RAT either as a RAM indexed by architectural register
+//! (one entry per architectural register holding a physical tag) or as a
+//! CAM; we use the RAM form, which matches the MIPS-R10000-style design
+//! the paper validates against. Dependency checking between the
+//! instructions renamed in the same cycle is quadratic comparator logic.
+
+use crate::config::CoreConfig;
+use mcpat_array::{ArrayError, ArraySpec, OptTarget, Ports, SolvedArray};
+use mcpat_circuit::comparator::TagComparator;
+use mcpat_circuit::metrics::{CircuitMetrics, StaticPower};
+use mcpat_tech::TechParams;
+
+/// The renaming unit (absent entirely on in-order machines).
+#[derive(Debug, Clone)]
+pub struct RenameUnit {
+    /// Integer RAT.
+    pub int_rat: SolvedArray,
+    /// FP RAT.
+    pub fp_rat: SolvedArray,
+    /// Integer free list.
+    pub int_free_list: SolvedArray,
+    /// FP free list.
+    pub fp_free_list: SolvedArray,
+    /// Dependency-check comparator metrics (whole rename group).
+    dep_check: CircuitMetrics,
+    decode_width: u32,
+}
+
+impl RenameUnit {
+    /// Builds the renaming unit if the machine is out-of-order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArrayError`] from any internal array.
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<Option<RenameUnit>, ArrayError> {
+        if !cfg.is_ooo() {
+            return Ok(None);
+        }
+        let tag_bits = cfg.phys_tag_bits();
+        let w = cfg.decode_width;
+        // Each renamed instruction reads two source mappings and writes one.
+        let rat_ports = Ports::reg_file(2 * w, w);
+        let int_rat = ArraySpec::table(
+            u64::from(cfg.arch_int_regs) * u64::from(cfg.threads),
+            tag_bits,
+        )
+        .with_ports(rat_ports)
+        .named("int-rat")
+        .solve(tech, OptTarget::Delay)?;
+        let fp_rat = ArraySpec::table(
+            u64::from(cfg.arch_fp_regs) * u64::from(cfg.threads),
+            tag_bits,
+        )
+        .with_ports(rat_ports)
+        .named("fp-rat")
+        .solve(tech, OptTarget::Delay)?;
+
+        let fl_ports = Ports::reg_file(w, w);
+        let int_free_list = ArraySpec::table(u64::from(cfg.phys_int_regs), tag_bits)
+            .with_ports(fl_ports)
+            .named("int-free-list")
+            .solve(tech, OptTarget::EnergyDelay)?;
+        let fp_free_list = ArraySpec::table(u64::from(cfg.phys_fp_regs), tag_bits)
+            .with_ports(fl_ports)
+            .named("fp-free-list")
+            .solve(tech, OptTarget::EnergyDelay)?;
+
+        // Dependency check: each of the w instructions compares its two
+        // sources against every older instruction's destination in the
+        // group: 2·w·(w−1)/2 comparators of arch-register width.
+        let arch_bits = (f64::from(cfg.arch_int_regs.max(2))).log2().ceil() as u32;
+        let cmp = TagComparator::new(tech, arch_bits).metrics();
+        let n_cmp = f64::from(w) * f64::from(w.saturating_sub(1));
+        let dep_check = CircuitMetrics {
+            area: cmp.area * n_cmp,
+            delay: cmp.delay,
+            energy_per_op: cmp.energy_per_op * n_cmp,
+            leakage: cmp.leakage.scaled(n_cmp),
+        };
+
+        Ok(Some(RenameUnit {
+            int_rat,
+            fp_rat,
+            int_free_list,
+            fp_free_list,
+            dep_check,
+            decode_width: w,
+        }))
+    }
+
+    /// Energy of renaming one instruction (RAT reads + write + free-list
+    /// pop + its share of dependency checking), J.
+    #[must_use]
+    pub fn rename_energy_per_inst(&self, is_fp: bool) -> f64 {
+        let (rat, fl) = if is_fp {
+            (&self.fp_rat, &self.fp_free_list)
+        } else {
+            (&self.int_rat, &self.int_free_list)
+        };
+        2.0 * rat.read_energy
+            + rat.write_energy
+            + fl.read_energy
+            + self.dep_check.energy_per_op / f64::from(self.decode_width.max(1))
+    }
+
+    /// Total rename-unit area, m².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.int_rat.area
+            + self.fp_rat.area
+            + self.int_free_list.area
+            + self.fp_free_list.area
+            + self.dep_check.area
+    }
+
+    /// Total rename-unit leakage, W.
+    #[must_use]
+    pub fn leakage(&self) -> StaticPower {
+        self.int_rat.leakage
+            + self.fp_rat.leakage
+            + self.int_free_list.leakage
+            + self.fp_free_list.leakage
+            + self.dep_check.leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn inorder_machines_have_no_rename_unit() {
+        let r = RenameUnit::build(&tech(), &CoreConfig::generic_inorder()).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn ooo_rename_unit_builds() {
+        let r = RenameUnit::build(&tech(), &CoreConfig::generic_ooo())
+            .unwrap()
+            .unwrap();
+        assert!(r.area() > 0.0);
+        assert!(r.rename_energy_per_inst(false) > 0.0);
+        assert!(r.rename_energy_per_inst(true) > 0.0);
+    }
+
+    #[test]
+    fn wider_machines_pay_quadratic_dep_check() {
+        let t = tech();
+        let mut narrow = CoreConfig::generic_ooo();
+        narrow.decode_width = 2;
+        let mut wide = CoreConfig::generic_ooo();
+        wide.decode_width = 8;
+        let rn = RenameUnit::build(&t, &narrow).unwrap().unwrap();
+        let rw = RenameUnit::build(&t, &wide).unwrap().unwrap();
+        // 8-wide has 8·7 = 56 comparators vs 2·1 = 2: >10× dep-check area.
+        assert!(rw.dep_check.area > 10.0 * rn.dep_check.area);
+    }
+}

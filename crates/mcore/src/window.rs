@@ -1,0 +1,161 @@
+//! Out-of-order machinery: issue queues (instruction windows) with CAM
+//! wakeup, and the reorder buffer.
+
+use crate::config::CoreConfig;
+use mcpat_array::{ArrayError, ArraySpec, OptTarget, Ports, SolvedArray};
+use mcpat_circuit::metrics::StaticPower;
+use mcpat_tech::TechParams;
+
+/// Issue queues + ROB (absent on in-order machines).
+#[derive(Debug, Clone)]
+pub struct WindowUnit {
+    /// Integer issue queue: CAM for tag wakeup + payload RAM.
+    pub int_window: SolvedArray,
+    /// FP issue queue.
+    pub fp_window: Option<SolvedArray>,
+    /// Reorder buffer.
+    pub rob: SolvedArray,
+}
+
+impl WindowUnit {
+    /// Builds the window unit if the machine is out-of-order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArrayError`] from any internal array.
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<Option<WindowUnit>, ArrayError> {
+        if !cfg.is_ooo() {
+            return Ok(None);
+        }
+        let tag_bits = cfg.phys_tag_bits();
+        // Window entry payload: opcode + two source tags + dest tag +
+        // immediate/control (~2× word fragments).
+        let payload_bits = cfg.opcode_bits + 3 * tag_bits + 16;
+
+        // Wakeup broadcasts one tag per issued instruction; the CAM has
+        // one search port per issue slot and RAM ports for insert/issue.
+        let window_ports = Ports {
+            rw: 0,
+            read: cfg.issue_width,
+            write: cfg.decode_width,
+            search: cfg.issue_width,
+        };
+        let mut int_window_spec = ArraySpec::cam(
+            u64::from(cfg.instruction_window_size),
+            payload_bits,
+            2 * tag_bits,
+        )
+        .with_ports(window_ports)
+        .named("int-issue-queue");
+        if cfg.enforce_timing {
+            int_window_spec = int_window_spec.with_max_cycle_time(cfg.cycle_time());
+        }
+        let int_window = int_window_spec.solve(tech, OptTarget::Delay)?;
+
+        let fp_window = if cfg.fp_instruction_window_size > 0 {
+            Some(
+                ArraySpec::cam(
+                    u64::from(cfg.fp_instruction_window_size),
+                    payload_bits,
+                    2 * tag_bits,
+                )
+                .with_ports(Ports {
+                    rw: 0,
+                    read: cfg.fp_issue_width.max(1),
+                    write: cfg.decode_width,
+                    search: cfg.fp_issue_width.max(1),
+                })
+                .named("fp-issue-queue")
+                .solve(tech, OptTarget::Delay)?,
+            )
+        } else {
+            None
+        };
+
+        // ROB entry: PC + dest arch/phys tags + exception/state bits.
+        let rob_bits = cfg.vaddr_bits + 2 * tag_bits + 8;
+        let rob = ArraySpec::table(u64::from(cfg.rob_size), rob_bits)
+            .with_ports(Ports::reg_file(cfg.commit_width, cfg.decode_width))
+            .named("rob")
+            .solve(tech, OptTarget::EnergyDelay)?;
+
+        Ok(Some(WindowUnit {
+            int_window,
+            fp_window,
+            rob,
+        }))
+    }
+
+    /// Energy of one window event (insert + wakeup search + issue read),
+    /// amortized per issued instruction, J.
+    #[must_use]
+    pub fn window_energy_per_access(&self, is_fp: bool) -> f64 {
+        let w = if is_fp {
+            self.fp_window.as_ref().unwrap_or(&self.int_window)
+        } else {
+            &self.int_window
+        };
+        (w.write_energy + w.search_energy + w.read_energy) / 3.0
+    }
+
+    /// Energy of one ROB access (dispatch write or commit read), J.
+    #[must_use]
+    pub fn rob_energy_per_access(&self) -> f64 {
+        0.5 * (self.rob.read_energy + self.rob.write_energy)
+    }
+
+    /// Total area, m².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.int_window.area
+            + self.fp_window.as_ref().map_or(0.0, |w| w.area)
+            + self.rob.area
+    }
+
+    /// Total leakage, W.
+    #[must_use]
+    pub fn leakage(&self) -> StaticPower {
+        let mut l = self.int_window.leakage + self.rob.leakage;
+        if let Some(w) = &self.fp_window {
+            l += w.leakage;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N90, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn inorder_has_no_window() {
+        assert!(WindowUnit::build(&tech(), &CoreConfig::generic_inorder())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn ooo_window_builds_with_search_energy() {
+        let w = WindowUnit::build(&tech(), &CoreConfig::generic_ooo())
+            .unwrap()
+            .unwrap();
+        assert!(w.int_window.search_energy > 0.0, "wakeup is a CAM search");
+        assert!(w.window_energy_per_access(false) > 0.0);
+        assert!(w.rob_energy_per_access() > 0.0);
+    }
+
+    #[test]
+    fn bigger_windows_cost_more() {
+        let t = tech();
+        let small_cfg = CoreConfig::alpha21364_like(); // 20-entry window
+        let big_cfg = CoreConfig::tulsa_like(); // 64-entry window
+        let small = WindowUnit::build(&t, &small_cfg).unwrap().unwrap();
+        let big = WindowUnit::build(&t, &big_cfg).unwrap().unwrap();
+        assert!(big.int_window.search_energy > small.int_window.search_energy);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the core models.
+
+use mcpat_mcore::config::CoreConfig;
+use mcpat_mcore::core::CoreModel;
+use mcpat_mcore::stats::CoreStats;
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+use proptest::prelude::*;
+
+fn tech() -> TechParams {
+    TechParams::new(TechNode::N45, DeviceType::Hp, 360.0)
+}
+
+fn arb_inorder() -> impl Strategy<Value = CoreConfig> {
+    (1u32..=4, 1u32..=8, 3u32..=16).prop_map(|(width, threads, depth)| {
+        let mut c = CoreConfig::generic_inorder();
+        c.fetch_width = width;
+        c.decode_width = width;
+        c.issue_width = width;
+        c.commit_width = width;
+        c.threads = threads;
+        c.pipeline_depth = depth;
+        c
+    })
+}
+
+fn arb_ooo() -> impl Strategy<Value = CoreConfig> {
+    (2u32..=8, 16u32..=128, 32u32..=256, 64u32..=256).prop_map(
+        |(width, window, rob, regs)| {
+            let mut c = CoreConfig::generic_ooo();
+            c.fetch_width = width;
+            c.decode_width = width;
+            c.issue_width = width;
+            c.commit_width = width;
+            c.instruction_window_size = window;
+            c.rob_size = rob;
+            c.phys_int_regs = regs;
+            c.phys_fp_regs = regs;
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_inorder_config_builds_with_positive_outputs(cfg in arb_inorder()) {
+        let core = CoreModel::build(&tech(), &cfg).unwrap();
+        prop_assert!(core.area() > 0.0 && core.area().is_finite());
+        prop_assert!(core.leakage().total() > 0.0);
+        let p = core.peak_power();
+        prop_assert!(p.total() > 0.0 && p.total().is_finite());
+        prop_assert!(core.max_clock_hz() > 1e8);
+    }
+
+    #[test]
+    fn every_ooo_config_builds_with_positive_outputs(cfg in arb_ooo()) {
+        let core = CoreModel::build(&tech(), &cfg).unwrap();
+        prop_assert!(core.area() > 0.0 && core.area().is_finite());
+        let p = core.peak_power();
+        prop_assert!(p.total() > 0.0 && p.total().is_finite());
+        // OoO cores must have window and rename entries in the breakdown.
+        prop_assert!(p.component("window").is_some());
+        prop_assert!(p.component("rename").is_some());
+    }
+
+    #[test]
+    fn runtime_power_never_exceeds_event_linear_bound(
+        cfg in arb_inorder(),
+        scale in 1u64..8,
+    ) {
+        // Doubling every event count (at fixed cycles) must at most
+        // double dynamic power (it is a linear model).
+        let core = CoreModel::build(&tech(), &cfg).unwrap();
+        let base = CoreStats::peak(1_000_000, cfg.issue_width, cfg.fp_issue_width);
+        let mut scaled = base;
+        let k = scale;
+        scaled.int_ops *= k;
+        scaled.loads *= k;
+        scaled.stores *= k;
+        scaled.fetches *= k;
+        scaled.decodes *= k;
+        scaled.issues *= k;
+        let p0 = core.runtime_power(&base).dynamic();
+        let p1 = core.runtime_power(&scaled).dynamic();
+        prop_assert!(p1 <= p0 * k as f64 + 1e-9);
+        prop_assert!(p1 >= p0 * 0.99);
+    }
+
+    #[test]
+    fn leakage_is_independent_of_activity(cfg in arb_inorder(), busy in 0.0..1.0f64) {
+        let core = CoreModel::build(&tech(), &cfg).unwrap();
+        let mut stats = CoreStats::peak(1_000_000, cfg.issue_width, cfg.fp_issue_width);
+        stats.idle_cycles = ((1.0 - busy) * 1_000_000.0) as u64;
+        let p = core.runtime_power(&stats);
+        let peak = core.peak_power();
+        prop_assert!((p.leakage().total() - peak.leakage().total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_machines_are_never_smaller(cfg in arb_inorder()) {
+        let t = tech();
+        let base = CoreModel::build(&t, &cfg).unwrap();
+        let mut wider = cfg.clone();
+        wider.issue_width += 2;
+        wider.fetch_width += 2;
+        wider.decode_width += 2;
+        wider.commit_width += 2;
+        let big = CoreModel::build(&t, &wider).unwrap();
+        prop_assert!(big.area() >= base.area() * 0.99);
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration tests of the EIO timing-constraint enforcement: when
+//! `enforce_timing` is set, the latency-critical arrays must meet the
+//! clock or the build must fail.
+
+use mcpat_mcore::config::CoreConfig;
+use mcpat_mcore::core::CoreModel;
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+
+fn tech(node: TechNode) -> TechParams {
+    TechParams::new(node, DeviceType::Hp, 360.0)
+}
+
+#[test]
+fn feasible_clock_builds_and_meets_the_cycle() {
+    let mut cfg = CoreConfig::generic_inorder();
+    cfg.clock_hz = 2.0e9;
+    cfg.enforce_timing = true;
+    let core = CoreModel::build(&tech(TechNode::N45), &cfg).unwrap();
+    let cycle = 1.0 / cfg.clock_hz;
+    assert!(core.regs.int_rf.cycle_time <= cycle + 1e-15);
+    assert!(core.ifu.icache.cycle_time <= cycle + 1e-15);
+    assert!(core.lsu.dcache.cycle_time <= cycle + 1e-15);
+    assert!(core.max_clock_hz() >= cfg.clock_hz);
+}
+
+#[test]
+fn absurd_clock_fails_with_a_diagnostic() {
+    let mut cfg = CoreConfig::generic_inorder();
+    cfg.clock_hz = 200.0e9; // 5 ps cycle: impossible
+    cfg.enforce_timing = true;
+    let err = CoreModel::build(&tech(TechNode::N45), &cfg).unwrap_err();
+    assert!(
+        err.contains("cycle constraint"),
+        "error should name the constraint: {err}"
+    );
+}
+
+#[test]
+fn enforcement_changes_the_chosen_partitions() {
+    // At a tight clock the optimizer must pick a faster (usually more
+    // banked, more energetic) organization than the unconstrained
+    // energy-delay optimum.
+    let mut relaxed = CoreConfig::generic_ooo();
+    relaxed.clock_hz = 3.5e9;
+    relaxed.enforce_timing = false;
+    let mut tight = relaxed.clone();
+    tight.enforce_timing = true;
+
+    let t = tech(TechNode::N32);
+    let core_relaxed = CoreModel::build(&t, &relaxed).unwrap();
+    let core_tight = CoreModel::build(&t, &tight).unwrap();
+    assert!(
+        core_tight.lsu.dcache.cycle_time <= 1.0 / 3.5e9 + 1e-15,
+        "tight build must meet the clock"
+    );
+    // The unconstrained build is allowed to be slower (and usually is).
+    assert!(core_relaxed.lsu.dcache.cycle_time >= core_tight.lsu.dcache.cycle_time * 0.99);
+}
+
+#[test]
+fn unconstrained_build_is_unchanged_by_default() {
+    let cfg = CoreConfig::generic_inorder();
+    assert!(!cfg.enforce_timing, "enforcement must be opt-in");
+    let core = CoreModel::build(&tech(TechNode::N90), &cfg).unwrap();
+    assert!(core.area() > 0.0);
+}
+
+#[test]
+fn validation_presets_meet_their_clocks_when_enforced() {
+    // The four validation chips shipped at their published clocks, so
+    // enforcement must succeed for them (Tulsa pipelines its L1 over two
+    // cycles, so it is exempted here).
+    for (cfg, node) in [
+        (CoreConfig::niagara_like(), TechNode::N90),
+        (CoreConfig::niagara2_like(), TechNode::N65),
+        (CoreConfig::alpha21364_like(), TechNode::N180),
+    ] {
+        let mut cfg = cfg;
+        cfg.enforce_timing = true;
+        CoreModel::build(&tech(node), &cfg)
+            .unwrap_or_else(|e| panic!("{} must meet its clock: {e}", cfg.name));
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-unit integration tests of the core component models.
+
+use mcpat_mcore::config::{CoreConfig, PredictorConfig};
+use mcpat_mcore::core::CoreModel;
+use mcpat_mcore::exu::{Exu, FuKind, FunctionalUnit};
+use mcpat_mcore::ifu::Ifu;
+use mcpat_mcore::lsu::Lsu;
+use mcpat_mcore::rename::RenameUnit;
+use mcpat_mcore::window::WindowUnit;
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+
+fn tech() -> TechParams {
+    TechParams::new(TechNode::N65, DeviceType::Hp, 360.0)
+}
+
+#[test]
+fn predictor_tables_scale_lookup_energy() {
+    let t = tech();
+    let mut small = CoreConfig::generic_ooo();
+    small.predictor = PredictorConfig {
+        global_entries: 512,
+        local_l1_entries: 128,
+        local_l2_entries: 128,
+        chooser_entries: 512,
+        ras_entries: 8,
+    };
+    let big = CoreConfig::generic_ooo(); // 4K tables
+    let ifu_small = Ifu::build(&t, &small).unwrap();
+    let ifu_big = Ifu::build(&t, &big).unwrap();
+    assert!(ifu_big.predictor_lookup_energy() > ifu_small.predictor_lookup_energy());
+    assert!(ifu_big.area() > ifu_small.area());
+}
+
+#[test]
+fn wider_decode_costs_more_decode_energy_total() {
+    let t = tech();
+    let mut narrow = CoreConfig::generic_ooo();
+    narrow.decode_width = 2;
+    let mut wide = CoreConfig::generic_ooo();
+    wide.decode_width = 8;
+    let n = Ifu::build(&t, &narrow).unwrap();
+    let w = Ifu::build(&t, &wide).unwrap();
+    // Per-instruction decode energy is constant; total decoder area grows.
+    assert!((n.decode_energy_per_inst - w.decode_energy_per_inst).abs() < 1e-18);
+    assert!(w.decoder_area > 3.0 * n.decoder_area);
+}
+
+#[test]
+fn store_queue_search_dominates_lsu_queue_energy() {
+    let t = tech();
+    let lsu = Lsu::build(&t, &CoreConfig::generic_ooo()).unwrap();
+    // A load must search the store queue — an associative op that costs
+    // more than the FIFO insert.
+    assert!(lsu.store_queue.search_energy > lsu.load_queue.write_energy * 0.2);
+}
+
+#[test]
+fn rename_energy_grows_with_physical_registers() {
+    let t = tech();
+    let mut small = CoreConfig::generic_ooo();
+    small.phys_int_regs = 64;
+    small.phys_fp_regs = 64;
+    let mut big = CoreConfig::generic_ooo();
+    big.phys_int_regs = 512;
+    big.phys_fp_regs = 512;
+    let rs = RenameUnit::build(&t, &small).unwrap().unwrap();
+    let rb = RenameUnit::build(&t, &big).unwrap().unwrap();
+    // Wider tags and a bigger free list make renaming dearer.
+    assert!(rb.rename_energy_per_inst(false) > rs.rename_energy_per_inst(false));
+}
+
+#[test]
+fn fp_window_is_cheaper_than_int_window_when_smaller() {
+    let t = tech();
+    let cfg = CoreConfig::generic_ooo(); // fp window 16 < int window 32
+    let w = WindowUnit::build(&t, &cfg).unwrap().unwrap();
+    let fp = w.fp_window.as_ref().unwrap();
+    assert!(fp.area < w.int_window.area);
+}
+
+#[test]
+fn exu_bypass_grows_with_datapath_width() {
+    let t = tech();
+    let mut narrow = CoreConfig::generic_ooo();
+    narrow.word_bits = 32;
+    let mut wide = CoreConfig::generic_ooo();
+    wide.word_bits = 128;
+    let en = Exu::build(&t, &narrow);
+    let ew = Exu::build(&t, &wide);
+    assert!(ew.bypass_energy_per_transfer > 1.5 * en.bypass_energy_per_transfer);
+}
+
+#[test]
+fn functional_unit_leakage_tracks_temperature() {
+    let hot = TechParams::new(TechNode::N65, DeviceType::Hp, 390.0);
+    let cold = TechParams::new(TechNode::N65, DeviceType::Hp, 320.0);
+    let fu_hot = FunctionalUnit::new(&hot, FuKind::Fpu);
+    let fu_cold = FunctionalUnit::new(&cold, FuKind::Fpu);
+    assert!(fu_hot.leakage.total() > 3.0 * fu_cold.leakage.total());
+    // Dynamic energy is temperature-independent.
+    assert!((fu_hot.energy_per_op - fu_cold.energy_per_op).abs() < 1e-18);
+}
+
+#[test]
+fn zero_fpu_cores_have_zero_fpu_power_items() {
+    let t = tech();
+    let mut cfg = CoreConfig::niagara_like();
+    cfg.num_fpus = 0;
+    let core = CoreModel::build(&t, &cfg).unwrap();
+    // FP ops would still be charged per-op if they occurred, but the
+    // idle FPU contributes no leakage.
+    let leak_no_fpu = core.exu.leakage().total();
+    cfg.num_fpus = 2;
+    let with = CoreModel::build(&t, &cfg).unwrap();
+    assert!(with.exu.leakage().total() > leak_no_fpu);
+}
+
+#[test]
+fn smt_threads_grow_fetch_state_not_alus() {
+    let t = tech();
+    let mut one = CoreConfig::generic_inorder();
+    one.threads = 1;
+    let mut eight = CoreConfig::generic_inorder();
+    eight.threads = 8;
+    let c1 = CoreModel::build(&t, &one).unwrap();
+    let c8 = CoreModel::build(&t, &eight).unwrap();
+    // Thread state multiplies the IFU buffers and register files...
+    assert!(c8.ifu.area() > c1.ifu.area());
+    assert!(c8.regs.area() > 4.0 * c1.regs.area());
+    // ...but the execution units are shared.
+    assert!((c8.exu.area() - c1.exu.area()).abs() < c1.exu.area() * 1e-9);
+}
+
+#[test]
+fn core_error_message_names_the_failing_array() {
+    let t = tech();
+    let mut cfg = CoreConfig::generic_ooo();
+    cfg.clock_hz = 500e9;
+    cfg.enforce_timing = true;
+    let err = CoreModel::build(&t, &cfg).unwrap_err();
+    assert!(err.contains("generic-ooo"), "{err}");
+}

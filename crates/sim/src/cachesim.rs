@@ -1,0 +1,106 @@
+//! Analytic cache miss-rate curves.
+//!
+//! Miss rates follow the empirical √2-rule (a power law in cache
+//! capacity relative to the working set) with a compulsory-miss floor —
+//! the standard analytic stand-in for trace-driven simulation.
+
+/// Compulsory (cold + coherence) miss floor.
+const COMPULSORY_FLOOR: f64 = 0.0015;
+
+/// Miss rate at the point where capacity equals the working set.
+const MISS_AT_WS: f64 = 0.005;
+
+/// Miss rate when the cache is far smaller than the working set.
+const MISS_CEILING: f64 = 0.35;
+
+/// Power-law exponent of the miss-rate curve (≈ the square-root rule).
+const EXPONENT: f64 = 0.5;
+
+/// Predicted miss rate (misses per access) of a cache of
+/// `capacity_bytes` against a working set of `working_set_bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use mcpat_sim::miss_rate;
+/// let small = miss_rate(8 * 1024, 8 * 1024 * 1024);
+/// let big = miss_rate(4 * 1024 * 1024, 8 * 1024 * 1024);
+/// assert!(small > big, "bigger caches miss less");
+/// ```
+#[must_use]
+pub fn miss_rate(capacity_bytes: u64, working_set_bytes: u64) -> f64 {
+    if capacity_bytes == 0 {
+        return MISS_CEILING;
+    }
+    let ratio = capacity_bytes as f64 / working_set_bytes.max(1) as f64;
+    if ratio >= 1.0 {
+        // Working set fits: only compulsory misses, decaying slowly with
+        // extra headroom.
+        (MISS_AT_WS * ratio.powf(-0.25)).max(COMPULSORY_FLOOR)
+    } else {
+        (MISS_AT_WS * ratio.powf(-EXPONENT)).min(MISS_CEILING)
+    }
+}
+
+/// Miss rate of a shared cache whose capacity is divided among
+/// `sharers` cores running the same working set each (no constructive
+/// sharing beyond `shared_fraction` of the footprint).
+#[must_use]
+pub fn shared_miss_rate(
+    capacity_bytes: u64,
+    working_set_bytes: u64,
+    sharers: u32,
+    shared_fraction: f64,
+) -> f64 {
+    let sf = shared_fraction.clamp(0.0, 1.0);
+    let effective_ws = working_set_bytes as f64
+        * (sf + (1.0 - sf) * f64::from(sharers.max(1)));
+    miss_rate(capacity_bytes, effective_ws as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_in_capacity() {
+        let ws = 16 * 1024 * 1024;
+        let mut last = 1.0;
+        for cap in [4 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024, 256 * 1024 * 1024] {
+            let m = miss_rate(cap, ws);
+            assert!(m <= last, "cap {cap}: {m} > {last}");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn bounded_by_floor_and_ceiling() {
+        assert!(miss_rate(1, 1 << 30) <= MISS_CEILING);
+        assert!(miss_rate(1 << 30, 1024) >= COMPULSORY_FLOOR);
+    }
+
+    #[test]
+    fn sqrt_rule_holds_in_the_middle() {
+        let ws = 64 * 1024 * 1024;
+        let m1 = miss_rate(1024 * 1024, ws);
+        let m4 = miss_rate(4 * 1024 * 1024, ws);
+        // 4× capacity → ≈2× fewer misses.
+        assert!((m1 / m4 - 2.0).abs() < 0.2, "ratio {}", m1 / m4);
+    }
+
+    #[test]
+    fn sharing_increases_pressure() {
+        let cap = 2 * 1024 * 1024;
+        let ws = 1024 * 1024;
+        let alone = shared_miss_rate(cap, ws, 1, 0.0);
+        let crowded = shared_miss_rate(cap, ws, 8, 0.0);
+        let shared = shared_miss_rate(cap, ws, 8, 1.0);
+        assert!(crowded > alone);
+        assert!(shared < crowded, "fully shared footprint behaves like one");
+    }
+
+    #[test]
+    fn zero_capacity_is_ceiling() {
+        assert_eq!(miss_rate(0, 1024), MISS_CEILING);
+    }
+}

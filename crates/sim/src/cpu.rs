@@ -1,0 +1,210 @@
+//! The analytic per-core CPI model.
+
+use crate::cachesim::miss_rate;
+use crate::workload::WorkloadProfile;
+use mcpat_mcore::config::{CoreConfig, MachineType};
+
+/// Fraction of raw I-cache miss probability charged per instruction:
+/// instructions are fetched in groups, so one line miss is amortized
+/// over the instructions sharing the fetch block.
+const ICACHE_MISS_AMORTIZATION: f64 = 0.3;
+
+/// Latencies seen by one core, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreTiming {
+    /// L1 hit latency (already pipelined away for independent ops).
+    pub l1_hit_cycles: f64,
+    /// L2 hit latency (including fabric hops to the bank).
+    pub l2_cycles: f64,
+    /// L3 hit latency, if an L3 exists.
+    pub l3_cycles: f64,
+    /// Main-memory latency.
+    pub mem_cycles: f64,
+}
+
+impl Default for CoreTiming {
+    fn default() -> CoreTiming {
+        CoreTiming {
+            l1_hit_cycles: 2.0,
+            l2_cycles: 20.0,
+            l3_cycles: 45.0,
+            mem_cycles: 220.0,
+        }
+    }
+}
+
+/// Per-instruction event rates and the resulting timing of one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreResult {
+    /// Core-level IPC (all threads combined).
+    pub ipc: f64,
+    /// Single-thread busy fraction (1 = never stalled).
+    pub thread_busy: f64,
+    /// L1-D misses per instruction.
+    pub l1d_mpki: f64,
+    /// L1-I misses per instruction.
+    pub l1i_mpki: f64,
+    /// L2 misses per instruction (of this core's traffic).
+    pub l2_mpki: f64,
+}
+
+/// The analytic CPU model for one core configuration.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cfg: CoreConfig,
+}
+
+impl CpuModel {
+    /// Wraps a core configuration.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> CpuModel {
+        CpuModel { cfg: cfg.clone() }
+    }
+
+    /// Issue efficiency: the fraction of the nominal width a machine
+    /// sustains on dependence-free code.
+    fn issue_efficiency(&self) -> f64 {
+        match self.cfg.machine_type {
+            MachineType::OutOfOrder => 0.85,
+            MachineType::InOrder => 0.65,
+        }
+    }
+
+    /// How much of a miss latency the machine hides with independent work.
+    fn miss_hiding(&self) -> (f64, f64) {
+        match self.cfg.machine_type {
+            // (short-miss hide, long-miss hide)
+            MachineType::OutOfOrder => (0.6, 0.3),
+            MachineType::InOrder => (0.15, 0.05),
+        }
+    }
+
+    /// ILP the pipeline can actually exploit.
+    fn exploitable_ilp(&self, wl: &WorkloadProfile) -> f64 {
+        match self.cfg.machine_type {
+            MachineType::OutOfOrder => {
+                // Window-limited: a 2× bigger window exposes ~√2 more ILP.
+                let window_factor =
+                    (f64::from(self.cfg.instruction_window_size.max(8)) / 32.0).powf(0.25);
+                wl.ilp * window_factor.min(1.5)
+            }
+            MachineType::InOrder => wl.ilp.min(1.8),
+        }
+    }
+
+    /// Evaluates one core running `threads_active` software threads of
+    /// the workload, with the given `l2_miss_rate` (computed at system
+    /// level from sharing) and latencies.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        wl: &WorkloadProfile,
+        timing: &CoreTiming,
+        l2_miss_rate: f64,
+        has_l3: bool,
+        threads_active: u32,
+    ) -> CoreResult {
+        let cfg = &self.cfg;
+        let ipc_nostall = (f64::from(cfg.issue_width) * self.issue_efficiency())
+            .min(self.exploitable_ilp(wl))
+            .max(0.1);
+        let cpi_nostall = 1.0 / ipc_nostall;
+
+        let (hide_short, hide_long) = self.miss_hiding();
+
+        // Cache events per instruction.
+        let l1d_mr = miss_rate(cfg.dcache.capacity, wl.data_working_set);
+        let l1i_mr = miss_rate(cfg.icache.capacity, wl.inst_working_set) * ICACHE_MISS_AMORTIZATION;
+        let l1d_mpki = wl.frac_mem() * l1d_mr;
+        let l1i_mpki = l1i_mr;
+        let l2_mpki = (l1d_mpki + l1i_mpki) * l2_miss_rate;
+
+        // Stall components, cycles per instruction.
+        let branch_cpi = wl.frac_branch
+            * wl.mispredict_rate
+            * f64::from(cfg.pipeline_depth) * 0.7;
+        let l2_cpi = (l1d_mpki + l1i_mpki) * timing.l2_cycles * (1.0 - hide_short);
+        let long_lat = if has_l3 {
+            // An L3 catches ~60% of L2 misses in addition to the
+            // sharing-locality fraction.
+            let l3_hit = 0.6;
+            wl.l2_miss_locality * timing.l3_cycles
+                + (1.0 - wl.l2_miss_locality)
+                    * (l3_hit * timing.l3_cycles + (1.0 - l3_hit) * timing.mem_cycles)
+        } else {
+            wl.l2_miss_locality * timing.l2_cycles * 2.0
+                + (1.0 - wl.l2_miss_locality) * timing.mem_cycles
+        };
+        let mem_cpi = l2_mpki * long_lat * (1.0 - hide_long);
+
+        let cpi_thread = cpi_nostall + branch_cpi + l2_cpi + mem_cpi;
+        let thread_busy = (cpi_nostall / cpi_thread).clamp(0.0, 1.0);
+
+        // Fine-grained multithreading fills stall slots: the core is
+        // issuing whenever at least one thread is ready.
+        let t = f64::from(threads_active.clamp(1, cfg.threads));
+        let utilization = 1.0 - (1.0 - thread_busy).powf(t);
+        let ipc = ipc_nostall * utilization;
+
+        CoreResult {
+            ipc,
+            thread_busy,
+            l1d_mpki,
+            l1i_mpki,
+            l2_mpki,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> CoreTiming {
+        CoreTiming::default()
+    }
+
+    #[test]
+    fn ooo_beats_inorder_single_thread() {
+        let wl = WorkloadProfile::balanced();
+        let ooo = CpuModel::new(&CoreConfig::alpha21364_like());
+        let io = CpuModel::new(&CoreConfig::niagara_like());
+        let r_ooo = ooo.evaluate(&wl, &timing(), 0.2, false, 1);
+        let r_io = io.evaluate(&wl, &timing(), 0.2, false, 1);
+        assert!(r_ooo.ipc > 1.5 * r_io.ipc, "{} vs {}", r_ooo.ipc, r_io.ipc);
+    }
+
+    #[test]
+    fn multithreading_recovers_inorder_throughput() {
+        let wl = WorkloadProfile::server_transactional();
+        let io = CpuModel::new(&CoreConfig::niagara_like());
+        let one = io.evaluate(&wl, &timing(), 0.3, false, 1);
+        let four = io.evaluate(&wl, &timing(), 0.3, false, 4);
+        assert!(four.ipc > 1.8 * one.ipc, "{} vs {}", four.ipc, one.ipc);
+    }
+
+    #[test]
+    fn memory_bound_work_is_slower() {
+        let cpu = CpuModel::new(&CoreConfig::generic_ooo());
+        let fast = cpu.evaluate(&WorkloadProfile::compute_bound(), &timing(), 0.1, false, 1);
+        let slow = cpu.evaluate(&WorkloadProfile::memory_bound(), &timing(), 0.4, false, 1);
+        assert!(fast.ipc > 2.0 * slow.ipc);
+    }
+
+    #[test]
+    fn ipc_bounded_by_issue_width() {
+        let cpu = CpuModel::new(&CoreConfig::generic_ooo());
+        let r = cpu.evaluate(&WorkloadProfile::compute_bound(), &timing(), 0.0, false, 1);
+        assert!(r.ipc <= 4.0);
+        assert!(r.ipc > 1.0);
+    }
+
+    #[test]
+    fn l3_reduces_long_stalls() {
+        let cpu = CpuModel::new(&CoreConfig::generic_ooo());
+        let wl = WorkloadProfile::memory_bound();
+        let with = cpu.evaluate(&wl, &timing(), 0.4, true, 1);
+        let without = cpu.evaluate(&wl, &timing(), 0.4, false, 1);
+        assert!(with.ipc > without.ipc);
+    }
+}

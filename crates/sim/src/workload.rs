@@ -1,0 +1,290 @@
+//! Synthetic workload profiles.
+//!
+//! A profile condenses what a trace-driven simulator would extract from
+//! a benchmark: the instruction mix, the available instruction-level
+//! parallelism, branch behavior, and memory locality (expressed as a
+//! working-set size that the cache model turns into miss-rate curves).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A statistical description of one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Fraction of instructions that are integer ALU ops.
+    pub frac_int: f64,
+    /// Fraction that are FP ops.
+    pub frac_fp: f64,
+    /// Fraction that are complex (mul/div) ops.
+    pub frac_mul: f64,
+    /// Fraction that are loads.
+    pub frac_load: f64,
+    /// Fraction that are stores.
+    pub frac_store: f64,
+    /// Fraction that are branches.
+    pub frac_branch: f64,
+    /// Branch misprediction rate (of branches).
+    pub mispredict_rate: f64,
+    /// Mean exploitable instruction-level parallelism (dataflow limit).
+    pub ilp: f64,
+    /// Primary data working-set size, bytes.
+    pub data_working_set: u64,
+    /// Instruction working-set size, bytes.
+    pub inst_working_set: u64,
+    /// Fraction of L2 misses that are serviced by other caches/L3 rather
+    /// than memory (sharing locality).
+    pub l2_miss_locality: f64,
+    /// Thread-level parallelism available (≥ 1; caps useful threads).
+    pub tlp: f64,
+}
+
+impl WorkloadProfile {
+    /// A CPU-bound kernel: high ILP, small working set, few misses.
+    #[must_use]
+    pub fn compute_bound() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.48,
+            frac_fp: 0.12,
+            frac_mul: 0.02,
+            frac_load: 0.20,
+            frac_store: 0.08,
+            frac_branch: 0.10,
+            mispredict_rate: 0.02,
+            ilp: 3.5,
+            data_working_set: 24 * 1024,
+            inst_working_set: 12 * 1024,
+            l2_miss_locality: 0.1,
+            tlp: 1e9,
+        }
+    }
+
+    /// A memory-bound streaming workload: large working set, modest ILP.
+    #[must_use]
+    pub fn memory_bound() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.35,
+            frac_fp: 0.10,
+            frac_mul: 0.01,
+            frac_load: 0.30,
+            frac_store: 0.14,
+            frac_branch: 0.10,
+            mispredict_rate: 0.04,
+            ilp: 2.0,
+            data_working_set: 64 * 1024 * 1024,
+            inst_working_set: 32 * 1024,
+            l2_miss_locality: 0.05,
+            tlp: 1e9,
+        }
+    }
+
+    /// A balanced SPEC-like mix.
+    #[must_use]
+    pub fn balanced() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.42,
+            frac_fp: 0.08,
+            frac_mul: 0.02,
+            frac_load: 0.25,
+            frac_store: 0.11,
+            frac_branch: 0.12,
+            mispredict_rate: 0.05,
+            ilp: 2.6,
+            data_working_set: 2 * 1024 * 1024,
+            inst_working_set: 64 * 1024,
+            l2_miss_locality: 0.15,
+            tlp: 1e9,
+        }
+    }
+
+    /// A throughput server / transaction-processing mix: poor locality,
+    /// low ILP, abundant TLP (the Niagara design target).
+    #[must_use]
+    pub fn server_transactional() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.40,
+            frac_fp: 0.01,
+            frac_mul: 0.01,
+            frac_load: 0.28,
+            frac_store: 0.12,
+            frac_branch: 0.18,
+            mispredict_rate: 0.08,
+            ilp: 1.4,
+            data_working_set: 16 * 1024 * 1024,
+            inst_working_set: 512 * 1024,
+            l2_miss_locality: 0.3,
+            tlp: 1e9,
+        }
+    }
+
+    /// A SPLASH-2-style shared-memory parallel scientific mix — the
+    /// closest stand-in for the paper's case-study workloads.
+    #[must_use]
+    pub fn splash_like() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.35,
+            frac_fp: 0.22,
+            frac_mul: 0.03,
+            frac_load: 0.22,
+            frac_store: 0.08,
+            frac_branch: 0.10,
+            mispredict_rate: 0.03,
+            ilp: 2.8,
+            data_working_set: 8 * 1024 * 1024,
+            inst_working_set: 48 * 1024,
+            l2_miss_locality: 0.25,
+            tlp: 1e9,
+        }
+    }
+
+    /// A web-serving mix: branchy request handling, large instruction
+    /// footprint, moderate data locality, high TLP.
+    #[must_use]
+    pub fn web_serving() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.44,
+            frac_fp: 0.01,
+            frac_mul: 0.01,
+            frac_load: 0.26,
+            frac_store: 0.10,
+            frac_branch: 0.18,
+            mispredict_rate: 0.06,
+            ilp: 1.8,
+            data_working_set: 4 * 1024 * 1024,
+            inst_working_set: 1024 * 1024,
+            l2_miss_locality: 0.2,
+            tlp: 1e9,
+        }
+    }
+
+    /// An HPC stencil kernel: streaming FP with predictable branches and
+    /// a working set that tiles into the L2.
+    #[must_use]
+    pub fn hpc_stencil() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.25,
+            frac_fp: 0.32,
+            frac_mul: 0.02,
+            frac_load: 0.26,
+            frac_store: 0.10,
+            frac_branch: 0.05,
+            mispredict_rate: 0.01,
+            ilp: 3.2,
+            data_working_set: 3 * 1024 * 1024,
+            inst_working_set: 8 * 1024,
+            l2_miss_locality: 0.1,
+            tlp: 1e9,
+        }
+    }
+
+    /// An in-memory analytics scan: sequential reads over a huge
+    /// footprint, almost no FP, bandwidth-bound.
+    #[must_use]
+    pub fn analytics_scan() -> WorkloadProfile {
+        WorkloadProfile {
+            frac_int: 0.40,
+            frac_fp: 0.02,
+            frac_mul: 0.01,
+            frac_load: 0.34,
+            frac_store: 0.08,
+            frac_branch: 0.15,
+            mispredict_rate: 0.02,
+            ilp: 2.4,
+            data_working_set: 256 * 1024 * 1024,
+            inst_working_set: 24 * 1024,
+            l2_miss_locality: 0.02,
+            tlp: 1e9,
+        }
+    }
+
+    /// A randomized perturbation of this profile (±`spread` relative on
+    /// the continuous fields), for sensitivity sweeps.
+    #[must_use]
+    pub fn perturbed<R: Rng>(&self, rng: &mut R, spread: f64) -> WorkloadProfile {
+        let mut p = *self;
+        let mut jitter = |v: f64| v * (1.0 + rng.gen_range(-spread..=spread));
+        p.ilp = jitter(p.ilp).max(1.0);
+        p.mispredict_rate = jitter(p.mispredict_rate).clamp(0.0, 0.5);
+        p.data_working_set = (jitter(p.data_working_set as f64) as u64).max(1024);
+        p.l2_miss_locality = jitter(p.l2_miss_locality).clamp(0.0, 1.0);
+        p
+    }
+
+    /// The total memory-operation fraction.
+    #[must_use]
+    pub fn frac_mem(&self) -> f64 {
+        self.frac_load + self.frac_store
+    }
+
+    /// Checks the mix sums to ≈ 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns the actual sum if it is off by more than 2%.
+    pub fn validate(&self) -> Result<(), f64> {
+        let sum = self.frac_int
+            + self.frac_fp
+            + self.frac_mul
+            + self.frac_load
+            + self.frac_store
+            + self.frac_branch;
+        if (sum - 1.0).abs() > 0.02 {
+            Err(sum)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preset_mixes_sum_to_one() {
+        for wl in [
+            WorkloadProfile::compute_bound(),
+            WorkloadProfile::memory_bound(),
+            WorkloadProfile::balanced(),
+            WorkloadProfile::server_transactional(),
+            WorkloadProfile::splash_like(),
+            WorkloadProfile::web_serving(),
+            WorkloadProfile::hpc_stencil(),
+            WorkloadProfile::analytics_scan(),
+        ] {
+            wl.validate().unwrap_or_else(|s| panic!("mix sums to {s}"));
+        }
+    }
+
+    #[test]
+    fn analytics_is_the_most_memory_hungry_preset() {
+        let a = WorkloadProfile::analytics_scan();
+        for other in [
+            WorkloadProfile::compute_bound(),
+            WorkloadProfile::web_serving(),
+            WorkloadProfile::hpc_stencil(),
+        ] {
+            assert!(a.data_working_set > other.data_working_set);
+        }
+    }
+
+    #[test]
+    fn perturbation_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = WorkloadProfile::balanced();
+        for _ in 0..100 {
+            let p = base.perturbed(&mut rng, 0.3);
+            assert!(p.ilp >= 1.0);
+            assert!(p.mispredict_rate <= 0.5);
+            assert!((0.0..=1.0).contains(&p.l2_miss_locality));
+        }
+    }
+
+    #[test]
+    fn compute_bound_has_more_ilp_than_server() {
+        assert!(
+            WorkloadProfile::compute_bound().ilp > WorkloadProfile::server_transactional().ilp
+        );
+    }
+}

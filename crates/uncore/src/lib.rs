@@ -1,0 +1,32 @@
+//! # mcpat-uncore — shared caches, memory controllers, and clocking
+//!
+//! The uncore components McPAT models around the cores:
+//!
+//! * [`shared_cache`] — L2/L3 caches with their controllers (MSHRs,
+//!   writeback/fill buffers, and an optional sharer directory);
+//! * [`memctrl`] — integrated memory controllers: transaction queues,
+//!   scheduling logic, and the off-chip PHY;
+//! * [`io`] — other off-chip interfaces (SerDes-style ports), needed for
+//!   whole-chip validation against published TDP breakdowns;
+//! * [`clock`] — the chip-level clock distribution network (H-tree +
+//!   local grid), one of the largest single consumers at older nodes.
+//!
+//! ```
+//! use mcpat_uncore::clock::ClockNetwork;
+//! use mcpat_tech::{TechNode, DeviceType, TechParams};
+//!
+//! let tech = TechParams::new(TechNode::N90, DeviceType::Hp, 360.0);
+//! // A 300 mm² chip clocked at 1.2 GHz.
+//! let clk = ClockNetwork::new(&tech, 17.3e-3, 17.3e-3, 1.2e9, 2.0e-9);
+//! assert!(clk.dynamic_power() > 1.0); // several watts
+//! ```
+
+pub mod clock;
+pub mod io;
+pub mod memctrl;
+pub mod shared_cache;
+
+pub use clock::ClockNetwork;
+pub use io::OffChipIo;
+pub use memctrl::{MemCtrl, MemCtrlConfig, MemCtrlStats};
+pub use shared_cache::{SharedCache, SharedCacheConfig, SharedCacheStats};

@@ -1,0 +1,85 @@
+//! Property-based tests for the uncore models.
+
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+use mcpat_uncore::clock::ClockNetwork;
+use mcpat_uncore::io::OffChipIo;
+use mcpat_uncore::memctrl::{MemCtrl, MemCtrlConfig, MemCtrlStats};
+use mcpat_uncore::shared_cache::{SharedCacheConfig, SharedCacheStats};
+use proptest::prelude::*;
+
+fn tech() -> TechParams {
+    TechParams::new(TechNode::N45, DeviceType::Hp, 360.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shared_caches_build_for_any_reasonable_size(
+        mb in 1u64..32,
+        sharers in 0u32..16,
+    ) {
+        let sc = SharedCacheConfig::l2("p", mb * 1024 * 1024, sharers)
+            .build(&tech())
+            .unwrap();
+        prop_assert!(sc.area() > 0.0);
+        prop_assert!(sc.leakage().total() > 0.0);
+        prop_assert_eq!(sc.directory.is_some(), sharers > 0);
+    }
+
+    #[test]
+    fn cache_dynamic_power_is_additive_in_events(
+        reads in 1u64..10_000_000,
+        misses in 0u64..1_000_000,
+    ) {
+        let sc = SharedCacheConfig::l2("p", 2 * 1024 * 1024, 4)
+            .build(&tech())
+            .unwrap();
+        let only_reads = SharedCacheStats { interval_s: 1e-3, reads, ..Default::default() };
+        let only_misses = SharedCacheStats { interval_s: 1e-3, misses, ..Default::default() };
+        let both = SharedCacheStats { interval_s: 1e-3, reads, misses, ..Default::default() };
+        let sum = sc.dynamic_power(&only_reads) + sc.dynamic_power(&only_misses);
+        prop_assert!((sc.dynamic_power(&both) - sum).abs() < 1e-9 * sum.max(1.0));
+    }
+
+    #[test]
+    fn memctrl_power_monotone_in_traffic(gb in 1u64..64) {
+        let mc = MemCtrl::build(&tech(), &MemCtrlConfig::default()).unwrap();
+        let lo = MemCtrlStats { interval_s: 1.0, bytes_read: gb << 30, bytes_written: 0 };
+        let hi = MemCtrlStats { interval_s: 1.0, bytes_read: (gb * 2) << 30, bytes_written: 0 };
+        prop_assert!(mc.dynamic_power(&hi) > mc.dynamic_power(&lo));
+    }
+
+    #[test]
+    fn clock_network_power_is_linear_in_sink_cap_increment(
+        die_mm in 5.0..25.0f64,
+        sink_nf in 0.1..5.0f64,
+    ) {
+        let t = tech();
+        let edge = die_mm * 1e-3;
+        let c1 = ClockNetwork::new(&t, edge, edge, 2e9, sink_nf * 1e-9);
+        let c2 = ClockNetwork::new(&t, edge, edge, 2e9, 2.0 * sink_nf * 1e-9);
+        // Adding sink cap adds power proportionally (wire cap constant).
+        prop_assert!(c2.dynamic_power() > c1.dynamic_power());
+        let added = c2.dynamic_power() - c1.dynamic_power();
+        let expected = (1.0 + 0.4) * sink_nf * 1e-9 * t.device.vdd * t.device.vdd * 2e9;
+        prop_assert!((added / expected - 1.0).abs() < 0.05, "added {added} expected {expected}");
+    }
+
+    #[test]
+    fn io_power_between_standby_and_peak(bw_gbs in 1.0..100.0f64, u in 0.0..1.0f64) {
+        let io = OffChipIo::new(&tech(), bw_gbs * 1e9);
+        let p = io.power_at_utilization(u);
+        prop_assert!(p >= io.standby_power - 1e-12);
+        prop_assert!(p <= io.peak_power() + 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_clamped(bw_gbs in 1.0..50.0f64, u in -2.0..3.0f64) {
+        let io = OffChipIo::new(&tech(), bw_gbs * 1e9);
+        let p = io.power_at_utilization(u);
+        prop_assert!(p.is_finite());
+        prop_assert!(p <= io.peak_power() + 1e-12);
+        prop_assert!(p >= io.standby_power - 1e-12);
+    }
+}

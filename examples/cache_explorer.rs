@@ -1,0 +1,88 @@
+//! Explore the CACTI-style array solver directly: sweep cache capacity
+//! and print the chosen partitioning, access time, energy, leakage and
+//! area — including the effect of the optimization target.
+//!
+//! Run with: `cargo run --example cache_explorer`
+
+use mcpat_array::cache::{AccessMode, CacheSpec};
+use mcpat_array::OptTarget;
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechParams::new(TechNode::N32, DeviceType::Hp, 360.0);
+
+    println!("-- capacity sweep (8-way, 64 B lines, sequential access, 32 nm HP) --");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10}",
+        "size", "t_hit (ns)", "E_read (pJ)", "leak (mW)", "area (mm2)"
+    );
+    for kb in [64u64, 256, 1024, 4096, 16384] {
+        let cache = CacheSpec::new("l2", kb * 1024, 64, 8)
+            .with_access_mode(AccessMode::Sequential)
+            .solve(&tech, OptTarget::EnergyDelay)?;
+        println!(
+            "{:>6}KB {:>10.2} {:>12.1} {:>12.1} {:>10.2}",
+            kb,
+            cache.hit_latency * 1e9,
+            cache.read_hit_energy * 1e12,
+            cache.leakage.total() * 1e3,
+            cache.area * 1e6,
+        );
+    }
+
+    println!();
+    println!("-- optimization-target ablation on a 2 MB data array --");
+    let spec = mcpat_array::ArraySpec::ram(2 * 1024 * 1024, 64).named("l2-data");
+    for target in [
+        OptTarget::Delay,
+        OptTarget::EnergyDelay,
+        OptTarget::EnergyDelaySquared,
+        OptTarget::Energy,
+        OptTarget::Area,
+    ] {
+        let a = spec.solve(&tech, target)?;
+        println!(
+            "{:?}: Ndwl={} Ndbl={} Nspd={}  access {:.2} ns, read {:.1} pJ, area {:.2} mm2",
+            target,
+            a.ndwl,
+            a.ndbl,
+            a.nspd,
+            a.access_time * 1e9,
+            a.read_energy * 1e12,
+            a.area * 1e6,
+        );
+    }
+
+    println!();
+    println!("-- SRAM vs eDRAM data array for an 8 MB L3 --");
+    for (label, edram) in [("SRAM", false), ("eDRAM", true)] {
+        let mut spec = CacheSpec::new("l3", 8 * 1024 * 1024, 64, 16)
+            .with_access_mode(AccessMode::Sequential);
+        if edram {
+            spec = spec.with_edram_data();
+        }
+        let c = spec.solve(&tech, OptTarget::EnergyDelay)?;
+        println!(
+            "{label:>6}: area {:.2} mm2, hit {:.2} ns, leak+refresh {:.1} mW",
+            c.area * 1e6,
+            c.hit_latency * 1e9,
+            c.leakage.total() * 1e3,
+        );
+    }
+
+    println!();
+    println!("-- device-flavor tradeoff for the same 1 MB array --");
+    for flavor in [DeviceType::Hp, DeviceType::Lop, DeviceType::Lstp] {
+        let t = TechParams::new(TechNode::N32, flavor, 360.0);
+        let a = mcpat_array::ArraySpec::ram(1024 * 1024, 64)
+            .named("array")
+            .solve(&t, OptTarget::EnergyDelay)?;
+        println!(
+            "{flavor}: access {:.2} ns, read {:.1} pJ, leakage {:.1} mW",
+            a.access_time * 1e9,
+            a.read_energy * 1e12,
+            a.leakage.total() * 1e3,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Cross-validate the two performance models that can drive McPAT's
+//! runtime power: the closed-form analytic CPI model and the
+//! trace-driven scoreboard simulator. Both consume the same workload
+//! profile; neither sees the other's internals.
+//!
+//! Run with: `cargo run --release --example cross_validation`
+
+use mcpat_mcore::config::CoreConfig;
+use mcpat_mcore::core::CoreModel;
+use mcpat_sim::cpu::{CoreTiming, CpuModel};
+use mcpat_sim::{run_trace, WorkloadProfile};
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechParams::new(TechNode::N45, DeviceType::Hp, 360.0);
+    let workloads = [
+        ("compute", WorkloadProfile::compute_bound()),
+        ("balanced", WorkloadProfile::balanced()),
+        ("splash", WorkloadProfile::splash_like()),
+        ("server", WorkloadProfile::server_transactional()),
+        ("memory", WorkloadProfile::memory_bound()),
+    ];
+
+    for (machine, cfg) in [
+        ("in-order", CoreConfig::generic_inorder()),
+        ("out-of-order", CoreConfig::generic_ooo()),
+    ] {
+        let core = CoreModel::build(&tech, &cfg).map_err(std::io::Error::other)?;
+        let cpu = CpuModel::new(&cfg);
+        let timing = CoreTiming::default();
+        println!("== {machine} core ==");
+        println!(
+            "{:<10} {:>12} {:>12} {:>8} {:>14}",
+            "workload", "analytic IPC", "trace IPC", "ratio", "trace power W"
+        );
+        for (name, wl) in &workloads {
+            let analytic = cpu.evaluate(wl, &timing, 0.3, false, 1).ipc;
+            let (trace, stats) = run_trace(&cfg, wl, 200_000, 0xC0FFEE);
+            let power = core.runtime_power(&stats);
+            println!(
+                "{:<10} {:>12.2} {:>12.2} {:>8.2} {:>14.2}",
+                name,
+                analytic,
+                trace.ipc,
+                analytic / trace.ipc,
+                power.total(),
+            );
+        }
+        println!();
+    }
+    println!("Both models must rank workloads identically; ratios near 1.0 mean");
+    println!("the closed-form stall model matches the executed schedule.");
+    Ok(())
+}

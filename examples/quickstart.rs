@@ -1,0 +1,48 @@
+//! Quickstart: model a processor, print its power/area/timing report,
+//! then evaluate runtime power under a simulated workload.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mcpat::{Processor, ProcessorConfig};
+use mcpat_sim::{SystemModel, WorkloadProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the chip. Presets exist for the paper's validation
+    //    targets; here we take Niagara and tweak nothing.
+    let config = ProcessorConfig::niagara();
+
+    // 2. Build the internal chip representation. This runs the array
+    //    partition optimizer for every cache/queue/register file on the
+    //    chip and sizes wires, crossbars and the clock tree.
+    let chip = Processor::build(&config)?;
+
+    // 3. Static outputs: the classic McPAT report.
+    println!("{}", chip.report());
+
+    // 4. Runtime analysis: pair the power model with the bundled
+    //    analytic performance simulator (the M5 stand-in).
+    let workload = WorkloadProfile::server_transactional();
+    let sim = SystemModel::new(&config);
+    let run = sim.simulate(&workload, 1_000_000_000);
+    let power = chip.runtime_power(&run.stats);
+
+    println!(
+        "server workload: {:.2} IPC/core, {:.1} W runtime ({:.1} W peak), {:.0}% DRAM bandwidth",
+        run.ipc_per_core,
+        power.total(),
+        chip.peak_power().total(),
+        100.0 * run.mem_bw_utilization,
+    );
+
+    // 5. Composite metrics for design comparison.
+    let m = mcpat::MetricSet::from_power(power.total(), run.seconds, chip.die_area());
+    println!(
+        "energy {:.2} J, EDP {:.3e}, ED2P {:.3e}, EDAP {:.3e}, EDA2P {:.3e}",
+        m.energy,
+        m.edp(),
+        m.ed2p(),
+        m.edap(),
+        m.eda2p()
+    );
+    Ok(())
+}

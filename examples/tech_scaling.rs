@@ -1,0 +1,32 @@
+//! Technology scaling study: hold the architecture fixed (a Niagara2-like
+//! 8-core chip) and sweep the process node from 90 nm to 22 nm, showing
+//! the dynamic-vs-leakage crossover and area shrink the paper discusses.
+//!
+//! Run with: `cargo run --release --example tech_scaling`
+
+use mcpat::{Processor, ProcessorConfig};
+use mcpat_tech::TechNode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "node", "total W", "dynamic W", "leak W", "leak %", "area mm2"
+    );
+    for node in TechNode::SCALING_STUDY {
+        let mut cfg = ProcessorConfig::niagara2();
+        cfg.name = format!("niagara2-at-{node}");
+        cfg.node = node;
+        let chip = Processor::build(&cfg)?;
+        let p = chip.peak_power();
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1} {:>9.1}% {:>10.1}",
+            node.to_string(),
+            p.total(),
+            p.dynamic(),
+            p.leakage().total(),
+            100.0 * p.leakage().total() / p.total(),
+            chip.die_area_mm2(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Umbrella package hosting the workspace-level examples and integration tests.
+//!
+//! Re-exports the member crates for convenience in examples/tests.
+pub use mcpat;
+pub use mcpat_array as array;
+pub use mcpat_circuit as circuit;
+pub use mcpat_interconnect as interconnect;
+pub use mcpat_mcore as mcore;
+pub use mcpat_sim as sim;
+pub use mcpat_tech as tech;
+pub use mcpat_uncore as uncore;

@@ -1,0 +1,156 @@
+//! Component-level validation: the paper validates its array models
+//! against circuit simulation; here we pin our array solver against
+//! well-known published/CACTI-class reference points (order-of-magnitude
+//! anchors, generous ±60% bands — these guard against unit mistakes and
+//! catastrophic model drift, not calibration detail).
+
+use mcpat::array::cache::{AccessMode, CacheSpec};
+use mcpat::array::{ArraySpec, OptTarget, Ports};
+use mcpat::tech::{DeviceType, TechNode, TechParams};
+
+struct Anchor {
+    what: &'static str,
+    measured: f64,
+    expected: f64,
+    /// Allowed ratio band (measured/expected within [1/band, band]).
+    band: f64,
+}
+
+fn check(anchors: &[Anchor]) {
+    for a in anchors {
+        let ratio = a.measured / a.expected;
+        assert!(
+            ratio > 1.0 / a.band && ratio < a.band,
+            "{}: measured {:.3e} vs expected {:.3e} (ratio {:.2})",
+            a.what,
+            a.measured,
+            a.expected,
+            ratio
+        );
+    }
+}
+
+#[test]
+fn l1_cache_at_65nm_matches_cacti_class_numbers() {
+    let tech = TechParams::new(TechNode::N65, DeviceType::Hp, 360.0);
+    let l1 = CacheSpec::new("l1", 32 * 1024, 64, 4)
+        .solve(&tech, OptTarget::EnergyDelay)
+        .unwrap();
+    check(&[
+        Anchor {
+            what: "32KB L1 hit latency (s)",
+            measured: l1.hit_latency,
+            expected: 0.7e-9, // CACTI-class ≈0.5–1 ns at 65 nm
+            band: 2.5,
+        },
+        Anchor {
+            what: "32KB L1 read energy (J)",
+            measured: l1.read_hit_energy,
+            // A parallel 4-way probe reads all ways of a 64 B block
+            // (2 Kb) plus tags: CACTI-class ≈0.1–0.5 nJ at 65 nm.
+            expected: 250e-12,
+            band: 3.0,
+        },
+        Anchor {
+            what: "32KB L1 area (m²)",
+            measured: l1.area,
+            expected: 0.45e-6, // ≈0.3–0.7 mm²
+            band: 2.5,
+        },
+    ]);
+}
+
+#[test]
+fn l2_cache_at_45nm_matches_cacti_class_numbers() {
+    let tech = TechParams::new(TechNode::N45, DeviceType::Hp, 360.0);
+    let l2 = CacheSpec::new("l2", 2 * 1024 * 1024, 64, 8)
+        .with_access_mode(AccessMode::Sequential)
+        .solve(&tech, OptTarget::EnergyDelay)
+        .unwrap();
+    check(&[
+        Anchor {
+            what: "2MB L2 hit latency (s)",
+            measured: l2.hit_latency,
+            expected: 2.5e-9, // a few ns
+            band: 3.0,
+        },
+        Anchor {
+            what: "2MB L2 area (m²)",
+            measured: l2.area,
+            expected: 8e-6, // several mm²
+            band: 2.5,
+        },
+        Anchor {
+            what: "2MB L2 leakage (W)",
+            measured: l2.leakage.total(),
+            expected: 1.2, // around a watt at 45 nm HP hot
+            band: 3.0,
+        },
+    ]);
+}
+
+#[test]
+fn register_file_at_90nm_matches_published_class_numbers() {
+    // 21264-class 80×64b register file with many ports: sub-ns access,
+    // a few pJ per read.
+    let tech = TechParams::new(TechNode::N90, DeviceType::Hp, 360.0);
+    let rf = ArraySpec::table(80, 64)
+        .with_ports(Ports::reg_file(8, 4))
+        .solve(&tech, OptTarget::Delay)
+        .unwrap();
+    check(&[
+        Anchor {
+            what: "80-entry RF access time (s)",
+            measured: rf.access_time,
+            expected: 0.45e-9,
+            band: 2.5,
+        },
+        Anchor {
+            what: "80-entry RF read energy (J)",
+            measured: rf.read_energy,
+            expected: 6e-12,
+            band: 4.0,
+        },
+    ]);
+}
+
+#[test]
+fn tlb_cam_search_is_sub_ns_and_picojoule() {
+    let tech = TechParams::new(TechNode::N65, DeviceType::Hp, 360.0);
+    let tlb = ArraySpec::cam(64, 64, 52)
+        .solve(&tech, OptTarget::Delay)
+        .unwrap();
+    check(&[
+        Anchor {
+            what: "64-entry TLB search time (s)",
+            measured: tlb.access_time,
+            expected: 0.5e-9,
+            band: 3.0,
+        },
+        Anchor {
+            what: "64-entry TLB search energy (J)",
+            measured: tlb.search_energy,
+            expected: 6e-12,
+            band: 4.0,
+        },
+    ]);
+}
+
+#[test]
+fn fo4_delays_match_published_process_numbers() {
+    // Published FO4: ≈ 17–36 ps at 90 nm HP, scaling ≈ linearly with L.
+    for (node, expected_ps) in [
+        (TechNode::N90, 25.0),
+        (TechNode::N65, 18.0),
+        (TechNode::N45, 13.0),
+        (TechNode::N32, 9.0),
+    ] {
+        let tech = TechParams::new(node, DeviceType::Hp, 360.0);
+        let ratio = tech.fo4() * 1e12 / expected_ps;
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "{node}: fo4 {:.1} ps vs expected {expected_ps} ps",
+            tech.fo4() * 1e12
+        );
+    }
+}

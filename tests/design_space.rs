@@ -1,0 +1,126 @@
+//! Integration test: the manycore case-study machinery — technology
+//! scaling, clustering, in-order vs out-of-order tradeoffs, and the
+//! area-aware metric flip that is the paper's headline result.
+
+use mcpat::metrics::{best_index, Metric, MetricSet};
+use mcpat::{Processor, ProcessorConfig};
+use mcpat_mcore::config::CoreConfig;
+use mcpat_sim::{SystemModel, WorkloadProfile};
+use mcpat_tech::TechNode;
+
+fn manycore(kind: &str, node: TechNode, cores: u32, cluster: u32) -> ProcessorConfig {
+    let core = match kind {
+        "inorder" => CoreConfig::niagara2_like(),
+        _ => CoreConfig::alpha21364_like(),
+    };
+    ProcessorConfig::manycore(
+        &format!("{kind}-{cores}c-x{cluster}"),
+        node,
+        core,
+        cores,
+        cluster,
+        u64::from(cluster) * 1024 * 1024,
+    )
+}
+
+#[test]
+fn scaling_shrinks_area_and_raises_leakage_fraction() {
+    let mut last_area = f64::INFINITY;
+    let mut last_leak_frac = 0.0;
+    for node in [TechNode::N90, TechNode::N45, TechNode::N22] {
+        let cfg = manycore("inorder", node, 8, 2);
+        let chip = Processor::build(&cfg).unwrap();
+        let p = chip.peak_power();
+        let area = chip.die_area_mm2();
+        let leak_frac = p.leakage().total() / p.total();
+        assert!(area < last_area, "{node}: area {area}");
+        assert!(leak_frac > last_leak_frac, "{node}: leak {leak_frac}");
+        last_area = area;
+        last_leak_frac = leak_frac;
+    }
+}
+
+#[test]
+fn ooo_wins_latency_inorder_wins_area_efficiency() {
+    let node = TechNode::N22;
+    let wl = WorkloadProfile::splash_like();
+    let io_cfg = manycore("inorder", node, 16, 4);
+    let ooo_cfg = manycore("ooo", node, 16, 4);
+    let io_chip = Processor::build(&io_cfg).unwrap();
+    let ooo_chip = Processor::build(&ooo_cfg).unwrap();
+    let io_run = SystemModel::new(&io_cfg).simulate(&wl, 100_000_000);
+    let ooo_run = SystemModel::new(&ooo_cfg).simulate(&wl, 100_000_000);
+
+    // OoO finishes the fixed instruction budget sooner...
+    assert!(ooo_run.seconds < io_run.seconds);
+    // ...but the in-order chip delivers more throughput per unit area.
+    let io_tpa = io_run.aggregate_ips / io_chip.die_area_mm2();
+    let ooo_tpa = ooo_run.aggregate_ips / ooo_chip.die_area_mm2();
+    assert!(
+        io_tpa > 0.6 * ooo_tpa,
+        "in-order throughput/area should be competitive: {io_tpa:.3e} vs {ooo_tpa:.3e}"
+    );
+}
+
+#[test]
+fn clustering_sweep_produces_distinct_designs() {
+    let node = TechNode::N22;
+    let mut areas = Vec::new();
+    for cluster in [1u32, 2, 4, 8] {
+        let cfg = manycore("inorder", node, 16, cluster);
+        let chip = Processor::build(&cfg).unwrap();
+        areas.push(chip.die_area_mm2());
+    }
+    // Fewer, larger L2s amortize controller overhead: area decreases
+    // then flattens; all values positive and distinct from each other.
+    for w in areas.windows(2) {
+        assert!((w[0] - w[1]).abs() > 1e-6, "degenerate sweep: {areas:?}");
+    }
+}
+
+#[test]
+fn metric_choice_changes_the_selected_design() {
+    // Construct a sweep where area varies strongly; assert EDAP/EDA2P
+    // pick at least as small a design as ED2P does.
+    let node = TechNode::N22;
+    let wl = WorkloadProfile::splash_like();
+    let mut points = Vec::new();
+    let mut areas = Vec::new();
+    for (kind, cores) in [("inorder", 16), ("inorder", 32), ("ooo", 16), ("ooo", 8)] {
+        let cfg = manycore(kind, node, cores, 4);
+        let chip = Processor::build(&cfg).unwrap();
+        let run = SystemModel::new(&cfg).simulate(&wl, 100_000_000);
+        let p = chip.runtime_power(&run.stats);
+        points.push(MetricSet::from_power(p.total(), run.seconds, chip.die_area()));
+        areas.push(chip.die_area());
+    }
+    let ed2p_pick = best_index(&points, Metric::Ed2p).unwrap();
+    let eda2p_pick = best_index(&points, Metric::Eda2p).unwrap();
+    assert!(
+        areas[eda2p_pick] <= areas[ed2p_pick],
+        "area-aware metric must not pick a bigger chip: {:?} vs {:?}",
+        areas[eda2p_pick],
+        areas[ed2p_pick]
+    );
+}
+
+#[test]
+fn more_cores_give_more_throughput_until_bandwidth_saturates() {
+    let node = TechNode::N22;
+    let wl = WorkloadProfile::memory_bound();
+    let mut last_ips = 0.0;
+    let mut speedups = Vec::new();
+    for cores in [4u32, 16, 64] {
+        let cfg = manycore("inorder", node, cores, 4);
+        let run = SystemModel::new(&cfg).simulate(&wl, 10_000_000);
+        if last_ips > 0.0 {
+            speedups.push(run.aggregate_ips / last_ips);
+        }
+        last_ips = run.aggregate_ips;
+    }
+    // The second 4× core scaling must help less than the first.
+    assert!(
+        speedups[1] < speedups[0],
+        "no bandwidth saturation visible: {speedups:?}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration test: the full pipeline — configuration → chip build →
+//! performance simulation → runtime power → metrics — across presets and
+//! workloads, plus serde round-tripping of the configuration schema.
+
+use mcpat::{MetricSet, Processor, ProcessorConfig};
+use mcpat_sim::{SystemModel, WorkloadProfile};
+
+fn all_configs() -> Vec<ProcessorConfig> {
+    vec![
+        ProcessorConfig::niagara(),
+        ProcessorConfig::niagara2(),
+        ProcessorConfig::alpha21364(),
+        ProcessorConfig::tulsa(),
+    ]
+}
+
+fn all_workloads() -> Vec<(&'static str, WorkloadProfile)> {
+    vec![
+        ("compute", WorkloadProfile::compute_bound()),
+        ("memory", WorkloadProfile::memory_bound()),
+        ("balanced", WorkloadProfile::balanced()),
+        ("server", WorkloadProfile::server_transactional()),
+        ("splash", WorkloadProfile::splash_like()),
+    ]
+}
+
+#[test]
+fn every_preset_runs_every_workload() {
+    for cfg in all_configs() {
+        let chip = Processor::build(&cfg).unwrap();
+        let peak = chip.peak_power().total();
+        let sim = SystemModel::new(&cfg);
+        for (name, wl) in all_workloads() {
+            let run = sim.simulate(&wl, 50_000_000);
+            assert!(run.seconds > 0.0, "{}/{name}", cfg.name);
+            assert!(run.ipc_per_core > 0.01, "{}/{name}: ipc {}", cfg.name, run.ipc_per_core);
+            let p = chip.runtime_power(&run.stats);
+            assert!(
+                p.total() > 0.0 && p.total() < peak * 1.3,
+                "{}/{name}: runtime {:.1} W vs peak {peak:.1} W",
+                cfg.name,
+                p.total()
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_power_is_at_least_leakage() {
+    let cfg = ProcessorConfig::niagara2();
+    let chip = Processor::build(&cfg).unwrap();
+    let run = SystemModel::new(&cfg).simulate(&WorkloadProfile::compute_bound(), 10_000_000);
+    let p = chip.runtime_power(&run.stats);
+    assert!(p.total() >= p.leakage().total());
+}
+
+#[test]
+fn memory_bound_work_uses_more_bandwidth_than_compute_bound() {
+    let cfg = ProcessorConfig::niagara2();
+    let sim = SystemModel::new(&cfg);
+    let mem = sim.simulate(&WorkloadProfile::memory_bound(), 10_000_000);
+    let cpu = sim.simulate(&WorkloadProfile::compute_bound(), 10_000_000);
+    assert!(mem.mem_bw_utilization > cpu.mem_bw_utilization);
+}
+
+#[test]
+fn metrics_pipeline_produces_finite_composites() {
+    let cfg = ProcessorConfig::alpha21364();
+    let chip = Processor::build(&cfg).unwrap();
+    let run = SystemModel::new(&cfg).simulate(&WorkloadProfile::balanced(), 20_000_000);
+    let p = chip.runtime_power(&run.stats);
+    let m = MetricSet::from_power(p.total(), run.seconds, chip.die_area());
+    for v in [m.edp(), m.ed2p(), m.edap(), m.eda2p()] {
+        assert!(v.is_finite() && v > 0.0);
+    }
+}
+
+#[test]
+fn processor_config_round_trips_through_json() {
+    for cfg in all_configs() {
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: ProcessorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back, "{} did not round-trip", cfg.name);
+    }
+}
+
+#[test]
+fn chip_stats_round_trip_through_json() {
+    let cfg = ProcessorConfig::niagara();
+    let run = SystemModel::new(&cfg).simulate(&WorkloadProfile::server_transactional(), 1_000_000);
+    let json = serde_json::to_string(&run.stats).unwrap();
+    let back: mcpat::ChipStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(run.stats, back);
+}
+
+#[test]
+fn rebuilding_from_serialized_config_gives_identical_power() {
+    let cfg = ProcessorConfig::niagara2();
+    let chip1 = Processor::build(&cfg).unwrap();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let cfg2: ProcessorConfig = serde_json::from_str(&json).unwrap();
+    let chip2 = Processor::build(&cfg2).unwrap();
+    let p1 = chip1.peak_power().total();
+    let p2 = chip2.peak_power().total();
+    assert!((p1 - p2).abs() < 1e-9, "{p1} vs {p2}");
+}
+
+#[test]
+fn higher_clock_means_more_dynamic_power() {
+    let mut cfg = ProcessorConfig::niagara2();
+    let base = Processor::build(&cfg).unwrap().peak_power().dynamic();
+    cfg.clock_hz *= 1.5;
+    cfg.core.clock_hz = cfg.clock_hz;
+    let fast = Processor::build(&cfg).unwrap().peak_power().dynamic();
+    assert!(fast > 1.2 * base, "{fast} vs {base}");
+}
+
+#[test]
+fn conservative_wires_cost_power() {
+    let mut cfg = ProcessorConfig::niagara2();
+    cfg.projection = mcpat::tech::WireProjection::Aggressive;
+    let aggressive = Processor::build(&cfg).unwrap().peak_power().total();
+    cfg.projection = mcpat::tech::WireProjection::Conservative;
+    let conservative = Processor::build(&cfg).unwrap().peak_power().total();
+    assert!(conservative > aggressive);
+}

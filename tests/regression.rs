@@ -1,0 +1,79 @@
+//! Golden-value regression pins.
+//!
+//! These tests freeze the current calibration (±2% tolerance) so that
+//! any future change to a lower layer that silently shifts whole-chip
+//! numbers is caught immediately. When a calibration change is
+//! *intentional*, update the pinned values here and record the change in
+//! EXPERIMENTS.md.
+
+use mcpat::{Processor, ProcessorConfig};
+use mcpat::array::{ArraySpec, OptTarget};
+use mcpat::tech::{DeviceType, TechNode, TechParams};
+
+fn within(actual: f64, pinned: f64, tol: f64, what: &str) {
+    let rel = (actual - pinned).abs() / pinned.abs().max(1e-30);
+    assert!(
+        rel < tol,
+        "{what}: {actual:.6e} drifted from pinned {pinned:.6e} ({:.2}%)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn technology_layer_pins() {
+    for (node, flavor, pinned_fo4_ps) in [
+        (TechNode::N90, DeviceType::Hp, 21.87),
+        (TechNode::N45, DeviceType::Hp, 10.35),
+        (TechNode::N22, DeviceType::Hp, 4.72),
+        (TechNode::N32, DeviceType::Lstp, 20.48),
+    ] {
+        let t = TechParams::new(node, flavor, 360.0);
+        within(t.fo4() * 1e12, pinned_fo4_ps, 0.10, &format!("FO4 {node} {flavor}"));
+    }
+}
+
+#[test]
+fn array_layer_pins() {
+    let t = TechParams::new(TechNode::N65, DeviceType::Hp, 360.0);
+    let a = ArraySpec::ram(32 * 1024, 64)
+        .named("pin-l1")
+        .solve(&t, OptTarget::EnergyDelay)
+        .unwrap();
+    within(a.access_time * 1e9, 0.2498, 0.05, "32KB access ns");
+    within(a.read_energy * 1e12, 61.08, 0.05, "32KB read pJ");
+    within(a.area * 1e6, 0.4228, 0.05, "32KB area mm2");
+}
+
+#[test]
+fn whole_chip_pins() {
+    // Pinned from the calibration recorded in EXPERIMENTS.md.
+    for (cfg, pinned_power_w, pinned_area_mm2) in [
+        (ProcessorConfig::niagara(), 56.0, 295.0),
+        (ProcessorConfig::niagara2(), 72.4, 292.0),
+        (ProcessorConfig::alpha21364(), 102.1, 433.0),
+        (ProcessorConfig::tulsa(), 166.2, 452.0),
+    ] {
+        let chip = Processor::build(&cfg).unwrap();
+        within(
+            chip.peak_power().total(),
+            pinned_power_w,
+            0.02,
+            &format!("{} peak power", cfg.name),
+        );
+        within(
+            chip.die_area_mm2(),
+            pinned_area_mm2,
+            0.02,
+            &format!("{} die area", cfg.name),
+        );
+    }
+}
+
+#[test]
+fn determinism_pin_same_build_twice() {
+    let cfg = ProcessorConfig::niagara2();
+    let a = Processor::build(&cfg).unwrap();
+    let b = Processor::build(&cfg).unwrap();
+    assert_eq!(a.peak_power().total(), b.peak_power().total());
+    assert_eq!(a.die_area(), b.die_area());
+}
