@@ -12,8 +12,9 @@ use mcpat_circuit::metrics::StaticPower;
 use mcpat_tech::TechParams;
 
 /// Tag/data access policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum AccessMode {
     /// Probe all ways' tags and data simultaneously (L1 style).
     #[default]
@@ -32,11 +33,11 @@ pub enum AccessMode {
 /// use mcpat_tech::{TechNode, DeviceType, TechParams};
 ///
 /// let tech = TechParams::new(TechNode::N65, DeviceType::Hp, 360.0);
-/// let l1 = CacheSpec::new("l1d", 32 * 1024, 64, 4).solve(&tech, OptTarget::EnergyDelay).unwrap();
+/// let l1 = CacheSpec::new("l1d", 32 * 1024, 64, 4).solve(&tech, OptTarget::EnergyDelay)?;
 /// assert!(l1.hit_latency > 0.0);
+/// # Ok::<(), mcpat_array::ArrayError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CacheSpec {
     /// Name for reporting.
     pub name: String,
@@ -67,14 +68,13 @@ pub struct CacheSpec {
 impl CacheSpec {
     /// Creates a single-banked, single-ported cache spec.
     ///
-    /// # Panics
-    ///
-    /// Panics on a zero/invalid geometry (non-dividing block size, zero
-    /// associativity).
+    /// Zero `block_bytes`/`associativity` are clamped to 1;
+    /// [`CacheSpec::validate_into`] reports degenerate or non-dividing
+    /// geometries as findings.
     #[must_use]
     pub fn new(name: &str, capacity: u64, block_bytes: u32, associativity: u32) -> CacheSpec {
-        assert!(associativity >= 1, "associativity must be >= 1");
-        assert!(block_bytes > 0 && capacity.is_multiple_of(u64::from(block_bytes)));
+        let block_bytes = block_bytes.max(1);
+        let associativity = associativity.max(1);
         CacheSpec {
             name: name.to_owned(),
             capacity,
@@ -97,15 +97,10 @@ impl CacheSpec {
         self
     }
 
-    /// Sets the bank count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `banks` is 0 or doesn't divide the set count.
+    /// Sets the bank count (clamped to ≥ 1).
     #[must_use]
     pub fn with_banks(mut self, banks: u32) -> CacheSpec {
-        assert!(banks >= 1);
-        self.banks = banks;
+        self.banks = banks.max(1);
         self
     }
 
@@ -130,10 +125,66 @@ impl CacheSpec {
         self
     }
 
+    /// Reports every geometry problem of this spec into `diags`, with
+    /// field paths rooted under `path`.
+    pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
+        let at = |field: &str| mcpat_diag::join_path(path, field);
+        if self.capacity == 0 {
+            diags.error(at("capacity"), "cache capacity must be positive");
+        }
+        if self.block_bytes == 0 {
+            diags.error(at("block_bytes"), "block size must be positive");
+        } else if !self.block_bytes.is_power_of_two() {
+            diags.warning(
+                at("block_bytes"),
+                format!("block size {} is not a power of two", self.block_bytes),
+            );
+        }
+        if self.associativity == 0 {
+            diags.error(at("associativity"), "associativity must be >= 1");
+        }
+        if self.banks == 0 {
+            diags.error(at("banks"), "need at least one bank");
+        }
+        if self.block_bytes > 0
+            && self.associativity > 0
+            && self.capacity > 0
+            && !self
+                .capacity
+                .is_multiple_of(u64::from(self.block_bytes) * u64::from(self.associativity))
+        {
+            diags.error(
+                at("capacity"),
+                format!(
+                    "capacity {} is not a whole number of sets ({} ways x {}-byte blocks)",
+                    self.capacity, self.associativity, self.block_bytes
+                ),
+            );
+        }
+        if self.ports.total_ram() == 0 {
+            diags.error(at("ports"), "cache needs at least one RAM port");
+        }
+        if self.paddr_bits == 0 || self.paddr_bits > 64 {
+            diags.error(
+                at("paddr_bits"),
+                format!(
+                    "physical address width {} must be in 1..=64",
+                    self.paddr_bits
+                ),
+            );
+        }
+        if let Some(t) = self.max_cycle_time {
+            diags.require_positive(at("max_cycle_time"), "cycle-time constraint", t);
+        }
+    }
+
     /// Number of sets.
     #[must_use]
     pub fn sets(&self) -> u64 {
-        self.capacity / (u64::from(self.block_bytes) * u64::from(self.associativity))
+        // Division-safe even for degenerate field values (which
+        // `validate_into` reports): clamp the divisor away from zero.
+        let way_bytes = u64::from(self.block_bytes.max(1)) * u64::from(self.associativity.max(1));
+        self.capacity / way_bytes
     }
 
     /// Tag width in bits (address bits minus set and block offsets, plus
@@ -261,6 +312,16 @@ pub struct CacheArray {
 }
 
 impl CacheArray {
+    /// Warning diagnostics for any of this cache's arrays the solver had
+    /// to relax (see [`crate::solve::Relaxation`]).
+    #[must_use]
+    pub fn relaxation_warnings(&self) -> Vec<mcpat_diag::Diagnostic> {
+        [&self.data, &self.tag]
+            .into_iter()
+            .filter_map(|a| a.relaxation_warning())
+            .collect()
+    }
+
     /// Runtime dynamic power given per-second event rates, W.
     #[must_use]
     pub fn dynamic_power(
@@ -278,6 +339,7 @@ impl CacheArray {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -42,7 +42,8 @@ impl HTree {
         addr_bits: u32,
         data_bits: u32,
     ) -> HTree {
-        assert!(nx > 0 && ny > 0, "H-tree needs at least one mat");
+        let nx = nx.max(1);
+        let ny = ny.max(1);
         let total_w = nx as f64 * mat_w;
         let total_h = ny as f64 * mat_h;
         let path_length = (total_w / 2.0 + total_h / 2.0).max(1e-6);
@@ -89,6 +90,7 @@ impl HTree {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

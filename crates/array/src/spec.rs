@@ -5,8 +5,9 @@ use mcpat_tech::TechParams;
 use std::fmt;
 
 /// Kind of storage array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum ArrayKind {
     /// Decoded random-access SRAM (caches, register files, tables).
     #[default]
@@ -34,8 +35,7 @@ impl fmt::Display for ArrayKind {
 /// Exclusive read/write ports cost a full wordline + bitline pair each;
 /// shared read-write ports cost one each; CAM search ports add
 /// search/match lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Ports {
     /// Shared read/write ports.
     pub rw: u32,
@@ -79,19 +79,20 @@ impl Ports {
     /// Total number of RAM-path ports.
     #[must_use]
     pub fn total_ram(&self) -> u32 {
-        self.rw + self.read + self.write
+        self.rw.saturating_add(self.read).saturating_add(self.write)
     }
 
     /// Total ports including search ports.
     #[must_use]
     pub fn total(&self) -> u32 {
-        self.total_ram() + self.search
+        self.total_ram().saturating_add(self.search)
     }
 }
 
 /// Objective used by the partition optimizer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum OptTarget {
     /// Minimize access time.
     Delay,
@@ -121,11 +122,11 @@ pub enum OptTarget {
 /// let tech = TechParams::new(TechNode::N45, DeviceType::Hp, 360.0);
 /// // A 64-entry, 80-bit physical register file with 6R/3W ports.
 /// let spec = ArraySpec::table(64, 80).with_ports(Ports::reg_file(6, 3));
-/// let rf = spec.solve(&tech, OptTarget::Delay).unwrap();
+/// let rf = spec.solve(&tech, OptTarget::Delay)?;
 /// assert!(rf.read_energy > 0.0);
+/// # Ok::<(), mcpat_array::ArrayError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ArraySpec {
     /// Number of addressable entries (rows before reshaping).
     pub entries: u64,
@@ -152,17 +153,13 @@ impl ArraySpec {
     /// A RAM array of `size_bytes` organized in `block_bytes` blocks
     /// (one block per entry, full block per access).
     ///
-    /// # Panics
-    ///
-    /// Panics if `block_bytes` is zero or doesn't divide `size_bytes`.
+    /// A zero `block_bytes` is clamped to 1 and a non-dividing block
+    /// size rounds the entry count up; [`ArraySpec::validate_into`]
+    /// reports both as findings.
     #[must_use]
     pub fn ram(size_bytes: u64, block_bytes: u32) -> ArraySpec {
-        assert!(block_bytes > 0, "block size must be positive");
-        assert!(
-            size_bytes.is_multiple_of(u64::from(block_bytes)),
-            "block size must divide array size"
-        );
-        let entries = size_bytes / u64::from(block_bytes);
+        let block_bytes = block_bytes.max(1);
+        let entries = size_bytes.div_ceil(u64::from(block_bytes));
         let bits = block_bytes * 8;
         ArraySpec {
             entries,
@@ -252,6 +249,45 @@ impl ArraySpec {
         self.entries * u64::from(self.bits_per_entry)
     }
 
+    /// Reports every geometry problem of this spec into `diags`, with
+    /// field paths rooted under `path`.
+    pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
+        let at = |field: &str| mcpat_diag::join_path(path, field);
+        if self.entries == 0 {
+            diags.error(at("entries"), "array needs at least one entry");
+        }
+        if self.bits_per_entry == 0 {
+            diags.error(at("bits_per_entry"), "entries must hold at least one bit");
+        }
+        if self.access_bits == 0 || self.access_bits > self.bits_per_entry {
+            diags.error(
+                at("access_bits"),
+                format!(
+                    "access width {} must be in 1..={} (the entry width)",
+                    self.access_bits, self.bits_per_entry
+                ),
+            );
+        }
+        if self.ports.total_ram() == 0 {
+            diags.error(at("ports"), "array needs at least one RAM port");
+        }
+        if self.kind == ArrayKind::Cam && self.search_bits == 0 {
+            diags.error(
+                at("search_bits"),
+                "CAM arrays must match on at least one bit",
+            );
+        }
+        if self.kind != ArrayKind::Cam && self.ports.search > 0 {
+            diags.warning(
+                at("ports.search"),
+                "search ports are ignored on non-CAM arrays",
+            );
+        }
+        if let Some(t) = self.max_cycle_time {
+            diags.require_positive(at("max_cycle_time"), "cycle-time constraint", t);
+        }
+    }
+
     /// Runs the partition optimizer for this spec.
     ///
     /// # Errors
@@ -264,6 +300,7 @@ impl ArraySpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -276,9 +313,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "block size must divide")]
-    fn ram_rejects_nondividing_block() {
-        let _ = ArraySpec::ram(1000, 64);
+    fn ram_clamps_degenerate_geometry_instead_of_panicking() {
+        // A non-dividing block size rounds the entry count up…
+        let s = ArraySpec::ram(1000, 64);
+        assert_eq!(s.entries, 16);
+        // …and a zero block size is clamped to one byte per entry.
+        let z = ArraySpec::ram(1000, 0);
+        assert_eq!(z.entries, 1000);
+        assert_eq!(z.bits_per_entry, 8);
     }
 
     #[test]

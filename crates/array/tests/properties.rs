@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Property-based tests for the array solver: invariants that must hold
 //! for any array the optimizer is asked to build.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Criterion benches — one group per table/figure. Each bench runs the
 //! corresponding experiment end to end, so `cargo bench` both times the
 //! framework and re-executes every reproduction.

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Criterion benches of the framework itself — McPAT's pitch is *fast*
 //! analytical modeling, so the tool's own evaluation speed is a tracked
 //! quantity: single-array solves, core builds, and whole-chip builds.
@@ -15,10 +16,14 @@ fn bench_array_solver(c: &mut Criterion) {
     let tech = TechParams::new(TechNode::N32, DeviceType::Hp, 360.0);
     let mut g = c.benchmark_group("array-solver");
     for kb in [32u64, 256, 2048, 16384] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &kb, |b, &kb| {
-            let spec = ArraySpec::ram(kb * 1024, 64);
-            b.iter(|| black_box(spec.solve(&tech, OptTarget::EnergyDelay).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KB")),
+            &kb,
+            |b, &kb| {
+                let spec = ArraySpec::ram(kb * 1024, 64);
+                b.iter(|| black_box(spec.solve(&tech, OptTarget::EnergyDelay).unwrap()));
+            },
+        );
     }
     g.finish();
 }
@@ -44,7 +49,9 @@ fn bench_chip_build(c: &mut Criterion) {
         ("niagara", ProcessorConfig::niagara()),
         ("tulsa", ProcessorConfig::tulsa()),
     ] {
-        g.bench_function(name, |b| b.iter(|| black_box(Processor::build(&cfg).unwrap())));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(Processor::build(&cfg).unwrap()))
+        });
     }
     g.finish();
 }

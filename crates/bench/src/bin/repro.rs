@@ -38,7 +38,10 @@ fn main() {
         }
     }
 
-    header("T-V5", "runtime (typical) power vs peak on the design-target workload");
+    header(
+        "T-V5",
+        "runtime (typical) power vs peak on the design-target workload",
+    );
     println!(
         "{:<12} {:>8} {:>10} {:>12} {:>14}",
         "chip", "peak W", "runtime W", "model ratio", "published"
@@ -54,7 +57,10 @@ fn main() {
         );
     }
 
-    for (regime, tlp) in [("abundant TLP", f64::INFINITY), ("limited TLP (32 threads)", 32.0)] {
+    for (regime, tlp) in [
+        ("abundant TLP", f64::INFINITY),
+        ("limited TLP (32 threads)", 32.0),
+    ] {
         header(
             "F-CS1/F-CS2",
             &format!("manycore case study: power & area per design point (22nm, {regime})"),
@@ -89,7 +95,10 @@ fn main() {
     println!("  smaller designs — the reason the paper argues area must enter");
     println!("  the objective.");
 
-    header("F-CS5", "case-study EDA2P winner across nodes (abundant TLP)");
+    header(
+        "F-CS5",
+        "case-study EDA2P winner across nodes (abundant TLP)",
+    );
     for (node, winner) in case_study_across_nodes() {
         println!("  {:>5}: {winner}", node.to_string());
     }
@@ -133,7 +142,10 @@ fn main() {
     println!("  paper shape: LSTP ≈ orders-of-magnitude lower leakage, slower FO4;");
     println!("  LOP lowest dynamic energy via reduced Vdd.");
 
-    header("F-WIRE1", "interconnect projections (5mm repeated global wire)");
+    header(
+        "F-WIRE1",
+        "interconnect projections (5mm repeated global wire)",
+    );
     println!(
         "{:>6} {:>14} {:>12} {:>14}",
         "node", "projection", "ps/mm", "fJ/bit/mm"
@@ -150,7 +162,10 @@ fn main() {
     println!("  paper shape: conservative wires are uniformly slower/hungrier and the");
     println!("  gap widens at smaller nodes.");
 
-    header("F-NOC1", "router cost vs flit width and VC count (32nm, 5 ports)");
+    header(
+        "F-NOC1",
+        "router cost vs flit width and VC count (32nm, 5 ports)",
+    );
     println!(
         "{:>6} {:>5} {:>12} {:>10} {:>10}",
         "flit", "VCs", "pJ/flit", "area mm2", "leak mW"
@@ -166,13 +181,26 @@ fn main() {
         );
     }
 
-    header("F-CLK1", "clock-distribution share of chip power across nodes");
+    header(
+        "F-CLK1",
+        "clock-distribution share of chip power across nodes",
+    );
     for r in clock_fraction() {
-        println!("  {:>6}: {:>5.1}%", r.node.to_string(), 100.0 * r.clock_share);
+        println!(
+            "  {:>6}: {:>5.1}%",
+            r.node.to_string(),
+            100.0 * r.clock_share
+        );
     }
 
-    header("A-ABL1", "array partition optimizer ablation (2MB array, 45nm)");
-    println!("{:<28} {:>10} {:>10} {:>10}", "layout", "ns", "pJ/read", "mm2");
+    header(
+        "A-ABL1",
+        "array partition optimizer ablation (2MB array, 45nm)",
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "layout", "ns", "pJ/read", "mm2"
+    );
     for r in array_ablation() {
         println!(
             "{:<28} {:>10.2} {:>10.1} {:>10.2}",

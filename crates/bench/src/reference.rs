@@ -100,6 +100,7 @@ pub fn published_chips() -> Vec<PublishedChip> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

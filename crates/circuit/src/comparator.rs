@@ -29,14 +29,10 @@ pub struct TagComparator {
 }
 
 impl TagComparator {
-    /// Builds a comparator for `width`-bit tags.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `width` is zero.
+    /// Builds a comparator for `width`-bit tags (clamped to ≥ 1).
     #[must_use]
     pub fn new(tech: &TechParams, width: u32) -> TagComparator {
-        assert!(width > 0, "comparator width must be positive");
+        let width = width.max(1);
         // XNOR built from 2 NAND2-equivalents; AND tree of NAND2/NOR2 pairs.
         let xnor_stage = LogicGate::new(tech, GateKind::Nand(2), 1.0);
         let and_gate = LogicGate::new(tech, GateKind::Nand(2), 1.0);
@@ -67,7 +63,10 @@ impl TagComparator {
     pub fn metrics(&self) -> CircuitMetrics {
         let load = self.and_gate.input_cap();
         // Two gate levels realize the XNOR, then `tree_depth` AND levels.
-        let xnor = self.xnor_stage.metrics(load).in_series(&self.xnor_stage.metrics(load));
+        let xnor = self
+            .xnor_stage
+            .metrics(load)
+            .in_series(&self.xnor_stage.metrics(load));
         let and_level = self.and_gate.metrics(load);
 
         let w = f64::from(self.width);
@@ -88,6 +87,7 @@ impl TagComparator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

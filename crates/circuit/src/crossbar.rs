@@ -43,24 +43,22 @@ pub struct Crossbar {
 const TRACK_PITCH_FACTOR: f64 = 2.0;
 
 impl Crossbar {
-    /// Builds a crossbar.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any dimension is zero.
+    /// Builds a crossbar (all dimensions clamped to ≥ 1).
     #[must_use]
     pub fn new(tech: &TechParams, n_in: usize, n_out: usize, width: usize) -> Crossbar {
-        assert!(n_in > 0 && n_out > 0 && width > 0, "crossbar dims must be positive");
+        let n_in = n_in.max(1);
+        let n_out = n_out.max(1);
+        let width = width.max(1);
         let wire = tech.wire(WireType::Intermediate);
         let track = wire.pitch * TRACK_PITCH_FACTOR;
         let height = n_in as f64 * width as f64 * track;
         let width_m = n_out as f64 * width as f64 * track;
 
         // Each input bus spans the full output side and vice versa.
-        let c_in_bus = wire.c_per_m * width_m
-            + n_out as f64 * tech.drain_cap(4.0 * tech.min_w_nmos());
-        let c_out_bus = wire.c_per_m * height
-            + n_in as f64 * tech.drain_cap(4.0 * tech.min_w_nmos());
+        let c_in_bus =
+            wire.c_per_m * width_m + n_out as f64 * tech.drain_cap(4.0 * tech.min_w_nmos());
+        let c_out_bus =
+            wire.c_per_m * height + n_in as f64 * tech.drain_cap(4.0 * tech.min_w_nmos());
         let input_driver = BufferChain::for_load(tech, c_in_bus);
         let output_driver = BufferChain::for_load(tech, c_out_bus);
         Crossbar {
@@ -136,6 +134,7 @@ impl Crossbar {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -156,15 +155,21 @@ mod tests {
     #[test]
     fn energy_grows_with_flit_width() {
         let t = tech();
-        let e64 = Crossbar::new(&t, 5, 5, 64).metrics_per_traversal().energy_per_op;
-        let e256 = Crossbar::new(&t, 5, 5, 256).metrics_per_traversal().energy_per_op;
+        let e64 = Crossbar::new(&t, 5, 5, 64)
+            .metrics_per_traversal()
+            .energy_per_op;
+        let e256 = Crossbar::new(&t, 5, 5, 256)
+            .metrics_per_traversal()
+            .energy_per_op;
         assert!(e256 > 3.0 * e64);
     }
 
     #[test]
     fn traversal_energy_is_picojoule_scale() {
         let t = tech();
-        let e = Crossbar::new(&t, 5, 5, 128).metrics_per_traversal().energy_per_op;
+        let e = Crossbar::new(&t, 5, 5, 128)
+            .metrics_per_traversal()
+            .energy_per_op;
         assert!(e > 1e-14 && e < 1e-10, "e = {e:e}");
     }
 

@@ -81,15 +81,11 @@ const STACK_FACTOR: f64 = 0.2;
 
 impl LogicGate {
     /// Creates a gate of the given topology with drive strength `size`
-    /// (multiples of the minimum inverter; must be ≥ 1).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size < 1.0` or a multi-input kind has zero inputs.
+    /// (multiples of the minimum inverter; clamped to ≥ 1, the minimum
+    /// realizable device).
     #[must_use]
     pub fn new(tech: &TechParams, kind: GateKind, size: f64) -> LogicGate {
-        assert!(size >= 1.0, "gate size must be >= 1 minimum inverter");
-        assert!(kind.fan_in() >= 1, "gate must have at least one input");
+        let size = if size.is_finite() { size.max(1.0) } else { 1.0 };
         let wn_min = tech.min_w_nmos();
         let wp_min = tech.min_w_pmos();
         // Series stacks are widened to preserve drive.
@@ -160,7 +156,8 @@ impl LogicGate {
     /// including the short-circuit (crowbar) overhead of the gate.
     #[must_use]
     pub fn switch_energy(&self, c_load: f64) -> f64 {
-        self.tech.switch_energy(self.self_cap() + c_load + self.input_cap())
+        self.tech
+            .switch_energy(self.self_cap() + c_load + self.input_cap())
             * (1.0 + self.tech.short_circuit_factor())
     }
 
@@ -169,9 +166,9 @@ impl LogicGate {
     pub fn leakage(&self) -> StaticPower {
         let stack = match self.kind {
             GateKind::Inverter => 1.0,
-            GateKind::Nand(n) | GateKind::Nor(n) => {
-                STACK_FACTOR.powi(i32::try_from(n).unwrap_or(1) - 1).max(STACK_FACTOR)
-            }
+            GateKind::Nand(n) | GateKind::Nor(n) => STACK_FACTOR
+                .powi(i32::try_from(n).unwrap_or(1) - 1)
+                .max(STACK_FACTOR),
         };
         StaticPower {
             subthreshold: self.tech.subthreshold_leakage(self.w_n, self.w_p) * stack,
@@ -225,7 +222,9 @@ impl BufferChain {
         let min_inv = LogicGate::new(tech, GateKind::Inverter, 1.0);
         let c_in = min_inv.input_cap();
         let total_effort = (c_load / c_in).max(1.0);
-        let n_stages = (total_effort.ln() / Self::STAGE_EFFORT.ln()).ceil().max(1.0) as usize;
+        let n_stages = (total_effort.ln() / Self::STAGE_EFFORT.ln())
+            .ceil()
+            .max(1.0) as usize;
         let per_stage = total_effort.powf(1.0 / n_stages as f64);
         let mut stages = Vec::with_capacity(n_stages);
         let mut size = 1.0;
@@ -271,6 +270,7 @@ impl BufferChain {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -287,7 +287,10 @@ mod tests {
         // Same order as the facade's estimate (the models differ slightly
         // in which parasitics they count).
         let est = t.fo4();
-        assert!(fo4 / est > 0.4 && fo4 / est < 2.5, "fo4={fo4:e} est={est:e}");
+        assert!(
+            fo4 / est > 0.4 && fo4 / est < 2.5,
+            "fo4={fo4:e} est={est:e}"
+        );
     }
 
     #[test]

@@ -33,14 +33,11 @@ pub struct Multiplexer {
 }
 
 impl Multiplexer {
-    /// Builds an `inputs`-to-1 single-bit mux driving `c_load` farads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` is zero.
+    /// Builds an `inputs`-to-1 single-bit mux driving `c_load` farads
+    /// (`inputs` clamped to ≥ 1).
     #[must_use]
     pub fn new(tech: &TechParams, inputs: usize, c_load: f64) -> Multiplexer {
-        assert!(inputs > 0, "mux needs at least one input");
+        let inputs = inputs.max(1);
         let pass_width = 2.0 * tech.min_w_nmos();
         let out_buffer = BufferChain::for_load(tech, c_load.max(1e-18));
         let select_driver = LogicGate::new(tech, GateKind::Inverter, 2.0);
@@ -89,13 +86,16 @@ impl Multiplexer {
         CircuitMetrics {
             area: buf.area + sel.area * n + n * self.pass_width * 5.0 * self.tech.node.feature_m(),
             delay: sel.delay + pass_delay + buf.delay,
-            energy_per_op: self.tech.switch_energy(c_shared) + buf.energy_per_op + sel.energy_per_op,
+            energy_per_op: self.tech.switch_energy(c_shared)
+                + buf.energy_per_op
+                + sel.energy_per_op,
             leakage,
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -50,9 +50,8 @@ impl RepeatedWire {
     /// until the delay reaches `delay_tolerance` × the optimal delay
     /// (e.g. `1.10` allows 10% slower).
     ///
-    /// # Panics
-    ///
-    /// Panics if `delay_tolerance < 1.0`.
+    /// A tolerance below 1.0 (or non-finite) is clamped to 1.0 — the
+    /// delay-optimal design always satisfies its own delay.
     #[must_use]
     pub fn energy_derated(
         tech: &TechParams,
@@ -60,7 +59,11 @@ impl RepeatedWire {
         length: f64,
         delay_tolerance: f64,
     ) -> RepeatedWire {
-        assert!(delay_tolerance >= 1.0, "tolerance must allow the optimum");
+        let delay_tolerance = if delay_tolerance.is_finite() {
+            delay_tolerance.max(1.0)
+        } else {
+            1.0
+        };
         let optimal = Self::delay_optimal(tech, wire_type, length);
         let budget = optimal.metrics.delay * delay_tolerance;
         let mut best = optimal;
@@ -151,6 +154,7 @@ impl RepeatedWire {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode, WireProjection};
@@ -171,8 +175,12 @@ mod tests {
     #[test]
     fn delay_is_linear_in_length_once_repeated() {
         let t = tech();
-        let d1 = RepeatedWire::delay_optimal(&t, WireType::Global, 2e-3).metrics.delay;
-        let d2 = RepeatedWire::delay_optimal(&t, WireType::Global, 4e-3).metrics.delay;
+        let d1 = RepeatedWire::delay_optimal(&t, WireType::Global, 2e-3)
+            .metrics
+            .delay;
+        let d2 = RepeatedWire::delay_optimal(&t, WireType::Global, 4e-3)
+            .metrics
+            .delay;
         let ratio = d2 / d1;
         assert!(ratio > 1.8 && ratio < 2.2, "ratio = {ratio}");
     }

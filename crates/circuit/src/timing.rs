@@ -25,8 +25,22 @@
 pub fn horowitz(input_ramp: f64, tf: f64, v_s: f64) -> f64 {
     // CACTI's formulation: delay = tf·√(ln(vs)² + 2·a·b·(1−vs)),
     // a = ramp/tf, b = 0.5; a step input reduces to tf·|ln(vs)|.
+    //
+    // Degenerate inputs reduce to limiting cases instead of emitting
+    // NaN: a non-positive time constant has no delay to model (the
+    // ramp/tf quotient would be ∞ and 0·∞ = NaN), a threshold outside
+    // (0, 1) clamps to the valid range (ln of a non-positive value is
+    // NaN), and a non-positive or non-finite ramp uses the step limit.
+    if !tf.is_finite() || tf <= 0.0 {
+        return 0.0;
+    }
+    let v_s = if v_s.is_finite() {
+        v_s.clamp(1e-6, 1.0 - 1e-6)
+    } else {
+        0.5
+    };
     let log_vs = v_s.ln();
-    if input_ramp <= 0.0 {
+    if !input_ramp.is_finite() || input_ramp <= 0.0 {
         return tf * (-log_vs);
     }
     let a = input_ramp / tf;
@@ -54,8 +68,36 @@ pub fn elmore_distributed(r: f64, c: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn horowitz_degenerate_inputs_stay_finite() {
+        // The committed proptest regression: a near-step input ramp must
+        // not blow up relative to the true step response.
+        let ramp = 1e-12;
+        let tf = 5.284_044_098_263_197e-10;
+        let slow = horowitz(ramp, tf, 0.5);
+        let step = horowitz(0.0, tf, 0.5);
+        assert!(slow.is_finite() && slow >= step * 0.99);
+        // Zero/negative/non-finite time constants and out-of-range
+        // thresholds reduce to limits instead of NaN.
+        for (ramp, tf, vs) in [
+            (1e-10, 0.0, 0.5),
+            (1e-10, -1.0, 0.5),
+            (1e-10, f64::NAN, 0.5),
+            (1e-10, 1e-10, 0.0),
+            (1e-10, 1e-10, 1.0),
+            (1e-10, 1e-10, -3.0),
+            (1e-10, 1e-10, f64::NAN),
+            (f64::NAN, 1e-10, 0.5),
+            (f64::INFINITY, 1e-10, 0.5),
+        ] {
+            let d = horowitz(ramp, tf, vs);
+            assert!(d.is_finite() && d >= 0.0, "({ramp}, {tf}, {vs}) -> {d}");
+        }
+    }
 
     #[test]
     fn horowitz_reduces_to_rc_for_step_input() {

@@ -5,12 +5,44 @@
 //! mcpat --preset niagara                 # model a built-in preset
 //! mcpat --preset niagara --floorplan     # + ASCII floorplan sketch
 //! mcpat --preset niagara --emit-config   # dump its JSON config template
+//! mcpat --preset niagara --validate      # diagnostics only, no build
 //! mcpat chip.json                        # model a JSON configuration
-//! mcpat chip.json stats.json             # + runtime power from stats
+//! mcpat chip.json --stats stats.json     # + runtime power from stats
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage error, 3 invalid configuration,
+//! 4 infeasible model (an array could not be solved).
 
 use mcpat::{ChipStats, Processor, ProcessorConfig};
 use std::process::ExitCode;
+
+/// A classified CLI failure; the variant picks the exit code.
+enum CliError {
+    /// Bad invocation: unknown flag, missing operand, no config. Exit 2.
+    Usage(String),
+    /// The configuration is unreadable, malformed, or fails
+    /// validation. Exit 3.
+    InvalidConfig(String),
+    /// The configuration is well-formed but no feasible model exists
+    /// (the array solver exhausted its relaxation ladder). Exit 4.
+    Infeasible(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::InvalidConfig(_) => ExitCode::from(3),
+            CliError::Infeasible(_) => ExitCode::from(4),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::InvalidConfig(m) | CliError::Infeasible(m) => m,
+        }
+    }
+}
 
 fn preset(name: &str) -> Option<ProcessorConfig> {
     match name {
@@ -23,16 +55,21 @@ fn preset(name: &str) -> Option<ProcessorConfig> {
 }
 
 fn usage() -> &'static str {
-    "usage: mcpat [--preset <niagara|niagara2|alpha21364|tulsa>] [--emit-config]\n\
-     \x20      mcpat <config.json> [stats.json]\n\
+    "usage: mcpat [--preset <niagara|niagara2|alpha21364|tulsa>] [options]\n\
+     \x20      mcpat <config.json> [options]\n\
+     \n\
+     options:\n\
+     \x20 --stats <file>   evaluate runtime power from a mcpat::ChipStats JSON file\n\
+     \x20 --validate       print every validation diagnostic, do not build\n\
+     \x20 --emit-config    dump the configuration as a JSON template and exit\n\
+     \x20 --floorplan      append an ASCII floorplan sketch to the report\n\
      \n\
      Models the configured processor and prints the power/area/timing\n\
-     report (--floorplan adds an ASCII floorplan sketch). With a stats\n\
-     file (mcpat::ChipStats as JSON), also prints runtime power for\n\
-     that interval."
+     report. Exit codes: 0 success, 2 usage error, 3 invalid\n\
+     configuration, 4 infeasible model."
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         println!("{}", usage());
@@ -40,6 +77,7 @@ fn run() -> Result<(), String> {
     }
 
     let mut emit_config = false;
+    let mut validate_only = false;
     let mut show_floorplan = false;
     let mut config: Option<ProcessorConfig> = None;
     let mut stats: Option<ChipStats> = None;
@@ -49,12 +87,30 @@ fn run() -> Result<(), String> {
             "--preset" => {
                 let name = args
                     .get(i + 1)
-                    .ok_or_else(|| "--preset needs a name".to_owned())?;
-                config = Some(preset(name).ok_or_else(|| format!("unknown preset `{name}`"))?);
+                    .ok_or_else(|| CliError::Usage("--preset needs a name".into()))?;
+                config = Some(
+                    preset(name)
+                        .ok_or_else(|| CliError::Usage(format!("unknown preset `{name}`")))?,
+                );
+                i += 2;
+            }
+            "--stats" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--stats needs a file path".into()))?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::InvalidConfig(format!("cannot read `{path}`: {e}")))?;
+                stats = Some(serde_json::from_str(&text).map_err(|e| {
+                    CliError::InvalidConfig(format!("`{path}` is not a valid stats file: {e}"))
+                })?);
                 i += 2;
             }
             "--emit-config" => {
                 emit_config = true;
+                i += 1;
+            }
+            "--validate" => {
+                validate_only = true;
                 i += 1;
             }
             "--floorplan" => {
@@ -62,36 +118,64 @@ fn run() -> Result<(), String> {
                 i += 1;
             }
             flag if flag.starts_with('-') => {
-                return Err(format!("unknown flag `{flag}`\n{}", usage()));
+                return Err(CliError::Usage(format!(
+                    "unknown flag `{flag}`\n{}",
+                    usage()
+                )));
             }
             path => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-                if config.is_none() {
-                    config = Some(
-                        serde_json::from_str(&text)
-                            .map_err(|e| format!("`{path}` is not a valid config: {e}"))?,
-                    );
-                } else {
-                    stats = Some(
-                        serde_json::from_str(&text)
-                            .map_err(|e| format!("`{path}` is not a valid stats file: {e}"))?,
-                    );
+                if config.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "unexpected operand `{path}` (use --stats <file> for a stats file)\n{}",
+                        usage()
+                    )));
                 }
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::InvalidConfig(format!("cannot read `{path}`: {e}")))?;
+                config = Some(serde_json::from_str(&text).map_err(|e| {
+                    CliError::InvalidConfig(format!("`{path}` is not a valid config: {e}"))
+                })?);
                 i += 1;
             }
         }
     }
 
-    let config = config.ok_or_else(|| format!("no configuration given\n{}", usage()))?;
+    let config =
+        config.ok_or_else(|| CliError::Usage(format!("no configuration given\n{}", usage())))?;
     if emit_config {
         let json = serde_json::to_string_pretty(&config)
-            .map_err(|e| format!("serialization failed: {e}"))?;
+            .map_err(|e| CliError::InvalidConfig(format!("serialization failed: {e}")))?;
         println!("{json}");
         return Ok(());
     }
 
-    let chip = Processor::build(&config).map_err(|e| e.to_string())?;
+    if validate_only {
+        let diags = config.validate();
+        if diags.is_empty() {
+            println!("{}: configuration is valid", config.name);
+            return Ok(());
+        }
+        println!(
+            "{}: {} finding{} ({} error{}):",
+            config.name,
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            diags.error_count(),
+            if diags.error_count() == 1 { "" } else { "s" },
+        );
+        println!("{diags}");
+        if diags.has_errors() {
+            return Err(CliError::InvalidConfig(
+                "configuration failed validation".into(),
+            ));
+        }
+        return Ok(());
+    }
+
+    let chip = Processor::build(&config).map_err(|e| match e {
+        mcpat::McpatError::Invalid(_) => CliError::InvalidConfig(e.to_string()),
+        mcpat::McpatError::Array(_) => CliError::Infeasible(e.to_string()),
+    })?;
     println!("{}", chip.report());
     if show_floorplan {
         println!("Floorplan:");
@@ -100,7 +184,11 @@ fn run() -> Result<(), String> {
 
     if let Some(stats) = stats {
         let p = chip.runtime_power(&stats);
-        println!("Runtime power over {:.3e} s: {:.2} W", stats.duration_s, p.total());
+        println!(
+            "Runtime power over {:.3e} s: {:.2} W",
+            stats.duration_s,
+            p.total()
+        );
         for item in &p.items {
             println!(
                 "  {:<12} {:>7.2} W (dyn {:>6.2}, leak {:>6.2})",
@@ -117,9 +205,9 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("mcpat: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("mcpat: {}", e.message());
+            e.exit_code()
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Whole-processor configuration — the analog of McPAT's XML input file
 //! (serde-serializable, so it can be stored as JSON/TOML by tooling).
 
+use mcpat_diag::Diagnostics;
 use mcpat_interconnect::noc::Topology;
 use mcpat_mcore::config::CoreConfig;
 use mcpat_tech::{DeviceType, TechNode, WireProjection};
@@ -28,7 +29,10 @@ impl FabricConfig {
         let x = (f64::from(n)).sqrt().ceil() as u32;
         let y = n.div_ceil(x.max(1));
         FabricConfig {
-            topology: Topology::Mesh { x: x.max(1), y: y.max(1) },
+            topology: Topology::Mesh {
+                x: x.max(1),
+                y: y.max(1),
+            },
             flit_bits: 128,
             vcs_per_port: 4,
             buffers_per_vc: 4,
@@ -103,10 +107,10 @@ impl ProcessorConfig {
     /// A generic homogeneous manycore chip: `num_cores` copies of `core`
     /// with `cores_per_cluster` sharing each L2 bank.
     ///
-    /// # Panics
-    ///
-    /// Panics if `num_cores` is zero or not divisible by
-    /// `cores_per_cluster`.
+    /// The constructor never panics: a zero or non-dividing cluster size
+    /// produces a config that [`ProcessorConfig::validate`] rejects with
+    /// a diagnostic at `num_l2s` (the cluster size is clamped to at
+    /// least 1 to derive the L2 instance count).
     #[must_use]
     pub fn manycore(
         name: &str,
@@ -116,12 +120,7 @@ impl ProcessorConfig {
         cores_per_cluster: u32,
         l2_bytes_per_cluster: u64,
     ) -> ProcessorConfig {
-        assert!(num_cores > 0, "need at least one core");
-        assert!(
-            cores_per_cluster > 0 && num_cores.is_multiple_of(cores_per_cluster),
-            "cluster size must divide the core count"
-        );
-        let num_l2s = num_cores / cores_per_cluster;
+        let num_l2s = num_cores.div_ceil(cores_per_cluster.max(1));
         let clock_hz = core.clock_hz;
         ProcessorConfig {
             name: name.to_owned(),
@@ -133,7 +132,11 @@ impl ProcessorConfig {
             clock_hz,
             num_cores,
             core,
-            l2: Some(SharedCacheConfig::l2("l2", l2_bytes_per_cluster, cores_per_cluster)),
+            l2: Some(SharedCacheConfig::l2(
+                "l2",
+                l2_bytes_per_cluster,
+                cores_per_cluster,
+            )),
             num_l2s,
             l3: None,
             fabric: if num_l2s <= 2 {
@@ -316,7 +319,7 @@ impl ProcessorConfig {
             num_l2s: 2,
             l3: Some(l3),
             fabric: FabricConfig::bus_for(4),
-            mc: None, // off-chip northbridge era
+            mc: None,             // off-chip northbridge era
             io_bandwidth: 17.0e9, // dual independent FSBs
             num_shared_fpus: 0,
             power_gating: false,
@@ -332,35 +335,135 @@ impl ProcessorConfig {
             .unwrap_or(self.num_cores)
     }
 
-    /// Basic invariants.
+    /// Full validation of the configuration.
     ///
-    /// # Errors
-    ///
-    /// Returns a message for the first violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.num_cores == 0 {
-            return Err(format!("{}: zero cores", self.name));
+    /// A collecting pass: reports **every** violated invariant and every
+    /// suspicious-but-usable value, each at its component path, instead
+    /// of stopping at the first problem. The model can be built iff the
+    /// result has no errors ([`Diagnostics::has_errors`]); warnings are
+    /// carried into the built [`crate::Processor`].
+    #[must_use]
+    pub fn validate(&self) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        if self.name.is_empty() {
+            d.warning("name", "unnamed configuration");
         }
-        if self.num_l2s > 0 && !self.num_cores.is_multiple_of(self.num_l2s) {
-            return Err(format!(
-                "{}: L2 instance count {} must divide core count {}",
-                self.name, self.num_l2s, self.num_cores
-            ));
+
+        // Global operating point.
+        if self.temperature_k.is_finite() {
+            if !(250.0..=450.0).contains(&self.temperature_k) {
+                d.error(
+                    "temperature_k",
+                    format!(
+                        "temperature {} K is outside the modeled 250-450 K range",
+                        self.temperature_k
+                    ),
+                );
+            } else if !(300.0..=400.0).contains(&self.temperature_k) {
+                d.warning(
+                    "temperature_k",
+                    format!(
+                        "temperature {} K is outside the calibrated 300-400 K band",
+                        self.temperature_k
+                    ),
+                );
+            }
+        } else {
+            d.error(
+                "temperature_k",
+                format!("temperature must be finite, got {}", self.temperature_k),
+            );
+        }
+        d.require_positive("clock_hz", "chip clock", self.clock_hz);
+        d.require_nonnegative("io_bandwidth", "I/O bandwidth", self.io_bandwidth);
+        if self.vdd_scale.is_finite() {
+            if !(0.3..=1.3).contains(&self.vdd_scale) {
+                d.error(
+                    "vdd_scale",
+                    format!(
+                        "vdd_scale {} is outside the supported 0.3-1.3 range",
+                        self.vdd_scale
+                    ),
+                );
+            } else if self.vdd_scale < 0.5 {
+                d.warning(
+                    "vdd_scale",
+                    format!(
+                        "vdd_scale {} is deep near-threshold operation; timing is extrapolated",
+                        self.vdd_scale
+                    ),
+                );
+            }
+        } else {
+            d.error(
+                "vdd_scale",
+                format!("vdd_scale must be finite, got {}", self.vdd_scale),
+            );
+        }
+
+        // Topology of cores and caches.
+        if self.num_cores == 0 {
+            d.error("num_cores", "zero cores");
         }
         if self.l2.is_some() && self.num_l2s == 0 {
-            return Err(format!("{}: L2 configured but num_l2s is 0", self.name));
+            d.error("num_l2s", "L2 configured but num_l2s is 0");
         }
-        if self.vdd_scale < 0.3 || self.vdd_scale > 1.3 {
-            return Err(format!(
-                "{}: vdd_scale {} outside the supported 0.3-1.3 range",
-                self.name, self.vdd_scale
-            ));
+        if self.l2.is_none() && self.num_l2s > 0 {
+            d.warning("num_l2s", "num_l2s set but no L2 configured");
         }
-        self.core.validate()
+        if self.num_cores > 0 && self.num_l2s > 0 && !self.num_cores.is_multiple_of(self.num_l2s) {
+            d.error(
+                "num_l2s",
+                format!(
+                    "L2 instance count {} must divide core count {}",
+                    self.num_l2s, self.num_cores
+                ),
+            );
+        }
+
+        // Fabric geometry.
+        match self.fabric.topology {
+            Topology::Mesh { x, y } => {
+                if x == 0 || y == 0 {
+                    d.error(
+                        "fabric.topology",
+                        format!("mesh dimensions {x}x{y} must both be positive"),
+                    );
+                }
+            }
+            Topology::Ring { n } | Topology::Bus { n } | Topology::Crossbar { n } => {
+                if n == 0 {
+                    d.error("fabric.topology", "fabric needs at least one endpoint");
+                }
+            }
+        }
+        if self.fabric.flit_bits == 0 {
+            d.error("fabric.flit_bits", "flit width must be positive");
+        }
+        if self.fabric.vcs_per_port == 0 {
+            d.error("fabric.vcs_per_port", "need at least one virtual channel");
+        }
+        if self.fabric.buffers_per_vc == 0 {
+            d.error("fabric.buffers_per_vc", "need at least one buffer per VC");
+        }
+
+        // Sub-configurations, re-rooted at their component paths.
+        if let Some(l2) = &self.l2 {
+            l2.validate_into("l2", &mut d);
+        }
+        if let Some(l3) = &self.l3 {
+            l3.validate_into("l3", &mut d);
+        }
+        if let Some(mc) = &self.mc {
+            mc.validate_into("mc", &mut d);
+        }
+        d.merge_under("core", self.core.validate());
+        d
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -372,7 +475,8 @@ mod tests {
             ProcessorConfig::alpha21364(),
             ProcessorConfig::tulsa(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+            let d = cfg.validate();
+            assert!(!d.has_errors(), "{}: {d}", cfg.name);
         }
     }
 
@@ -388,13 +492,12 @@ mod tests {
         );
         assert_eq!(cfg.num_l2s, 16);
         assert_eq!(cfg.cores_per_cluster(), 4);
-        cfg.validate().unwrap();
+        assert!(!cfg.validate().has_errors());
     }
 
     #[test]
-    #[should_panic(expected = "divide")]
-    fn manycore_rejects_bad_clustering() {
-        let _ = ProcessorConfig::manycore(
+    fn manycore_with_bad_clustering_fails_validation() {
+        let cfg = ProcessorConfig::manycore(
             "m",
             TechNode::N22,
             CoreConfig::generic_inorder(),
@@ -402,6 +505,47 @@ mod tests {
             3,
             1024 * 1024,
         );
+        let d = cfg.validate();
+        assert!(d.has_errors());
+        assert!(
+            d.errors().any(|f| f.path == "num_l2s"),
+            "expected a num_l2s finding: {d}"
+        );
+    }
+
+    #[test]
+    fn validation_collects_findings_across_components() {
+        let mut cfg = ProcessorConfig::niagara();
+        cfg.temperature_k = f64::NAN;
+        cfg.fabric.flit_bits = 0;
+        cfg.core.threads = 0;
+        if let Some(l2) = &mut cfg.l2 {
+            l2.cache.associativity = 0;
+        }
+        if let Some(mc) = &mut cfg.mc {
+            mc.channels = 0;
+        }
+        let d = cfg.validate();
+        assert!(d.error_count() >= 5, "wanted all findings, got: {d}");
+        let paths: Vec<&str> = d.iter().map(|f| f.path.as_str()).collect();
+        for p in [
+            "temperature_k",
+            "fabric.flit_bits",
+            "core.threads",
+            "l2.associativity",
+            "mc.channels",
+        ] {
+            assert!(paths.contains(&p), "missing {p} in {paths:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_band_temperature_warns_but_validates() {
+        let mut cfg = ProcessorConfig::niagara();
+        cfg.temperature_k = 290.0;
+        let d = cfg.validate();
+        assert!(!d.has_errors(), "{d}");
+        assert!(d.warnings().any(|f| f.path == "temperature_k"), "{d}");
     }
 
     #[test]

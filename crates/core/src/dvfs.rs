@@ -143,6 +143,7 @@ impl Processor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::ProcessorConfig;
@@ -166,7 +167,9 @@ mod tests {
     fn core_detail_scales_consistently_with_items() {
         let (chip, stats) = chip_and_stats();
         let base = chip.runtime_power(&stats);
-        let r = chip.runtime_power_at(&stats, DvfsPoint::ladder(0.7)).unwrap();
+        let r = chip
+            .runtime_power_at(&stats, DvfsPoint::ladder(0.7))
+            .unwrap();
         let base_core: f64 = base.core_detail.items.iter().map(|i| i.dynamic).sum();
         let low_core: f64 = r.power.core_detail.items.iter().map(|i| i.dynamic).sum();
         assert!((low_core / base_core - 0.7f64.powi(3)).abs() < 1e-9);

@@ -1,22 +1,67 @@
 //! Top-level error type.
 
 use mcpat_array::ArrayError;
+use mcpat_diag::{AtPath, Diagnostic, Diagnostics};
 use std::fmt;
 
 /// Errors produced while building or evaluating a processor model.
+///
+/// Every variant is *located*: validation failures carry the complete
+/// [`Diagnostics`] pass (all findings, each with its component path),
+/// and solver failures carry the path of the array that failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum McpatError {
-    /// A storage-array could not be solved.
-    Array(ArrayError),
-    /// The configuration violates an invariant.
-    Config(String),
+    /// The configuration failed validation. Holds **every** error and
+    /// warning found, not just the first.
+    Invalid(Diagnostics),
+    /// A storage array — located by its component path, e.g.
+    /// `core.lsu.dcache-data` — could not be solved.
+    Array(AtPath<ArrayError>),
+}
+
+impl McpatError {
+    /// A single-finding validation error at `path` (convenience for
+    /// call sites that detect one problem outside a full pass).
+    pub fn config(path: impl Into<String>, message: impl Into<String>) -> McpatError {
+        let mut d = Diagnostics::new();
+        d.error(path, message);
+        McpatError::Invalid(d)
+    }
+
+    /// The findings of a failed validation, if that is what this is.
+    #[must_use]
+    pub fn diagnostics(&self) -> Option<&Diagnostics> {
+        match self {
+            McpatError::Invalid(d) => Some(d),
+            McpatError::Array(_) => None,
+        }
+    }
+
+    /// Every finding this error carries, as a flat list (an `Array`
+    /// error becomes one error-severity finding at its path).
+    #[must_use]
+    pub fn findings(&self) -> Vec<Diagnostic> {
+        match self {
+            McpatError::Invalid(d) => d.clone().into_vec(),
+            McpatError::Array(e) => {
+                vec![Diagnostic::error(e.path.clone(), e.source.to_string())]
+            }
+        }
+    }
 }
 
 impl fmt::Display for McpatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            McpatError::Invalid(d) => {
+                write!(
+                    f,
+                    "invalid configuration ({} error{}):\n{d}",
+                    d.error_count(),
+                    if d.error_count() == 1 { "" } else { "s" }
+                )
+            }
             McpatError::Array(e) => write!(f, "array solver: {e}"),
-            McpatError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -24,38 +69,56 @@ impl fmt::Display for McpatError {
 impl std::error::Error for McpatError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            McpatError::Invalid(_) => None,
             McpatError::Array(e) => Some(e),
-            McpatError::Config(_) => None,
         }
     }
 }
 
-impl From<ArrayError> for McpatError {
-    fn from(e: ArrayError) -> McpatError {
+impl From<AtPath<ArrayError>> for McpatError {
+    fn from(e: AtPath<ArrayError>) -> McpatError {
         McpatError::Array(e)
     }
 }
 
-impl From<String> for McpatError {
-    fn from(msg: String) -> McpatError {
-        McpatError::Config(msg)
+impl From<Diagnostics> for McpatError {
+    fn from(d: Diagnostics) -> McpatError {
+        McpatError::Invalid(d)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
     #[test]
-    fn display_is_informative() {
-        let e = McpatError::Config("zero cores".into());
-        assert!(e.to_string().contains("zero cores"));
+    fn display_lists_every_finding() {
+        let mut d = Diagnostics::new();
+        d.error("num_cores", "zero cores");
+        d.error("clock_hz", "must be positive");
+        let e = McpatError::Invalid(d);
+        let text = e.to_string();
+        assert!(text.contains("2 errors"), "{text}");
+        assert!(text.contains("num_cores"), "{text}");
+        assert!(text.contains("clock_hz"), "{text}");
     }
 
     #[test]
-    fn array_errors_convert() {
+    fn array_errors_convert_with_their_path() {
         let ae = ArrayError::DegenerateSpec { name: "x".into() };
-        let e: McpatError = ae.clone().into();
-        assert_eq!(e, McpatError::Array(ae));
+        let e: McpatError = AtPath::new("l2.tag", ae.clone()).into();
+        assert_eq!(e, McpatError::Array(AtPath::new("l2.tag", ae)));
+        assert!(e.to_string().contains("l2.tag"));
+    }
+
+    #[test]
+    fn findings_flatten_both_variants() {
+        let e = McpatError::config("a.b", "broken");
+        assert_eq!(e.findings().len(), 1);
+        assert_eq!(e.findings()[0].path, "a.b");
+        let ae = ArrayError::DegenerateSpec { name: "x".into() };
+        let e = McpatError::Array(AtPath::new("mc", ae));
+        assert_eq!(e.findings()[0].path, "mc");
     }
 }

@@ -67,9 +67,9 @@ impl Exploration {
     #[must_use]
     pub fn winners_are_pareto(&self) -> bool {
         let sets: Vec<MetricSet> = self.feasible.iter().map(|c| c.metrics).collect();
-        Metric::ALL.iter().all(|&m| {
-            best_index(&sets, m).is_none_or(|i| self.pareto.contains(&i))
-        })
+        Metric::ALL
+            .iter()
+            .all(|&m| best_index(&sets, m).is_none_or(|i| self.pareto.contains(&i)))
     }
 }
 
@@ -175,6 +175,7 @@ pub fn max_clock_under_power_budget(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_mcore::config::CoreConfig;
@@ -225,8 +226,16 @@ mod tests {
 
     #[test]
     fn dominated_points_are_excluded() {
-        let a = MetricSet { energy: 1.0, delay: 1.0, area: 1.0 };
-        let b = MetricSet { energy: 2.0, delay: 2.0, area: 2.0 };
+        let a = MetricSet {
+            energy: 1.0,
+            delay: 1.0,
+            area: 1.0,
+        };
+        let b = MetricSet {
+            energy: 2.0,
+            delay: 2.0,
+            area: 2.0,
+        };
         assert!(dominates(&a, &b));
         assert!(!dominates(&b, &a));
         assert!(!dominates(&a, &a));

@@ -28,11 +28,12 @@
 //!
 //! // The Sun Niagara validation target: 8 in-order cores at 90 nm.
 //! let cfg = ProcessorConfig::niagara();
-//! let chip = Processor::build(&cfg).unwrap();
+//! let chip = Processor::build(&cfg)?;
 //! let power = chip.peak_power();
 //! println!("{}", chip.report());
 //! assert!(power.total() > 20.0 && power.total() < 150.0);
 //! assert!(chip.die_area_mm2() > 100.0);
+//! # Ok::<(), mcpat::McpatError>(())
 //! ```
 
 pub mod config;
@@ -57,6 +58,11 @@ pub use power::{ChipPower, ChipPowerItem};
 pub use processor::Processor;
 pub use stats::ChipStats;
 pub use thermal::{converge, ThermalResult, ThermalSpec};
+
+// The diagnostics vocabulary is part of this crate's public API:
+// `ProcessorConfig::validate` returns `Diagnostics`, and `McpatError`
+// carries them.
+pub use mcpat_diag::{AtPath, Diagnostic, Diagnostics, Severity};
 
 // Re-export the layers so downstream users need only one dependency.
 pub use mcpat_array as array;

@@ -125,6 +125,7 @@ pub fn best_index(points: &[MetricSet], metric: Metric) -> Option<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -5,8 +5,9 @@ use crate::error::McpatError;
 use crate::power::{ChipPower, ChipPowerItem};
 use crate::stats::ChipStats;
 use mcpat_circuit::metrics::StaticPower;
+use mcpat_diag::{Diagnostics, ResultExt};
 use mcpat_interconnect::noc::{NocConfig, NocModel};
-use mcpat_mcore::core::CoreModel;
+use mcpat_mcore::core::{CoreBuildError, CoreModel};
 use mcpat_mcore::exu::{FuKind, FunctionalUnit};
 use mcpat_tech::TechParams;
 use mcpat_uncore::clock::ClockNetwork;
@@ -84,18 +85,29 @@ pub struct Processor {
     pub shared_fpu: FunctionalUnit,
     /// The clock distribution network.
     pub clock: ClockNetwork,
+    /// Warnings accumulated while validating and building: suspicious
+    /// configuration values and any solver relaxations that were needed.
+    pub warnings: Diagnostics,
 }
 
 impl Processor {
     /// Builds the chip: every component model plus the clock network
     /// sized from the resulting floorplan.
     ///
+    /// Validation runs as a collecting pass first: every error is
+    /// reported at once via [`McpatError::Invalid`], and the warnings of
+    /// a successful pass are kept on [`Processor::warnings`].
+    ///
     /// # Errors
     ///
-    /// Returns [`McpatError`] if the configuration is invalid or any
-    /// array fails to solve.
+    /// [`McpatError::Invalid`] if the configuration fails validation
+    /// (with the complete findings), or [`McpatError::Array`] naming the
+    /// component whose storage array could not be solved.
     pub fn build(config: &ProcessorConfig) -> Result<Processor, McpatError> {
-        config.validate()?;
+        let mut warnings = config
+            .validate()
+            .into_result()
+            .map_err(McpatError::Invalid)?;
         let mut tech = TechParams::new(config.node, config.device_type, config.temperature_k)
             .with_projection(config.projection)
             .with_long_channel_leakage(config.long_channel_leakage);
@@ -105,14 +117,29 @@ impl Processor {
 
         let mut core_cfg = config.core.clone();
         core_cfg.clock_hz = config.clock_hz;
-        let core = CoreModel::build(&tech, &core_cfg).map_err(McpatError::Config)?;
+        let core = CoreModel::build(&tech, &core_cfg).map_err(|e| match e {
+            CoreBuildError::Invalid(d) => {
+                let mut all = Diagnostics::new();
+                all.merge_under("core", d);
+                McpatError::Invalid(all)
+            }
+            CoreBuildError::Array(e) => McpatError::Array(e.under("core")),
+        })?;
 
-        let l2 = config.l2.as_ref().map(|c| c.build(&tech)).transpose()?;
-        let l3 = config.l3.as_ref().map(|c| c.build(&tech)).transpose()?;
+        let l2 = config
+            .l2
+            .as_ref()
+            .map(|c| c.build(&tech).at("l2"))
+            .transpose()?;
+        let l3 = config
+            .l3
+            .as_ref()
+            .map(|c| c.build(&tech).at("l3"))
+            .transpose()?;
         let mc = config
             .mc
             .as_ref()
-            .map(|c| MemCtrl::build(&tech, c))
+            .map(|c| MemCtrl::build(&tech, c).at("mc"))
             .transpose()?;
         let io = OffChipIo::new(&tech, config.io_bandwidth);
         let shared_fpu = FunctionalUnit::new(&tech, FuKind::Fpu);
@@ -129,20 +156,46 @@ impl Processor {
             link_length,
             clock_hz: config.clock_hz,
         }
-        .build(&tech)?;
+        .build(&tech)
+        .at("fabric")?;
+
+        // Any array the solver could only place by degrading becomes a
+        // warning on the chip, rooted at the owning component.
+        warnings.merge_under("core", core.relaxation_warnings());
+        if let Some(l2) = &l2 {
+            warnings.merge_under("l2", l2.relaxation_warnings());
+        }
+        if let Some(l3) = &l3 {
+            warnings.merge_under("l3", l3.relaxation_warnings());
+        }
+        if let Some(mc) = &mc {
+            warnings.merge_under("mc", mc.relaxation_warnings());
+        }
+        if let Some(w) = noc
+            .router
+            .as_ref()
+            .and_then(|r| r.input_buffer.relaxation_warning())
+        {
+            warnings.push(w.under("fabric"));
+        }
 
         // Die area and the clock network over it.
         let component_area = Self::component_area_sum(
-            config, &core, l2.as_ref(), l3.as_ref(), &noc, mc.as_ref(), &io, &shared_fpu,
+            config,
+            &core,
+            l2.as_ref(),
+            l3.as_ref(),
+            &noc,
+            mc.as_ref(),
+            &io,
+            &shared_fpu,
         );
         let die_area = component_area * DIE_AREA_OVERHEAD;
         let die_edge = die_area.sqrt();
 
         let vdd = tech.device.vdd;
-        let core_sink_cap = f64::from(config.num_cores)
-            * 2.0
-            * core.pipeline.clock_energy_per_cycle
-            / (vdd * vdd);
+        let core_sink_cap =
+            f64::from(config.num_cores) * 2.0 * core.pipeline.clock_energy_per_cycle / (vdd * vdd);
         let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
         let clock = ClockNetwork::new(&tech, die_edge, die_edge, config.clock_hz, sink_cap);
 
@@ -157,6 +210,7 @@ impl Processor {
             io,
             shared_fpu,
             clock,
+            warnings,
         })
     }
 
@@ -267,16 +321,38 @@ impl Processor {
         let mut cores_dynamic = 0.0;
         let mut cores_leakage_scale = 0.0;
         let mut core_detail = None;
-        for i in 0..c.num_cores as usize {
-            let cs = stats.core(i);
-            let p = self.core.runtime_power(&cs);
-            cores_dynamic += p.dynamic();
+        // Group cores by their (broadcast-aware) stats entry so the cost
+        // is bounded by the number of distinct entries, not `num_cores`:
+        // entry i serves core i and the last entry serves every core
+        // beyond the provided list.
+        let n_cores = c.num_cores as usize;
+        let core_groups: Vec<(mcpat_mcore::CoreStats, f64)> = if n_cores == 0 {
+            Vec::new()
+        } else if stats.cores.len() <= 1 {
+            vec![(stats.core(0), f64::from(c.num_cores))]
+        } else {
+            let len = stats.cores.len().min(n_cores);
+            (0..len)
+                .map(|i| {
+                    let weight = if i == len - 1 {
+                        (n_cores - len + 1) as f64
+                    } else {
+                        1.0
+                    };
+                    (stats.cores[i], weight)
+                })
+                .collect()
+        };
+        for (cs, weight) in &core_groups {
+            let p = self.core.runtime_power(cs);
+            cores_dynamic += p.dynamic() * weight;
             let duty = cs.duty();
-            cores_leakage_scale += if c.power_gating {
-                duty + (1.0 - duty) * 0.10
-            } else {
-                1.0
-            };
+            cores_leakage_scale += weight
+                * if c.power_gating {
+                    duty + (1.0 - duty) * 0.10
+                } else {
+                    1.0
+                };
             if core_detail.is_none() {
                 core_detail = Some(p);
             }
@@ -329,34 +405,33 @@ impl Processor {
             items.push(ChipPowerItem {
                 name: "shared-fpu".into(),
                 dynamic: stats.shared_fpu_ops as f64 * self.shared_fpu.energy_per_op / interval,
-                leakage: self
-                    .shared_fpu
-                    .leakage
-                    .scaled(f64::from(c.num_shared_fpus)),
+                leakage: self.shared_fpu.leakage.scaled(f64::from(c.num_shared_fpus)),
             });
         }
 
         // Clock: gate the grid by the cores' average idleness when the
         // core supports clock gating.
         let avg_duty = if c.num_cores > 0 {
-            (0..c.num_cores as usize)
-                .map(|i| stats.core(i).duty())
+            core_groups
+                .iter()
+                .map(|(cs, weight)| cs.duty() * weight)
                 .sum::<f64>()
                 / f64::from(c.num_cores)
         } else {
             0.0
         };
-        let gated_fraction = if c.core.clock_gating { 1.0 - avg_duty } else { 0.0 };
+        let gated_fraction = if c.core.clock_gating {
+            1.0 - avg_duty
+        } else {
+            0.0
+        };
         items.push(ChipPowerItem {
             name: "clock".into(),
             dynamic: self.clock.dynamic_power_gated(gated_fraction),
             leakage: self.clock.leakage(),
         });
 
-        ChipPower {
-            items,
-            core_detail,
-        }
+        ChipPower { items, core_detail }
     }
 
     /// TDP-style peak power: sustained worst-case activity, W.
@@ -380,6 +455,7 @@ impl Processor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -485,6 +561,29 @@ mod tests {
         stats.core_wakeups = 0;
         let p0 = ungated.runtime_power(&stats).total();
         assert!((p1 - p0).abs() < 1e-12, "no gating, no wakeup cost");
+    }
+
+    #[test]
+    fn infeasible_clock_degrades_with_warnings_in_the_report() {
+        let mut cfg = ProcessorConfig::niagara();
+        cfg.clock_hz = 300e9; // ~3 ps cycle: no array can do this
+        cfg.core.enforce_timing = true;
+        let chip = Processor::build(&cfg).expect("infeasible clocks degrade, not fail");
+        assert!(
+            chip.warnings.iter().any(|w| w.path.starts_with("core.")
+                && w.message.contains("cycle-time constraint")),
+            "expected relaxation warnings rooted under core:\n{}",
+            chip.warnings
+        );
+        let report = chip.report();
+        assert!(report.contains("Warnings"), "report must surface warnings");
+        assert!(report.contains("cycle-time constraint"), "\n{report}");
+    }
+
+    #[test]
+    fn feasible_build_has_no_warnings() {
+        let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
+        assert!(chip.warnings.is_empty(), "{}", chip.warnings);
     }
 
     #[test]

@@ -83,6 +83,13 @@ impl Processor {
                 item.leakage.total()
             );
         }
+
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "  Warnings ({}):", self.warnings.len());
+            for w in &self.warnings {
+                let _ = writeln!(out, "    {w}");
+            }
+        }
         out
     }
 
@@ -132,6 +139,7 @@ pub fn share_table(power: &ChipPower) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use crate::{Processor, ProcessorConfig};
 
@@ -139,7 +147,14 @@ mod tests {
     fn report_mentions_all_sections() {
         let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
         let r = chip.report();
-        for needle in ["Technology", "Clock", "Die area", "Peak power", "ifu", "lsu"] {
+        for needle in [
+            "Technology",
+            "Clock",
+            "Die area",
+            "Peak power",
+            "ifu",
+            "lsu",
+        ] {
             assert!(r.contains(needle), "report missing `{needle}`:\n{r}");
         }
     }
@@ -150,7 +165,14 @@ mod tests {
         let table = super::share_table(&chip.peak_power());
         let sum: f64 = table
             .lines()
-            .filter_map(|l| l.split('%').next()?.split_whitespace().last()?.parse::<f64>().ok())
+            .filter_map(|l| {
+                l.split('%')
+                    .next()?
+                    .split_whitespace()
+                    .last()?
+                    .parse::<f64>()
+                    .ok()
+            })
             .sum();
         assert!((sum - 100.0).abs() < 1.0, "sum = {sum}\n{table}");
     }

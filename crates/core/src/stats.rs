@@ -43,36 +43,42 @@ impl ChipStats {
         // Miss traffic spills into the L2 and memory at peak rates; TDP
         // assumes a cache-hostile footprint (≈1 L2 access per 4 cycles
         // per core).
-        let l2_accesses = (core.dcache_misses + core.icache_misses).max(cycles / 4);
+        let l2_accesses = core
+            .dcache_misses
+            .saturating_add(core.icache_misses)
+            .max(cycles / 4);
+        // Aggregate accesses across cores; saturate so absurd
+        // clock/width inputs degrade instead of overflowing.
+        let chip = l2_accesses.saturating_mul(u64::from(num_cores));
         ChipStats {
             duration_s,
             cores: vec![core],
             l2: SharedCacheStats {
                 interval_s: duration_s,
-                reads: l2_accesses * u64::from(num_cores) * 3 / 4,
-                writes: l2_accesses * u64::from(num_cores) / 4,
-                misses: l2_accesses * u64::from(num_cores) / 10,
-                writebacks: l2_accesses * u64::from(num_cores) / 20,
-                snoops: l2_accesses * u64::from(num_cores) / 8,
+                reads: chip.saturating_mul(3) / 4,
+                writes: chip / 4,
+                misses: chip / 10,
+                writebacks: chip / 20,
+                snoops: chip / 8,
             },
             l3: SharedCacheStats {
                 interval_s: duration_s,
-                reads: l2_accesses * u64::from(num_cores) / 10,
-                writes: l2_accesses * u64::from(num_cores) / 40,
-                misses: l2_accesses * u64::from(num_cores) / 40,
-                writebacks: l2_accesses * u64::from(num_cores) / 80,
+                reads: chip / 10,
+                writes: chip / 40,
+                misses: chip / 40,
+                writebacks: chip / 80,
                 snoops: 0,
             },
             noc: NocStats {
                 interval_s: duration_s,
                 // Request + response packets of ~4 flits per L2 access.
-                flits: l2_accesses * u64::from(num_cores) * 2 * 4,
+                flits: chip.saturating_mul(8),
                 avg_hops: 0.0,
             },
             mc: MemCtrlStats {
                 interval_s: duration_s,
-                bytes_read: l2_accesses * u64::from(num_cores) * 64 / 10,
-                bytes_written: l2_accesses * u64::from(num_cores) * 64 / 40,
+                bytes_read: chip.saturating_mul(64) / 10,
+                bytes_written: chip.saturating_mul(64) / 40,
             },
             io_utilization: 1.0,
             shared_fpu_ops: cycles / 2,
@@ -97,7 +103,7 @@ impl ChipStats {
     #[must_use]
     pub fn total_commits(&self, num_cores: u32) -> u64 {
         if self.cores.len() == 1 {
-            self.cores[0].commits * u64::from(num_cores)
+            self.cores[0].commits.saturating_mul(u64::from(num_cores))
         } else {
             self.cores.iter().map(|c| c.commits).sum()
         }
@@ -105,6 +111,7 @@ impl ChipStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

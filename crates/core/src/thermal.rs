@@ -97,6 +97,7 @@ pub fn converge(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::ProcessorConfig;
@@ -125,8 +126,24 @@ mod tests {
     fn worse_heatsink_runs_hotter_and_leaks_more() {
         let cfg = ProcessorConfig::niagara2();
         let stats = stats_for(&cfg);
-        let good = converge(&cfg, &stats, ThermalSpec { theta_ja: 0.2, ..Default::default() }).unwrap();
-        let bad = converge(&cfg, &stats, ThermalSpec { theta_ja: 0.6, ..Default::default() }).unwrap();
+        let good = converge(
+            &cfg,
+            &stats,
+            ThermalSpec {
+                theta_ja: 0.2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let bad = converge(
+            &cfg,
+            &stats,
+            ThermalSpec {
+                theta_ja: 0.6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(bad.junction_k > good.junction_k);
         assert!(bad.power.leakage().total() > good.power.leakage().total());
     }

@@ -41,7 +41,8 @@ impl Bus {
     /// ≈50% toggle), J.
     #[must_use]
     pub fn energy_per_transfer(&self) -> f64 {
-        self.arbiter.energy_per_op + 0.5 * f64::from(self.width_bits) * self.wire.metrics.energy_per_op
+        self.arbiter.energy_per_op
+            + 0.5 * f64::from(self.width_bits) * self.wire.metrics.energy_per_op
     }
 
     /// Transfer latency (arbitration + flight time), s.
@@ -66,6 +67,7 @@ impl Bus {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -24,8 +24,9 @@
 //!     link_length: 1.5e-3,
 //!     clock_hz: 2.0e9,
 //! };
-//! let noc = cfg.build(&tech).unwrap();
+//! let noc = cfg.build(&tech)?;
 //! assert!(noc.area() > 0.0);
+//! # Ok::<(), mcpat_array::ArrayError>(())
 //! ```
 
 pub mod bus;

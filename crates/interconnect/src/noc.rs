@@ -3,16 +3,15 @@
 use crate::bus::Bus;
 use crate::link::Link;
 use crate::router::{Router, RouterConfig};
+use mcpat_array::ArrayError;
 use mcpat_circuit::arbiter::MatrixArbiter;
 use mcpat_circuit::crossbar::Crossbar;
 use mcpat_circuit::metrics::CircuitMetrics;
-use mcpat_array::ArrayError;
 use mcpat_circuit::metrics::StaticPower;
 use mcpat_tech::TechParams;
 
 /// Network topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Topology {
     /// 2D mesh of `x × y` routers (5-port).
     Mesh {
@@ -72,8 +71,7 @@ impl Topology {
 }
 
 /// NoC configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NocConfig {
     /// Network topology.
     pub topology: Topology,
@@ -113,12 +111,7 @@ impl NocConfig {
                 (Some(router), Some(link), None)
             }
             Topology::Bus { n } => {
-                let bus = Bus::new(
-                    tech,
-                    n,
-                    self.flit_bits,
-                    self.link_length * f64::from(n),
-                );
+                let bus = Bus::new(tech, n, self.flit_bits, self.link_length * f64::from(n));
                 (None, None, Some(bus))
             }
             Topology::Crossbar { .. } => {
@@ -145,8 +138,7 @@ impl NocConfig {
 }
 
 /// Runtime traffic statistics for one interval.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct NocStats {
     /// Interval length, s.
     pub interval_s: f64,
@@ -267,6 +259,7 @@ impl NocModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -322,8 +315,16 @@ mod tests {
     fn dynamic_power_scales_with_traffic() {
         let t = tech();
         let noc = mesh(4, 4).build(&t).unwrap();
-        let low = NocStats { interval_s: 1e-3, flits: 1_000_000, avg_hops: 0.0 };
-        let high = NocStats { interval_s: 1e-3, flits: 4_000_000, avg_hops: 0.0 };
+        let low = NocStats {
+            interval_s: 1e-3,
+            flits: 1_000_000,
+            avg_hops: 0.0,
+        };
+        let high = NocStats {
+            interval_s: 1e-3,
+            flits: 4_000_000,
+            avg_hops: 0.0,
+        };
         assert!((noc.dynamic_power(&high) / noc.dynamic_power(&low) - 4.0).abs() < 1e-9);
     }
 

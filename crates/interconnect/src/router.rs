@@ -121,6 +121,7 @@ impl Router {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -141,16 +142,44 @@ mod tests {
     #[test]
     fn wider_flits_cost_more_energy() {
         let t = tech();
-        let narrow = Router::build(&t, &RouterConfig { flit_bits: 64, ..RouterConfig::default() }).unwrap();
-        let wide = Router::build(&t, &RouterConfig { flit_bits: 256, ..RouterConfig::default() }).unwrap();
+        let narrow = Router::build(
+            &t,
+            &RouterConfig {
+                flit_bits: 64,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let wide = Router::build(
+            &t,
+            &RouterConfig {
+                flit_bits: 256,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
         assert!(wide.energy_per_flit() > 2.0 * narrow.energy_per_flit());
     }
 
     #[test]
     fn more_vcs_mean_more_buffer_leakage() {
         let t = tech();
-        let few = Router::build(&t, &RouterConfig { vcs_per_port: 2, ..RouterConfig::default() }).unwrap();
-        let many = Router::build(&t, &RouterConfig { vcs_per_port: 8, ..RouterConfig::default() }).unwrap();
+        let few = Router::build(
+            &t,
+            &RouterConfig {
+                vcs_per_port: 2,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
+        let many = Router::build(
+            &t,
+            &RouterConfig {
+                vcs_per_port: 8,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap();
         assert!(many.leakage().total() > few.leakage().total());
     }
 

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Property-based tests for the interconnect models.
 
 use mcpat_interconnect::noc::{NocConfig, NocStats, Topology};

@@ -1,10 +1,12 @@
 //! Core architecture configuration and validation-target presets.
 
 use mcpat_array::cache::CacheSpec;
+use mcpat_diag::Diagnostics;
 
 /// Execution paradigm of the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum MachineType {
     /// In-order pipeline (no rename, no issue window, no ROB).
     InOrder,
@@ -15,8 +17,7 @@ pub enum MachineType {
 
 /// Branch predictor configuration (a tournament predictor: global +
 /// local histories with a chooser, plus a return-address stack).
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PredictorConfig {
     /// Global predictor entries (2-bit counters).
     pub global_entries: u32,
@@ -48,8 +49,7 @@ impl Default for PredictorConfig {
 /// presets ([`CoreConfig::niagara_like`] etc.) to reproduce the paper's
 /// validation targets, and the builder-style `with_*` methods for
 /// design-space exploration.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CoreConfig {
     /// Human-readable name.
     pub name: String,
@@ -128,8 +128,10 @@ pub struct CoreConfig {
     pub misc_logic_transistors: Option<f64>,
     /// When true, the latency-critical arrays (L1 caches, integer
     /// register file, issue window) are solved under this core's
-    /// cycle-time constraint — McPAT's EIO behavior. Building fails if
-    /// no partitioning meets the clock.
+    /// cycle-time constraint — McPAT's EIO behavior. If no partitioning
+    /// meets the clock, the solver degrades along its relaxation ladder
+    /// and records the shortfall (see
+    /// [`CoreModel::relaxation_warnings`](crate::core::CoreModel::relaxation_warnings)).
     #[serde(default)]
     pub enforce_timing: bool,
 }
@@ -330,8 +332,8 @@ impl CoreConfig {
         c.icache = CacheSpec::new("icache", 64 * 1024, 64, 2);
         c.dcache = CacheSpec::new("dcache", 64 * 1024, 64, 2);
         c.clock_gating = false; // 2001-era design, conditional clocking only
-        // Full-custom Alpha control (issue/retire sequencing, replay
-        // traps, the victim-buffer machinery).
+                                // Full-custom Alpha control (issue/retire sequencing, replay
+                                // traps, the victim-buffer machinery).
         c.misc_logic_transistors = Some(10.0e6);
         c
     }
@@ -405,40 +407,115 @@ impl CoreConfig {
         f64::from(self.issue_width)
     }
 
-    /// Basic sanity validation of the configuration.
+    /// Full sanity validation of the configuration.
     ///
-    /// # Errors
-    ///
-    /// Returns a human-readable message for the first violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.clock_hz <= 0.0 {
-            return Err(format!("{}: clock must be positive", self.name));
+    /// Collects **every** violated invariant (and softer warnings) into
+    /// a [`Diagnostics`] pass instead of stopping at the first. Paths are
+    /// relative to the core (`clock_hz`, `icache.capacity`, ...); callers
+    /// embedding the core in a larger config re-root them with
+    /// [`Diagnostics::merge_under`].
+    #[must_use]
+    pub fn validate(&self) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        d.require_positive("clock_hz", "core clock", self.clock_hz);
+        for (field, v) in [
+            ("fetch_width", self.fetch_width),
+            ("decode_width", self.decode_width),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+        ] {
+            if v == 0 {
+                d.error(field, "pipeline width must be positive");
+            }
         }
-        if self.fetch_width == 0 || self.issue_width == 0 || self.commit_width == 0 {
-            return Err(format!("{}: pipeline widths must be positive", self.name));
+        if self.pipeline_depth == 0 {
+            d.error("pipeline_depth", "pipeline needs at least one stage");
         }
         if self.is_ooo() {
-            if self.rob_size == 0 || self.instruction_window_size == 0 {
-                return Err(format!(
-                    "{}: out-of-order cores need a ROB and an instruction window",
-                    self.name
-                ));
+            if self.rob_size == 0 {
+                d.error("rob_size", "out-of-order cores need a reorder buffer");
+            }
+            if self.instruction_window_size == 0 {
+                d.error(
+                    "instruction_window_size",
+                    "out-of-order cores need an instruction window",
+                );
             }
             if self.phys_int_regs < self.arch_int_regs {
-                return Err(format!(
-                    "{}: physical registers must cover architectural state",
-                    self.name
-                ));
+                d.error(
+                    "phys_int_regs",
+                    format!(
+                        "{} physical integer registers cannot cover {} architectural",
+                        self.phys_int_regs, self.arch_int_regs
+                    ),
+                );
+            }
+            if self.phys_fp_regs < self.arch_fp_regs {
+                d.error(
+                    "phys_fp_regs",
+                    format!(
+                        "{} physical FP registers cannot cover {} architectural",
+                        self.phys_fp_regs, self.arch_fp_regs
+                    ),
+                );
             }
         }
         if self.threads == 0 {
-            return Err(format!("{}: at least one thread context", self.name));
+            d.error("threads", "at least one thread context");
         }
-        Ok(())
+        if self.word_bits == 0 || self.word_bits > 128 {
+            d.error(
+                "word_bits",
+                format!("word width {} must be in 1..=128", self.word_bits),
+            );
+        }
+        if self.vaddr_bits == 0 || self.vaddr_bits > 64 {
+            d.error(
+                "vaddr_bits",
+                format!(
+                    "virtual address width {} must be in 1..=64",
+                    self.vaddr_bits
+                ),
+            );
+        }
+        if self.paddr_bits == 0 || self.paddr_bits > 64 {
+            d.error(
+                "paddr_bits",
+                format!(
+                    "physical address width {} must be in 1..=64",
+                    self.paddr_bits
+                ),
+            );
+        }
+        if let Some(t) = self.misc_logic_transistors {
+            d.require_nonnegative("misc_logic_transistors", "transistor budget", t);
+        }
+        if u64::from(self.issue_width) > u64::from(self.fetch_width.max(1)) * 2 {
+            d.warning(
+                "issue_width",
+                format!(
+                    "issue width {} is more than twice the fetch width {}; the front end cannot sustain it",
+                    self.issue_width, self.fetch_width
+                ),
+            );
+        }
+        if self.clock_hz.is_finite() && self.clock_hz > 1.0e10 {
+            d.warning(
+                "clock_hz",
+                format!(
+                    "{:.1} GHz is outside the model's calibrated range",
+                    self.clock_hz / 1e9
+                ),
+            );
+        }
+        self.icache.validate_into("icache", &mut d);
+        self.dcache.validate_into("dcache", &mut d);
+        d
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_array::cache::AccessMode as _AM;
@@ -453,7 +530,8 @@ mod tests {
             CoreConfig::alpha21364_like(),
             CoreConfig::tulsa_like(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+            let d = cfg.validate();
+            assert!(!d.has_errors(), "{}: {d}", cfg.name);
         }
     }
 
@@ -461,7 +539,23 @@ mod tests {
     fn ooo_without_rob_is_invalid() {
         let mut c = CoreConfig::generic_ooo();
         c.rob_size = 0;
-        assert!(c.validate().is_err());
+        assert!(c.validate().has_errors());
+    }
+
+    #[test]
+    fn validation_collects_every_finding() {
+        let mut c = CoreConfig::generic_ooo();
+        c.rob_size = 0;
+        c.threads = 0;
+        c.clock_hz = f64::NAN;
+        c.icache.block_bytes = 0;
+        let d = c.validate();
+        assert!(d.error_count() >= 4, "expected all findings, got: {d}");
+        let paths: Vec<&str> = d.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.contains(&"rob_size"));
+        assert!(paths.contains(&"threads"));
+        assert!(paths.contains(&"clock_hz"));
+        assert!(paths.contains(&"icache.block_bytes"));
     }
 
     #[test]

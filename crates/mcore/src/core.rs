@@ -12,9 +12,46 @@ use crate::regfile::RegFiles;
 use crate::rename::RenameUnit;
 use crate::stats::CoreStats;
 use crate::window::WindowUnit;
-use mcpat_array::ArrayError;
+use mcpat_array::{ArrayError, SolvedArray};
 use mcpat_circuit::metrics::StaticPower;
+use mcpat_diag::{AtPath, Diagnostics, ResultExt};
 use mcpat_tech::TechParams;
+use std::fmt;
+
+/// Why a core could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreBuildError {
+    /// The configuration failed validation; carries every finding.
+    Invalid(Diagnostics),
+    /// A storage array (located by its component path) failed to solve.
+    Array(AtPath<ArrayError>),
+}
+
+impl fmt::Display for CoreBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreBuildError::Invalid(d) => {
+                write!(f, "invalid core configuration ({} errors)", d.error_count())
+            }
+            CoreBuildError::Array(e) => write!(f, "array solver: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreBuildError::Invalid(_) => None,
+            CoreBuildError::Array(e) => Some(e),
+        }
+    }
+}
+
+impl From<AtPath<ArrayError>> for CoreBuildError {
+    fn from(e: AtPath<ArrayError>) -> CoreBuildError {
+        CoreBuildError::Array(e)
+    }
+}
 
 /// Dynamic + static power of one named component, W.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,25 +135,74 @@ impl CoreModel {
     ///
     /// # Errors
     ///
-    /// Returns the configuration-validation message or a propagated
-    /// [`ArrayError`] wrapped into it.
-    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<CoreModel, String> {
-        cfg.validate()?;
-        let build = || -> Result<CoreModel, ArrayError> {
-            Ok(CoreModel {
-                config: cfg.clone(),
-                ifu: Ifu::build(tech, cfg)?,
-                rename: RenameUnit::build(tech, cfg)?,
-                window: WindowUnit::build(tech, cfg)?,
-                regs: RegFiles::build(tech, cfg)?,
-                exu: Exu::build(tech, cfg),
-                lsu: Lsu::build(tech, cfg)?,
-                mmu: Mmu::build(tech, cfg)?,
-                pipeline: PipelineRegs::build(tech, cfg),
-                misc: MiscLogic::build(tech, cfg),
-            })
-        };
-        build().map_err(|e| format!("{}: {e}", cfg.name))
+    /// [`CoreBuildError::Invalid`] with the complete validation findings
+    /// if the configuration is broken (standalone callers see warnings
+    /// dropped; [`CoreConfig::validate`] exposes them directly), or
+    /// [`CoreBuildError::Array`] locating the first array that failed to
+    /// solve.
+    pub fn build(tech: &TechParams, cfg: &CoreConfig) -> Result<CoreModel, CoreBuildError> {
+        let diags = cfg.validate();
+        if diags.has_errors() {
+            return Err(CoreBuildError::Invalid(diags));
+        }
+        Ok(CoreModel {
+            config: cfg.clone(),
+            ifu: Ifu::build(tech, cfg).at("ifu")?,
+            rename: RenameUnit::build(tech, cfg).at("rename")?,
+            window: WindowUnit::build(tech, cfg).at("window")?,
+            regs: RegFiles::build(tech, cfg).at("regs")?,
+            exu: Exu::build(tech, cfg),
+            lsu: Lsu::build(tech, cfg).at("lsu")?,
+            mmu: Mmu::build(tech, cfg).at("mmu")?,
+            pipeline: PipelineRegs::build(tech, cfg),
+            misc: MiscLogic::build(tech, cfg),
+        })
+    }
+
+    /// Warning diagnostics from every storage array the solver could
+    /// only place by degrading along its relaxation ladder (see
+    /// [`mcpat_array::Relaxation`]). Empty when every array met its
+    /// constraints exactly. Each diagnostic's path is the array name
+    /// (e.g. `icache-data`); callers nest it under the core's own path.
+    #[must_use]
+    pub fn relaxation_warnings(&self) -> Diagnostics {
+        let ifu = &self.ifu;
+        let mut arrays: Vec<&SolvedArray> = vec![
+            &ifu.icache.data,
+            &ifu.icache.tag,
+            &ifu.instruction_buffer,
+            &self.regs.int_rf,
+            &self.regs.fp_rf,
+            &self.lsu.dcache.data,
+            &self.lsu.dcache.tag,
+            &self.lsu.load_queue,
+            &self.lsu.store_queue,
+            &self.mmu.itlb,
+            &self.mmu.dtlb,
+        ];
+        arrays.extend(
+            [
+                &ifu.btb,
+                &ifu.global_predictor,
+                &ifu.local_l1,
+                &ifu.local_l2,
+                &ifu.chooser,
+                &ifu.ras,
+            ]
+            .into_iter()
+            .flatten(),
+        );
+        if let Some(r) = &self.rename {
+            arrays.extend([&r.int_rat, &r.fp_rat, &r.int_free_list, &r.fp_free_list]);
+        }
+        if let Some(w) = &self.window {
+            arrays.extend([&w.int_window, &w.rob]);
+            arrays.extend(&w.fp_window);
+        }
+        arrays
+            .iter()
+            .filter_map(|a| a.relaxation_warning())
+            .collect()
     }
 
     /// Total core area, m².
@@ -239,7 +325,10 @@ impl CoreModel {
         let exu_e = n(stats.int_ops) * self.exu.alu.energy_per_op
             + n(stats.fp_ops) * self.exu.fpu.energy_per_op
             + n(stats.mul_ops) * self.exu.mul.energy_per_op
-            + n(stats.int_ops + stats.fp_ops + stats.mul_ops)
+            + n(stats
+                .int_ops
+                .saturating_add(stats.fp_ops)
+                .saturating_add(stats.mul_ops))
                 * self.exu.bypass_energy_per_transfer;
         items.push(PowerItem {
             name: "exu".into(),
@@ -250,8 +339,7 @@ impl CoreModel {
         // --- LSU ----------------------------------------------------------------
         let lsu_e = n(stats.loads) * self.lsu.load_energy()
             + n(stats.stores) * self.lsu.store_energy()
-            + n(stats.dcache_misses)
-                * (self.lsu.dcache.miss_energy + self.lsu.dcache.fill_energy);
+            + n(stats.dcache_misses) * (self.lsu.dcache.miss_energy + self.lsu.dcache.fill_energy);
         items.push(PowerItem {
             name: "lsu".into(),
             dynamic: per(lsu_e),
@@ -301,6 +389,7 @@ impl CoreModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -323,7 +412,12 @@ mod tests {
         let t = tech90();
         let io = CoreModel::build(&t, &CoreConfig::generic_inorder()).unwrap();
         let ooo = CoreModel::build(&t, &CoreConfig::generic_ooo()).unwrap();
-        assert!(ooo.area() > 1.5 * io.area(), "{} vs {}", ooo.area(), io.area());
+        assert!(
+            ooo.area() > 1.5 * io.area(),
+            "{} vs {}",
+            ooo.area(),
+            io.area()
+        );
         assert!(ooo.peak_power().total() > io.peak_power().total());
     }
 
@@ -377,7 +471,17 @@ mod tests {
     fn component_breakdown_is_complete() {
         let core = CoreModel::build(&tech90(), &CoreConfig::generic_ooo()).unwrap();
         let p = core.peak_power();
-        for name in ["ifu", "rename", "window", "regfile", "exu", "lsu", "mmu", "pipeline+clock", "misc-logic"] {
+        for name in [
+            "ifu",
+            "rename",
+            "window",
+            "regfile",
+            "exu",
+            "lsu",
+            "mmu",
+            "pipeline+clock",
+            "misc-logic",
+        ] {
             assert!(p.component(name).is_some(), "missing {name}");
         }
         let sum: f64 = p.items.iter().map(PowerItem::total).sum();

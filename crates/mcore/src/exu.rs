@@ -129,7 +129,7 @@ impl Exu {
             + mul.area * f64::from(cfg.num_muls);
         // Bypass buses span the EXU datapath twice (operand + result side).
         let span = 2.0 * fu_area.max(1e-12).sqrt();
-        let bus_bits = f64::from(cfg.word_bits + cfg.phys_tag_bits());
+        let bus_bits = f64::from(cfg.word_bits.saturating_add(cfg.phys_tag_bits()));
         let lanes = f64::from(cfg.issue_width);
         let wire = RepeatedWire::energy_derated(tech, WireType::Intermediate, span, 1.10);
 
@@ -171,6 +171,7 @@ impl Exu {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -51,20 +51,21 @@ impl Ifu {
         let icache = icache_spec.solve(tech, OptTarget::EnergyDelay)?;
 
         let opt = OptTarget::EnergyDelay;
-        let table = |entries: u32, bits: u32, name: &str| -> Result<Option<SolvedArray>, ArrayError> {
-            if entries == 0 || bits == 0 {
-                Ok(None)
-            } else {
-                Ok(Some(
-                    ArraySpec::table(u64::from(entries), bits)
-                        .named(name)
-                        .solve(tech, opt)?,
-                ))
-            }
-        };
+        let table =
+            |entries: u32, bits: u32, name: &str| -> Result<Option<SolvedArray>, ArrayError> {
+                if entries == 0 || bits == 0 {
+                    Ok(None)
+                } else {
+                    Ok(Some(
+                        ArraySpec::table(u64::from(entries), bits)
+                            .named(name)
+                            .solve(tech, opt)?,
+                    ))
+                }
+            };
 
         let p = &cfg.predictor;
-        let btb = table(cfg.btb_entries, cfg.vaddr_bits + 20, "btb")?;
+        let btb = table(cfg.btb_entries, cfg.vaddr_bits.saturating_add(20), "btb")?;
         let global_predictor = table(p.global_entries, 2, "bpred-global")?;
         let local_l1 = table(p.local_l1_entries, 10, "bpred-local-l1")?;
         let local_l2 = table(p.local_l2_entries, 2, "bpred-local-l2")?;
@@ -154,9 +155,7 @@ impl Ifu {
     /// Total fetch-unit leakage, W.
     #[must_use]
     pub fn leakage(&self) -> StaticPower {
-        let mut leak = self.icache.leakage
-            + self.instruction_buffer.leakage
-            + self.decoder_leakage;
+        let mut leak = self.icache.leakage + self.instruction_buffer.leakage + self.decoder_leakage;
         if let Some(b) = &self.btb {
             leak += b.leakage;
         }
@@ -171,6 +170,7 @@ impl Ifu {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -26,9 +26,10 @@
 //!
 //! let tech = TechParams::new(TechNode::N90, DeviceType::Hp, 360.0);
 //! let cfg = CoreConfig::niagara_like();
-//! let core = CoreModel::build(&tech, &cfg).unwrap();
+//! let core = CoreModel::build(&tech, &cfg)?;
 //! assert!(core.area() > 0.0);
 //! assert!(core.leakage().total() > 0.0);
+//! # Ok::<(), mcpat_mcore::core::CoreBuildError>(())
 //! ```
 
 pub mod config;

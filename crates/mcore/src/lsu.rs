@@ -34,7 +34,10 @@ impl Lsu {
         // Queue entries hold address + data + status; they match on the
         // block-aligned physical address.
         let addr_match_bits = cfg.paddr_bits.saturating_sub(3).max(8);
-        let entry_bits = cfg.paddr_bits + cfg.word_bits + 8;
+        let entry_bits = cfg
+            .paddr_bits
+            .saturating_add(cfg.word_bits)
+            .saturating_add(8);
         let q_ports = Ports {
             rw: 0,
             read: 1,
@@ -93,6 +96,7 @@ impl Lsu {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -35,12 +35,26 @@ impl Mmu {
                 .named(name)
                 .solve(tech, OptTarget::Delay)
         };
-        let itlb = build_tlb(cfg.itlb_entries, Ports { rw: 1, read: 0, write: 0, search: 1 }, "itlb")?;
+        let itlb = build_tlb(
+            cfg.itlb_entries,
+            Ports {
+                rw: 1,
+                read: 0,
+                write: 0,
+                search: 1,
+            },
+            "itlb",
+        )?;
         // The D-TLB is probed by every memory port.
         let mem_ports = 2u32.min(cfg.issue_width);
         let dtlb = build_tlb(
             cfg.dtlb_entries,
-            Ports { rw: 1, read: 0, write: 0, search: mem_ports },
+            Ports {
+                rw: 1,
+                read: 0,
+                write: 0,
+                search: mem_ports,
+            },
             "dtlb",
         )?;
         Ok(Mmu { itlb, dtlb })
@@ -72,6 +86,7 @@ impl Mmu {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -51,9 +51,7 @@ impl PipelineRegs {
             data_energy_per_cycle: LATCH_ACTIVITY * total_bits * dff.write_energy(vdd),
             clock_energy_per_cycle: LOCAL_CLOCK_OVERHEAD * total_bits * dff.clock_energy(vdd),
             leakage: StaticPower {
-                subthreshold: total_bits
-                    * dff.leakage_power(&tech.device, tech.temperature)
-                    * 0.8,
+                subthreshold: total_bits * dff.leakage_power(&tech.device, tech.temperature) * 0.8,
                 gate: total_bits * dff.leakage_power(&tech.device, tech.temperature) * 0.2,
             },
         }
@@ -61,6 +59,7 @@ impl PipelineRegs {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -28,13 +28,16 @@ impl RegFiles {
             (cfg.phys_int_regs, cfg.phys_fp_regs)
         } else {
             (
-                cfg.arch_int_regs * cfg.threads,
-                cfg.arch_fp_regs * cfg.threads,
+                cfg.arch_int_regs.saturating_mul(cfg.threads),
+                cfg.arch_fp_regs.saturating_mul(cfg.threads),
             )
         };
         // 2 reads + 1 write per issue slot is the classic sizing.
-        let int_ports = Ports::reg_file(2 * cfg.issue_width, cfg.issue_width);
-        let fp_ports = Ports::reg_file(2 * cfg.fp_issue_width.max(1), cfg.fp_issue_width.max(1));
+        let int_ports = Ports::reg_file(cfg.issue_width.saturating_mul(2), cfg.issue_width);
+        let fp_ports = Ports::reg_file(
+            cfg.fp_issue_width.max(1).saturating_mul(2),
+            cfg.fp_issue_width.max(1),
+        );
 
         let mut int_spec = ArraySpec::table(u64::from(int_regs.max(1)), cfg.word_bits)
             .with_ports(int_ports)
@@ -65,6 +68,7 @@ impl RegFiles {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

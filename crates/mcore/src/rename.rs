@@ -42,7 +42,7 @@ impl RenameUnit {
         let tag_bits = cfg.phys_tag_bits();
         let w = cfg.decode_width;
         // Each renamed instruction reads two source mappings and writes one.
-        let rat_ports = Ports::reg_file(2 * w, w);
+        let rat_ports = Ports::reg_file(w.saturating_mul(2), w);
         let int_rat = ArraySpec::table(
             u64::from(cfg.arch_int_regs) * u64::from(cfg.threads),
             tag_bits,
@@ -128,6 +128,7 @@ impl RenameUnit {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

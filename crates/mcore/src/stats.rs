@@ -6,8 +6,7 @@
 //! `cycles` anchors them to time via the core clock.
 
 /// Per-core activity counters for one simulated interval.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct CoreStats {
     /// Elapsed core cycles in the interval.
     pub cycles: u64,
@@ -76,7 +75,7 @@ impl CoreStats {
     pub fn peak(cycles: u64, issue_width: u32, fp_issue_width: u32) -> CoreStats {
         let w = u64::from(issue_width);
         let fw = u64::from(fp_issue_width);
-        let n = cycles * w;
+        let n = cycles.saturating_mul(w);
         CoreStats {
             cycles,
             idle_cycles: 0,
@@ -86,7 +85,7 @@ impl CoreStats {
             issues: n,
             commits: n,
             int_ops: n,
-            fp_ops: cycles * fw,
+            fp_ops: cycles.saturating_mul(fw),
             mul_ops: cycles / 4,
             loads: n / 4,
             stores: n / 8,
@@ -99,12 +98,12 @@ impl CoreStats {
             dcache_misses: n / 50,
             itlb_accesses: cycles,
             dtlb_accesses: n / 4 + n / 8,
-            window_accesses: 2 * n,
-            rob_accesses: 2 * n,
-            int_regfile_reads: 2 * n,
+            window_accesses: n.saturating_mul(2),
+            rob_accesses: n.saturating_mul(2),
+            int_regfile_reads: n.saturating_mul(2),
             int_regfile_writes: n,
-            fp_regfile_reads: 2 * cycles * fw,
-            fp_regfile_writes: cycles * fw,
+            fp_regfile_reads: cycles.saturating_mul(fw).saturating_mul(2),
+            fp_regfile_writes: cycles.saturating_mul(fw),
         }
     }
 
@@ -164,6 +163,7 @@ impl CoreStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

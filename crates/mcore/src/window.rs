@@ -30,7 +30,10 @@ impl WindowUnit {
         let tag_bits = cfg.phys_tag_bits();
         // Window entry payload: opcode + two source tags + dest tag +
         // immediate/control (~2× word fragments).
-        let payload_bits = cfg.opcode_bits + 3 * tag_bits + 16;
+        let payload_bits = cfg
+            .opcode_bits
+            .saturating_add(3 * tag_bits)
+            .saturating_add(16);
 
         // Wakeup broadcasts one tag per issued instruction; the CAM has
         // one search port per issue slot and RAM ports for insert/issue.
@@ -73,7 +76,10 @@ impl WindowUnit {
         };
 
         // ROB entry: PC + dest arch/phys tags + exception/state bits.
-        let rob_bits = cfg.vaddr_bits + 2 * tag_bits + 8;
+        let rob_bits = cfg
+            .vaddr_bits
+            .saturating_add(2 * tag_bits)
+            .saturating_add(8);
         let rob = ArraySpec::table(u64::from(cfg.rob_size), rob_bits)
             .with_ports(Ports::reg_file(cfg.commit_width, cfg.decode_width))
             .named("rob")
@@ -107,9 +113,7 @@ impl WindowUnit {
     /// Total area, m².
     #[must_use]
     pub fn area(&self) -> f64 {
-        self.int_window.area
-            + self.fp_window.as_ref().map_or(0.0, |w| w.area)
-            + self.rob.area
+        self.int_window.area + self.fp_window.as_ref().map_or(0.0, |w| w.area) + self.rob.area
     }
 
     /// Total leakage, W.
@@ -124,6 +128,7 @@ impl WindowUnit {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Property-based tests for the core models.
 
 use mcpat_mcore::config::CoreConfig;
@@ -24,20 +25,18 @@ fn arb_inorder() -> impl Strategy<Value = CoreConfig> {
 }
 
 fn arb_ooo() -> impl Strategy<Value = CoreConfig> {
-    (2u32..=8, 16u32..=128, 32u32..=256, 64u32..=256).prop_map(
-        |(width, window, rob, regs)| {
-            let mut c = CoreConfig::generic_ooo();
-            c.fetch_width = width;
-            c.decode_width = width;
-            c.issue_width = width;
-            c.commit_width = width;
-            c.instruction_window_size = window;
-            c.rob_size = rob;
-            c.phys_int_regs = regs;
-            c.phys_fp_regs = regs;
-            c
-        },
-    )
+    (2u32..=8, 16u32..=128, 32u32..=256, 64u32..=256).prop_map(|(width, window, rob, regs)| {
+        let mut c = CoreConfig::generic_ooo();
+        c.fetch_width = width;
+        c.decode_width = width;
+        c.issue_width = width;
+        c.commit_width = width;
+        c.instruction_window_size = window;
+        c.rob_size = rob;
+        c.phys_int_regs = regs;
+        c.phys_fp_regs = regs;
+        c
+    })
 }
 
 proptest! {

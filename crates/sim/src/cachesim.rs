@@ -53,12 +53,12 @@ pub fn shared_miss_rate(
     shared_fraction: f64,
 ) -> f64 {
     let sf = shared_fraction.clamp(0.0, 1.0);
-    let effective_ws = working_set_bytes as f64
-        * (sf + (1.0 - sf) * f64::from(sharers.max(1)));
+    let effective_ws = working_set_bytes as f64 * (sf + (1.0 - sf) * f64::from(sharers.max(1)));
     miss_rate(capacity_bytes, effective_ws as u64)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -66,7 +66,13 @@ mod tests {
     fn monotone_in_capacity() {
         let ws = 16 * 1024 * 1024;
         let mut last = 1.0;
-        for cap in [4 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024, 256 * 1024 * 1024] {
+        for cap in [
+            4 * 1024,
+            64 * 1024,
+            1024 * 1024,
+            16 * 1024 * 1024,
+            256 * 1024 * 1024,
+        ] {
             let m = miss_rate(cap, ws);
             assert!(m <= last, "cap {cap}: {m} > {last}");
             last = m;

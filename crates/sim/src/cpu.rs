@@ -120,9 +120,7 @@ impl CpuModel {
         let l2_mpki = (l1d_mpki + l1i_mpki) * l2_miss_rate;
 
         // Stall components, cycles per instruction.
-        let branch_cpi = wl.frac_branch
-            * wl.mispredict_rate
-            * f64::from(cfg.pipeline_depth) * 0.7;
+        let branch_cpi = wl.frac_branch * wl.mispredict_rate * f64::from(cfg.pipeline_depth) * 0.7;
         let l2_cpi = (l1d_mpki + l1i_mpki) * timing.l2_cycles * (1.0 - hide_short);
         let long_lat = if has_l3 {
             // An L3 catches ~60% of L2 misses in addition to the
@@ -157,6 +155,7 @@ impl CpuModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

@@ -87,7 +87,12 @@ impl SystemModel {
         let l2_capacity = cfg.l2.as_ref().map_or(0, |l| l.cache.capacity);
         let sharers = cfg.cores_per_cluster();
         let l2_mr = if l2_capacity > 0 {
-            shared_miss_rate(l2_capacity, wl.data_working_set, sharers, wl.l2_miss_locality)
+            shared_miss_rate(
+                l2_capacity,
+                wl.data_working_set,
+                sharers,
+                wl.l2_miss_locality,
+            )
         } else {
             1.0
         };
@@ -100,9 +105,8 @@ impl SystemModel {
         // Memory bandwidth saturation across all cores.
         let n = f64::from(cfg.num_cores);
         let inst_rate_unthrottled = core_r.ipc * cfg.clock_hz * n;
-        let mem_miss_per_inst = core_r.l2_mpki
-            * (1.0 - wl.l2_miss_locality)
-            * if cfg.l3.is_some() { 0.4 } else { 1.0 };
+        let mem_miss_per_inst =
+            core_r.l2_mpki * (1.0 - wl.l2_miss_locality) * if cfg.l3.is_some() { 0.4 } else { 1.0 };
         let bytes_per_inst = mem_miss_per_inst * 64.0 * 1.3; // + writebacks
         let demand = inst_rate_unthrottled * bytes_per_inst;
         let bw = self.mem_bandwidth().max(1.0);
@@ -140,16 +144,17 @@ impl SystemModel {
     /// instructions; the interval ends when the slowest core finishes
     /// (others idle-wait, which the power model sees as idle cycles).
     ///
-    /// # Panics
-    ///
-    /// Panics if `workloads` is empty.
+    /// An empty `workloads` slice falls back to the balanced preset on
+    /// every core.
     #[must_use]
     pub fn simulate_multiprogram(
         &self,
         workloads: &[WorkloadProfile],
         insts_per_core: u64,
     ) -> SimResult {
-        assert!(!workloads.is_empty(), "need at least one workload");
+        if workloads.is_empty() {
+            return self.simulate_multiprogram(&[WorkloadProfile::balanced()], insts_per_core);
+        }
         let cfg = &self.config;
         let n = cfg.num_cores as usize;
         // Evaluate each distinct workload once.
@@ -157,10 +162,7 @@ impl SystemModel {
             .iter()
             .map(|wl| self.simulate(wl, insts_per_core))
             .collect();
-        let slowest = runs
-            .iter()
-            .map(|r| r.seconds)
-            .fold(0.0f64, f64::max);
+        let slowest = runs.iter().map(|r| r.seconds).fold(0.0f64, f64::max);
         let total_cycles = (slowest * cfg.clock_hz).ceil() as u64;
 
         // Per-core stats: each core keeps its own event counts but is
@@ -315,6 +317,7 @@ impl SystemModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -340,8 +343,16 @@ mod tests {
     #[test]
     fn bandwidth_throttling_kicks_in_for_many_cores() {
         let core = mcpat_mcore::config::CoreConfig::generic_inorder();
-        let few = ProcessorConfig::manycore("few", mcpat_tech::TechNode::N22, core.clone(), 4, 2, 1 << 21);
-        let many = ProcessorConfig::manycore("many", mcpat_tech::TechNode::N22, core, 64, 2, 1 << 21);
+        let few = ProcessorConfig::manycore(
+            "few",
+            mcpat_tech::TechNode::N22,
+            core.clone(),
+            4,
+            2,
+            1 << 21,
+        );
+        let many =
+            ProcessorConfig::manycore("many", mcpat_tech::TechNode::N22, core, 64, 2, 1 << 21);
         let wl = WorkloadProfile::memory_bound();
         let r_few = SystemModel::new(&few).simulate(&wl, 1_000_000);
         let r_many = SystemModel::new(&many).simulate(&wl, 1_000_000);
@@ -398,7 +409,10 @@ mod tests {
         let chip = mcpat::Processor::build(&cfg).unwrap();
         let sys = SystemModel::new(&cfg);
         let mix = sys.simulate_multiprogram(
-            &[WorkloadProfile::compute_bound(), WorkloadProfile::memory_bound()],
+            &[
+                WorkloadProfile::compute_bound(),
+                WorkloadProfile::memory_bound(),
+            ],
             2_000_000,
         );
         let p = chip.runtime_power(&mix.stats);
@@ -410,10 +424,16 @@ mod tests {
     fn sim_feeds_the_power_model() {
         let cfg = ProcessorConfig::niagara();
         let chip = mcpat::Processor::build(&cfg).unwrap();
-        let r = SystemModel::new(&cfg).simulate(&WorkloadProfile::server_transactional(), 10_000_000);
+        let r =
+            SystemModel::new(&cfg).simulate(&WorkloadProfile::server_transactional(), 10_000_000);
         let p = chip.runtime_power(&r.stats);
         let peak = chip.peak_power();
         assert!(p.total() > 0.0);
-        assert!(p.total() < peak.total() * 1.2, "runtime {} vs peak {}", p.total(), peak.total());
+        assert!(
+            p.total() < peak.total() * 1.2,
+            "runtime {} vs peak {}",
+            p.total(),
+            peak.total()
+        );
     }
 }

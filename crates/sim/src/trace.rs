@@ -290,6 +290,7 @@ pub fn run_trace(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::cpu::CpuModel;
@@ -392,6 +393,11 @@ mod tests {
         dirty.mispredict_rate = 0.15;
         let (c, _) = run_trace(&cfg, &clean, 100_000, 13);
         let (d, _) = run_trace(&cfg, &dirty, 100_000, 13);
-        assert!(d.cycles > c.cycles, "dirty {} vs clean {}", d.cycles, c.cycles);
+        assert!(
+            d.cycles > c.cycles,
+            "dirty {} vs clean {}",
+            d.cycles,
+            c.cycles
+        );
     }
 }

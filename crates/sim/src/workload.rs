@@ -215,27 +215,51 @@ impl WorkloadProfile {
         self.frac_load + self.frac_store
     }
 
-    /// Checks the mix sums to ≈ 1.
-    ///
-    /// # Errors
-    ///
-    /// Returns the actual sum if it is off by more than 2%.
-    pub fn validate(&self) -> Result<(), f64> {
+    /// Validates the profile: the instruction mix must sum to ≈ 1 and
+    /// every field must be finite and sensible. Collects all findings.
+    #[must_use]
+    pub fn validate(&self) -> mcpat_diag::Diagnostics {
+        let mut d = mcpat_diag::Diagnostics::new();
+        for (field, v) in [
+            ("frac_int", self.frac_int),
+            ("frac_fp", self.frac_fp),
+            ("frac_mul", self.frac_mul),
+            ("frac_load", self.frac_load),
+            ("frac_store", self.frac_store),
+            ("frac_branch", self.frac_branch),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                d.error(field, format!("mix fraction must be in [0, 1], got {v}"));
+            }
+        }
         let sum = self.frac_int
             + self.frac_fp
             + self.frac_mul
             + self.frac_load
             + self.frac_store
             + self.frac_branch;
-        if (sum - 1.0).abs() > 0.02 {
-            Err(sum)
-        } else {
-            Ok(())
+        if !d.has_errors() && (sum - 1.0).abs() > 0.02 {
+            d.error("", format!("instruction mix sums to {sum:.4}, not 1"));
         }
+        d.require_positive("ilp", "ILP", self.ilp);
+        if !(self.mispredict_rate.is_finite() && (0.0..=1.0).contains(&self.mispredict_rate)) {
+            d.error(
+                "mispredict_rate",
+                format!("must be in [0, 1], got {}", self.mispredict_rate),
+            );
+        }
+        if !(self.l2_miss_locality.is_finite() && (0.0..=1.0).contains(&self.l2_miss_locality)) {
+            d.error(
+                "l2_miss_locality",
+                format!("must be in [0, 1], got {}", self.l2_miss_locality),
+            );
+        }
+        d
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
@@ -253,7 +277,8 @@ mod tests {
             WorkloadProfile::hpc_stencil(),
             WorkloadProfile::analytics_scan(),
         ] {
-            wl.validate().unwrap_or_else(|s| panic!("mix sums to {s}"));
+            let d = wl.validate();
+            assert!(!d.has_errors(), "{d}");
         }
     }
 
@@ -283,8 +308,6 @@ mod tests {
 
     #[test]
     fn compute_bound_has_more_ilp_than_server() {
-        assert!(
-            WorkloadProfile::compute_bound().ilp > WorkloadProfile::server_transactional().ilp
-        );
+        assert!(WorkloadProfile::compute_bound().ilp > WorkloadProfile::server_transactional().ilp);
     }
 }

@@ -133,8 +133,7 @@ impl CamCell {
     /// Leakage power of one CAM cell, W (storage plus comparator stack).
     #[must_use]
     pub fn leakage_power(&self, dev: &DeviceParams, t_kelvin: f64) -> f64 {
-        self.storage.leakage_power(dev, t_kelvin)
-            + dev.i_off_n(t_kelvin) * self.w_compare * dev.vdd
+        self.storage.leakage_power(dev, t_kelvin) + dev.i_off_n(t_kelvin) * self.w_compare * dev.vdd
     }
 
     /// Capacitance one cell contributes to its matchline, F.
@@ -253,6 +252,7 @@ impl DffStorage {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::device::DeviceType;

@@ -23,8 +23,7 @@ use std::fmt;
 /// // LSTP devices leak orders of magnitude less than HP devices.
 /// assert!(lstp.i_off_n_ref < hp.i_off_n_ref / 100.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum DeviceType {
     /// High performance: maximum drive current, highest leakage.
     /// Used for cores and latency-critical logic.
@@ -107,24 +106,60 @@ impl DeviceParams {
         // Columns: vdd, vth, l_phy(nm), i_on_n(µA/µm), i_off_n(µA/µm @300K),
         //          i_g_n(µA/µm), c_g(fF/µm), c_d(fF/µm), long-channel factor.
         let row: [f64; 9] = match (flavor, node) {
-            (DeviceType::Hp, TechNode::N180) => [1.65, 0.42, 100.0, 700.0, 5e-3, 1e-4, 1.90, 1.25, 0.80],
-            (DeviceType::Hp, TechNode::N90) => [1.2, 0.24, 37.0, 1077.0, 6e-2, 5e-3, 1.00, 0.74, 0.48],
-            (DeviceType::Hp, TechNode::N65) => [1.1, 0.22, 25.0, 1197.0, 1.0e-1, 2e-2, 0.83, 0.62, 0.42],
-            (DeviceType::Hp, TechNode::N45) => [1.0, 0.18, 18.0, 1420.0, 1.8e-1, 5e-2, 0.75, 0.55, 0.33],
-            (DeviceType::Hp, TechNode::N32) => [0.9, 0.21, 13.0, 1630.0, 2.5e-1, 8e-2, 0.68, 0.50, 0.28],
-            (DeviceType::Hp, TechNode::N22) => [0.8, 0.20, 9.0, 2000.0, 3.7e-1, 1.2e-1, 0.60, 0.45, 0.24],
-            (DeviceType::Lstp, TechNode::N180) => [1.8, 0.55, 120.0, 350.0, 1e-5, 1e-6, 1.80, 1.10, 0.90],
-            (DeviceType::Lstp, TechNode::N90) => [1.3, 0.49, 53.0, 465.0, 2e-5, 2e-5, 1.20, 0.80, 0.60],
-            (DeviceType::Lstp, TechNode::N65) => [1.25, 0.50, 38.0, 519.0, 3e-5, 3e-5, 1.00, 0.70, 0.55],
-            (DeviceType::Lstp, TechNode::N45) => [1.15, 0.50, 28.0, 666.0, 4e-5, 4e-5, 0.90, 0.62, 0.50],
-            (DeviceType::Lstp, TechNode::N32) => [1.05, 0.48, 20.0, 798.0, 5e-5, 5e-5, 0.80, 0.56, 0.45],
-            (DeviceType::Lstp, TechNode::N22) => [0.95, 0.45, 14.0, 900.0, 8e-5, 8e-5, 0.70, 0.50, 0.40],
-            (DeviceType::Lop, TechNode::N180) => [1.2, 0.34, 110.0, 420.0, 1e-3, 1e-5, 1.60, 1.05, 0.85],
-            (DeviceType::Lop, TechNode::N90) => [0.9, 0.29, 45.0, 563.0, 5e-3, 2e-3, 1.10, 0.77, 0.55],
-            (DeviceType::Lop, TechNode::N65) => [0.8, 0.28, 32.0, 573.0, 8e-3, 4e-3, 0.90, 0.65, 0.50],
-            (DeviceType::Lop, TechNode::N45) => [0.7, 0.25, 22.0, 748.0, 1.2e-2, 7e-3, 0.80, 0.58, 0.42],
-            (DeviceType::Lop, TechNode::N32) => [0.6, 0.22, 16.0, 916.0, 2.0e-2, 1.2e-2, 0.72, 0.52, 0.36],
-            (DeviceType::Lop, TechNode::N22) => [0.55, 0.20, 11.0, 1100.0, 3.0e-2, 2.0e-2, 0.65, 0.47, 0.30],
+            (DeviceType::Hp, TechNode::N180) => {
+                [1.65, 0.42, 100.0, 700.0, 5e-3, 1e-4, 1.90, 1.25, 0.80]
+            }
+            (DeviceType::Hp, TechNode::N90) => {
+                [1.2, 0.24, 37.0, 1077.0, 6e-2, 5e-3, 1.00, 0.74, 0.48]
+            }
+            (DeviceType::Hp, TechNode::N65) => {
+                [1.1, 0.22, 25.0, 1197.0, 1.0e-1, 2e-2, 0.83, 0.62, 0.42]
+            }
+            (DeviceType::Hp, TechNode::N45) => {
+                [1.0, 0.18, 18.0, 1420.0, 1.8e-1, 5e-2, 0.75, 0.55, 0.33]
+            }
+            (DeviceType::Hp, TechNode::N32) => {
+                [0.9, 0.21, 13.0, 1630.0, 2.5e-1, 8e-2, 0.68, 0.50, 0.28]
+            }
+            (DeviceType::Hp, TechNode::N22) => {
+                [0.8, 0.20, 9.0, 2000.0, 3.7e-1, 1.2e-1, 0.60, 0.45, 0.24]
+            }
+            (DeviceType::Lstp, TechNode::N180) => {
+                [1.8, 0.55, 120.0, 350.0, 1e-5, 1e-6, 1.80, 1.10, 0.90]
+            }
+            (DeviceType::Lstp, TechNode::N90) => {
+                [1.3, 0.49, 53.0, 465.0, 2e-5, 2e-5, 1.20, 0.80, 0.60]
+            }
+            (DeviceType::Lstp, TechNode::N65) => {
+                [1.25, 0.50, 38.0, 519.0, 3e-5, 3e-5, 1.00, 0.70, 0.55]
+            }
+            (DeviceType::Lstp, TechNode::N45) => {
+                [1.15, 0.50, 28.0, 666.0, 4e-5, 4e-5, 0.90, 0.62, 0.50]
+            }
+            (DeviceType::Lstp, TechNode::N32) => {
+                [1.05, 0.48, 20.0, 798.0, 5e-5, 5e-5, 0.80, 0.56, 0.45]
+            }
+            (DeviceType::Lstp, TechNode::N22) => {
+                [0.95, 0.45, 14.0, 900.0, 8e-5, 8e-5, 0.70, 0.50, 0.40]
+            }
+            (DeviceType::Lop, TechNode::N180) => {
+                [1.2, 0.34, 110.0, 420.0, 1e-3, 1e-5, 1.60, 1.05, 0.85]
+            }
+            (DeviceType::Lop, TechNode::N90) => {
+                [0.9, 0.29, 45.0, 563.0, 5e-3, 2e-3, 1.10, 0.77, 0.55]
+            }
+            (DeviceType::Lop, TechNode::N65) => {
+                [0.8, 0.28, 32.0, 573.0, 8e-3, 4e-3, 0.90, 0.65, 0.50]
+            }
+            (DeviceType::Lop, TechNode::N45) => {
+                [0.7, 0.25, 22.0, 748.0, 1.2e-2, 7e-3, 0.80, 0.58, 0.42]
+            }
+            (DeviceType::Lop, TechNode::N32) => {
+                [0.6, 0.22, 16.0, 916.0, 2.0e-2, 1.2e-2, 0.72, 0.52, 0.36]
+            }
+            (DeviceType::Lop, TechNode::N22) => {
+                [0.55, 0.20, 11.0, 1100.0, 3.0e-2, 2.0e-2, 0.65, 0.47, 0.30]
+            }
         };
         DeviceParams {
             vdd: row[0],
@@ -166,18 +201,16 @@ impl DeviceParams {
     /// linearly with the supply (DIBL), and gate leakage falls
     /// super-linearly; capacitances are bias-independent to first order.
     ///
-    /// # Panics
-    ///
-    /// Panics if the scaled supply does not exceed the threshold voltage
-    /// (the device would no longer switch).
+    /// The scaled supply is clamped to stay 5% above the threshold
+    /// voltage — below that the device would no longer switch and the
+    /// drive model loses meaning. (`ProcessorConfig::validate` rejects
+    /// scales that would hit the clamp.)
     #[must_use]
     pub fn with_vdd_scale(&self, scale: f64) -> DeviceParams {
-        let vdd_new = self.vdd * scale;
-        assert!(
-            vdd_new > self.vth * 1.05,
-            "scaled Vdd {vdd_new} must stay above Vth {}",
-            self.vth
-        );
+        let scale = if scale.is_finite() { scale } else { 1.0 };
+        let vdd_new = (self.vdd * scale).max(self.vth * 1.05 + 1e-6);
+        // Leakage terms scale with the supply actually applied.
+        let scale = vdd_new / self.vdd;
         let alpha = 1.3;
         let drive = ((vdd_new - self.vth) / (self.vdd - self.vth)).powf(alpha);
         DeviceParams {
@@ -208,6 +241,7 @@ impl DeviceParams {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -277,10 +311,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must stay above Vth")]
-    fn vdd_scaling_rejects_sub_threshold_bias() {
+    fn vdd_scaling_clamps_sub_threshold_bias() {
         let d = DeviceParams::lookup(TechNode::N45, DeviceType::Hp);
-        let _ = d.with_vdd_scale(0.15);
+        let scaled = d.with_vdd_scale(0.15);
+        assert!(scaled.vdd > d.vth, "supply must stay above threshold");
+        let wild = d.with_vdd_scale(f64::NAN);
+        assert!(
+            (wild.vdd - d.vdd).abs() < 1e-12,
+            "NaN scale falls back to nominal"
+        );
     }
 
     #[test]

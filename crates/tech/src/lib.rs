@@ -57,6 +57,7 @@ pub const Q_CHARGE: f64 = 1.602_176_634e-19;
 pub const T_REF: f64 = 300.0;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

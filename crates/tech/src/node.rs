@@ -18,8 +18,9 @@ use std::str::FromStr;
 /// assert_eq!(node.feature_nm(), 45.0);
 /// assert!(node.feature_m() < TechNode::N90.feature_m());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum TechNode {
     /// 180 nm (Alpha 21364 era; validation only).
     N180,
@@ -88,7 +89,7 @@ impl TechNode {
     #[must_use]
     pub fn next_smaller(self) -> Option<TechNode> {
         let all = TechNode::ALL;
-        let idx = all.iter().position(|&n| n == self).expect("node in ALL");
+        let idx = all.iter().position(|&n| n == self)?;
         all.get(idx + 1).copied()
     }
 }
@@ -133,6 +134,7 @@ impl FromStr for TechNode {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 

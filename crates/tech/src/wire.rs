@@ -61,8 +61,9 @@ impl fmt::Display for WireType {
 }
 
 /// Interconnect technology projection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum WireProjection {
     /// Optimistic ITRS projection: ideal low-k, negligible barrier.
     #[default]
@@ -161,8 +162,7 @@ impl WireParams {
             WireProjection::Conservative => (1.05, 2.20e-8, 0.10),
         };
         let width = (drawn_width - 2.0 * barrier).max(drawn_width * 0.3);
-        let thickness =
-            (drawn_thickness * (1.0 - dishing) - barrier).max(drawn_thickness * 0.3);
+        let thickness = (drawn_thickness * (1.0 - dishing) - barrier).max(drawn_thickness * 0.3);
         let r_per_m = alpha_scatter * rho / (width * thickness);
 
         let k = dielectric_k(node, projection);
@@ -250,6 +250,7 @@ impl LowSwingWire {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
 
@@ -322,7 +323,11 @@ mod tests {
 
     #[test]
     fn unrepeated_delay_is_quadratic() {
-        let w = WireParams::new(TechNode::N45, WireType::Intermediate, WireProjection::Aggressive);
+        let w = WireParams::new(
+            TechNode::N45,
+            WireType::Intermediate,
+            WireProjection::Aggressive,
+        );
         let d1 = w.unrepeated_delay(1e-3);
         let d2 = w.unrepeated_delay(2e-3);
         assert!((d2 / d1 - 4.0).abs() < 1e-9);

@@ -1,6 +1,9 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Property-based tests for the technology layer.
 
-use mcpat_tech::{DeviceParams, DeviceType, TechNode, TechParams, WireParams, WireProjection, WireType};
+use mcpat_tech::{
+    DeviceParams, DeviceType, TechNode, TechParams, WireParams, WireProjection, WireType,
+};
 use proptest::prelude::*;
 
 fn any_node() -> impl Strategy<Value = TechNode> {

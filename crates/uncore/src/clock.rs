@@ -62,7 +62,8 @@ impl ClockNetwork {
         let drive_per_width = tech.gate_cap(1.0) * 40.0; // each unit width drives ~40 gate-cap units
         let total_driver_width = total_cap / drive_per_width.max(1e-30);
         let driver_leakage = StaticPower {
-            subthreshold: tech.subthreshold_leakage(total_driver_width / 3.0, 2.0 * total_driver_width / 3.0),
+            subthreshold: tech
+                .subthreshold_leakage(total_driver_width / 3.0, 2.0 * total_driver_width / 3.0),
             gate: tech.gate_leakage(total_driver_width / 3.0, 2.0 * total_driver_width / 3.0),
         };
         let inv = LogicGate::new(tech, GateKind::Inverter, 1.0);
@@ -106,6 +107,7 @@ impl ClockNetwork {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

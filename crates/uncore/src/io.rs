@@ -28,8 +28,15 @@ impl OffChipIo {
     /// Builds an interface provisioned for `bandwidth` bytes/s.
     #[must_use]
     pub fn new(tech: &TechParams, bandwidth: f64) -> OffChipIo {
+        // Degenerate bandwidths clamp to zero so every derived figure
+        // stays finite; validation reports them separately.
+        let bandwidth = if bandwidth.is_finite() {
+            bandwidth.max(0.0)
+        } else {
+            0.0
+        };
         let scale = tech.node.scale_from_90nm();
-        let gbps = bandwidth * 8.0 / 1e9;
+        let gbps = bandwidth / 1e9 * 8.0;
         OffChipIo {
             bandwidth,
             energy_per_bit: IO_ENERGY_PER_BIT_90NM * (0.3 + 0.7 * scale),
@@ -42,7 +49,7 @@ impl OffChipIo {
     #[must_use]
     pub fn power_at_utilization(&self, utilization: f64) -> f64 {
         let u = utilization.clamp(0.0, 1.0);
-        self.standby_power + u * self.bandwidth * 8.0 * self.energy_per_bit
+        self.standby_power + u * self.energy_per_bit * self.bandwidth * 8.0
     }
 
     /// Peak power (fully utilized), W.
@@ -59,6 +66,7 @@ impl OffChipIo {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};

@@ -9,8 +9,7 @@ use mcpat_circuit::metrics::StaticPower;
 use mcpat_tech::TechParams;
 
 /// Memory controller configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MemCtrlConfig {
     /// Independent channels.
     pub channels: u32,
@@ -46,8 +45,7 @@ impl Default for MemCtrlConfig {
 }
 
 /// Runtime traffic for one interval.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct MemCtrlStats {
     /// Interval length, s.
     pub interval_s: f64,
@@ -82,7 +80,57 @@ pub struct MemCtrl {
     pub phy_area_per_channel: f64,
 }
 
+impl MemCtrlConfig {
+    /// Reports every configuration problem into `diags`, with field
+    /// paths rooted under `path`.
+    pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
+        let at = |field: &str| mcpat_diag::join_path(path, field);
+        if self.channels == 0 {
+            diags.error(
+                at("channels"),
+                "memory controller needs at least one channel",
+            );
+        }
+        if self.bus_bits == 0 {
+            diags.error(at("bus_bits"), "data bus must be at least one bit wide");
+        }
+        diags.require_positive(
+            at("peak_bw_per_channel"),
+            "per-channel bandwidth",
+            self.peak_bw_per_channel,
+        );
+        if self.read_queue_depth == 0 || self.write_queue_depth == 0 {
+            diags.warning(
+                at("read_queue_depth"),
+                "zero-depth transaction queues are modeled as single registers",
+            );
+        }
+        if self.paddr_bits == 0 || self.paddr_bits > 64 {
+            diags.error(
+                at("paddr_bits"),
+                format!(
+                    "physical address width {} must be in 1..=64",
+                    self.paddr_bits
+                ),
+            );
+        }
+        if let Some(w) = self.phy_standby_override_w {
+            diags.require_nonnegative(at("phy_standby_override_w"), "PHY standby power", w);
+        }
+    }
+}
+
 impl MemCtrl {
+    /// Warning diagnostics from the queue arrays the solver could only
+    /// place by relaxing its constraints.
+    #[must_use]
+    pub fn relaxation_warnings(&self) -> mcpat_diag::Diagnostics {
+        [&self.read_queue, &self.write_queue]
+            .iter()
+            .filter_map(|a| a.relaxation_warning())
+            .collect()
+    }
+
     /// Builds the memory controller.
     ///
     /// # Errors
@@ -173,6 +221,7 @@ impl MemCtrl {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -200,8 +249,16 @@ mod tests {
     #[test]
     fn dynamic_power_is_linear_in_traffic() {
         let mc = MemCtrl::build(&tech(), &MemCtrlConfig::default()).unwrap();
-        let s1 = MemCtrlStats { interval_s: 1.0, bytes_read: 1 << 30, bytes_written: 0 };
-        let s2 = MemCtrlStats { interval_s: 1.0, bytes_read: 2 << 30, bytes_written: 0 };
+        let s1 = MemCtrlStats {
+            interval_s: 1.0,
+            bytes_read: 1 << 30,
+            bytes_written: 0,
+        };
+        let s2 = MemCtrlStats {
+            interval_s: 1.0,
+            bytes_read: 2 << 30,
+            bytes_written: 0,
+        };
         let r = mc.dynamic_power(&s2) / mc.dynamic_power(&s1);
         assert!((r - 2.0).abs() < 1e-9);
     }
@@ -209,8 +266,22 @@ mod tests {
     #[test]
     fn more_channels_cost_more_standby() {
         let t = tech();
-        let two = MemCtrl::build(&t, &MemCtrlConfig { channels: 2, ..Default::default() }).unwrap();
-        let four = MemCtrl::build(&t, &MemCtrlConfig { channels: 4, ..Default::default() }).unwrap();
+        let two = MemCtrl::build(
+            &t,
+            &MemCtrlConfig {
+                channels: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let four = MemCtrl::build(
+            &t,
+            &MemCtrlConfig {
+                channels: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(four.leakage().total() > two.leakage().total());
         assert!(four.area() > two.area());
     }

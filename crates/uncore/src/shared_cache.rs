@@ -6,8 +6,7 @@ use mcpat_circuit::metrics::StaticPower;
 use mcpat_tech::TechParams;
 
 /// Configuration of a shared cache.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SharedCacheConfig {
     /// Underlying cache geometry.
     pub cache: CacheSpec,
@@ -33,6 +32,28 @@ impl SharedCacheConfig {
             wb_buffer_entries: 8,
             fill_buffer_entries: 8,
             directory_sharers: sharers,
+        }
+    }
+
+    /// Reports every configuration problem into `diags`, with field
+    /// paths rooted under `path`.
+    pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
+        self.cache.validate_into(path, diags);
+        let at = |field: &str| mcpat_diag::join_path(path, field);
+        if self.mshr_entries == 0 {
+            diags.warning(
+                at("mshr_entries"),
+                "no MSHRs configured; modeling a single blocking miss register",
+            );
+        }
+        if self.directory_sharers > 1024 {
+            diags.error(
+                at("directory_sharers"),
+                format!(
+                    "directory tracking {} sharers is outside the modeled range (<= 1024)",
+                    self.directory_sharers
+                ),
+            );
         }
     }
 
@@ -92,8 +113,7 @@ impl SharedCacheConfig {
 }
 
 /// Runtime event counts for one interval.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct SharedCacheStats {
     /// Interval length, s.
     pub interval_s: f64,
@@ -128,6 +148,24 @@ pub struct SharedCache {
 }
 
 impl SharedCache {
+    /// Warning diagnostics from every internal array the solver could
+    /// only place by relaxing its constraints.
+    #[must_use]
+    pub fn relaxation_warnings(&self) -> mcpat_diag::Diagnostics {
+        let mut arrays: Vec<&SolvedArray> = vec![
+            &self.cache.data,
+            &self.cache.tag,
+            &self.mshr,
+            &self.wb_buffer,
+            &self.fill_buffer,
+        ];
+        arrays.extend(&self.directory);
+        arrays
+            .iter()
+            .filter_map(|a| a.relaxation_warning())
+            .collect()
+    }
+
     /// Total area, m².
     #[must_use]
     pub fn area(&self) -> f64 {
@@ -141,8 +179,10 @@ impl SharedCache {
     /// Total leakage, W.
     #[must_use]
     pub fn leakage(&self) -> StaticPower {
-        let mut l =
-            self.cache.leakage + self.mshr.leakage + self.wb_buffer.leakage + self.fill_buffer.leakage;
+        let mut l = self.cache.leakage
+            + self.mshr.leakage
+            + self.wb_buffer.leakage
+            + self.fill_buffer.leakage;
         if let Some(d) = &self.directory {
             l += d.leakage;
         }
@@ -187,6 +227,7 @@ impl SharedCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
     use mcpat_tech::{DeviceType, TechNode};
@@ -235,8 +276,15 @@ mod tests {
         let sc = SharedCacheConfig::l2("l2", 1024 * 1024, 8)
             .build(&tech())
             .unwrap();
-        let quiet = SharedCacheStats { interval_s: 1e-3, reads: 100_000, ..Default::default() };
-        let snooped = SharedCacheStats { snoops: 500_000, ..quiet };
+        let quiet = SharedCacheStats {
+            interval_s: 1e-3,
+            reads: 100_000,
+            ..Default::default()
+        };
+        let snooped = SharedCacheStats {
+            snoops: 500_000,
+            ..quiet
+        };
         assert!(sc.dynamic_power(&snooped) > sc.dynamic_power(&quiet));
     }
 

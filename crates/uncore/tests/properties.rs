@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Property-based tests for the uncore models.
 
 use mcpat_tech::{DeviceType, TechNode, TechParams};

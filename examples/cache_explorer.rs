@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Explore the CACTI-style array solver directly: sweep cache capacity
 //! and print the chosen partitioning, access time, energy, leakage and
 //! area — including the effect of the optimization target.
@@ -56,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("-- SRAM vs eDRAM data array for an 8 MB L3 --");
     for (label, edram) in [("SRAM", false), ("eDRAM", true)] {
-        let mut spec = CacheSpec::new("l3", 8 * 1024 * 1024, 64, 16)
-            .with_access_mode(AccessMode::Sequential);
+        let mut spec =
+            CacheSpec::new("l3", 8 * 1024 * 1024, 64, 16).with_access_mode(AccessMode::Sequential);
         if edram {
             spec = spec.with_edram_data();
         }

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Cross-validate the two performance models that can drive McPAT's
 //! runtime power: the closed-form analytic CPI model and the
 //! trace-driven scoreboard simulator. Both consume the same workload

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Design-space exploration with budgets and a Pareto front: enumerate
 //! manycore candidates at 32 nm, reject those over the area/power
 //! budgets, simulate a workload on the rest, and print the
@@ -41,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let budgets = Budgets {
-        max_area: 150e-6,      // 150 mm²
-        max_peak_power: 90.0,  // 90 W
+        max_area: 150e-6,     // 150 mm²
+        max_peak_power: 90.0, // 90 W
     };
     let exploration = explore(&candidates, budgets, |chip| {
         let run = SystemModel::new(&chip.config)
@@ -71,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.peak_power,
             c.metrics.energy,
             c.metrics.delay,
-            if exploration.pareto.contains(&i) { "*" } else { "" },
+            if exploration.pareto.contains(&i) {
+                "*"
+            } else {
+                ""
+            },
         );
     }
     println!();

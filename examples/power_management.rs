@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Power-management features end to end: DVFS ladder, per-core power
 //! gating, clock gating, and the leakage–temperature convergence loop.
 //!
@@ -25,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     stats.cores = vec![busy, busy, busy, busy, idle, idle, idle, idle];
 
     println!("-- DVFS ladder (half-idle Niagara2-like chip, power gating on) --");
-    println!("{:>6} {:>10} {:>12} {:>14}", "Vdd", "power W", "rel. perf", "rel. J/op");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14}",
+        "Vdd", "power W", "rel. perf", "rel. J/op"
+    );
     let nominal = chip.runtime_power(&stats).total();
     for r in chip.dvfs_sweep(&stats, 5) {
         println!(
@@ -73,7 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // DVFS point validation demo.
-    assert!(chip.runtime_power_at(&stats, DvfsPoint::ladder(0.5)).is_none());
+    assert!(chip
+        .runtime_power_at(&stats, DvfsPoint::ladder(0.5))
+        .is_none());
     println!();
     println!("(points below the 0.6x retention floor are rejected)");
     Ok(())

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Runtime power trace: run a phased workload (compute → memory-bound →
 //! idle-ish server load) and print per-phase power as a text chart — the
 //! kind of power-over-time view architects pair McPAT with.
@@ -19,11 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = SystemModel::new(&cfg);
 
     let phases = [
-        ("hpc-stencil", WorkloadProfile::hpc_stencil(), 400_000_000u64),
+        (
+            "hpc-stencil",
+            WorkloadProfile::hpc_stencil(),
+            400_000_000u64,
+        ),
         ("analytics", WorkloadProfile::analytics_scan(), 200_000_000),
         ("web", WorkloadProfile::web_serving(), 400_000_000),
         ("compute", WorkloadProfile::compute_bound(), 600_000_000),
-        ("server", WorkloadProfile::server_transactional(), 300_000_000),
+        (
+            "server",
+            WorkloadProfile::server_transactional(),
+            300_000_000,
+        ),
     ];
 
     println!("phase         t(ms)    W     of peak {peak:.1} W");
@@ -32,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let run = sys.simulate(&wl, insts);
         let p = chip.runtime_power(&run.stats).total();
         t += run.seconds * 1e3;
-        println!(
-            "{name:<12} {t:>6.1} {p:>6.1}  |{}|",
-            bar(40, p / peak)
-        );
+        println!("{name:<12} {t:>6.1} {p:>6.1}  |{}|", bar(40, p / peak));
     }
     Ok(())
 }

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Quickstart: model a processor, print its power/area/timing report,
 //! then evaluate runtime power under a simulated workload.
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Technology scaling study: hold the architecture fixed (a Niagara2-like
 //! 8-core chip) and sweep the process node from 90 nm to 22 nm, showing
 //! the dynamic-vs-leakage crossover and area shrink the paper discusses.

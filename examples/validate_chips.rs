@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Reproduce the paper's validation: model Niagara, Niagara2, the Alpha
 //! 21364 and Xeon Tulsa, and compare modeled power/area against the
 //! published numbers.
@@ -13,10 +14,34 @@ struct Published {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let targets = [
-        (ProcessorConfig::niagara(), Published { power_w: 63.0, area_mm2: 378.0 }),
-        (ProcessorConfig::niagara2(), Published { power_w: 84.0, area_mm2: 342.0 }),
-        (ProcessorConfig::alpha21364(), Published { power_w: 125.0, area_mm2: 397.0 }),
-        (ProcessorConfig::tulsa(), Published { power_w: 150.0, area_mm2: 435.0 }),
+        (
+            ProcessorConfig::niagara(),
+            Published {
+                power_w: 63.0,
+                area_mm2: 378.0,
+            },
+        ),
+        (
+            ProcessorConfig::niagara2(),
+            Published {
+                power_w: 84.0,
+                area_mm2: 342.0,
+            },
+        ),
+        (
+            ProcessorConfig::alpha21364(),
+            Published {
+                power_w: 125.0,
+                area_mm2: 397.0,
+            },
+        ),
+        (
+            ProcessorConfig::tulsa(),
+            Published {
+                power_w: 150.0,
+                area_mm2: 435.0,
+            },
+        ),
     ];
 
     println!(

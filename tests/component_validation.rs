@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Component-level validation: the paper validates its array models
 //! against circuit simulation; here we pin our array solver against
 //! well-known published/CACTI-class reference points (order-of-magnitude

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Integration test: the manycore case-study machinery — technology
 //! scaling, clustering, in-order vs out-of-order tradeoffs, and the
 //! area-aware metric flip that is the paper's headline result.
@@ -91,7 +92,11 @@ fn metric_choice_changes_the_selected_design() {
         let chip = Processor::build(&cfg).unwrap();
         let run = SystemModel::new(&cfg).simulate(&wl, 100_000_000);
         let p = chip.runtime_power(&run.stats);
-        points.push(MetricSet::from_power(p.total(), run.seconds, chip.die_area()));
+        points.push(MetricSet::from_power(
+            p.total(),
+            run.seconds,
+            chip.die_area(),
+        ));
         areas.push(chip.die_area());
     }
     let ed2p_pick = best_index(&points, Metric::Ed2p).unwrap();

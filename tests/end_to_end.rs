@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Integration test: the full pipeline — configuration → chip build →
 //! performance simulation → runtime power → metrics — across presets and
 //! workloads, plus serde round-tripping of the configuration schema.
@@ -33,7 +34,12 @@ fn every_preset_runs_every_workload() {
         for (name, wl) in all_workloads() {
             let run = sim.simulate(&wl, 50_000_000);
             assert!(run.seconds > 0.0, "{}/{name}", cfg.name);
-            assert!(run.ipc_per_core > 0.01, "{}/{name}: ipc {}", cfg.name, run.ipc_per_core);
+            assert!(
+                run.ipc_per_core > 0.01,
+                "{}/{name}: ipc {}",
+                cfg.name,
+                run.ipc_per_core
+            );
             let p = chip.runtime_power(&run.stats);
             assert!(
                 p.total() > 0.0 && p.total() < peak * 1.3,

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Golden-value regression pins.
 //!
 //! These tests freeze the current calibration (±2% tolerance) so that
@@ -6,9 +7,9 @@
 //! *intentional*, update the pinned values here and record the change in
 //! EXPERIMENTS.md.
 
-use mcpat::{Processor, ProcessorConfig};
 use mcpat::array::{ArraySpec, OptTarget};
 use mcpat::tech::{DeviceType, TechNode, TechParams};
+use mcpat::{Processor, ProcessorConfig};
 
 fn within(actual: f64, pinned: f64, tol: f64, what: &str) {
     let rel = (actual - pinned).abs() / pinned.abs().max(1e-30);
@@ -28,7 +29,12 @@ fn technology_layer_pins() {
         (TechNode::N32, DeviceType::Lstp, 20.48),
     ] {
         let t = TechParams::new(node, flavor, 360.0);
-        within(t.fo4() * 1e12, pinned_fo4_ps, 0.10, &format!("FO4 {node} {flavor}"));
+        within(
+            t.fo4() * 1e12,
+            pinned_fo4_ps,
+            0.10,
+            &format!("FO4 {node} {flavor}"),
+        );
     }
 }
 

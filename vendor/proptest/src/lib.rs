@@ -1,0 +1,660 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * range, tuple, `Just`, `select`, `bool::ANY` strategies,
+//! * `prop_map` / `prop_filter` / `prop_filter_map` combinators and
+//!   [`prop_oneof!`],
+//! * `prop_assert!` / `prop_assert_eq!`,
+//! * replay of committed `*.proptest-regressions` seeds whose values
+//!   parse via `FromStr` (numeric shrink seeds replay; seeds recorded as
+//!   Debug-formatted structs are skipped but preserved on disk).
+//!
+//! No shrinking is performed: on failure the generated inputs are
+//! printed verbatim.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// The deterministic generator driving strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically; tests derive the seed from their name so
+    /// runs are reproducible.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Derives a per-test seed from the test path, honouring a
+    /// `PROPTEST_SEED` environment override.
+    #[must_use]
+    pub fn for_test(name: &str) -> TestRng {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                return TestRng::seed_from_u64(seed);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// SplitMix64 step.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [0, n).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Per-block test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug + Clone;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug + Clone,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `true`.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Maps values through `f`, resampling while it returns `None`.
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        U: Debug + Clone,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            base: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug + Clone> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug + Clone, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// Attempts before a filter gives up (mirrors proptest's global rejects
+/// cap in spirit).
+const MAX_FILTER_TRIES: usize = 10_000;
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_TRIES {
+            let v = self.base.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected every candidate", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug + Clone, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        for _ in 0..MAX_FILTER_TRIES {
+            if let Some(v) = (self.f)(self.base.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map `{}` rejected every candidate", self.whence);
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug + Clone> Union<T> {
+    /// Builds from a non-empty option list.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: Debug + Clone> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Sub-modules mirroring `proptest::prop`.
+pub mod prop_mods {
+    /// `prop::sample`.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// Uniform choice from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        /// Uniformly selects one of `items`.
+        pub fn select<T: Debug + Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select() needs at least one item");
+            Select { items }
+        }
+
+        impl<T: Debug + Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.items.len() as u64) as usize;
+                self.items[i].clone()
+            }
+        }
+    }
+
+    /// `prop::bool`.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// The strategy generating both booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniform boolean.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression replay
+// ---------------------------------------------------------------------------
+
+/// Autoref-specialization tag: `(&RvTag<T>).rv_parse(s)` resolves to the
+/// `FromStr` impl when `T: FromStr`, else the fallback returning `None`.
+pub struct RvTag<T>(PhantomData<T>);
+
+/// Builds the tag for a strategy's value type.
+#[must_use]
+pub fn rv_tag_for<S: Strategy>(_s: &S) -> RvTag<S::Value> {
+    RvTag(PhantomData)
+}
+
+/// Replay parsing via `FromStr` (preferred by autoref specialization).
+pub trait RvParseFromStr<T> {
+    /// Parses a recorded shrink value.
+    fn rv_parse(&self, s: &str) -> Option<T>;
+}
+
+impl<T: std::str::FromStr> RvParseFromStr<T> for &RvTag<T> {
+    fn rv_parse(&self, s: &str) -> Option<T> {
+        s.trim().parse().ok()
+    }
+}
+
+/// Replay parsing fallback for non-`FromStr` types: skip.
+pub trait RvParseFallback<T> {
+    /// Always `None`.
+    fn rv_parse(&self, s: &str) -> Option<T>;
+}
+
+impl<T> RvParseFallback<T> for RvTag<T> {
+    fn rv_parse(&self, _s: &str) -> Option<T> {
+        None
+    }
+}
+
+/// Loads the committed regression seeds for `source_file` whose recorded
+/// variable names exactly match `args`, returning for each seed the raw
+/// value strings in `args` order.
+#[must_use]
+pub fn regression_cases(source_file: &str, args: &[&str]) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let Some(text) = read_regression_file(source_file) else {
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("cc ") {
+            continue;
+        }
+        let Some((_, tail)) = line.split_once("# shrinks to ") else {
+            continue;
+        };
+        if let Some(values) = split_shrink_values(tail.trim(), args) {
+            out.push(values);
+        }
+    }
+    out
+}
+
+/// Splits `name1 = v1, name2 = v2, ...` on the known `args` names, so
+/// values may themselves contain commas (Debug-formatted structs).
+fn split_shrink_values(tail: &str, args: &[&str]) -> Option<Vec<String>> {
+    // Locate each `name = ` marker in order.
+    let mut starts = Vec::with_capacity(args.len());
+    let mut search_from = 0;
+    for name in args {
+        let marker = format!("{name} = ");
+        let idx = tail[search_from..].find(&marker)? + search_from;
+        starts.push((idx, idx + marker.len()));
+        search_from = idx + marker.len();
+    }
+    let mut values = Vec::with_capacity(args.len());
+    for (i, &(_, vstart)) in starts.iter().enumerate() {
+        let vend = if i + 1 < starts.len() {
+            // Trim back across the `, ` separator before the next name.
+            let next_name_start = starts[i + 1].0;
+            tail[..next_name_start]
+                .trim_end()
+                .trim_end_matches(',')
+                .len()
+        } else {
+            tail.len()
+        };
+        if vend <= vstart {
+            return None;
+        }
+        values.push(tail[vstart..vend].trim().trim_end_matches(',').to_string());
+    }
+    Some(values)
+}
+
+fn read_regression_file(source_file: &str) -> Option<String> {
+    let base = source_file.strip_suffix(".rs")?;
+    let rel = format!("{base}.proptest-regressions");
+    // `file!()` paths are workspace-relative while tests run from the
+    // package directory; probe upward a few levels.
+    for prefix in ["", "../", "../../", "../../../"] {
+        let candidate = format!("{prefix}{rel}");
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            return Some(text);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among heterogeneous strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Defines property tests. See the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::Strategy as _;
+            let __cfg: $crate::ProptestConfig = $cfg;
+            // Bind each strategy under its argument name (shadowed by the
+            // sampled values inside each case).
+            let ($($arg,)+) = ($($strat,)+);
+
+            // Replay committed regression seeds first, when parseable.
+            let __replays = $crate::regression_cases(file!(), &[$(stringify!($arg)),+]);
+            for __case in &__replays {
+                let mut __fields = __case.iter();
+                #[allow(unused_imports)]
+                use $crate::{RvParseFallback as _, RvParseFromStr as _};
+                let __parsed = (|| {
+                    Some(($(
+                        (&$crate::rv_tag_for(&$arg)).rv_parse(__fields.next()?.as_str())?,
+                    )+))
+                })();
+                if let Some(__vals) = __parsed {
+                    let __shown = format!("{:?}", __vals);
+                    let __r = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        let ($($arg,)+) = __vals.clone();
+                        $body
+                    }));
+                    if let Err(__e) = __r {
+                        eprintln!(
+                            "proptest regression seed failed: {} = {}",
+                            stringify!(($($arg),+)),
+                            __shown,
+                        );
+                        ::std::panic::resume_unwind(__e);
+                    }
+                }
+            }
+
+            // Fresh cases.
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case_index in 0..__cfg.cases {
+                let __vals = ($($crate::Strategy::sample(&$arg, &mut __rng),)+);
+                let __shown = format!("{:?}", __vals);
+                let __r = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ($($arg,)+) = __vals.clone();
+                    $body
+                }));
+                if let Err(__e) = __r {
+                    eprintln!(
+                        "proptest case {} failed: {} = {}",
+                        __case_index,
+                        stringify!(($($arg),+)),
+                        __shown,
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// The `proptest::prelude` equivalent.
+pub mod prelude {
+    pub use crate::prop_mods as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let s = (1u32..5, 0.0..1.0f64);
+        for _ in 0..200 {
+            let (a, b) = s.sample(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn filter_map_and_oneof_work() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let even = (0u32..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        for _ in 0..100 {
+            assert_eq!(even.sample(&mut rng) % 2, 0);
+        }
+        let t = prop_oneof![Just(1u32), Just(2u32)];
+        for _ in 0..50 {
+            assert!(matches!(t.sample(&mut rng), 1 | 2));
+        }
+    }
+
+    #[test]
+    fn shrink_value_splitting_handles_commas_in_debug() {
+        let vals =
+            crate::split_shrink_values("cfg = Foo { a: 1, b: 2 }, x = 7", &["cfg", "x"]).unwrap();
+        assert_eq!(vals[0], "Foo { a: 1, b: 2 }");
+        assert_eq!(vals[1], "7");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(a in 1u32..10, b in 0.5..2.0f64) {
+            prop_assert!(a >= 1 && a < 10);
+            prop_assert!(b >= 0.5 && b < 2.0);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the minimal serialization machinery it needs. Instead of serde's
+//! visitor-based streaming model, everything round-trips through a small
+//! tree ([`Content`]) — more than fast enough for configuration files and
+//! reports, and much simpler to reason about.
+//!
+//! The public names (`Serialize`, `Deserialize`, `serde::derive`) mirror
+//! the real crate closely enough that the workspace code is written
+//! exactly as it would be against upstream serde.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory data model everything serializes through.
+///
+/// `serde_json::Value` is an alias of this type, so corrupting or
+/// inspecting serialized configs (as the fault-injection harness does)
+/// operates directly on `Content` trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number (may be non-finite in memory; non-finite
+    /// values serialize to `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map (insertion order preserved so emitted JSON is
+    /// stable).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable map entries, if this is a map.
+    pub fn as_map_mut(&mut self) -> Option<&mut Vec<(String, Content)>> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Mutable sequence elements, if this is a sequence.
+    pub fn as_seq_mut(&mut self) -> Option<&mut Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::U64(u) => Some(*u as f64),
+            Content::I64(i) => Some(*i as f64),
+            Content::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(u) => Some(*u),
+            Content::I64(i) if *i >= 0 => Some(*i as u64),
+            Content::F64(f)
+                if f.is_finite() && *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` if it is one exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::U64(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Content::I64(i) => Some(*i),
+            Content::F64(f)
+                if f.is_finite()
+                    && f.fract() == 0.0
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map().and_then(|m| content_find(m, key))
+    }
+
+    /// Mutable lookup of a key in a map value.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Content> {
+        match self {
+            Content::Map(m) => m.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Finds `key` in an ordered map body (first match).
+pub fn content_find<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error: a message plus the reverse path of fields it
+/// occurred under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+    path: Vec<String>,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError {
+            msg: msg.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> DeError {
+        DeError::custom(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    /// The value had the wrong shape.
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError::custom(format!("expected {what} for `{ty}`"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> DeError {
+        DeError::custom(format!("unknown variant `{tag}` for enum `{ty}`"))
+    }
+
+    /// Wraps the error with the field it occurred in (outermost last).
+    #[must_use]
+    pub fn in_field(mut self, field: &str) -> DeError {
+        self.path.push(field.to_string());
+        self
+    }
+
+    /// The dotted field path from the root to the error site.
+    pub fn path(&self) -> String {
+        let mut parts: Vec<&str> = self.path.iter().map(String::as_str).collect();
+        parts.reverse();
+        parts.join(".")
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "{}: {}", self.path(), self.msg)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into the [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into a content tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value of `Self` out of a content tree.
+    fn deserialize_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let u = c
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("a non-negative integer", stringify!($t)))?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError::custom(format!(
+                        "value {u} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        let u = c
+            .as_u64()
+            .ok_or_else(|| DeError::expected("a non-negative integer", "usize"))?;
+        usize::try_from(u).map_err(|_| DeError::custom(format!("value {u} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let i = c
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("an integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::custom(format!(
+                        "value {i} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        if c.is_null() {
+            // JSON cannot represent non-finite floats; `null` is the
+            // conventional encoding.
+            return Ok(f64::NAN);
+        }
+        c.as_f64()
+            .ok_or_else(|| DeError::expected("a number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        if c.is_null() {
+            return Ok(f32::NAN);
+        }
+        c.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("a number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool()
+            .ok_or_else(|| DeError::expected("a bool", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        if c.is_null() {
+            return Ok(None);
+        }
+        T::deserialize_content(c).map(Some)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        let seq = c
+            .as_seq()
+            .ok_or_else(|| DeError::expected("a sequence", "Vec"))?;
+        seq.iter()
+            .enumerate()
+            .map(|(i, v)| T::deserialize_content(v).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (*self).serialize_content()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize_content(&42u32.serialize_content()), Ok(42));
+        assert_eq!(
+            f64::deserialize_content(&1.5f64.serialize_content()),
+            Ok(1.5)
+        );
+        assert_eq!(
+            i32::deserialize_content(&(-7i32).serialize_content()),
+            Ok(-7)
+        );
+        assert_eq!(
+            String::deserialize_content(&"hi".to_string().serialize_content()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<f64> = None;
+        assert!(v.serialize_content().is_null());
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(
+            Vec::<u32>::deserialize_content(&xs.serialize_content()),
+            Ok(xs)
+        );
+    }
+
+    #[test]
+    fn range_errors_carry_paths() {
+        let c = Content::Map(vec![("big".to_string(), Content::U64(u64::MAX))]);
+        let e = u32::deserialize_content(c.get("big").unwrap())
+            .unwrap_err()
+            .in_field("big");
+        assert!(e.to_string().contains("big"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde implementation (see `vendor/serde`). This
+//! proc-macro crate provides `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the subset of shapes the workspace
+//! actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`),
+//! * enums with unit variants, struct variants, and newtype variants.
+//!
+//! It deliberately avoids `syn`/`quote`: the input token stream is walked
+//! by hand and the generated impls are assembled as strings, which is
+//! entirely adequate for the plain data types modelled here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct (or struct variant).
+struct Field {
+    name: String,
+    /// `None` = required, `Some(None)` = `#[serde(default)]`,
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Single unnamed payload (newtype variant).
+    Newtype,
+    /// Named fields.
+    Struct(Vec<Field>),
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes / visibility until `struct` or `enum`.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    i += 1; // past the keyword
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    i += 1;
+    // Find the brace-delimited body (no generics are used in this workspace).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde_derive stub: `{name}` has no braced body (tuple structs and generics are unsupported)"),
+        }
+    };
+    let shape = if is_enum {
+        Shape::Enum(parse_variants(body))
+    } else {
+        Shape::Struct(parse_fields(body))
+    };
+    Input { name, shape }
+}
+
+/// Extracts a `default` spec from a `#[serde(...)]` attribute group body.
+fn serde_default_of(attr_body: &str) -> Option<Option<String>> {
+    // attr_body looks like `serde(default)` or `serde(default = "path")`.
+    let inner = attr_body.strip_prefix("serde")?.trim();
+    let inner = inner.strip_prefix('(')?.strip_suffix(')')?.trim();
+    if inner == "default" {
+        return Some(None);
+    }
+    let rest = inner
+        .strip_prefix("default")?
+        .trim()
+        .strip_prefix('=')?
+        .trim();
+    let path = rest.trim_matches('"').to_string();
+    Some(Some(path))
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut pending_default: Option<Option<String>> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: `#` followed by a bracket group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if let Some(d) = serde_default_of(&g.stream().to_string()) {
+                            pending_default = Some(d);
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Skip a possible `(crate)` style visibility group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                // Field name followed by `:` then the type up to a
+                // top-level comma.
+                let fname = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!(
+                        "serde_derive stub: expected `:` after field `{fname}`, found {other:?}"
+                    ),
+                }
+                // Skip the type: consume until a comma at angle-bracket depth 0.
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                fields.push(Field {
+                    name: fname,
+                    default: pending_default.take(),
+                });
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip variant attributes (doc comments etc.).
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        i += 2;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(parse_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Newtype
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip a possible discriminant and the trailing comma.
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                variants.push(Variant { name: vname, kind });
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let mut s =
+                String::from("let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::serialize_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Content::Map(__m)\n");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(__x) => ::serde::Content::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::serialize_content(__x))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pats: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.push((\"{0}\".to_string(), ::serde::Serialize::serialize_content({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pats} }} => {{ {inner} ::serde::Content::Map(vec![(\"{v}\".to_string(), ::serde::Content::Map(__m))]) }}\n",
+                            v = v.name,
+                            pats = pats.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+    )
+}
+
+fn field_expr(owner: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        Some(None) => "::core::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!(
+            "return Err(::serde::DeError::missing_field(\"{0}\", \"{owner}\"))",
+            f.name
+        ),
+    };
+    format!(
+        "{0}: match ::serde::content_find(__map, \"{0}\") {{\n\
+             Some(__v) => ::serde::Deserialize::deserialize_content(__v)\
+                 .map_err(|e| e.in_field(\"{0}\"))?,\n\
+             None => {missing},\n\
+         }}",
+        f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_expr(name, f)).collect();
+            format!(
+                "let __map = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{\n{}\n}})\n",
+                inits.join(",\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms
+                            .push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name));
+                        // Also accept the externally-tagged map form
+                        // `{"Variant": null}`.
+                        tagged_arms
+                            .push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name));
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{v}\" => return ::serde::Deserialize::deserialize_content(__payload)\
+                             .map({name}::{v}).map_err(|e| e.in_field(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| field_expr(name, f)).collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __map = __payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{v}\"))?;\n\
+                                 return Ok({name}::{v} {{\n{inits}\n}});\n\
+                             }}\n",
+                            v = v.name,
+                            inits = inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __c.as_str() {{\n\
+                     match __s {{\n{unit_arms}\
+                         __other => return Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some(__map) = __c.as_map() {{\n\
+                     if __map.len() == 1 {{\n\
+                         let (__tag, __payload) = &__map[0];\n\
+                         match __tag.as_str() {{\n{tagged_arms}\
+                             __other => return Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"enum variant\", \"{name}\"))\n"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(__c: &::serde::Content) -> Result<{name}, ::serde::DeError> {{\n\
+         #[allow(unused_variables)]\n{body}}}\n}}\n"
+    )
+}
