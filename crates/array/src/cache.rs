@@ -221,7 +221,6 @@ impl CacheSpec {
         if let Some(t) = self.max_cycle_time {
             data_spec = data_spec.with_max_cycle_time(t);
         }
-        let data = data_spec.solve(tech, target)?;
 
         // Tag array: all ways' tags per set, always read together.
         let tag_entry_bits = self.tag_bits() * self.associativity;
@@ -231,7 +230,18 @@ impl CacheSpec {
         if let Some(t) = self.max_cycle_time {
             tag_spec = tag_spec.with_max_cycle_time(t);
         }
-        let tag = tag_spec.solve(tech, target)?;
+
+        // The two solves are independent; overlap them when threads are
+        // available (data is the big one, tag rides along).
+        let (data, tag) = mcpat_par::join2(
+            || data_spec.solve(tech, target),
+            || tag_spec.solve(tech, target),
+        )
+        .map_err(|e| ArrayError::Worker {
+            name: self.name.clone(),
+            detail: e.to_string(),
+        })?;
+        let (data, tag) = (data?, tag?);
 
         let cmp = TagComparator::new(tech, self.tag_bits());
         let cmp_m = cmp.metrics();

@@ -13,6 +13,7 @@
 //! * [`mat`] — the electrical model of a single subarray;
 //! * [`htree`] — the routing network joining subarrays to the port;
 //! * [`solve`] — the partition optimizer producing a [`SolvedArray`];
+//! * [`memo`] — a content-addressed, thread-safe cache of solves;
 //! * [`cache`] — tag + data assembly for set-associative caches.
 //!
 //! ```
@@ -31,9 +32,11 @@
 pub mod cache;
 pub mod htree;
 pub mod mat;
+pub mod memo;
 pub mod solve;
 pub mod spec;
 
 pub use cache::{CacheArray, CacheSpec};
+pub use memo::SolveCacheStats;
 pub use solve::{ArrayError, Relaxation, SolvedArray};
 pub use spec::{ArrayKind, ArraySpec, OptTarget, Ports};

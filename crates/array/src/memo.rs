@@ -1,0 +1,400 @@
+//! Content-addressed memoization of array solves.
+//!
+//! An exploration sweep, a DVFS rebuild loop, or a temperature sweep
+//! re-solves the *same physical array* — identical technology corner,
+//! identical geometry, identical objective — many times over: every
+//! candidate chip in the paper's manycore study shares its L1s, and a
+//! repeated `Processor::build` re-solves every array from scratch. The
+//! solve is a pure function of `(TechParams, ArraySpec, OptTarget)`, so
+//! this module caches it process-wide.
+//!
+//! **Key canonicalization.** The key must be `Eq + Hash`, but both
+//! `TechParams` and `ArraySpec` carry `f64` fields. Every float is keyed
+//! by its IEEE-754 bit pattern via [`canon_f64`], with two adjustments
+//! so that values that compare equal key equally: `-0.0` maps to `+0.0`,
+//! and every NaN maps to one canonical NaN (NaNs never reach the solver
+//! in practice — configs are validated — but a total function is
+//! cheaper than an unreachable panic). The spec's `name` is deliberately
+//! **excluded**: two arrays that differ only in their report label are
+//! physically the same array. On a hit the stored result is re-labeled
+//! with the requesting spec's name (errors included).
+//!
+//! **Thread safety.** The map is sharded 16 ways, each shard a
+//! `Mutex<HashMap>`, so concurrent array solves from the core/chip
+//! build fan-out rarely contend on the same lock. A poisoned shard
+//! (impossible unless a panic escapes the panic-free core) is recovered
+//! with [`std::sync::PoisonError::into_inner`] rather than propagated.
+//! Misses solve *outside* the lock; two threads racing on the same key
+//! both solve and one result wins — wasted work, never a wrong answer,
+//! and no lock is held across a (milliseconds-long) solve.
+
+use crate::solve::{ArrayError, SolvedArray};
+use crate::spec::{ArrayKind, ArraySpec, OptTarget};
+use mcpat_tech::TechParams;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Number of independently locked map shards.
+const SHARDS: usize = 16;
+
+/// Maps an `f64` to canonical key bits: `-0.0` and `+0.0` key equally,
+/// and every NaN keys as one canonical NaN.
+#[must_use]
+pub fn canon_f64(x: f64) -> u64 {
+    if x == 0.0 {
+        0
+    } else if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+/// The technology half of the cache key: every field of [`TechParams`]
+/// that the solver can observe, floats in canonical bit form.
+fn tech_words(tech: &TechParams) -> [u64; 16] {
+    let d = &tech.device;
+    [
+        canon_f64(tech.node.feature_m()),
+        u64::from(tech.device_type as u8),
+        canon_f64(tech.temperature),
+        u64::from(tech.projection as u8),
+        u64::from(tech.long_channel_leakage),
+        canon_f64(d.vdd),
+        canon_f64(d.vth),
+        canon_f64(d.l_phy),
+        canon_f64(d.i_on_n),
+        canon_f64(d.i_on_p),
+        canon_f64(d.i_off_n_ref),
+        canon_f64(d.i_g_n),
+        canon_f64(d.c_g),
+        canon_f64(d.c_d),
+        canon_f64(d.long_channel_leakage_reduction),
+        canon_f64(d.t_slope),
+    ]
+}
+
+/// The full content-addressed cache key. The spec's `name` is excluded
+/// on purpose — see the module docs.
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct Key {
+    tech: [u64; 16],
+    entries: u64,
+    bits_per_entry: u32,
+    access_bits: u32,
+    search_bits: u32,
+    kind: u8,
+    ports: [u32; 4],
+    max_cycle: u64,
+    has_max_cycle: bool,
+    target: u8,
+}
+
+impl Key {
+    fn new(tech: &TechParams, spec: &ArraySpec, target: OptTarget) -> Key {
+        Key {
+            tech: tech_words(tech),
+            entries: spec.entries,
+            bits_per_entry: spec.bits_per_entry,
+            access_bits: spec.access_bits,
+            search_bits: spec.search_bits,
+            kind: match spec.kind {
+                ArrayKind::Ram => 0,
+                ArrayKind::Cam => 1,
+                ArrayKind::Edram => 2,
+            },
+            ports: [
+                spec.ports.rw,
+                spec.ports.read,
+                spec.ports.write,
+                spec.ports.search,
+            ],
+            max_cycle: spec.max_cycle_time.map_or(0, canon_f64),
+            has_max_cycle: spec.max_cycle_time.is_some(),
+            target: match target {
+                OptTarget::Delay => 0,
+                OptTarget::EnergyDelay => 1,
+                OptTarget::EnergyDelaySquared => 2,
+                OptTarget::Energy => 3,
+                OptTarget::Area => 4,
+            },
+        }
+    }
+
+    fn shard(&self) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+}
+
+type Shard = Mutex<HashMap<Key, Result<SolvedArray, ArrayError>>>;
+
+fn shards() -> &'static [Shard; SHARDS] {
+    static SHARDS_CELL: OnceLock<[Shard; SHARDS]> = OnceLock::new();
+    SHARDS_CELL.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashMap::new())))
+}
+
+fn lock(shard: &Shard) -> MutexGuard<'_, HashMap<Key, Result<SolvedArray, ArrayError>>> {
+    shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cache mode: 0 = auto (on unless `MCPAT_SOLVE_CACHE=0`),
+/// 1 = forced on, 2 = forced off.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces the solve cache on or off for this process, overriding the
+/// `MCPAT_SOLVE_CACHE` environment variable. Intended for benchmarks
+/// and tests comparing cold against warm builds.
+pub fn set_enabled(on: bool) {
+    MODE.store(if on { 1 } else { 2 }, Ordering::SeqCst);
+}
+
+/// Restores the default behavior: enabled unless the
+/// `MCPAT_SOLVE_CACHE` environment variable is set to `0`.
+pub fn set_auto() {
+    MODE.store(0, Ordering::SeqCst);
+}
+
+fn enabled() -> bool {
+    match MODE.load(Ordering::SeqCst) {
+        1 => true,
+        2 => false,
+        _ => std::env::var("MCPAT_SOLVE_CACHE").map_or(true, |v| v.trim() != "0"),
+    }
+}
+
+/// Drops every cached solve and zeroes the hit/miss counters.
+pub fn clear() {
+    for shard in shards() {
+        lock(shard).clear();
+    }
+    HITS.store(0, Ordering::SeqCst);
+    MISSES.store(0, Ordering::SeqCst);
+}
+
+/// A snapshot of the solve cache's effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SolveCacheStats {
+    /// Solves answered from the cache.
+    pub hits: u64,
+    /// Solves that ran the optimizer.
+    pub misses: u64,
+    /// Distinct (tech, spec, target) keys currently stored.
+    pub entries: u64,
+}
+
+impl SolveCacheStats {
+    /// Hits + misses.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits.saturating_add(self.misses)
+    }
+}
+
+/// Current process-wide cache statistics.
+#[must_use]
+pub fn stats() -> SolveCacheStats {
+    let entries = shards().iter().map(|s| lock(s).len() as u64).sum();
+    SolveCacheStats {
+        hits: HITS.load(Ordering::SeqCst),
+        misses: MISSES.load(Ordering::SeqCst),
+        entries,
+    }
+}
+
+/// Re-labels a cached result with the requesting spec's name, so the
+/// name-agnostic key never leaks another array's label into reports.
+fn relabel(
+    mut res: Result<SolvedArray, ArrayError>,
+    name: &str,
+) -> Result<SolvedArray, ArrayError> {
+    match &mut res {
+        Ok(solved) => solved.name.replace_range(.., name),
+        Err(
+            ArrayError::DegenerateSpec { name: n }
+            | ArrayError::NoFeasiblePartition { name: n, .. }
+            | ArrayError::Worker { name: n, .. },
+        ) => n.replace_range(.., name),
+    }
+    res
+}
+
+/// Answers a solve from the cache, or runs `solve_fn` and stores its
+/// result (errors included — an infeasible array is infeasible every
+/// time it is asked for).
+///
+/// # Errors
+///
+/// Whatever `solve_fn` returns, possibly replayed from the cache with
+/// the name re-labeled.
+pub fn lookup_or_solve(
+    tech: &TechParams,
+    spec: &ArraySpec,
+    target: OptTarget,
+    solve_fn: impl FnOnce(&TechParams, &ArraySpec, OptTarget) -> Result<SolvedArray, ArrayError>,
+) -> Result<SolvedArray, ArrayError> {
+    if !enabled() {
+        return solve_fn(tech, spec, target);
+    }
+    let key = Key::new(tech, spec, target);
+    let shard = &shards()[key.shard()];
+    if let Some(cached) = lock(shard).get(&key).cloned() {
+        HITS.fetch_add(1, Ordering::SeqCst);
+        return relabel(cached, &spec.name);
+    }
+    MISSES.fetch_add(1, Ordering::SeqCst);
+    let res = solve_fn(tech, spec, target);
+    lock(shard).insert(key, res.clone());
+    res
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use mcpat_tech::{DeviceType, TechNode};
+
+    fn tech() -> TechParams {
+        TechParams::new(TechNode::N45, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn canon_f64_merges_zero_signs_and_nans() {
+        assert_eq!(canon_f64(0.0), canon_f64(-0.0));
+        assert_eq!(canon_f64(f64::NAN), canon_f64(-f64::NAN));
+        assert_ne!(canon_f64(1.0), canon_f64(2.0));
+        assert_eq!(canon_f64(1.5), 1.5f64.to_bits());
+    }
+
+    #[test]
+    fn key_ignores_name_but_sees_everything_else() {
+        let t = tech();
+        let a = ArraySpec::ram(64 * 1024, 64).named("icache");
+        let b = ArraySpec::ram(64 * 1024, 64).named("dcache");
+        assert_eq!(
+            Key::new(&t, &a, OptTarget::EnergyDelay),
+            Key::new(&t, &b, OptTarget::EnergyDelay)
+        );
+        assert_ne!(
+            Key::new(&t, &a, OptTarget::EnergyDelay),
+            Key::new(&t, &a, OptTarget::Delay)
+        );
+        let c = ArraySpec::ram(64 * 1024, 32);
+        assert_ne!(
+            Key::new(&t, &a, OptTarget::EnergyDelay),
+            Key::new(&t, &c, OptTarget::EnergyDelay)
+        );
+        let hot = TechParams::new(TechNode::N45, DeviceType::Hp, 380.0);
+        assert_ne!(
+            Key::new(&t, &a, OptTarget::EnergyDelay),
+            Key::new(&hot, &a, OptTarget::EnergyDelay)
+        );
+        let scaled = t.with_vdd_scale(0.9);
+        assert_ne!(
+            Key::new(&t, &a, OptTarget::EnergyDelay),
+            Key::new(&scaled, &a, OptTarget::EnergyDelay)
+        );
+    }
+
+    #[test]
+    fn unset_cycle_constraint_differs_from_zero() {
+        let t = tech();
+        let free = ArraySpec::ram(4096, 16);
+        let pinned = ArraySpec::ram(4096, 16).with_max_cycle_time(0.0);
+        assert_ne!(
+            Key::new(&t, &free, OptTarget::EnergyDelay),
+            Key::new(&t, &pinned, OptTarget::EnergyDelay)
+        );
+    }
+
+    /// Serializes tests that flip the process-global cache mode.
+    static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn hit_replays_result_with_requesting_name() {
+        // Use a geometry no other test solves, so this test owns its key
+        // even though the whole test binary shares the process-wide
+        // cache; count solver invocations directly instead of relying on
+        // the global counters, which other tests bump concurrently.
+        let _mode = MODE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let t = tech();
+        let calls = std::cell::Cell::new(0u32);
+        let run = |name: &str| {
+            lookup_or_solve(
+                &t,
+                &ArraySpec::table(977, 31).named(name),
+                OptTarget::Area,
+                |t, s, tg| {
+                    calls.set(calls.get() + 1);
+                    crate::solve::solve_uncached(t, s, tg)
+                },
+            )
+            .unwrap()
+        };
+        let first = run("first");
+        let second = run("second");
+        set_auto();
+        assert_eq!(calls.get(), 1, "second solve must be answered by the cache");
+        assert_eq!(first.name, "first");
+        assert_eq!(second.name, "second");
+        assert_eq!(first.ndwl, second.ndwl);
+        assert_eq!(first.access_time.to_bits(), second.access_time.to_bits());
+        assert_eq!(first.area.to_bits(), second.area.to_bits());
+    }
+
+    #[test]
+    fn errors_are_cached_and_relabeled() {
+        let _mode = MODE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let t = tech();
+        let degenerate = |name: &str| {
+            ArraySpec {
+                entries: 0,
+                ..ArraySpec::table(1, 13)
+            }
+            .named(name)
+        };
+        let e1 = degenerate("a").solve(&t, OptTarget::Delay).unwrap_err();
+        let e2 = degenerate("b").solve(&t, OptTarget::Delay).unwrap_err();
+        set_auto();
+        assert_eq!(e1, ArrayError::DegenerateSpec { name: "a".into() });
+        assert_eq!(e2, ArrayError::DegenerateSpec { name: "b".into() });
+    }
+
+    #[test]
+    fn disabled_cache_always_solves() {
+        let _mode = MODE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(false);
+        let t = tech();
+        let calls = std::cell::Cell::new(0u32);
+        for _ in 0..2 {
+            lookup_or_solve(
+                &t,
+                &ArraySpec::table(499, 23).named("uncached"),
+                OptTarget::Delay,
+                |t, s, tg| {
+                    calls.set(calls.get() + 1);
+                    crate::solve::solve_uncached(t, s, tg)
+                },
+            )
+            .unwrap();
+        }
+        set_auto();
+        assert_eq!(calls.get(), 2, "disabled cache must always run the solver");
+    }
+}

@@ -37,6 +37,15 @@ pub enum ArrayError {
         /// The best cycle time any candidate achieved, s.
         best_cycle: f64,
     },
+    /// A parallel sweep worker failed (a panic inside candidate
+    /// evaluation, contained and surfaced as a typed error instead of
+    /// unwinding across threads).
+    Worker {
+        /// Array name from the spec.
+        name: String,
+        /// Panic payload text from the failed worker.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ArrayError {
@@ -58,6 +67,9 @@ impl fmt::Display for ArrayError {
                 ),
                 None => write!(f, "array `{name}`: no valid partitioning found"),
             },
+            ArrayError::Worker { name, detail } => {
+                write!(f, "array `{name}`: solver worker failed: {detail}")
+            }
         }
     }
 }
@@ -191,11 +203,87 @@ fn pow2s_up_to(max: usize) -> impl Iterator<Item = usize> {
     (0..).map(|i| 1usize << i).take_while(move |&v| v <= max)
 }
 
-/// Candidate evaluation result used during the search.
-#[derive(Clone)]
-struct Candidate {
-    solved: SolvedArray,
+/// Scalar results of one candidate evaluation: everything a
+/// [`SolvedArray`] carries except the (heap-allocated) name and the
+/// relaxation tag, as plain `Copy` data. The enumeration loop works
+/// entirely in these so the innermost sweep allocates nothing; the
+/// winning candidate is materialized into a `SolvedArray` exactly once
+/// per threshold, after the sweep.
+#[derive(Clone, Copy)]
+struct RawEval {
+    rows_per_mat: usize,
+    cols_per_mat: usize,
+    access_time: f64,
+    cycle_time: f64,
+    read_energy: f64,
+    write_energy: f64,
+    search_energy: f64,
+    leakage: StaticPower,
+    area: f64,
+    height: f64,
+    width: f64,
+}
+
+/// A scored candidate organization.
+#[derive(Clone, Copy)]
+struct Scored {
     score: f64,
+    nspd: usize,
+    ndwl: usize,
+    ndbl: usize,
+    eval: RawEval,
+}
+
+/// The solver's total order: lower score wins, and exact score ties
+/// break on lexicographic `(nspd, ndwl, ndbl)`. Being a total order
+/// over distinct organizations makes the best-reduce independent of
+/// enumeration order and of how candidates are grouped across threads,
+/// so serial and parallel sweeps pick bit-identical winners.
+fn better(a: &Scored, b: &Scored) -> bool {
+    a.score < b.score || (a.score == b.score && (a.nspd, a.ndwl, a.ndbl) < (b.nspd, b.ndwl, b.ndbl))
+}
+
+/// Folds a candidate into the per-threshold best slots.
+fn reduce_into(best: &mut [Option<Scored>], thresholds: &[Option<f64>], cand: Scored) {
+    for (slot, limit) in best.iter_mut().zip(thresholds) {
+        let ok_cycle = limit.is_none_or(|req| cand.eval.cycle_time <= req);
+        if ok_cycle && slot.is_none_or(|b| better(&cand, &b)) {
+            *slot = Some(cand);
+        }
+    }
+}
+
+/// Builds the full `SolvedArray` for a winning candidate — the only
+/// place the solver allocates per solve.
+fn materialize(spec: &ArraySpec, s: Scored, relaxation: Option<Relaxation>) -> SolvedArray {
+    SolvedArray {
+        name: spec.name.clone(),
+        ndwl: s.ndwl,
+        ndbl: s.ndbl,
+        nspd: s.nspd,
+        rows_per_mat: s.eval.rows_per_mat,
+        cols_per_mat: s.eval.cols_per_mat,
+        access_time: s.eval.access_time,
+        cycle_time: s.eval.cycle_time,
+        read_energy: s.eval.read_energy,
+        write_energy: s.eval.write_energy,
+        search_energy: s.eval.search_energy,
+        leakage: s.eval.leakage,
+        area: s.eval.area,
+        height: s.eval.height,
+        width: s.eval.width,
+        relaxation,
+    }
+}
+
+/// One `(nspd, ndbl)` cell of the outer enumeration space — the unit of
+/// work distributed across sweep threads.
+#[derive(Clone, Copy)]
+struct OuterCell {
+    nspd: usize,
+    ndbl: usize,
+    rows_per_mat: usize,
+    cols_total: usize,
 }
 
 /// The `Ndwl × Ndbl × Nspd` enumeration limits for one search pass.
@@ -242,25 +330,69 @@ const WIDE_CAM: SearchBounds = SearchBounds {
 /// Cycle-constraint multipliers tried, in order, on relaxation rung 2.
 const CYCLE_RELAX_FACTORS: [f64; 4] = [1.1, 1.25, 1.5, 2.0];
 
+/// Arrays at least this large (total storage bits) fan the outer
+/// `nspd × ndbl` sweep out across threads. Smaller arrays solve in well
+/// under a millisecond and are typically already being solved
+/// concurrently by the core/chip build fan-out, where an extra level of
+/// nested spawning only oversubscribes the machine.
+const PAR_SWEEP_MIN_BITS: u64 = 1 << 20;
+
+/// Sweeps `ndwl` for one outer cell, reducing into per-threshold bests.
+fn sweep_cell(
+    tech: &TechParams,
+    spec: &ArraySpec,
+    target: OptTarget,
+    bounds: &SearchBounds,
+    thresholds: &[Option<f64>],
+    cell: &OuterCell,
+) -> (Vec<Option<Scored>>, f64) {
+    let access_bits = spec.access_bits.max(1) as usize;
+    let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
+    let mut best_cycle_seen = f64::INFINITY;
+    for ndwl in pow2s_up_to(bounds.max_ndwl.min(cell.cols_total)) {
+        let cols_per_mat = cell.cols_total.div_ceil(ndwl);
+        if cols_per_mat > bounds.max_cols_per_mat {
+            continue;
+        }
+        if let Some(cand) = evaluate_raw(
+            tech,
+            spec,
+            cell.nspd,
+            ndwl,
+            cell.ndbl,
+            cell.rows_per_mat,
+            cols_per_mat,
+            access_bits,
+            target,
+        ) {
+            best_cycle_seen = best_cycle_seen.min(cand.eval.cycle_time);
+            reduce_into(&mut best, thresholds, cand);
+        }
+    }
+    (best, best_cycle_seen)
+}
+
 /// One enumeration pass. For each cycle-time threshold in `thresholds`
 /// (`None` = unconstrained) the best-scoring candidate meeting it is
 /// tracked independently, so the whole relaxation ladder needs at most
 /// two passes. Also returns the fastest cycle time seen by any
 /// candidate.
+///
+/// Large arrays distribute the outer `(nspd, ndbl)` cells across
+/// threads; because [`better`] is a total order, merging the per-cell
+/// bests in any grouping yields the same winner, so the parallel sweep
+/// is bit-identical to the serial one.
 fn enumerate(
     tech: &TechParams,
     spec: &ArraySpec,
     target: OptTarget,
     bounds: &SearchBounds,
     thresholds: &[Option<f64>],
-) -> (Vec<Option<Candidate>>, f64) {
+) -> Result<(Vec<Option<Scored>>, f64), ArrayError> {
     let entries = spec.entries as usize;
     let bits = spec.bits_per_entry as usize;
-    let access_bits = spec.access_bits.max(1) as usize;
 
-    let mut best: Vec<Option<Candidate>> = vec![None; thresholds.len()];
-    let mut best_cycle_seen = f64::INFINITY;
-
+    let mut cells: Vec<OuterCell> = Vec::new();
     for &nspd in bounds.nspd_options {
         if nspd > entries {
             continue;
@@ -272,34 +404,41 @@ fn enumerate(
             if rows_per_mat > bounds.max_rows_per_mat {
                 continue;
             }
-            for ndwl in pow2s_up_to(bounds.max_ndwl.min(cols_total)) {
-                let cols_per_mat = cols_total.div_ceil(ndwl);
-                if cols_per_mat > bounds.max_cols_per_mat {
-                    continue;
-                }
-                if let Some(cand) = evaluate_candidate(
-                    tech,
-                    spec,
-                    nspd,
-                    ndwl,
-                    ndbl,
-                    rows_per_mat,
-                    cols_per_mat,
-                    access_bits,
-                    target,
-                ) {
-                    best_cycle_seen = best_cycle_seen.min(cand.solved.cycle_time);
-                    for (slot, limit) in best.iter_mut().zip(thresholds) {
-                        let ok_cycle = limit.is_none_or(|req| cand.solved.cycle_time <= req);
-                        if ok_cycle && slot.as_ref().is_none_or(|b| cand.score < b.score) {
-                            *slot = Some(cand.clone());
-                        }
-                    }
+            cells.push(OuterCell {
+                nspd,
+                ndbl,
+                rows_per_mat,
+                cols_total,
+            });
+        }
+    }
+
+    let min_parallel = if spec.total_bits() >= PAR_SWEEP_MIN_BITS {
+        2
+    } else {
+        usize::MAX
+    };
+    let sweeps = mcpat_par::par_map(&cells, min_parallel, |_, cell| {
+        sweep_cell(tech, spec, target, bounds, thresholds, cell)
+    })
+    .map_err(|e| ArrayError::Worker {
+        name: spec.name.clone(),
+        detail: e.to_string(),
+    })?;
+
+    let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
+    let mut best_cycle_seen = f64::INFINITY;
+    for (partial, cycle) in sweeps {
+        best_cycle_seen = best_cycle_seen.min(cycle);
+        for (slot, cand) in best.iter_mut().zip(partial) {
+            if let Some(c) = cand {
+                if slot.is_none_or(|b| better(&c, &b)) {
+                    *slot = Some(c);
                 }
             }
         }
     }
-    (best, best_cycle_seen)
+    Ok((best, best_cycle_seen))
 }
 
 /// Runs the optimizer. Prefer [`ArraySpec::solve`].
@@ -327,6 +466,16 @@ pub fn solve(
     spec: &ArraySpec,
     target: OptTarget,
 ) -> Result<SolvedArray, ArrayError> {
+    crate::memo::lookup_or_solve(tech, spec, target, solve_uncached)
+}
+
+/// The actual optimizer behind [`solve`], bypassing the content-
+/// addressed cache in [`crate::memo`].
+pub(crate) fn solve_uncached(
+    tech: &TechParams,
+    spec: &ArraySpec,
+    target: OptTarget,
+) -> Result<SolvedArray, ArrayError> {
     if spec.entries == 0 || spec.bits_per_entry == 0 {
         return Err(ArrayError::DegenerateSpec {
             name: spec.name.clone(),
@@ -339,9 +488,9 @@ pub fn solve(
     let req = spec.max_cycle_time;
 
     // Rung 0: the standard search, exactly as requested.
-    let (mut strict, cycle_strict) = enumerate(tech, spec, target, normal, &[req]);
+    let (mut strict, cycle_strict) = enumerate(tech, spec, target, normal, &[req])?;
     if let Some(c) = strict.pop().flatten() {
-        return Ok(c.solved);
+        return Ok(materialize(spec, c, None));
     }
 
     // Relaxation ladder: one widened pass tracks every rung at once.
@@ -352,13 +501,12 @@ pub fn solve(
             .collect(),
         None => vec![None],
     };
-    let (rungs, cycle_wide) = enumerate(tech, spec, target, wide, &thresholds);
+    let (rungs, cycle_wide) = enumerate(tech, spec, target, wide, &thresholds)?;
     let last = rungs.len() - 1;
     for (i, cand) in rungs.into_iter().enumerate() {
         let Some(c) = cand else { continue };
-        let mut solved = c.solved;
-        let achieved = solved.cycle_time;
-        solved.relaxation = Some(match (i, req) {
+        let achieved = c.eval.cycle_time;
+        let relaxation = Some(match (i, req) {
             (0, _) | (_, None) => Relaxation::WidenedBounds,
             (_, Some(_)) if i == last => Relaxation::CycleDropped { achieved },
             (_, Some(_)) => Relaxation::CycleRelaxed {
@@ -366,7 +514,7 @@ pub fn solve(
                 achieved,
             },
         });
-        return Ok(solved);
+        return Ok(materialize(spec, c, relaxation));
     }
 
     let best_cycle = cycle_strict.min(cycle_wide);
@@ -407,7 +555,7 @@ pub fn solve_fixed(
     let cols_total = bits * nspd.max(1);
     let rows_per_mat = rows_total.div_ceil(ndbl.max(1));
     let cols_per_mat = cols_total.div_ceil(ndwl.max(1));
-    evaluate_candidate(
+    evaluate_raw(
         tech,
         spec,
         nspd.max(1),
@@ -418,7 +566,7 @@ pub fn solve_fixed(
         spec.access_bits.max(1) as usize,
         OptTarget::EnergyDelay,
     )
-    .map(|c| c.solved)
+    .map(|c| materialize(spec, c, None))
     .ok_or(ArrayError::NoFeasiblePartition {
         name: spec.name.clone(),
         required_cycle: None,
@@ -427,7 +575,7 @@ pub fn solve_fixed(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn evaluate_candidate(
+fn evaluate_raw(
     tech: &TechParams,
     spec: &ArraySpec,
     nspd: usize,
@@ -437,7 +585,7 @@ fn evaluate_candidate(
     cols_per_mat: usize,
     access_bits: usize,
     target: OptTarget,
-) -> Option<Candidate> {
+) -> Option<Scored> {
     let mat = Mat::new(tech, rows_per_mat, cols_per_mat, spec.kind, spec.ports);
     let written_per_mat = access_bits.div_ceil(ndwl).min(cols_per_mat);
     let m = mat.evaluate(cols_per_mat, written_per_mat, spec.search_bits);
@@ -484,25 +632,6 @@ fn evaluate_candidate(
 
     let leakage = m.leakage.scaled(n_mats) + ht.leakage + mux_m.leakage.scaled(access_bits as f64);
 
-    let solved = SolvedArray {
-        name: spec.name.clone(),
-        ndwl,
-        ndbl,
-        nspd,
-        rows_per_mat,
-        cols_per_mat,
-        access_time,
-        cycle_time,
-        read_energy,
-        write_energy,
-        search_energy,
-        leakage,
-        area,
-        height,
-        width,
-        relaxation: None,
-    };
-
     let score = match target {
         OptTarget::Delay => access_time,
         OptTarget::Energy => read_energy,
@@ -513,7 +642,25 @@ fn evaluate_candidate(
     if !score.is_finite() {
         return None;
     }
-    Some(Candidate { solved, score })
+    Some(Scored {
+        score,
+        nspd,
+        ndwl,
+        ndbl,
+        eval: RawEval {
+            rows_per_mat,
+            cols_per_mat,
+            access_time,
+            cycle_time,
+            read_energy,
+            write_energy,
+            search_energy,
+            leakage,
+            area,
+            height,
+            width,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -681,6 +828,117 @@ mod tests {
             .solve(&t, OptTarget::Energy)
             .unwrap();
         assert!(narrow.read_energy <= full.read_energy);
+    }
+
+    #[test]
+    fn tie_break_is_a_total_order_independent_of_fold_order() {
+        // Candidates with identical scores must reduce to the same
+        // winner whatever order (or grouping) they are folded in — this
+        // is what makes the parallel sweep bit-identical to serial.
+        let raw = RawEval {
+            rows_per_mat: 1,
+            cols_per_mat: 1,
+            access_time: 1.0,
+            cycle_time: 1.0,
+            read_energy: 1.0,
+            write_energy: 1.0,
+            search_energy: 0.0,
+            leakage: StaticPower::default(),
+            area: 1.0,
+            height: 1.0,
+            width: 1.0,
+        };
+        let mk = |score: f64, nspd: usize, ndwl: usize, ndbl: usize| Scored {
+            score,
+            nspd,
+            ndwl,
+            ndbl,
+            eval: raw,
+        };
+        let cands = [
+            mk(2.0, 1, 4, 4),
+            mk(1.0, 2, 8, 1),
+            mk(1.0, 2, 1, 8), // same score, lower (nspd, ndwl): must win
+            mk(1.0, 4, 1, 1),
+            mk(3.0, 1, 1, 1),
+        ];
+        // Fold in several shuffled orders, including split-and-merge
+        // groupings that mimic per-thread partial reduces.
+        let orders: [[usize; 5]; 4] = [
+            [0, 1, 2, 3, 4],
+            [4, 3, 2, 1, 0],
+            [2, 0, 4, 1, 3],
+            [1, 2, 0, 4, 3],
+        ];
+        for order in orders {
+            let mut best: Option<Scored> = None;
+            for &i in &order {
+                if best.is_none_or(|b| better(&cands[i], &b)) {
+                    best = Some(cands[i]);
+                }
+            }
+            let w = best.unwrap();
+            assert_eq!((w.score, w.nspd, w.ndwl, w.ndbl), (1.0, 2, 1, 8));
+            // Split into two "threads" at every point and merge.
+            for split in 1..order.len() {
+                let reduce = |ix: &[usize]| {
+                    let mut b: Option<Scored> = None;
+                    for &i in ix {
+                        if b.is_none_or(|x| better(&cands[i], &x)) {
+                            b = Some(cands[i]);
+                        }
+                    }
+                    b
+                };
+                let (lo, hi) = (reduce(&order[..split]), reduce(&order[split..]));
+                let merged = match (lo, hi) {
+                    (Some(a), Some(b)) => {
+                        if better(&a, &b) {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                    (Some(a), None) | (None, Some(a)) => a,
+                    (None, None) => panic!("non-empty inputs"),
+                };
+                assert_eq!(
+                    (merged.score, merged.nspd, merged.ndwl, merged.ndbl),
+                    (1.0, 2, 1, 8)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        // A 2 MB array crosses PAR_SWEEP_MIN_BITS, so its sweep actually
+        // fans out when more than one thread is available.
+        let t = tech();
+        let spec = ArraySpec::ram(2 * 1024 * 1024, 64).named("l2");
+        mcpat_par::set_thread_override(1);
+        let serial = solve_uncached(&t, &spec, OptTarget::EnergyDelay).unwrap();
+        let mut parallel = Vec::new();
+        for n in [2usize, 3, 8] {
+            mcpat_par::set_thread_override(n);
+            parallel.push(solve_uncached(&t, &spec, OptTarget::EnergyDelay).unwrap());
+        }
+        mcpat_par::set_thread_override(0);
+        for p in parallel {
+            assert_eq!(
+                (p.ndwl, p.ndbl, p.nspd, p.rows_per_mat, p.cols_per_mat),
+                (
+                    serial.ndwl,
+                    serial.ndbl,
+                    serial.nspd,
+                    serial.rows_per_mat,
+                    serial.cols_per_mat
+                )
+            );
+            assert_eq!(p.access_time.to_bits(), serial.access_time.to_bits());
+            assert_eq!(p.read_energy.to_bits(), serial.read_energy.to_bits());
+            assert_eq!(p.area.to_bits(), serial.area.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Tool-speed benchmark line: times the modeling stack itself (array
+//! solves, core builds, chip builds, an exploration sweep) in three
+//! execution modes — serial, thread-parallel, and warm solve-cache —
+//! and writes `BENCH_toolspeed.json` for trend tracking in CI.
+//!
+//! Run with: `cargo run --release -p mcpat-bench --bin benchline [--quick] [--out PATH]`
+//!
+//! The JSON records the host's available parallelism alongside every
+//! number: on a single-core runner the parallel column necessarily
+//! matches serial, so compare parallel speedups only across runs whose
+//! `host.available_parallelism` agrees.
+
+use mcpat::{explore, Budgets, MetricSet, Processor, ProcessorConfig};
+use mcpat_array::{memo, ArraySpec, OptTarget};
+use mcpat_mcore::config::CoreConfig;
+use mcpat_mcore::core::CoreModel;
+use mcpat_tech::{DeviceType, TechNode, TechParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap allocations so the benchmark can report allocations per
+/// solve — the direct measure of the enumeration loop's cheapness.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// update has no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn die(msg: &str) -> ! {
+    eprintln!("benchline: {msg}");
+    std::process::exit(1)
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Allocations performed by one run of `f`.
+fn allocs_of(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+struct Row {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    warm_cache_ms: f64,
+    allocs_serial: u64,
+}
+
+/// Times one workload in the three modes. `reps` runs per mode, median
+/// reported. The solve cache is disabled for the serial and parallel
+/// columns and pre-warmed for the warm column.
+fn bench(name: &'static str, reps: usize, mut work: impl FnMut()) -> Row {
+    // Serial: one thread, no cache.
+    memo::set_enabled(false);
+    mcpat_par::set_thread_override(1);
+    work(); // warm code/branch caches before timing
+    let serial_ms = median_ms(reps, &mut work);
+    let allocs_serial = allocs_of(&mut work);
+
+    // Parallel: default thread count, no cache.
+    mcpat_par::set_thread_override(0);
+    let parallel_ms = median_ms(reps, &mut work);
+
+    // Warm cache: content-addressed solve cache on and populated.
+    memo::set_enabled(true);
+    memo::clear();
+    work(); // populate
+    let warm_cache_ms = median_ms(reps, &mut work);
+    memo::set_auto();
+
+    let row = Row {
+        name,
+        serial_ms,
+        parallel_ms,
+        warm_cache_ms,
+        allocs_serial,
+    };
+    eprintln!(
+        "{name:<22} serial {serial_ms:>9.3} ms | parallel {parallel_ms:>9.3} ms | warm {warm_cache_ms:>9.3} ms | {allocs_serial} allocs",
+    );
+    row
+}
+
+fn explore_candidates() -> Vec<ProcessorConfig> {
+    (0..16u32)
+        .map(|i| {
+            ProcessorConfig::manycore(
+                &format!("c{i}"),
+                TechNode::N32,
+                CoreConfig::generic_inorder(),
+                2 + (i % 4) * 2,
+                1 + (i % 4),
+                u64::from(1 + (i % 4)) * 1024 * 1024,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_toolspeed.json", String::as_str);
+    let reps = if quick { 3 } else { 7 };
+
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!(
+        "benchline: host parallelism {host_threads}, {reps} reps/mode{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let tech = TechParams::new(TechNode::N65, DeviceType::Hp, 360.0);
+    let ok_or_die = |r: Result<mcpat_array::SolvedArray, mcpat_array::ArrayError>| {
+        if let Err(e) = r {
+            die(&format!("array solve failed: {e}"));
+        }
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, kb) in [
+        ("array_solve_32kb", 32u64),
+        ("array_solve_2mb", 2048),
+        ("array_solve_16mb", 16384),
+    ] {
+        let spec = ArraySpec::ram(kb * 1024, 64);
+        rows.push(bench(name, reps, || {
+            ok_or_die(spec.solve(&tech, OptTarget::EnergyDelay));
+        }));
+    }
+
+    let ooo = CoreConfig::generic_ooo();
+    rows.push(bench("core_build_ooo", reps, || {
+        if let Err(e) = CoreModel::build(&tech, &ooo) {
+            die(&format!("core build failed: {e}"));
+        }
+    }));
+
+    for (name, cfg) in [
+        ("chip_build_niagara2", ProcessorConfig::niagara2()),
+        ("chip_build_tulsa", ProcessorConfig::tulsa()),
+    ] {
+        rows.push(bench(name, reps, || {
+            if let Err(e) = Processor::build(&cfg) {
+                die(&format!("chip build failed: {e}"));
+            }
+        }));
+    }
+
+    let cands = explore_candidates();
+    let explore_reps = if quick { 1 } else { 3 };
+    rows.push(bench("explore_16_candidates", explore_reps, || {
+        let r = explore(&cands, Budgets::default(), |c| {
+            MetricSet::from_power(10.0, 1.0, c.die_area())
+        });
+        if let Err(e) = r {
+            die(&format!("exploration failed: {e}"));
+        }
+    }));
+
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let find = |n: &str| {
+        rows.iter()
+            .find(|r| r.name == n)
+            .unwrap_or_else(|| die("missing benchmark row"))
+    };
+    let chip = find("chip_build_niagara2");
+    let expl = find("explore_16_candidates");
+    let chip_parallel_speedup = ratio(chip.serial_ms, chip.parallel_ms);
+    let explore_parallel_speedup = ratio(expl.serial_ms, expl.parallel_ms);
+    let chip_warm_speedup = ratio(chip.serial_ms, chip.warm_cache_ms);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"mcpat-benchline-v1\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"reps_per_mode\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{ \"available_parallelism\": {host_threads} }},"
+    );
+    let _ = writeln!(json, "  \"units\": \"milliseconds, median of reps\",");
+    let _ = writeln!(json, "  \"benchmarks\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"warm_cache_ms\": {:.4}, \"allocs_serial\": {} }}{comma}",
+            r.name, r.serial_ms, r.parallel_ms, r.warm_cache_ms, r.allocs_serial
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{");
+    let _ = writeln!(
+        json,
+        "    \"chip_build_parallel_vs_serial\": {chip_parallel_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"explore_parallel_vs_serial\": {explore_parallel_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"chip_build_warm_cache_vs_cold\": {chip_warm_speedup:.3}"
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(out_path, &json) {
+        die(&format!("cannot write {out_path}: {e}"));
+    }
+    eprintln!("benchline: wrote {out_path}");
+}

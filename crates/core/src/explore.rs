@@ -88,7 +88,8 @@ fn dominates(a: &MetricSet, b: &MetricSet) -> bool {
 ///
 /// # Errors
 ///
-/// Propagates the first build failure ([`McpatError`]); candidates that
+/// Propagates the first build failure ([`McpatError`]) in candidate
+/// order, whatever order the parallel builds finish in; candidates that
 /// merely exceed the budgets are reported in `rejected`, not errors.
 pub fn explore<F>(
     candidates: &[ProcessorConfig],
@@ -98,10 +99,24 @@ pub fn explore<F>(
 where
     F: FnMut(&Processor) -> MetricSet,
 {
+    // Candidate chips are independent: build them all concurrently,
+    // then walk the results serially so budget filtering, the injected
+    // (FnMut) evaluator, and error propagation all see input order.
+    let builds =
+        mcpat_par::par_map(candidates, 2, |_, cfg| Processor::build(cfg)).map_err(|e| {
+            McpatError::Array(mcpat_diag::AtPath::new(
+                "explore",
+                mcpat_array::ArrayError::Worker {
+                    name: String::from("explore"),
+                    detail: e.to_string(),
+                },
+            ))
+        })?;
+
     let mut feasible = Vec::new();
     let mut rejected = Vec::new();
-    for cfg in candidates {
-        let chip = Processor::build(cfg)?;
+    for (cfg, built) in candidates.iter().zip(builds) {
+        let chip = built?;
         let area = chip.die_area();
         let peak = chip.peak_power().total();
         if area > budgets.max_area || peak > budgets.max_peak_power {

@@ -55,7 +55,7 @@ pub use explore::{explore, Budgets, Exploration};
 pub use floorplan::{Floorplan, Tile};
 pub use metrics::MetricSet;
 pub use power::{ChipPower, ChipPowerItem};
-pub use processor::Processor;
+pub use processor::{BuildPerf, Processor};
 pub use stats::ChipStats;
 pub use thermal::{converge, ThermalResult, ThermalSpec};
 
@@ -69,5 +69,6 @@ pub use mcpat_array as array;
 pub use mcpat_circuit as circuit;
 pub use mcpat_interconnect as interconnect;
 pub use mcpat_mcore as mcore;
+pub use mcpat_par as par;
 pub use mcpat_tech as tech;
 pub use mcpat_uncore as uncore;

@@ -4,8 +4,9 @@ use crate::config::ProcessorConfig;
 use crate::error::McpatError;
 use crate::power::{ChipPower, ChipPowerItem};
 use crate::stats::ChipStats;
+use mcpat_array::ArrayError;
 use mcpat_circuit::metrics::StaticPower;
-use mcpat_diag::{Diagnostics, ResultExt};
+use mcpat_diag::{AtPath, Diagnostics, ResultExt};
 use mcpat_interconnect::noc::{NocConfig, NocModel};
 use mcpat_mcore::core::{CoreBuildError, CoreModel};
 use mcpat_mcore::exu::{FuKind, FunctionalUnit};
@@ -62,6 +63,24 @@ impl TimingReport {
     }
 }
 
+/// How the build itself performed: worker threads available to the
+/// fan-out and the array-solve cache's effectiveness over this build.
+///
+/// The hit/miss deltas are exact for a lone build; when several builds
+/// run concurrently (e.g. [`crate::explore::explore`]) they share the
+/// process-wide counters, so each build's delta is an attribution of
+/// the shared traffic, not an isolated measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildPerf {
+    /// Worker threads the build fan-out could use (see
+    /// [`mcpat_par::threads`]).
+    pub threads: usize,
+    /// Array solves answered by the content-addressed cache.
+    pub solve_cache_hits: u64,
+    /// Array solves that ran the optimizer.
+    pub solve_cache_misses: u64,
+}
+
 /// A fully built processor.
 #[derive(Debug, Clone)]
 pub struct Processor {
@@ -88,6 +107,8 @@ pub struct Processor {
     /// Warnings accumulated while validating and building: suspicious
     /// configuration values and any solver relaxations that were needed.
     pub warnings: Diagnostics,
+    /// Threading and solve-cache statistics of this build.
+    pub perf: BuildPerf,
 }
 
 impl Processor {
@@ -104,6 +125,7 @@ impl Processor {
     /// (with the complete findings), or [`McpatError::Array`] naming the
     /// component whose storage array could not be solved.
     pub fn build(config: &ProcessorConfig) -> Result<Processor, McpatError> {
+        let cache_before = mcpat_array::memo::stats();
         let mut warnings = config
             .validate()
             .into_result()
@@ -117,30 +139,53 @@ impl Processor {
 
         let mut core_cfg = config.core.clone();
         core_cfg.clock_hz = config.clock_hz;
-        let core = CoreModel::build(&tech, &core_cfg).map_err(|e| match e {
-            CoreBuildError::Invalid(d) => {
-                let mut all = Diagnostics::new();
-                all.merge_under("core", d);
-                McpatError::Invalid(all)
-            }
-            CoreBuildError::Array(e) => McpatError::Array(e.under("core")),
-        })?;
 
-        let l2 = config
-            .l2
-            .as_ref()
-            .map(|c| c.build(&tech).at("l2"))
-            .transpose()?;
-        let l3 = config
-            .l3
-            .as_ref()
-            .map(|c| c.build(&tech).at("l3"))
-            .transpose()?;
-        let mc = config
-            .mc
-            .as_ref()
-            .map(|c| MemCtrl::build(&tech, c).at("mc"))
-            .transpose()?;
+        // The four heavyweight component families are independent; fan
+        // them out. Error priority stays deterministic: core first, then
+        // l2, l3, mc — the same order the serial build reported in.
+        let (core, l2, l3, mc) = mcpat_par::join4(
+            || {
+                CoreModel::build(&tech, &core_cfg).map_err(|e| match e {
+                    CoreBuildError::Invalid(d) => {
+                        let mut all = Diagnostics::new();
+                        all.merge_under("core", d);
+                        McpatError::Invalid(all)
+                    }
+                    CoreBuildError::Array(e) => McpatError::Array(e.under("core")),
+                })
+            },
+            || {
+                config
+                    .l2
+                    .as_ref()
+                    .map(|c| c.build(&tech).at("l2"))
+                    .transpose()
+            },
+            || {
+                config
+                    .l3
+                    .as_ref()
+                    .map(|c| c.build(&tech).at("l3"))
+                    .transpose()
+            },
+            || {
+                config
+                    .mc
+                    .as_ref()
+                    .map(|c| MemCtrl::build(&tech, c).at("mc"))
+                    .transpose()
+            },
+        )
+        .map_err(|e| {
+            McpatError::Array(AtPath::new(
+                "chip",
+                ArrayError::Worker {
+                    name: String::from("chip"),
+                    detail: e.to_string(),
+                },
+            ))
+        })?;
+        let (core, l2, l3, mc) = (core?, l2?, l3?, mc?);
         let io = OffChipIo::new(&tech, config.io_bandwidth);
         let shared_fpu = FunctionalUnit::new(&tech, FuKind::Fpu);
 
@@ -199,6 +244,13 @@ impl Processor {
         let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
         let clock = ClockNetwork::new(&tech, die_edge, die_edge, config.clock_hz, sink_cap);
 
+        let cache_after = mcpat_array::memo::stats();
+        let perf = BuildPerf {
+            threads: mcpat_par::threads(),
+            solve_cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+            solve_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+        };
+
         Ok(Processor {
             config: config.clone(),
             tech,
@@ -211,6 +263,7 @@ impl Processor {
             shared_fpu,
             clock,
             warnings,
+            perf,
         })
     }
 

@@ -84,6 +84,12 @@ impl Processor {
             );
         }
 
+        let _ = writeln!(
+            out,
+            "  Build: {} thread(s), solve cache {} hit(s) / {} miss(es)",
+            self.perf.threads, self.perf.solve_cache_hits, self.perf.solve_cache_misses
+        );
+
         if !self.warnings.is_empty() {
             let _ = writeln!(out, "  Warnings ({}):", self.warnings.len());
             for w in &self.warnings {

@@ -145,15 +145,35 @@ impl CoreModel {
         if diags.has_errors() {
             return Err(CoreBuildError::Invalid(diags));
         }
+        // The array-solving units are independent of each other; build
+        // them concurrently when threads are available. Exu, pipeline
+        // and misc are closed-form (no solver) and stay inline.
+        let (ifu, rename, window, regs, lsu, mmu) = mcpat_par::join6(
+            || Ifu::build(tech, cfg).at("ifu"),
+            || RenameUnit::build(tech, cfg).at("rename"),
+            || WindowUnit::build(tech, cfg).at("window"),
+            || RegFiles::build(tech, cfg).at("regs"),
+            || Lsu::build(tech, cfg).at("lsu"),
+            || Mmu::build(tech, cfg).at("mmu"),
+        )
+        .map_err(|e| {
+            CoreBuildError::Array(AtPath::new(
+                "core",
+                ArrayError::Worker {
+                    name: String::from("core"),
+                    detail: e.to_string(),
+                },
+            ))
+        })?;
         Ok(CoreModel {
             config: cfg.clone(),
-            ifu: Ifu::build(tech, cfg).at("ifu")?,
-            rename: RenameUnit::build(tech, cfg).at("rename")?,
-            window: WindowUnit::build(tech, cfg).at("window")?,
-            regs: RegFiles::build(tech, cfg).at("regs")?,
+            ifu: ifu?,
+            rename: rename?,
+            window: window?,
+            regs: regs?,
             exu: Exu::build(tech, cfg),
-            lsu: Lsu::build(tech, cfg).at("lsu")?,
-            mmu: Mmu::build(tech, cfg).at("mmu")?,
+            lsu: lsu?,
+            mmu: mmu?,
             pipeline: PipelineRegs::build(tech, cfg),
             misc: MiscLogic::build(tech, cfg),
         })

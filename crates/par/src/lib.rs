@@ -1,0 +1,378 @@
+//! # mcpat-par — scoped-thread fan-out for the modeling stack
+//!
+//! The modeling layers are trivially parallel at three levels (array
+//! partition sweeps, per-unit core builds, per-candidate chip builds),
+//! but the build environment vendors every dependency, so this crate
+//! provides the minimal primitives instead of rayon: [`par_map`] over a
+//! fixed worker count plus heterogeneous joins ([`join2`] … [`join6`]),
+//! all built on [`std::thread::scope`].
+//!
+//! Three properties every helper guarantees:
+//!
+//! * **Determinism** — results come back in input order; callers that
+//!   reduce must use an order-independent (totally ordered) merge, and
+//!   then serial and parallel execution are bit-identical.
+//! * **Panic containment** — a panicking worker never unwinds across
+//!   the scope (which would poison shared state or abort): every closure
+//!   runs under `catch_unwind` and a panic surfaces as a typed
+//!   [`ParError`] carrying the payload text.
+//! * **Serial fallback** — with one thread (or inputs below the caller's
+//!   threshold) no thread is spawned at all; the closures run inline on
+//!   the calling thread.
+//!
+//! The worker count is resolved per call by [`threads`]: an in-process
+//! override (tests, benchmarks), else the `MCPAT_THREADS` environment
+//! variable, else [`std::thread::available_parallelism`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard ceiling on the worker count, however it is requested.
+const MAX_THREADS: usize = 64;
+
+/// A failure inside a fanned-out worker.
+///
+/// The modeling core is panic-free by policy, so this is defense in
+/// depth: if a worker does panic (a bug), the caller receives this typed
+/// error instead of an unwinding thread or a poisoned lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// A worker closure panicked; `detail` is the panic payload when it
+    /// was a string, or a placeholder otherwise.
+    WorkerPanicked {
+        /// Panic payload text.
+        detail: String,
+    },
+}
+
+impl ParError {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> ParError {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| String::from("<non-string panic payload>"));
+        ParError::WorkerPanicked { detail }
+    }
+
+    fn vanished() -> ParError {
+        ParError::WorkerPanicked {
+            detail: String::from("worker terminated without producing a result"),
+        }
+    }
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::WorkerPanicked { detail } => {
+                write!(f, "worker thread panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// In-process thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for this process (0 clears the override,
+/// falling back to `MCPAT_THREADS` / the detected parallelism).
+///
+/// Intended for tests and benchmarks that compare serial against
+/// parallel execution without mutating the process environment.
+pub fn set_thread_override(n: usize) {
+    THREAD_OVERRIDE.store(n.min(MAX_THREADS), Ordering::SeqCst);
+}
+
+fn detected_parallelism() -> usize {
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count used by every helper in this crate, resolved as:
+/// [`set_thread_override`] if set, else a positive integer
+/// `MCPAT_THREADS` environment variable, else the machine's available
+/// parallelism. Always ≥ 1 and ≤ 64.
+#[must_use]
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("MCPAT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n.min(MAX_THREADS);
+    }
+    detected_parallelism().min(MAX_THREADS)
+}
+
+/// Runs a closure with panics converted into [`ParError`].
+///
+/// # Errors
+///
+/// [`ParError::WorkerPanicked`] if the closure panicked.
+pub fn catch<T>(f: impl FnOnce() -> T) -> Result<T, ParError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| ParError::from_payload(p.as_ref()))
+}
+
+/// Maps `f` over `items`, fanning out across [`threads`] workers when
+/// there are at least `min_parallel` items. Results are returned in
+/// input order; `f` receives `(index, &item)`.
+///
+/// # Errors
+///
+/// [`ParError::WorkerPanicked`] if any invocation of `f` panicked (the
+/// first failing index in input order wins).
+pub fn par_map<I, T, F>(items: &[I], min_parallel: usize, f: F) -> Result<Vec<T>, ParError>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 || items.len() < min_parallel.max(2) {
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            out.push(catch(|| f(i, item))?);
+        }
+        return Ok(out);
+    }
+
+    let chunk = items.len().div_ceil(workers);
+    let mut slots: Vec<Option<Result<T, ParError>>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(slots.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(catch(|| f(base + j, item)));
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        out.push(slot.unwrap_or_else(|| Err(ParError::vanished()))?);
+    }
+    Ok(out)
+}
+
+/// Runs two independent closures, in parallel when [`threads`] > 1.
+///
+/// # Errors
+///
+/// [`ParError::WorkerPanicked`] if either closure panicked.
+pub fn join2<A, B, FA, FB>(fa: FA, fb: FB) -> Result<(A, B), ParError>
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if threads() <= 1 {
+        return Ok((catch(fa)?, catch(fb)?));
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| catch(fb));
+        let a = catch(fa);
+        let b = hb.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        Ok((a?, b?))
+    })
+}
+
+/// Runs four independent closures, in parallel when [`threads`] > 1.
+///
+/// # Errors
+///
+/// [`ParError::WorkerPanicked`] if any closure panicked.
+pub fn join4<A, B, C, D, FA, FB, FC, FD>(
+    fa: FA,
+    fb: FB,
+    fc: FC,
+    fd: FD,
+) -> Result<(A, B, C, D), ParError>
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    D: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+    FC: FnOnce() -> C + Send,
+    FD: FnOnce() -> D + Send,
+{
+    if threads() <= 1 {
+        return Ok((catch(fa)?, catch(fb)?, catch(fc)?, catch(fd)?));
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| catch(fb));
+        let hc = s.spawn(|| catch(fc));
+        let hd = s.spawn(|| catch(fd));
+        let a = catch(fa);
+        let b = hb.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        let c = hc.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        let d = hd.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        Ok((a?, b?, c?, d?))
+    })
+}
+
+/// Runs six independent closures, in parallel when [`threads`] > 1.
+///
+/// # Errors
+///
+/// [`ParError::WorkerPanicked`] if any closure panicked.
+#[allow(clippy::many_single_char_names)]
+pub fn join6<A, B, C, D, E, G, FA, FB, FC, FD, FE, FG>(
+    fa: FA,
+    fb: FB,
+    fc: FC,
+    fd: FD,
+    fe: FE,
+    fg: FG,
+) -> Result<(A, B, C, D, E, G), ParError>
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    D: Send,
+    E: Send,
+    G: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+    FC: FnOnce() -> C + Send,
+    FD: FnOnce() -> D + Send,
+    FE: FnOnce() -> E + Send,
+    FG: FnOnce() -> G + Send,
+{
+    if threads() <= 1 {
+        return Ok((
+            catch(fa)?,
+            catch(fb)?,
+            catch(fc)?,
+            catch(fd)?,
+            catch(fe)?,
+            catch(fg)?,
+        ));
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| catch(fb));
+        let hc = s.spawn(|| catch(fc));
+        let hd = s.spawn(|| catch(fd));
+        let he = s.spawn(|| catch(fe));
+        let hg = s.spawn(|| catch(fg));
+        let a = catch(fa);
+        let b = hb.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        let c = hc.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        let d = hd.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        let e = he.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        let g = hg.join().unwrap_or_else(|_| Err(ParError::vanished()));
+        Ok((a?, b?, c?, d?, e?, g?))
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-global thread override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_override<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_thread_override(n);
+        let out = f();
+        set_thread_override(0);
+        out
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for n in [1usize, 2, 3, 8] {
+            let got = with_override(n, || {
+                let items: Vec<usize> = (0..100).collect();
+                par_map(&items, 2, |i, &x| {
+                    assert_eq!(i, x);
+                    x * x
+                })
+                .unwrap()
+            });
+            let want: Vec<usize> = (0..100).map(|x| x * x).collect();
+            assert_eq!(got, want, "threads = {n}");
+        }
+    }
+
+    #[test]
+    fn par_map_small_inputs_stay_serial_and_correct() {
+        let items = [7usize];
+        let got = par_map(&items, 8, |_, &x| x + 1).unwrap();
+        assert_eq!(got, vec![8]);
+        let empty: [usize; 0] = [];
+        assert!(par_map(&empty, 2, |_, &x: &usize| x).unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_error() {
+        for n in [1usize, 4] {
+            let err = with_override(n, || {
+                let items: Vec<usize> = (0..16).collect();
+                par_map(&items, 2, |_, &x| {
+                    assert!(x != 11, "boom at {x}");
+                    x
+                })
+                .unwrap_err()
+            });
+            let ParError::WorkerPanicked { detail } = err;
+            assert!(detail.contains("boom at 11"), "{detail}");
+        }
+    }
+
+    #[test]
+    fn join_helpers_return_everything() {
+        for n in [1usize, 4] {
+            with_override(n, || {
+                let (a, b) = join2(|| 1, || "two").unwrap();
+                assert_eq!((a, b), (1, "two"));
+                let (a, b, c, d) = join4(|| 1, || 2, || 3, || 4).unwrap();
+                assert_eq!((a, b, c, d), (1, 2, 3, 4));
+                let (a, b, c, d, e, g) = join6(|| 1, || 2, || 3, || 4, || 5, || 6).unwrap();
+                assert_eq!((a, b, c, d, e, g), (1, 2, 3, 4, 5, 6));
+            });
+        }
+    }
+
+    #[test]
+    fn join_panic_is_contained() {
+        let err = with_override(4, || {
+            join2(|| 1, || -> i32 { panic!("join boom") }).unwrap_err()
+        });
+        assert!(err.to_string().contains("join boom"), "{err}");
+    }
+
+    #[test]
+    fn override_beats_env_and_detection() {
+        with_override(3, || assert_eq!(threads(), 3));
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_thread_override(0);
+        assert!(threads() >= 1);
+    }
+}

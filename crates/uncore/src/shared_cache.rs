@@ -63,8 +63,6 @@ impl SharedCacheConfig {
     ///
     /// Propagates [`ArrayError`].
     pub fn build(&self, tech: &TechParams) -> Result<SharedCache, ArrayError> {
-        let cache = self.cache.solve(tech, OptTarget::EnergyDelay)?;
-
         let addr_bits = self.cache.paddr_bits;
         let line_bits = self.cache.block_bytes * 8;
         let q_ports = Ports {
@@ -73,33 +71,50 @@ impl SharedCacheConfig {
             write: 1,
             search: 1,
         };
-        let mshr = ArraySpec::cam(
-            u64::from(self.mshr_entries.max(1)),
-            addr_bits + 16,
-            addr_bits.saturating_sub(6),
+
+        // The big tag+data solve dominates; the controller's small
+        // arrays (MSHR, buffers, directory) run alongside it.
+        let (cache, small) = mcpat_par::join2(
+            || self.cache.solve(tech, OptTarget::EnergyDelay),
+            || -> Result<_, ArrayError> {
+                let mshr = ArraySpec::cam(
+                    u64::from(self.mshr_entries.max(1)),
+                    addr_bits + 16,
+                    addr_bits.saturating_sub(6),
+                )
+                .with_ports(q_ports)
+                .named(format!("{}-mshr", self.cache.name))
+                .solve(tech, OptTarget::EnergyDelay)?;
+
+                let wb_buffer =
+                    ArraySpec::table(u64::from(self.wb_buffer_entries.max(1)), line_bits)
+                        .named(format!("{}-wb", self.cache.name))
+                        .solve(tech, OptTarget::EnergyDelay)?;
+                let fill_buffer =
+                    ArraySpec::table(u64::from(self.fill_buffer_entries.max(1)), line_bits)
+                        .named(format!("{}-fill", self.cache.name))
+                        .solve(tech, OptTarget::EnergyDelay)?;
+
+                let directory = if self.directory_sharers > 0 {
+                    // One sharer bit-vector entry per cache line.
+                    let lines = self.cache.capacity / u64::from(self.cache.block_bytes);
+                    Some(
+                        ArraySpec::table(lines.max(2), self.directory_sharers + 2)
+                            .named(format!("{}-dir", self.cache.name))
+                            .solve(tech, OptTarget::Energy)?,
+                    )
+                } else {
+                    None
+                };
+                Ok((mshr, wb_buffer, fill_buffer, directory))
+            },
         )
-        .with_ports(q_ports)
-        .named(format!("{}-mshr", self.cache.name))
-        .solve(tech, OptTarget::EnergyDelay)?;
-
-        let wb_buffer = ArraySpec::table(u64::from(self.wb_buffer_entries.max(1)), line_bits)
-            .named(format!("{}-wb", self.cache.name))
-            .solve(tech, OptTarget::EnergyDelay)?;
-        let fill_buffer = ArraySpec::table(u64::from(self.fill_buffer_entries.max(1)), line_bits)
-            .named(format!("{}-fill", self.cache.name))
-            .solve(tech, OptTarget::EnergyDelay)?;
-
-        let directory = if self.directory_sharers > 0 {
-            // One sharer bit-vector entry per cache line.
-            let lines = self.cache.capacity / u64::from(self.cache.block_bytes);
-            Some(
-                ArraySpec::table(lines.max(2), self.directory_sharers + 2)
-                    .named(format!("{}-dir", self.cache.name))
-                    .solve(tech, OptTarget::Energy)?,
-            )
-        } else {
-            None
-        };
+        .map_err(|e| ArrayError::Worker {
+            name: self.cache.name.clone(),
+            detail: e.to_string(),
+        })?;
+        let cache = cache?;
+        let (mshr, wb_buffer, fill_buffer, directory) = small?;
 
         Ok(SharedCache {
             config: self.clone(),

@@ -366,6 +366,49 @@ fn exhaustive_field_payload_matrix_on_niagara() {
     report_violations(violations, cases);
 }
 
+/// The same invariant under thread-parallel builds: corruptions whose
+/// failure surfaces *inside a worker thread* must still come back as a
+/// typed diagnostic (`ArrayError::Worker` at worst), never as a panic
+/// escaping the build or a poisoned lock wedging later builds.
+#[test]
+fn parallel_corruptions_surface_as_typed_errors() {
+    struct ResetOverride;
+    impl Drop for ResetOverride {
+        fn drop(&mut self) {
+            mcpat::par::set_thread_override(0);
+        }
+    }
+    let _reset = ResetOverride;
+    mcpat::par::set_thread_override(4);
+
+    let fields = field_mutators();
+    let mut rng = StdRng::seed_from_u64(0x4d63_5041_5450_4152); // "McPATPAR"
+    let mut violations = Vec::new();
+    let mut cases = 0usize;
+    let bases = presets();
+    while cases < 300 {
+        let base = &bases[cases % bases.len()];
+        let (name, mutate) = fields[rng.gen_range(0..fields.len())];
+        let payload = PAYLOADS[rng.gen_range(0..PAYLOADS.len())];
+        let mut cfg = base.clone();
+        mutate(&mut cfg, payload);
+        let label = format!("par4 {} + {name} = {payload:e}", cfg.name);
+        violations.extend(run_case(&label, cfg));
+        cases += 1;
+    }
+    report_violations(violations, cases);
+
+    // No corrupted build may leave poisoned global state behind: a
+    // clean preset must still build on the same (parallel) settings.
+    for base in presets() {
+        assert!(
+            Processor::build(&base).is_ok(),
+            "{}: clean build failed after parallel fault injection",
+            base.name
+        );
+    }
+}
+
 /// Every swap corruption on every preset.
 #[test]
 fn swapped_field_corruptions_never_panic() {

@@ -1,0 +1,200 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! Bit-identity guarantees of the parallel/memoized evaluation paths.
+//!
+//! The perf work (threaded array sweeps, chip-build fan-out, and the
+//! content-addressed solve cache) must be *invisible* in the results:
+//! every mode — serial, any thread count, warm cache — has to produce
+//! bit-for-bit the same chip. These tests enforce that on the paper's
+//! validation presets.
+//!
+//! All tests here flip process-global knobs (thread override, cache
+//! mode), so they serialize on one mutex and restore the defaults
+//! before releasing it.
+
+use mcpat::array::memo;
+use mcpat::{Processor, ProcessorConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes every test that touches the global thread/cache knobs.
+fn knob_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Restores the default knobs when a test exits (even by panic).
+struct KnobReset;
+impl Drop for KnobReset {
+    fn drop(&mut self) {
+        mcpat::par::set_thread_override(0);
+        memo::set_auto();
+    }
+}
+
+fn presets() -> Vec<ProcessorConfig> {
+    vec![
+        ProcessorConfig::niagara(),
+        ProcessorConfig::niagara2(),
+        ProcessorConfig::alpha21364(),
+        ProcessorConfig::tulsa(),
+    ]
+}
+
+/// Every externally observable f64 of a built chip, as exact bit
+/// patterns: peak-power breakdown, per-unit core detail, area
+/// breakdown, timing roll-up, and die area. Names ride along so a
+/// mismatch points at the component, not just an index.
+fn fingerprint(chip: &Processor) -> Vec<(String, u64)> {
+    let mut v = Vec::new();
+    let power = chip.peak_power();
+    for item in &power.items {
+        v.push((format!("{}.dynamic", item.name), item.dynamic.to_bits()));
+        v.push((
+            format!("{}.sub", item.name),
+            item.leakage.subthreshold.to_bits(),
+        ));
+        v.push((format!("{}.gate", item.name), item.leakage.gate.to_bits()));
+    }
+    for item in &power.core_detail.items {
+        v.push((
+            format!("core.{}.dynamic", item.name),
+            item.dynamic.to_bits(),
+        ));
+        v.push((
+            format!("core.{}.leak", item.name),
+            item.leakage.total().to_bits(),
+        ));
+    }
+    for item in chip.area_breakdown() {
+        v.push((format!("area.{}", item.name), item.area.to_bits()));
+    }
+    let t = chip.timing();
+    v.push(("timing.fo4".into(), t.fo4.to_bits()));
+    v.push((
+        "timing.core_max_clock".into(),
+        t.core_max_clock_hz.to_bits(),
+    ));
+    v.push(("timing.l2_cycle".into(), t.l2_cycle_time.to_bits()));
+    v.push(("die_area".into(), chip.die_area().to_bits()));
+    v
+}
+
+fn assert_identical(a: &[(String, u64)], b: &[(String, u64)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: fingerprint lengths differ");
+    for ((na, xa), (nb, xb)) in a.iter().zip(b) {
+        assert_eq!(na, nb, "{what}: component order differs");
+        assert_eq!(
+            xa,
+            xb,
+            "{what}: `{na}` differs: {:e} vs {:e}",
+            f64::from_bits(*xa),
+            f64::from_bits(*xb)
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_builds_are_bit_identical() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    for cfg in presets() {
+        mcpat::par::set_thread_override(1);
+        let serial = fingerprint(&Processor::build(&cfg).unwrap());
+        mcpat::par::set_thread_override(4);
+        let parallel = fingerprint(&Processor::build(&cfg).unwrap());
+        assert_identical(&serial, &parallel, &cfg.name);
+    }
+}
+
+#[test]
+fn every_thread_count_is_bit_identical() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    let cfg = ProcessorConfig::niagara2();
+    mcpat::par::set_thread_override(1);
+    let reference = fingerprint(&Processor::build(&cfg).unwrap());
+    for threads in [2, 3, 8, 16] {
+        mcpat::par::set_thread_override(threads);
+        let fp = fingerprint(&Processor::build(&cfg).unwrap());
+        assert_identical(&reference, &fp, &format!("{} threads", threads));
+    }
+}
+
+#[test]
+fn warm_cache_build_equals_cold_field_for_field() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    mcpat::par::set_thread_override(1);
+    memo::set_enabled(true);
+    memo::clear();
+    for cfg in presets() {
+        memo::clear();
+        let cold_chip = Processor::build(&cfg).unwrap();
+        assert!(
+            cold_chip.perf.solve_cache_misses > 0,
+            "{}: cold build should miss the empty cache",
+            cfg.name
+        );
+        let warm_chip = Processor::build(&cfg).unwrap();
+        assert!(
+            warm_chip.perf.solve_cache_hits > 0,
+            "{}: warm build should hit the populated cache",
+            cfg.name
+        );
+        assert_eq!(
+            warm_chip.perf.solve_cache_misses, 0,
+            "{}: warm build should not miss",
+            cfg.name
+        );
+        assert_identical(
+            &fingerprint(&cold_chip),
+            &fingerprint(&warm_chip),
+            &cfg.name,
+        );
+    }
+}
+
+#[test]
+fn cached_solve_equals_uncached_across_presets() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    mcpat::par::set_thread_override(1);
+    for cfg in presets() {
+        memo::set_enabled(false);
+        let uncached = fingerprint(&Processor::build(&cfg).unwrap());
+        memo::set_enabled(true);
+        memo::clear();
+        let _warmup = Processor::build(&cfg).unwrap();
+        let cached = fingerprint(&Processor::build(&cfg).unwrap());
+        assert_identical(&uncached, &cached, &cfg.name);
+    }
+}
+
+#[test]
+fn mcpat_threads_env_one_equals_default() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    mcpat::par::set_thread_override(0); // let the env variable rule
+    let cfg = ProcessorConfig::alpha21364();
+
+    std::env::set_var("MCPAT_THREADS", "1");
+    let forced_serial = fingerprint(&Processor::build(&cfg).unwrap());
+    std::env::remove_var("MCPAT_THREADS");
+    let default = fingerprint(&Processor::build(&cfg).unwrap());
+
+    assert_identical(&forced_serial, &default, "MCPAT_THREADS=1 vs default");
+}
+
+#[test]
+fn build_perf_reports_thread_count() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    mcpat::par::set_thread_override(3);
+    let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
+    assert_eq!(chip.perf.threads, 3);
+    assert!(chip.report().contains("3 thread(s)"));
+}
