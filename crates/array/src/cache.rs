@@ -129,6 +129,9 @@ impl CacheSpec {
     /// field paths rooted under `path`.
     pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
         let at = |field: &str| mcpat_diag::join_path(path, field);
+        if self.name.is_empty() {
+            diags.warning(at("name"), "unnamed cache; reports will be ambiguous");
+        }
         if self.capacity == 0 {
             diags.error(at("capacity"), "cache capacity must be positive");
         }
@@ -171,6 +174,22 @@ impl CacheSpec {
                     "physical address width {} must be in 1..=64",
                     self.paddr_bits
                 ),
+            );
+        }
+        if self.state_bits > 64 {
+            diags.error(
+                at("state_bits"),
+                format!(
+                    "{} state bits per line is outside the modeled range (<= 64)",
+                    self.state_bits
+                ),
+            );
+        }
+        if self.access_mode == AccessMode::Parallel && self.data_cell == ArrayKind::Edram {
+            diags.warning(
+                at("access_mode"),
+                "parallel tag/data probe reads every way of the slow eDRAM data \
+                 array; sequential access is the intended pairing",
             );
         }
         if let Some(t) = self.max_cycle_time {

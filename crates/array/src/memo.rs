@@ -42,6 +42,7 @@ const SHARDS: usize = 16;
 /// and every NaN keys as one canonical NaN.
 #[must_use]
 pub fn canon_f64(x: f64) -> u64 {
+    // lint: allow(L002, exact comparison is the point — ±0.0 must merge to one key; this is the designated canonical-bits seam)
     if x == 0.0 {
         0
     } else if x.is_nan() {
@@ -167,7 +168,7 @@ fn enabled() -> bool {
     match MODE.load(Ordering::SeqCst) {
         1 => true,
         2 => false,
-        _ => std::env::var("MCPAT_SOLVE_CACHE").map_or(true, |v| v.trim() != "0"),
+        _ => mcpat_par::knobs::solve_cache(),
     }
 }
 
@@ -245,7 +246,11 @@ pub fn lookup_or_solve(
         return solve_fn(tech, spec, target);
     }
     let key = Key::new(tech, spec, target);
-    let shard = &shards()[key.shard()];
+    let Some(shard) = shards().get(key.shard()) else {
+        // Unreachable — shard() reduces mod SHARDS — but a total
+        // fallback (solve uncached) is cheaper than a panic path.
+        return solve_fn(tech, spec, target);
+    };
     if let Some(cached) = lock(shard).get(&key).cloned() {
         HITS.fetch_add(1, Ordering::SeqCst);
         return relabel(cached, &spec.name);

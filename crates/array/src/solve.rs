@@ -510,7 +510,13 @@ pub(crate) fn solve_uncached(
             (0, _) | (_, None) => Relaxation::WidenedBounds,
             (_, Some(_)) if i == last => Relaxation::CycleDropped { achieved },
             (_, Some(_)) => Relaxation::CycleRelaxed {
-                factor: CYCLE_RELAX_FACTORS[i - 1],
+                // Rung i > 0 here, so i-1 indexes the factor that built
+                // thresholds[i]; a mismatch falls back to the last rung.
+                factor: i
+                    .checked_sub(1)
+                    .and_then(|j| CYCLE_RELAX_FACTORS.get(j))
+                    .copied()
+                    .unwrap_or(f64::INFINITY),
                 achieved,
             },
         });

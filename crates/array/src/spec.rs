@@ -253,6 +253,9 @@ impl ArraySpec {
     /// field paths rooted under `path`.
     pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
         let at = |field: &str| mcpat_diag::join_path(path, field);
+        if self.name.is_empty() {
+            diags.warning(at("name"), "unnamed array; reports will be ambiguous");
+        }
         if self.entries == 0 {
             diags.error(at("entries"), "array needs at least one entry");
         }

@@ -5,10 +5,11 @@
 //!
 //! Run with: `cargo run --release -p mcpat-bench --bin benchline [--quick] [--out PATH]`
 //!
-//! The JSON records the host's available parallelism alongside every
-//! number: on a single-core runner the parallel column necessarily
-//! matches serial, so compare parallel speedups only across runs whose
-//! `host.available_parallelism` agrees.
+//! The JSON is stamped with the git revision and records the host's
+//! available parallelism alongside every number: on a single-core
+//! runner the parallel column necessarily matches serial, so compare
+//! parallel speedups only across runs whose `host.available_parallelism`
+//! agrees.
 
 use mcpat::{explore, Budgets, MetricSet, Processor, ProcessorConfig};
 use mcpat_array::{memo, ArraySpec, OptTarget};
@@ -56,7 +57,27 @@ fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
         })
         .collect();
     samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN)
+}
+
+/// Short git revision of the checkout, or `"unknown"` outside one (or
+/// without git on PATH). Restricted to alphanumeric characters so it
+/// embeds in the hand-written JSON without escaping.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| {
+            s.trim()
+                .chars()
+                .filter(char::is_ascii_alphanumeric)
+                .collect::<String>()
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| String::from("unknown"))
 }
 
 /// Allocations performed by one run of `f`.
@@ -135,8 +156,9 @@ fn main() {
     let reps = if quick { 3 } else { 7 };
 
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let revision = git_revision();
     eprintln!(
-        "benchline: host parallelism {host_threads}, {reps} reps/mode{}",
+        "benchline: revision {revision}, host parallelism {host_threads}, {reps} reps/mode{}",
         if quick { " (quick)" } else { "" }
     );
 
@@ -205,9 +227,10 @@ fn main() {
     let _ = writeln!(json, "  \"schema\": \"mcpat-benchline-v1\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"reps_per_mode\": {reps},");
+    let _ = writeln!(json, "  \"revision\": \"{revision}\",");
     let _ = writeln!(
         json,
-        "  \"host\": {{ \"available_parallelism\": {host_threads} }},"
+        "  \"host\": {{ \"available_parallelism\": {host_threads}, \"label\": \"{host_threads}cpu\" }},"
     );
     let _ = writeln!(json, "  \"units\": \"milliseconds, median of reps\",");
     let _ = writeln!(json, "  \"benchmarks\": [");

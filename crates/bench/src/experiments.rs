@@ -234,7 +234,11 @@ pub fn case_study_metrics(points: &[CaseStudyPoint]) -> Vec<(Metric, String)> {
     let sets: Vec<MetricSet> = points.iter().map(|p| p.metrics).collect();
     Metric::ALL
         .iter()
-        .filter_map(|&m| best_index(&sets, m).map(|i| (m, points[i].name.clone())))
+        .filter_map(|&m| {
+            best_index(&sets, m)
+                .and_then(|i| points.get(i))
+                .map(|p| (m, p.name.clone()))
+        })
         .collect()
 }
 

@@ -77,7 +77,7 @@ impl RowDecoder {
     pub fn input_cap_per_bit(&self) -> f64 {
         // Each address bit (true + complement) feeds half the predecoder
         // inputs on average.
-        2.0 * self.predecoders[0].input_cap()
+        2.0 * self.predecoders.first().map_or(0.0, LogicGate::input_cap)
     }
 
     /// Metrics of one decode operation (one row fires).
@@ -89,7 +89,10 @@ impl RowDecoder {
         // each predecode line.
         let rows_per_line = (self.num_rows as f64 / 4.0).max(1.0);
         let predecode_load = rows_per_line * self.row_gate.input_cap();
-        let pre = self.predecoders[0].metrics(predecode_load);
+        let pre = self
+            .predecoders
+            .first()
+            .map_or_else(CircuitMetrics::zero, |p| p.metrics(predecode_load));
         let row = self.row_gate.metrics(self.wordline_driver.input_cap());
         let driver = self.wordline_driver.metrics();
 

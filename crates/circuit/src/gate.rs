@@ -248,7 +248,7 @@ impl BufferChain {
     /// Capacitance presented to whatever drives the chain, F.
     #[must_use]
     pub fn input_cap(&self) -> f64 {
-        self.stages[0].input_cap()
+        self.stages.first().map_or(0.0, LogicGate::input_cap)
     }
 
     /// Metrics of one full transition through the chain into the load.

@@ -71,7 +71,8 @@ fn usage() -> &'static str {
 
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+    let first = args.first().map(String::as_str);
+    if matches!(first, None | Some("--help" | "-h")) {
         println!("{}", usage());
         return Ok(());
     }
@@ -82,8 +83,8 @@ fn run() -> Result<(), CliError> {
     let mut config: Option<ProcessorConfig> = None;
     let mut stats: Option<ChipStats> = None;
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
             "--preset" => {
                 let name = args
                     .get(i + 1)

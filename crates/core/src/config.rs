@@ -57,14 +57,17 @@ pub struct ProcessorConfig {
     /// Chip name (used in reports).
     pub name: String,
     /// Technology node.
+    // lint: allow(L004, every supported TechNode variant is a valid choice)
     pub node: TechNode,
     /// Device flavor for core logic.
     pub device_type: DeviceType,
     /// Junction temperature, K.
     pub temperature_k: f64,
     /// Interconnect projection.
+    // lint: allow(L004, both ITRS wire projections are valid choices)
     pub projection: WireProjection,
     /// Use long-channel devices off the critical path.
+    // lint: allow(L004, pure modeling switch — both boolean values are valid)
     pub long_channel_leakage: bool,
     /// Chip clock, Hz (also the core clock).
     pub clock_hz: f64,
@@ -92,6 +95,7 @@ pub struct ProcessorConfig {
     /// Per-core power gating: idle cores drop to a retention state that
     /// leaks ~10% of nominal, at a small always-on area cost for the
     /// sleep transistors.
+    // lint: allow(L004, pure modeling switch — both boolean values are valid)
     pub power_gating: bool,
     /// Supply bias relative to the node's nominal Vdd (true DVFS:
     /// affects drive, leakage, and achievable timing). 1.0 = nominal.
@@ -401,9 +405,28 @@ impl ProcessorConfig {
             );
         }
 
+        if self.device_type == DeviceType::Lstp && self.clock_hz > 1.5e9 {
+            d.warning(
+                "device_type",
+                format!(
+                    "low-standby-power devices cannot sustain {:.1} GHz; expect heavy timing relaxation",
+                    self.clock_hz / 1e9
+                ),
+            );
+        }
+
         // Topology of cores and caches.
         if self.num_cores == 0 {
             d.error("num_cores", "zero cores");
+        }
+        if self.num_shared_fpus > self.num_cores {
+            d.warning(
+                "num_shared_fpus",
+                format!(
+                    "{} shared FPUs among {} cores; each core already saturates one",
+                    self.num_shared_fpus, self.num_cores
+                ),
+            );
         }
         if self.l2.is_some() && self.num_l2s == 0 {
             d.error("num_l2s", "L2 configured but num_l2s is 0");

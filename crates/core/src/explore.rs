@@ -59,7 +59,7 @@ impl Exploration {
     #[must_use]
     pub fn best(&self, metric: Metric) -> Option<&Candidate> {
         let sets: Vec<MetricSet> = self.feasible.iter().map(|c| c.metrics).collect();
-        best_index(&sets, metric).map(|i| &self.feasible[i])
+        best_index(&sets, metric).and_then(|i| self.feasible.get(i))
     }
 
     /// True if every per-metric winner lies on the Pareto front
@@ -132,13 +132,16 @@ where
         });
     }
 
-    let pareto = (0..feasible.len())
-        .filter(|&i| {
+    let pareto = feasible
+        .iter()
+        .enumerate()
+        .filter(|&(i, cand)| {
             !feasible
                 .iter()
                 .enumerate()
-                .any(|(j, other)| j != i && dominates(&other.metrics, &feasible[i].metrics))
+                .any(|(j, other)| j != i && dominates(&other.metrics, &cand.metrics))
         })
+        .map(|(i, _)| i)
         .collect();
 
     Ok(Exploration {

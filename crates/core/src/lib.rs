@@ -64,6 +64,10 @@ pub use thermal::{converge, ThermalResult, ThermalSpec};
 // carries them.
 pub use mcpat_diag::{AtPath, Diagnostic, Diagnostics, Severity};
 
+/// The workspace's single environment-read seam: every `MCPAT_*`
+/// variable the stack honors is declared and parsed there.
+pub use mcpat_par::knobs;
+
 // Re-export the layers so downstream users need only one dependency.
 pub use mcpat_array as array;
 pub use mcpat_circuit as circuit;

@@ -385,14 +385,18 @@ impl Processor {
             vec![(stats.core(0), f64::from(c.num_cores))]
         } else {
             let len = stats.cores.len().min(n_cores);
-            (0..len)
-                .map(|i| {
+            stats
+                .cores
+                .iter()
+                .take(len)
+                .enumerate()
+                .map(|(i, cs)| {
                     let weight = if i == len - 1 {
                         (n_cores - len + 1) as f64
                     } else {
                         1.0
                     };
-                    (stats.cores[i], weight)
+                    (*cs, weight)
                 })
                 .collect()
         };

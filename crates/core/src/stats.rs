@@ -89,23 +89,17 @@ impl ChipStats {
     /// The statistics of core `i` (broadcasting if only one entry).
     #[must_use]
     pub fn core(&self, i: usize) -> CoreStats {
-        if self.cores.is_empty() {
-            CoreStats::default()
-        } else if self.cores.len() == 1 {
-            self.cores[0]
-        } else {
-            self.cores[i.min(self.cores.len() - 1)]
-        }
+        let last = self.cores.len().saturating_sub(1);
+        self.cores.get(i.min(last)).copied().unwrap_or_default()
     }
 
     /// Total committed instructions across all cores given the chip has
     /// `num_cores` cores.
     #[must_use]
     pub fn total_commits(&self, num_cores: u32) -> u64 {
-        if self.cores.len() == 1 {
-            self.cores[0].commits.saturating_mul(u64::from(num_cores))
-        } else {
-            self.cores.iter().map(|c| c.commits).sum()
+        match self.cores.as_slice() {
+            [only] => only.commits.saturating_mul(u64::from(num_cores)),
+            _ => self.cores.iter().map(|c| c.commits).sum(),
         }
     }
 }

@@ -37,6 +37,40 @@ impl Default for ThermalSpec {
     }
 }
 
+impl ThermalSpec {
+    /// Full sanity validation of the thermal environment.
+    ///
+    /// [`converge`] refuses to iterate on a spec with errors; warnings
+    /// flag operating points outside the leakage model's calibrated
+    /// band.
+    #[must_use]
+    pub fn validate(&self) -> mcpat_diag::Diagnostics {
+        let mut d = mcpat_diag::Diagnostics::new();
+        d.require_positive("ambient_k", "ambient temperature", self.ambient_k);
+        if self.ambient_k.is_finite()
+            && self.ambient_k > 0.0
+            && !(250.0..=450.0).contains(&self.ambient_k)
+        {
+            d.warning(
+                "ambient_k",
+                format!(
+                    "ambient {} K is outside the modeled 250-450 K range",
+                    self.ambient_k
+                ),
+            );
+        }
+        d.require_nonnegative("theta_ja", "junction-to-ambient resistance", self.theta_ja);
+        d.require_positive("tolerance_k", "convergence tolerance", self.tolerance_k);
+        if self.max_iterations == 0 {
+            d.error(
+                "max_iterations",
+                "the fixed point needs at least one iteration",
+            );
+        }
+        d
+    }
+}
+
 /// The converged operating point.
 #[derive(Debug, Clone)]
 pub struct ThermalResult {
@@ -58,12 +92,18 @@ pub struct ThermalResult {
 ///
 /// # Errors
 ///
-/// Propagates [`McpatError`] from any rebuild.
+/// [`McpatError::Invalid`] if the thermal spec fails
+/// [`ThermalSpec::validate`]; otherwise propagates [`McpatError`] from
+/// any rebuild.
 pub fn converge(
     config: &ProcessorConfig,
     stats: &ChipStats,
     thermal: ThermalSpec,
 ) -> Result<ThermalResult, McpatError> {
+    let spec_diags = thermal.validate();
+    if spec_diags.has_errors() {
+        return Err(McpatError::Invalid(spec_diags));
+    }
     let mut temp = thermal.ambient_k.max(config.temperature_k.min(400.0));
     let mut iterations = 0;
     let mut converged = false;
@@ -146,6 +186,24 @@ mod tests {
         .unwrap();
         assert!(bad.junction_k > good.junction_k);
         assert!(bad.power.leakage().total() > good.power.leakage().total());
+    }
+
+    #[test]
+    fn broken_thermal_spec_is_rejected_with_located_findings() {
+        let cfg = ProcessorConfig::niagara();
+        let stats = stats_for(&cfg);
+        let spec = ThermalSpec {
+            ambient_k: f64::NAN,
+            tolerance_k: 0.0,
+            max_iterations: 0,
+            ..Default::default()
+        };
+        let err = converge(&cfg, &stats, spec).unwrap_err();
+        let d = err.diagnostics().expect("a validation error");
+        let paths: Vec<&str> = d.iter().map(|f| f.path.as_str()).collect();
+        for p in ["ambient_k", "tolerance_k", "max_iterations"] {
+            assert!(paths.contains(&p), "missing {p} in {paths:?}");
+        }
     }
 
     #[test]

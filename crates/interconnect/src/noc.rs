@@ -88,6 +88,49 @@ pub struct NocConfig {
 }
 
 impl NocConfig {
+    /// Full sanity validation: reports **every** violated invariant into
+    /// one [`mcpat_diag::Diagnostics`] pass instead of stopping at the
+    /// first.
+    #[must_use]
+    pub fn validate(&self) -> mcpat_diag::Diagnostics {
+        let mut d = mcpat_diag::Diagnostics::new();
+        match self.topology {
+            Topology::Mesh { x, y } => {
+                if x == 0 || y == 0 {
+                    d.error(
+                        "topology",
+                        format!("mesh dimensions {x}x{y} must both be positive"),
+                    );
+                }
+            }
+            Topology::Ring { n } | Topology::Bus { n } | Topology::Crossbar { n } => {
+                if n == 0 {
+                    d.error("topology", "fabric needs at least one endpoint");
+                }
+            }
+        }
+        // The switched topologies instantiate routers; validate the
+        // router [`build`](NocConfig::build) would derive.
+        if matches!(self.topology, Topology::Mesh { .. } | Topology::Ring { .. }) {
+            let ports = match self.topology {
+                Topology::Mesh { .. } => 5,
+                _ => 3,
+            };
+            RouterConfig {
+                ports,
+                vcs_per_port: self.vcs_per_port,
+                buffers_per_vc: self.buffers_per_vc,
+                flit_bits: self.flit_bits,
+            }
+            .validate_into("router", &mut d);
+        } else if self.flit_bits == 0 {
+            d.error("flit_bits", "flit width must be positive");
+        }
+        d.require_positive("link_length", "link length", self.link_length);
+        d.require_positive("clock_hz", "network clock", self.clock_hz);
+        d
+    }
+
     /// Builds the network model.
     ///
     /// # Errors
@@ -356,6 +399,38 @@ mod tests {
         .build(&t)
         .unwrap();
         assert!(xbar.area() > bus.area() * 0.1);
+    }
+
+    #[test]
+    fn validate_accepts_sane_configs() {
+        assert!(!mesh(4, 4).validate().has_errors());
+        let bus = NocConfig {
+            topology: Topology::Bus { n: 4 },
+            ..mesh(2, 2)
+        };
+        assert!(!bus.validate().has_errors());
+    }
+
+    #[test]
+    fn validate_collects_every_finding() {
+        let cfg = NocConfig {
+            topology: Topology::Mesh { x: 0, y: 2 },
+            flit_bits: 0,
+            vcs_per_port: 0,
+            link_length: -1.0,
+            ..mesh(2, 2)
+        };
+        let d = cfg.validate();
+        assert!(d.error_count() >= 4, "wanted all findings, got: {d}");
+        let paths: Vec<&str> = d.iter().map(|f| f.path.as_str()).collect();
+        for p in [
+            "topology",
+            "router.flit_bits",
+            "router.vcs_per_port",
+            "link_length",
+        ] {
+            assert!(paths.contains(&p), "missing {p} in {paths:?}");
+        }
     }
 
     #[test]

@@ -30,6 +30,29 @@ impl Default for RouterConfig {
     }
 }
 
+impl RouterConfig {
+    /// Reports every microarchitectural problem into `diags`, with field
+    /// paths rooted under `path`.
+    pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
+        let at = |field: &str| mcpat_diag::join_path(path, field);
+        if self.ports < 2 {
+            diags.error(
+                at("ports"),
+                format!("a router needs at least 2 ports, got {}", self.ports),
+            );
+        }
+        if self.vcs_per_port == 0 {
+            diags.error(at("vcs_per_port"), "need at least one virtual channel");
+        }
+        if self.buffers_per_vc == 0 {
+            diags.error(at("buffers_per_vc"), "need at least one buffer per VC");
+        }
+        if self.flit_bits == 0 {
+            diags.error(at("flit_bits"), "flit width must be positive");
+        }
+    }
+}
+
 /// A built router.
 #[derive(Debug, Clone)]
 pub struct Router {
@@ -181,6 +204,21 @@ mod tests {
         )
         .unwrap();
         assert!(many.leakage().total() > few.leakage().total());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_routers() {
+        let mut d = mcpat_diag::Diagnostics::new();
+        RouterConfig::default().validate_into("router", &mut d);
+        assert!(!d.has_errors(), "{d}");
+        let broken = RouterConfig {
+            ports: 1,
+            buffers_per_vc: 0,
+            ..RouterConfig::default()
+        };
+        let mut d = mcpat_diag::Diagnostics::new();
+        broken.validate_into("router", &mut d);
+        assert_eq!(d.error_count(), 2, "{d}");
     }
 
     #[test]

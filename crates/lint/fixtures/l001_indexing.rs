@@ -1,0 +1,5 @@
+//! L001 fixture: panicking slice index in library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    v[0]
+}

@@ -1,0 +1,5 @@
+//! L002 fixture: raw float equality outside a canonical-bits seam.
+
+pub fn at_origin(x: f64) -> bool {
+    x == 0.0
+}

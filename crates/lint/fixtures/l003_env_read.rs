@@ -1,0 +1,5 @@
+//! L003 fixture: an environment read outside the knobs module.
+
+pub fn threads() -> Option<String> {
+    std::env::var("MCPAT_THREADS").ok()
+}

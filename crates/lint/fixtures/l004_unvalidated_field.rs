@@ -1,0 +1,12 @@
+//! L004 fixture: a config struct whose validate() forgets a field.
+
+pub struct WidgetConfig {
+    pub checked: u32,
+    pub forgotten: u32,
+}
+
+impl WidgetConfig {
+    pub fn validate(&self) -> bool {
+        self.checked > 0
+    }
+}

@@ -1,0 +1,8 @@
+//! L005 fixture: a mutex guard held in a scope that also fans out.
+
+pub fn tally(m: &std::sync::Mutex<u32>, items: &[u32]) -> u32 {
+    let guard = m.lock();
+    let doubled = par_map(items, 2, |_, x| x * 2);
+    let _ = (guard, doubled);
+    0
+}

@@ -1,0 +1,5 @@
+//! L006 fixture: unwrap in non-test library code.
+
+pub fn force(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

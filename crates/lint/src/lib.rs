@@ -1,0 +1,311 @@
+//! # mcpat-lint — the workspace invariant checker
+//!
+//! PR 1 made the modeling core panic-free and PR 2 made it concurrent;
+//! this crate makes those properties *enforced* instead of
+//! conventional. It tokenizes every `crates/*/src` file with a small
+//! hand-rolled lexer ([`lexer`]) — no AST, no rustc plumbing, no
+//! network — and checks the project invariants as named rules
+//! ([`rules`]) with `file:line` diagnostics that reuse
+//! [`mcpat_diag::Severity`].
+//!
+//! Run it as `cargo run -p mcpat-lint` (exit code 1 on violations,
+//! `--json` for a machine-readable report). A violation that is
+//! genuinely fine carries a `// lint: allow(L00n, reason)` annotation
+//! at the site; the reason is mandatory and unused annotations are
+//! themselves reported, so the set of exceptions stays audited.
+//!
+//! See `DESIGN.md` § "Static analysis & invariants" for the rationale
+//! behind each rule.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Allow, CrateValidation, Finding};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a set of sources.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived allow suppression, sorted by file/line.
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when any finding is an error (exit code 1).
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.severity == mcpat_diag::Severity::Error)
+    }
+
+    /// Error findings only.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == mcpat_diag::Severity::Error)
+            .count()
+    }
+
+    /// Warning findings only.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.findings.len().saturating_sub(self.error_count())
+    }
+
+    /// Renders the report as a JSON document (hand-rolled — the linter
+    /// deliberately depends on nothing but `mcpat-diag`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"errors\": {},\n  \"warnings\": {},\n  \"findings\": [",
+            self.files_scanned,
+            self.error_count(),
+            self.warning_count()
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}",
+                f.rule.id(),
+                f.severity,
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders human-readable diagnostics, one per line, followed by a
+    /// summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}[{}]: {}:{}: {}\n",
+                f.severity,
+                f.rule.id(),
+                f.file,
+                f.line,
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "mcpat-lint: {} error(s), {} warning(s) across {} file(s)\n",
+            self.error_count(),
+            self.warning_count(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One in-memory source file: workspace-relative path, owning crate,
+/// text.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Workspace-relative path (used in diagnostics).
+    pub path: String,
+    /// Crate the file belongs to (L004 merges validate() evidence per
+    /// crate).
+    pub crate_name: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Lints a set of in-memory sources. This is the whole pipeline:
+/// lex, per-file rules, per-crate L004, allow suppression.
+#[must_use]
+pub fn lint_sources(sources: &[Source]) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows_by_file: HashMap<String, Vec<Allow>> = HashMap::new();
+    let mut crates: HashMap<String, CrateValidation> = HashMap::new();
+
+    for src in sources {
+        let lexed = lexer::lex(&src.text);
+        let knobs_file = src.path.ends_with("knobs.rs");
+        let analysis = rules::analyze(&src.path, &lexed, knobs_file);
+        findings.extend(analysis.findings.iter().cloned());
+        findings.extend(analysis.annotation_warnings.iter().cloned());
+        allows_by_file
+            .entry(src.path.clone())
+            .or_default()
+            .extend(analysis.allows.iter().cloned());
+        crates
+            .entry(src.crate_name.clone())
+            .or_default()
+            .absorb(&analysis);
+    }
+
+    for validation in crates.values() {
+        findings.extend(validation.findings());
+    }
+
+    let mut findings = rules::apply_allows(findings, &allows_by_file);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Report {
+        findings,
+        files_scanned: sources.len(),
+    }
+}
+
+/// Lints one in-memory source as its own single-file crate — the
+/// entry point the fixture tests use.
+#[must_use]
+pub fn lint_source(path: &str, text: &str) -> Report {
+    lint_sources(&[Source {
+        path: path.to_owned(),
+        crate_name: String::from("fixture"),
+        text: text.to_owned(),
+    }])
+}
+
+/// Collects every `.rs` file under `crates/*/src` plus the umbrella
+/// package's `src/`, in sorted (deterministic) order.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] if a directory or file cannot be read.
+pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<Source>> {
+    let mut sources = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(root, &src, &crate_name, &mut sources)?;
+        }
+    }
+
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        collect_rs_files(root, &umbrella, "mcpat-suite", &mut sources)?;
+    }
+
+    Ok(sources)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<Source>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(root, &path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            out.push(Source {
+                path: rel,
+                crate_name: crate_name.to_owned(),
+                text: std::fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] if sources cannot be enumerated or read.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    Ok(lint_sources(&collect_workspace_sources(root)?))
+}
+
+/// The workspace root this crate was compiled in — the default lint
+/// target for `cargo run -p mcpat-lint` and the self-run test.
+#[must_use]
+pub fn default_root() -> PathBuf {
+    // crates/lint → crates → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn clean_source_yields_empty_report() {
+        let report = lint_source(
+            "clean.rs",
+            "pub fn first(v: &[u32]) -> Option<u32> { v.iter().copied().next() }\n",
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(!report.has_errors());
+        assert_eq!(report.files_scanned, 1);
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = lint_source("bad.rs", "pub fn f(v: &[u32]) -> u32 { v[0] }\n");
+        assert!(report.has_errors());
+        let json = report.to_json();
+        assert!(json.contains("\"rule\": \"L001\""), "{json}");
+        assert!(json.contains("\"line\": 1"), "{json}");
+        let human = report.render();
+        assert!(human.contains("error[L001]: bad.rs:1:"), "{human}");
+    }
+}

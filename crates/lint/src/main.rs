@@ -1,0 +1,85 @@
+//! `mcpat-lint` command-line entry point.
+//!
+//! ```text
+//! cargo run -p mcpat-lint                # human-readable, exit 1 on violations
+//! cargo run -p mcpat-lint -- --json      # JSON report on stdout
+//! cargo run -p mcpat-lint -- --out f.json# also write the JSON report to f.json
+//! cargo run -p mcpat-lint -- --root DIR  # lint a different workspace root
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 violations found, 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+
+struct Options {
+    json: bool,
+    out: Option<PathBuf>,
+    root: PathBuf,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        out: None,
+        root: mcpat_lint::default_root(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--out" => {
+                let path = it.next().ok_or("--out requires a file path")?;
+                opts.out = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = it.next().ok_or("--root requires a directory path")?;
+                opts.root = PathBuf::from(path);
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: mcpat-lint [--json] [--out FILE] [--root DIR]",
+                ))
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let report = match mcpat_lint::lint_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "mcpat-lint: cannot read workspace at {}: {e}",
+                opts.root.display()
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("mcpat-lint: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+
+    std::process::exit(i32::from(report.has_errors()));
+}

@@ -1,0 +1,804 @@
+//! The project-invariant rules, L001–L006.
+//!
+//! Each rule is a pure function over one file's token stream (plus, for
+//! L004, a per-crate accumulation step). Rules never look inside
+//! strings or comments — the lexer already hid those — and every rule
+//! skips `#[cfg(test)]` / `#[test]` regions, where panics and direct
+//! env manipulation are legitimate.
+//!
+//! | Rule | Invariant |
+//! |---|---|
+//! | L001 | no panicking `x[i]` indexing in library code |
+//! | L002 | no raw `==`/`!=` against float literals |
+//! | L003 | `std::env` reads confined to the `knobs` module |
+//! | L004 | every `*Config`/`*Spec` field mentioned in a `validate()` |
+//! | L005 | no `.lock()` guard bound in a scope that fans out |
+//! | L006 | no `unwrap`/`expect`/`panic!` family in library code |
+//!
+//! A violation is silenced by `// lint: allow(L00n, reason)` — trailing
+//! on the offending line, or on its own line immediately above (the
+//! annotation then covers the next token-bearing line). The reason is
+//! mandatory; an annotation that silences nothing is itself reported,
+//! so stale allows cannot accumulate.
+
+use crate::lexer::{is_keyword, Kind, Lexed, Token};
+use mcpat_diag::Severity;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Identifier of one invariant rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Panicking slice/array indexing.
+    L001,
+    /// Raw float equality.
+    L002,
+    /// `std::env` read outside the knobs module.
+    L003,
+    /// `*Config`/`*Spec` field never mentioned in a `validate()`.
+    L004,
+    /// Lock guard bound in a scope that also fans out.
+    L005,
+    /// `unwrap`/`expect`/`panic!`-family call in library code.
+    L006,
+    /// A `lint: allow` annotation that silenced nothing, or is
+    /// malformed (missing its mandatory reason).
+    Allowance,
+}
+
+impl Rule {
+    /// Stable rule id as it appears in reports and annotations.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
+            Rule::L006 => "L006",
+            Rule::Allowance => "allow",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "L001" => Some(Rule::L001),
+            "L002" => Some(Rule::L002),
+            "L003" => Some(Rule::L003),
+            "L004" => Some(Rule::L004),
+            "L005" => Some(Rule::L005),
+            "L006" => Some(Rule::L006),
+            _ => None,
+        }
+    }
+
+    /// Violations of the numbered rules are errors; annotation hygiene
+    /// problems are warnings.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::Allowance => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One rule violation (or annotation-hygiene warning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which invariant was violated.
+    pub rule: Rule,
+    /// Error or warning, from [`Rule::severity`].
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: usize,
+    /// Alternate line an allow annotation may sit on (for L004, the
+    /// `struct` line waives every field at once).
+    pub alt_line: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One parsed `// lint: allow(RULE, reason)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The silenced rule.
+    pub rule: Rule,
+    /// Mandatory justification text.
+    pub reason: String,
+    /// The line whose findings this annotation covers.
+    pub target_line: usize,
+    /// The line the annotation itself sits on (for reporting).
+    pub comment_line: usize,
+}
+
+/// Everything one file contributes: raw findings, allow annotations,
+/// and its share of the per-crate L004 state.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Raw findings, before allow suppression (L004 excluded — that
+    /// rule needs the whole crate).
+    pub findings: Vec<Finding>,
+    /// Parsed allow annotations.
+    pub allows: Vec<Allow>,
+    /// Malformed-annotation warnings (already final).
+    pub annotation_warnings: Vec<Finding>,
+    /// `*Config`/`*Spec` structs defined in this file.
+    pub structs: Vec<StructDef>,
+    /// Identifiers mentioned inside `validate*` function bodies.
+    pub validate_idents: HashSet<String>,
+    /// Whether the file defines any `validate*` function.
+    pub has_validate: bool,
+}
+
+/// A `*Config`/`*Spec` struct definition found by the light parser.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields with their lines.
+    pub fields: Vec<(String, usize)>,
+}
+
+/// Analyzes one lexed file against every single-file rule and collects
+/// the L004 raw material. `knobs_file` exempts the file from L003.
+#[must_use]
+pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool) -> FileAnalysis {
+    let tokens = &lexed.tokens;
+    let test_spans = test_spans(tokens);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
+
+    let mut out = FileAnalysis::default();
+    parse_allows(rel_path, lexed, &mut out);
+
+    check_indexing(rel_path, tokens, &in_test, &mut out.findings);
+    check_float_eq(rel_path, tokens, &in_test, &mut out.findings);
+    if !knobs_file {
+        check_env_reads(rel_path, tokens, &in_test, &mut out.findings);
+    }
+    check_lock_across_fanout(rel_path, tokens, &in_test, &mut out.findings);
+    check_panicking_calls(rel_path, tokens, &in_test, &mut out.findings);
+
+    collect_structs(rel_path, tokens, &in_test, &mut out.structs);
+    collect_validate_idents(tokens, &mut out);
+
+    dedupe(&mut out.findings);
+    out
+}
+
+/// Drops repeated findings of the same rule on the same line (e.g.
+/// `m[i][j]` is one annotatable site, not two).
+fn dedupe(findings: &mut Vec<Finding>) {
+    let mut seen: HashSet<(Rule, String, usize)> = HashSet::new();
+    findings.retain(|f| seen.insert((f.rule, f.file.clone(), f.line)));
+}
+
+fn tok(tokens: &[Token], idx: usize) -> Option<&Token> {
+    tokens.get(idx)
+}
+
+fn prev(tokens: &[Token], idx: usize) -> Option<&Token> {
+    idx.checked_sub(1).and_then(|j| tokens.get(j))
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == Kind::Punct && t.text == text
+}
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == Kind::Ident && t.text == text
+}
+
+/// Token-index spans covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// After a test attribute, every further attribute is skipped and the
+/// next braced block (the `mod`/`fn` body) is the span. An attribute
+/// mentioning `test` on a `mod tests;` external declaration has no
+/// brace and contributes nothing.
+fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while let Some(t) = tok(tokens, i) {
+        if is_punct(t, "#") && tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, "[")) {
+            let attr_start = i.saturating_add(1);
+            let attr_end = match_close(tokens, attr_start, "[", "]");
+            let idents: Vec<&str> = tokens
+                .get(attr_start..=attr_end)
+                .unwrap_or_default()
+                .iter()
+                .filter(|t| t.kind == Kind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            // `#[test]` or a positive `#[cfg(... test ...)]` — but not
+            // `#[cfg(not(test))]` (library code!) or `#[cfg_attr(...)]`.
+            let mentions_test = match idents.split_first() {
+                Some((&"test", rest)) => rest.is_empty(),
+                Some((&"cfg", rest)) => rest.contains(&"test") && !rest.contains(&"not"),
+                _ => false,
+            };
+            if mentions_test {
+                // Skip any further attributes, then find the item body.
+                let mut j = attr_end.saturating_add(1);
+                while tok(tokens, j).is_some_and(|t| is_punct(t, "#"))
+                    && tok(tokens, j.saturating_add(1)).is_some_and(|t| is_punct(t, "["))
+                {
+                    j = match_close(tokens, j.saturating_add(1), "[", "]").saturating_add(1);
+                }
+                let mut body_start = None;
+                while let Some(t) = tok(tokens, j) {
+                    if is_punct(t, "{") {
+                        body_start = Some(j);
+                        break;
+                    }
+                    if is_punct(t, ";") {
+                        break;
+                    }
+                    j = j.saturating_add(1);
+                }
+                if let Some(start) = body_start {
+                    let end = match_close(tokens, start, "{", "}");
+                    spans.push((start, end));
+                    i = end.saturating_add(1);
+                    continue;
+                }
+            }
+            i = attr_end.saturating_add(1);
+            continue;
+        }
+        i = i.saturating_add(1);
+    }
+    spans
+}
+
+/// Index of the delimiter closing the one at `open_idx` (which must
+/// hold `open`). Returns the last token index if unbalanced.
+fn match_close(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while let Some(t) = tok(tokens, i) {
+        if is_punct(t, open) {
+            depth = depth.saturating_add(1);
+        } else if is_punct(t, close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        i = i.saturating_add(1);
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// L001 — a `[` directly after an expression tail (identifier, `)`,
+/// `]`) opens a panicking index/slice expression.
+fn check_indexing(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !is_punct(t, "[") || in_test(i) {
+            continue;
+        }
+        let indexes_expr = prev(tokens, i).is_some_and(|p| {
+            (p.kind == Kind::Ident && !is_keyword(&p.text)) || is_punct(p, ")") || is_punct(p, "]")
+        });
+        if indexes_expr {
+            findings.push(Finding {
+                rule: Rule::L001,
+                severity: Rule::L001.severity(),
+                file: file.to_owned(),
+                line: t.line,
+                alt_line: None,
+                message: String::from(
+                    "panicking index expression; use .get()/.get_mut(), an iterator, \
+                     or split_at/chunks — or justify with `// lint: allow(L001, reason)`",
+                ),
+            });
+        }
+    }
+}
+
+/// L002 — `==`/`!=` with a float literal on either side.
+fn check_float_eq(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Punct || (t.text != "==" && t.text != "!=") || in_test(i) {
+            continue;
+        }
+        let prev_float = prev(tokens, i).is_some_and(|p| p.kind == Kind::Float);
+        let next = tok(tokens, i.saturating_add(1));
+        let next_float = match next {
+            Some(n) if n.kind == Kind::Float => true,
+            Some(n) if is_punct(n, "-") => {
+                tok(tokens, i.saturating_add(2)).is_some_and(|nn| nn.kind == Kind::Float)
+            }
+            _ => false,
+        };
+        if prev_float || next_float {
+            findings.push(Finding {
+                rule: Rule::L002,
+                severity: Rule::L002.severity(),
+                file: file.to_owned(),
+                line: t.line,
+                alt_line: None,
+                message: String::from(
+                    "raw float equality; compare canonical bits (to_bits) or use a tolerance \
+                     — or justify with `// lint: allow(L002, reason)`",
+                ),
+            });
+        }
+    }
+}
+
+/// Environment accessors whose use outside the knobs module L003 bans.
+const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os", "set_var", "remove_var"];
+
+/// L003 — `env::var`-family access outside the designated knobs module.
+fn check_env_reads(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !is_ident(t, "env") || in_test(i) {
+            continue;
+        }
+        let path_read = tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, "::"))
+            && tok(tokens, i.saturating_add(2))
+                .is_some_and(|n| n.kind == Kind::Ident && ENV_READS.contains(&n.text.as_str()));
+        if path_read {
+            findings.push(Finding {
+                rule: Rule::L003,
+                severity: Rule::L003.severity(),
+                file: file.to_owned(),
+                line: t.line,
+                alt_line: None,
+                message: String::from(
+                    "environment variable access outside the knobs module; declare the knob \
+                     in mcpat_par::knobs instead",
+                ),
+            });
+        }
+    }
+}
+
+/// Fan-out entry points a held lock guard must not overlap with.
+const FANOUT_CALLS: &[&str] = &["par_map", "join2", "join4", "join6"];
+
+/// L005 — a `let`-bound `.lock()` guard in a function whose body also
+/// fans out (`par_map`/`join*`). Conservative by design: the guard may
+/// be dropped before the fan-out, but proving that needs an AST, so
+/// such code carries an allow annotation with the argument spelled out.
+fn check_lock_across_fanout(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while let Some(t) = tok(tokens, i) {
+        if !is_ident(t, "fn") || in_test(i) {
+            i = i.saturating_add(1);
+            continue;
+        }
+        let Some((body_start, body_end)) = fn_body_span(tokens, i) else {
+            i = i.saturating_add(1);
+            continue;
+        };
+        let body = tokens.get(body_start..=body_end).unwrap_or_default();
+        let fans_out = body
+            .iter()
+            .any(|t| t.kind == Kind::Ident && FANOUT_CALLS.contains(&t.text.as_str()));
+        if fans_out {
+            for (j, bt) in body.iter().enumerate() {
+                let lock_call = is_ident(bt, "lock")
+                    && j.checked_sub(1)
+                        .and_then(|k| body.get(k))
+                        .is_some_and(|p| is_punct(p, "."))
+                    && body
+                        .get(j.saturating_add(1))
+                        .is_some_and(|n| is_punct(n, "("));
+                if lock_call && stmt_has_let(body, j) {
+                    findings.push(Finding {
+                        rule: Rule::L005,
+                        severity: Rule::L005.severity(),
+                        file: file.to_owned(),
+                        line: bt.line,
+                        alt_line: None,
+                        message: String::from(
+                            "lock guard bound in a scope that also fans out (par_map/join*); \
+                             holding a shard across a fan-out risks deadlock/contention — \
+                             drop the guard first or justify with `// lint: allow(L005, reason)`",
+                        ),
+                    });
+                }
+            }
+        }
+        // Continue after the signature, not the body: nested fns are
+        // re-scanned in their own right.
+        i = body_start.saturating_add(1);
+    }
+}
+
+/// The `{`..`}` token span of the body of the `fn` at `fn_idx`, or
+/// `None` for body-less declarations (trait methods, externs).
+fn fn_body_span(tokens: &[Token], fn_idx: usize) -> Option<(usize, usize)> {
+    let mut i = fn_idx.saturating_add(1);
+    let mut paren_depth = 0usize;
+    let mut angle_depth = 0usize;
+    while let Some(t) = tok(tokens, i) {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" => paren_depth = paren_depth.saturating_add(1),
+                ")" => paren_depth = paren_depth.saturating_sub(1),
+                "<" => angle_depth = angle_depth.saturating_add(1),
+                ">" => angle_depth = angle_depth.saturating_sub(1),
+                ">>" => angle_depth = angle_depth.saturating_sub(2),
+                "{" if paren_depth == 0 && angle_depth == 0 => {
+                    return Some((i, match_close(tokens, i, "{", "}")));
+                }
+                ";" if paren_depth == 0 => return None,
+                _ => {}
+            }
+        }
+        i = i.saturating_add(1);
+    }
+    None
+}
+
+/// Whether the statement containing token `idx` (scanning back to the
+/// nearest `;`, `{` or `}`) starts with `let` — i.e. binds a name.
+fn stmt_has_let(body: &[Token], idx: usize) -> bool {
+    let mut j = idx;
+    while let Some(k) = j.checked_sub(1) {
+        let Some(t) = body.get(k) else { break };
+        if is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}") {
+            break;
+        }
+        if is_ident(t, "let") {
+            return true;
+        }
+        j = k;
+    }
+    false
+}
+
+/// Macros banned by L006 when invoked (`ident` followed by `!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// L006 — `.unwrap()` / `.expect(...)` calls and panic-family macro
+/// invocations in library code. Backstop for the clippy deny lints,
+/// enforced without needing a clean `cargo check`.
+fn check_panicking_calls(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Ident || in_test(i) {
+            continue;
+        }
+        let next_is =
+            |text: &str| tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, text));
+        let method_call = (t.text == "unwrap" || t.text == "expect")
+            && prev(tokens, i).is_some_and(|p| is_punct(p, "."))
+            && next_is("(");
+        let macro_call = PANIC_MACROS.contains(&t.text.as_str()) && next_is("!");
+        if method_call || macro_call {
+            findings.push(Finding {
+                rule: Rule::L006,
+                severity: Rule::L006.severity(),
+                file: file.to_owned(),
+                line: t.line,
+                alt_line: None,
+                message: format!(
+                    "panicking call `{}` in library code; return a typed error or diagnostic \
+                     — or justify with `// lint: allow(L006, reason)`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Collects `*Config`/`*Spec` struct definitions (name, fields, lines)
+/// for the per-crate L004 pass.
+fn collect_structs(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<StructDef>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !is_ident(t, "struct") || in_test(i) {
+            continue;
+        }
+        let Some(name_tok) = tok(tokens, i.saturating_add(1)) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident
+            || !(name_tok.text.ends_with("Config") || name_tok.text.ends_with("Spec"))
+        {
+            continue;
+        }
+        if let Some(fields) = parse_named_fields(tokens, i.saturating_add(2)) {
+            out.push(StructDef {
+                name: name_tok.text.clone(),
+                file: file.to_owned(),
+                line: t.line,
+                fields,
+            });
+        }
+    }
+}
+
+/// From just after a struct's name, finds its `{ ... }` body (skipping
+/// generics/where clauses) and extracts named fields. `None` for tuple
+/// and unit structs.
+fn parse_named_fields(tokens: &[Token], mut i: usize) -> Option<Vec<(String, usize)>> {
+    let mut angle_depth = 0usize;
+    let body_start = loop {
+        let t = tok(tokens, i)?;
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "<" => angle_depth = angle_depth.saturating_add(1),
+                ">" => angle_depth = angle_depth.saturating_sub(1),
+                ">>" => angle_depth = angle_depth.saturating_sub(2),
+                "{" if angle_depth == 0 => break i,
+                "(" | ";" if angle_depth == 0 => return None,
+                _ => {}
+            }
+        }
+        i = i.saturating_add(1);
+    };
+    let body_end = match_close(tokens, body_start, "{", "}");
+    let body = tokens.get(body_start.saturating_add(1)..body_end)?;
+
+    let mut fields = Vec::new();
+    let (mut brace, mut angle, mut paren, mut bracket) = (0usize, 0usize, 0usize, 0usize);
+    let mut expecting = true;
+    for (j, t) in body.iter().enumerate() {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" => brace = brace.saturating_add(1),
+                "}" => brace = brace.saturating_sub(1),
+                "<" => angle = angle.saturating_add(1),
+                ">" => angle = angle.saturating_sub(1),
+                ">>" => angle = angle.saturating_sub(2),
+                "(" => paren = paren.saturating_add(1),
+                ")" => paren = paren.saturating_sub(1),
+                "[" => bracket = bracket.saturating_add(1),
+                "]" => bracket = bracket.saturating_sub(1),
+                "," if brace == 0 && angle == 0 && paren == 0 && bracket == 0 => {
+                    expecting = true;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        let at_top = brace == 0 && angle == 0 && paren == 0 && bracket == 0;
+        if expecting
+            && at_top
+            && t.kind == Kind::Ident
+            && !is_keyword(&t.text)
+            && body
+                .get(j.saturating_add(1))
+                .is_some_and(|n| is_punct(n, ":"))
+        {
+            fields.push((t.text.clone(), t.line));
+            expecting = false;
+        }
+    }
+    Some(fields)
+}
+
+/// Adds every identifier inside `validate*` function bodies to the
+/// file's mention set (L004's "is this field checked?" evidence).
+fn collect_validate_idents(tokens: &[Token], out: &mut FileAnalysis) {
+    for (i, t) in tokens.iter().enumerate() {
+        let is_validate_fn = t.kind == Kind::Ident
+            && t.text.starts_with("validate")
+            && prev(tokens, i).is_some_and(|p| is_ident(p, "fn"));
+        if !is_validate_fn {
+            continue;
+        }
+        out.has_validate = true;
+        if let Some((start, end)) = fn_body_span(tokens, i) {
+            for bt in tokens.get(start..=end).unwrap_or_default() {
+                if bt.kind == Kind::Ident && !is_keyword(&bt.text) {
+                    out.validate_idents.insert(bt.text.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Per-crate L004 state, merged from every file of the crate.
+#[derive(Debug, Default)]
+pub struct CrateValidation {
+    /// All `*Config`/`*Spec` structs in the crate.
+    pub structs: Vec<StructDef>,
+    /// Union of identifiers mentioned in the crate's validate bodies.
+    pub mentioned: HashSet<String>,
+    /// Whether any validate function exists in the crate.
+    pub has_validate: bool,
+}
+
+impl CrateValidation {
+    /// Folds one file's contribution in.
+    pub fn absorb(&mut self, analysis: &FileAnalysis) {
+        self.structs.extend(analysis.structs.iter().cloned());
+        self.mentioned
+            .extend(analysis.validate_idents.iter().cloned());
+        self.has_validate |= analysis.has_validate;
+    }
+
+    /// L004 — emits one finding per `*Config`/`*Spec` field that no
+    /// validate body in the crate ever mentions. An allow annotation on
+    /// the `struct` line waives the whole struct (`alt_line`).
+    #[must_use]
+    pub fn findings(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for def in &self.structs {
+            if !self.has_validate {
+                out.push(Finding {
+                    rule: Rule::L004,
+                    severity: Rule::L004.severity(),
+                    file: def.file.clone(),
+                    line: def.line,
+                    alt_line: None,
+                    message: format!(
+                        "struct {} has no validate() anywhere in its crate; add one or \
+                         justify with `// lint: allow(L004, reason)`",
+                        def.name
+                    ),
+                });
+                continue;
+            }
+            for (field, line) in &def.fields {
+                if !self.mentioned.contains(field) {
+                    out.push(Finding {
+                        rule: Rule::L004,
+                        severity: Rule::L004.severity(),
+                        file: def.file.clone(),
+                        line: *line,
+                        alt_line: Some(def.line),
+                        message: format!(
+                            "field {}.{field} is never mentioned in any validate() of its \
+                             crate; validate it or justify with `// lint: allow(L004, reason)`",
+                            def.name
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses every `lint: allow(RULE, reason)` annotation in the file's
+/// comments; malformed ones become [`Rule::Allowance`] warnings.
+fn parse_allows(rel_path: &str, lexed: &Lexed, out: &mut FileAnalysis) {
+    // Sorted token lines, for resolving own-line annotations to the
+    // next token-bearing line.
+    let token_lines: Vec<usize> = {
+        let set: std::collections::BTreeSet<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        set.into_iter().collect()
+    };
+    for c in &lexed.comments {
+        let Some(at) = c.text.find("lint:") else {
+            continue;
+        };
+        let after = c.text.get(at..).unwrap_or_default();
+        let Some(open) = after.find("allow(") else {
+            continue;
+        };
+        let inner = after
+            .get(open.saturating_add(6)..)
+            .and_then(|rest| rest.rfind(')').and_then(|close| rest.get(..close)));
+        let (id, reason) = match inner.map(|body| match body.split_once(',') {
+            Some((id, reason)) => (id.trim().to_owned(), reason.trim().to_owned()),
+            None => (body.trim().to_owned(), String::new()),
+        }) {
+            Some(parts) => parts,
+            None => continue,
+        };
+        // Prose *about* the syntax (`allow(L00n, reason)` in docs) has
+        // an unparseable rule id — skip it silently. A real rule id
+        // with a missing reason is a genuine mistake and warns.
+        let Some(rule) = Rule::from_id(&id) else {
+            continue;
+        };
+        if reason.is_empty() {
+            out.annotation_warnings.push(Finding {
+                rule: Rule::Allowance,
+                severity: Rule::Allowance.severity(),
+                file: rel_path.to_owned(),
+                line: c.line,
+                alt_line: None,
+                message: format!(
+                    "lint annotation allow({id}) is missing its mandatory reason; \
+                     write `lint: allow({id}, reason)`",
+                ),
+            });
+            continue;
+        }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            let pos = token_lines.partition_point(|&l| l <= c.line);
+            token_lines.get(pos).copied().unwrap_or(c.line)
+        };
+        out.allows.push(Allow {
+            rule,
+            reason,
+            target_line,
+            comment_line: c.line,
+        });
+    }
+}
+
+/// Applies allow annotations to findings: suppressed findings are
+/// removed, allowances that silenced nothing become warnings.
+#[must_use]
+pub fn apply_allows(
+    findings: Vec<Finding>,
+    allows_by_file: &HashMap<String, Vec<Allow>>,
+) -> Vec<Finding> {
+    let mut used: HashMap<(String, Rule, usize), bool> = HashMap::new();
+    for (file, allows) in allows_by_file {
+        for a in allows {
+            used.entry((file.clone(), a.rule, a.target_line))
+                .or_insert(false);
+        }
+    }
+
+    let mut kept = Vec::new();
+    for f in findings {
+        let mut covered = false;
+        for line in std::iter::once(f.line).chain(f.alt_line) {
+            if let Some(flag) = used.get_mut(&(f.file.clone(), f.rule, line)) {
+                *flag = true;
+                covered = true;
+                break;
+            }
+        }
+        if !covered {
+            kept.push(f);
+        }
+    }
+
+    // Deterministic order for the unused-allow warnings.
+    let unused: BTreeMap<(String, usize), Rule> = used
+        .into_iter()
+        .filter_map(|((file, rule, line), was_used)| (!was_used).then_some(((file, line), rule)))
+        .collect();
+    for ((file, line), rule) in unused {
+        kept.push(Finding {
+            rule: Rule::Allowance,
+            severity: Rule::Allowance.severity(),
+            file,
+            line,
+            alt_line: None,
+            message: format!(
+                "unused lint annotation: allow({}) silences nothing on this line; remove it",
+                rule.id()
+            ),
+        });
+    }
+    kept
+}

@@ -1,0 +1,74 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! The linter's two ground truths: every fixture trips exactly the rule
+//! it demonstrates, and the workspace itself is clean under a self-run.
+
+use mcpat_lint::{default_root, lint_source, lint_workspace};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn every_fixture_trips_its_rule() {
+    for (file, rule) in [
+        ("l001_indexing.rs", "L001"),
+        ("l002_float_eq.rs", "L002"),
+        ("l003_env_read.rs", "L003"),
+        ("l004_unvalidated_field.rs", "L004"),
+        ("l005_lock_across_fanout.rs", "L005"),
+        ("l006_panicking_call.rs", "L006"),
+    ] {
+        let report = lint_source(file, &fixture(file));
+        assert!(
+            report.findings.iter().any(|f| f.rule.id() == rule),
+            "{file} should trip {rule}, got: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn fixture_findings_name_their_lines() {
+    let report = lint_source("l001_indexing.rs", &fixture("l001_indexing.rs"));
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule.id() == "L001")
+        .expect("an L001 finding");
+    assert_eq!(f.file, "l001_indexing.rs");
+    assert!(f.line >= 3, "index expression is past the doc header");
+}
+
+#[test]
+fn an_allow_with_reason_silences_the_fixture() {
+    let annotated = fixture("l006_panicking_call.rs").replace(
+        "v.unwrap()",
+        "// lint: allow(L006, fixture demonstrates suppression)\n    v.unwrap()",
+    );
+    let report = lint_source("l006_panicking_call.rs", &annotated);
+    assert!(
+        !report.findings.iter().any(|f| f.rule.id() == "L006"),
+        "allow should suppress: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = default_root();
+    let report = lint_workspace(&root).unwrap();
+    assert!(
+        report.files_scanned > 50,
+        "expected the whole workspace, scanned {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace must stay lint-clean (errors AND warnings):\n{}",
+        report.render()
+    );
+}

@@ -43,6 +43,32 @@ impl Default for PredictorConfig {
     }
 }
 
+impl PredictorConfig {
+    /// Reports suspicious predictor geometries into `diags`, with field
+    /// paths rooted under `path`.
+    ///
+    /// Zero entries disable a table (Niagara-style), so only nonzero,
+    /// non-power-of-two sizes are flagged: history-indexed tables are
+    /// power-of-two by construction, and anything else silently wastes
+    /// index bits.
+    pub fn validate_into(&self, path: &str, diags: &mut mcpat_diag::Diagnostics) {
+        for (field, v) in [
+            ("global_entries", self.global_entries),
+            ("local_l1_entries", self.local_l1_entries),
+            ("local_l2_entries", self.local_l2_entries),
+            ("chooser_entries", self.chooser_entries),
+            ("ras_entries", self.ras_entries),
+        ] {
+            if v != 0 && !v.is_power_of_two() {
+                diags.warning(
+                    mcpat_diag::join_path(path, field),
+                    format!("{v} entries is not a power of two; index bits are wasted"),
+                );
+            }
+        }
+    }
+}
+
 /// Full architectural description of one core.
 ///
 /// The defaults describe a generic 4-wide out-of-order core; use the
@@ -121,6 +147,7 @@ pub struct CoreConfig {
     pub dcache: CacheSpec,
     /// True if idle units are clock-gated (reduces their clock dynamic
     /// power to 10%).
+    // lint: allow(L004, pure modeling switch — both boolean values are valid)
     pub clock_gating: bool,
     /// Explicit random-control-logic transistor budget; `None` derives it
     /// from the machine width/threads (see `MiscLogic`). Presets with
@@ -133,6 +160,7 @@ pub struct CoreConfig {
     /// and records the shortfall (see
     /// [`CoreModel::relaxation_warnings`](crate::core::CoreModel::relaxation_warnings)).
     #[serde(default)]
+    // lint: allow(L004, pure modeling switch — both boolean values are valid)
     pub enforce_timing: bool,
 }
 
@@ -417,6 +445,9 @@ impl CoreConfig {
     #[must_use]
     pub fn validate(&self) -> Diagnostics {
         let mut d = Diagnostics::new();
+        if self.name.is_empty() {
+            d.warning("name", "unnamed core configuration");
+        }
         d.require_positive("clock_hz", "core clock", self.clock_hz);
         for (field, v) in [
             ("fetch_width", self.fetch_width),
@@ -431,6 +462,27 @@ impl CoreConfig {
         if self.pipeline_depth == 0 {
             d.error("pipeline_depth", "pipeline needs at least one stage");
         }
+        if self.fp_issue_width > self.issue_width {
+            d.warning(
+                "fp_issue_width",
+                format!(
+                    "FP issue width {} exceeds the total issue width {}",
+                    self.fp_issue_width, self.issue_width
+                ),
+            );
+        }
+        if self.instruction_buffer_size == 0 {
+            d.error(
+                "instruction_buffer_size",
+                "front end needs at least one instruction-buffer entry",
+            );
+        }
+        if self.machine_type == MachineType::InOrder && self.phys_int_regs > self.arch_int_regs {
+            d.warning(
+                "phys_int_regs",
+                "in-order cores do not rename; physical registers beyond the architectural set are ignored",
+            );
+        }
         if self.is_ooo() {
             if self.rob_size == 0 {
                 d.error("rob_size", "out-of-order cores need a reorder buffer");
@@ -439,6 +491,12 @@ impl CoreConfig {
                 d.error(
                     "instruction_window_size",
                     "out-of-order cores need an instruction window",
+                );
+            }
+            if self.fp_issue_width > 0 && self.fp_instruction_window_size == 0 {
+                d.error(
+                    "fp_instruction_window_size",
+                    "out-of-order cores issuing FP need an FP instruction window",
                 );
             }
             if self.phys_int_regs < self.arch_int_regs {
@@ -462,6 +520,30 @@ impl CoreConfig {
         }
         if self.threads == 0 {
             d.error("threads", "at least one thread context");
+        }
+        if self.load_queue_size == 0 {
+            d.error("load_queue_size", "need at least one load-queue entry");
+        }
+        if self.store_queue_size == 0 {
+            d.error("store_queue_size", "need at least one store-queue entry");
+        }
+        if self.num_alus == 0 {
+            d.error("num_alus", "integer pipeline needs at least one ALU");
+        }
+        if self.num_fpus > self.issue_width {
+            d.warning(
+                "num_fpus",
+                format!(
+                    "{} FP units exceed what issue width {} can feed",
+                    self.num_fpus, self.issue_width
+                ),
+            );
+        }
+        if self.num_muls == 0 {
+            d.warning(
+                "num_muls",
+                "no complex unit; multiply/divide power is unmodeled",
+            );
         }
         if self.word_bits == 0 || self.word_bits > 128 {
             d.error(
@@ -487,6 +569,42 @@ impl CoreConfig {
                 ),
             );
         }
+        if self.instruction_bits == 0 || self.instruction_bits > 128 {
+            d.error(
+                "instruction_bits",
+                format!(
+                    "instruction width {} must be in 1..=128",
+                    self.instruction_bits
+                ),
+            );
+        }
+        if self.opcode_bits == 0 {
+            d.error("opcode_bits", "decoded opcode must be at least one bit");
+        } else if self.opcode_bits > self.instruction_bits {
+            d.warning(
+                "opcode_bits",
+                format!(
+                    "opcode width {} exceeds the instruction width {}",
+                    self.opcode_bits, self.instruction_bits
+                ),
+            );
+        }
+        if self.btb_entries != 0 && !self.btb_entries.is_power_of_two() {
+            d.warning(
+                "btb_entries",
+                format!(
+                    "{} BTB entries is not a power of two; index bits are wasted",
+                    self.btb_entries
+                ),
+            );
+        }
+        if self.itlb_entries == 0 {
+            d.error("itlb_entries", "ITLB needs at least one entry");
+        }
+        if self.dtlb_entries == 0 {
+            d.error("dtlb_entries", "DTLB needs at least one entry");
+        }
+        self.predictor.validate_into("predictor", &mut d);
         if let Some(t) = self.misc_logic_transistors {
             d.require_nonnegative("misc_logic_transistors", "transistor budget", t);
         }

@@ -1,0 +1,66 @@
+//! The single place in the workspace that reads process environment
+//! variables.
+//!
+//! Every runtime knob the modeling stack honors is declared here, with
+//! its variable name, parse rule, and default, so that `mcpat-lint`'s
+//! L003 rule can enforce "no `std::env` reads outside the knobs
+//! module" and a reader can answer "what does the environment change?"
+//! from one file.
+//!
+//! This module lives in `mcpat-par` because that is the lowest crate in
+//! the dependency graph that needs a knob (the worker count); the
+//! umbrella `mcpat` crate re-exports it as `mcpat::knobs`.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MCPAT_THREADS` | worker count for every fan-out | detected parallelism |
+//! | `MCPAT_SOLVE_CACHE` | `0` disables the array solve cache | enabled |
+//!
+//! In-process overrides ([`crate::set_thread_override`],
+//! `mcpat_array::memo::set_enabled`) take precedence over both
+//! variables; tests and benchmarks should use those instead of mutating
+//! the process environment.
+
+/// Environment variable naming the worker count for every fan-out.
+pub const THREADS_VAR: &str = "MCPAT_THREADS";
+
+/// Environment variable that disables the array solve cache when set
+/// to `0`.
+pub const SOLVE_CACHE_VAR: &str = "MCPAT_SOLVE_CACHE";
+
+/// The `MCPAT_THREADS` knob: `Some(n)` when the variable is set to a
+/// positive integer, `None` when unset or unparseable (callers fall
+/// back to the machine's detected parallelism).
+#[must_use]
+pub fn threads() -> Option<usize> {
+    std::env::var(THREADS_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The `MCPAT_SOLVE_CACHE` knob: `false` only when the variable is set
+/// to `0` (after trimming); any other state — unset, empty, `1`,
+/// garbage — leaves the cache enabled.
+#[must_use]
+pub fn solve_cache() -> bool {
+    std::env::var(SOLVE_CACHE_VAR).map_or(true, |v| v.trim() != "0")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    #[test]
+    fn defaults_hold_when_unset() {
+        // The test environment does not set either variable; the knob
+        // functions must fall back to their documented defaults. (Tests
+        // must not mutate the process environment — other tests in this
+        // binary run concurrently and read it.)
+        if std::env::var(super::THREADS_VAR).is_err() {
+            assert_eq!(super::threads(), None);
+        }
+        if std::env::var(super::SOLVE_CACHE_VAR).is_err() {
+            assert!(super::solve_cache());
+        }
+    }
+}

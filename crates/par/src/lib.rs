@@ -22,7 +22,10 @@
 //!
 //! The worker count is resolved per call by [`threads`]: an in-process
 //! override (tests, benchmarks), else the `MCPAT_THREADS` environment
-//! variable, else [`std::thread::available_parallelism`].
+//! variable (read through [`knobs`], the workspace's single env-read
+//! seam), else [`std::thread::available_parallelism`].
+
+pub mod knobs;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,11 +109,7 @@ pub fn threads() -> usize {
     if forced > 0 {
         return forced;
     }
-    if let Some(n) = std::env::var("MCPAT_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
+    if let Some(n) = knobs::threads() {
         return n.min(MAX_THREADS);
     }
     detected_parallelism().min(MAX_THREADS)

@@ -168,7 +168,9 @@ impl SystemModel {
         // Per-core stats: each core keeps its own event counts but is
         // padded with idle cycles to the common interval.
         let mut cores = Vec::with_capacity(n);
-        let mut agg = self.simulate(&workloads[0], insts_per_core).stats;
+        let mut agg = workloads.first().map_or_else(Default::default, |wl| {
+            self.simulate(wl, insts_per_core).stats
+        });
         agg.cores.clear();
         agg.duration_s = slowest;
         agg.l2 = Default::default();
@@ -179,7 +181,9 @@ impl SystemModel {
         let mut total_ips = 0.0;
         let mut bw_util: f64 = 0.0;
         for i in 0..n {
-            let r = &runs[i % runs.len()];
+            let Some(r) = runs.get(i % runs.len().max(1)) else {
+                continue;
+            };
             let mut cs = r.stats.core(0);
             cs.idle_cycles += total_cycles.saturating_sub(cs.cycles);
             cs.cycles = total_cycles;

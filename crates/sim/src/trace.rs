@@ -179,8 +179,24 @@ pub fn run_trace(
     let flush_penalty = (f64::from(cfg.pipeline_depth) * 0.7).ceil() as u64;
 
     const HISTORY: usize = MAX_DEP_DISTANCE as usize;
-    let mut completion = [0u64; HISTORY];
-    let mut issue_times = [0u64; HISTORY];
+    /// Completion times of the last `HISTORY` ops, keyed by op index
+    /// modulo the ring depth; all access is checked (slots before the
+    /// ring wraps read as 0, their initial value).
+    struct CompletionRing([u64; HISTORY]);
+    impl CompletionRing {
+        fn at(&self, op_index: u64) -> u64 {
+            self.0
+                .get((op_index as usize) % HISTORY)
+                .copied()
+                .unwrap_or(0)
+        }
+        fn set(&mut self, op_index: u64, done_at: u64) {
+            if let Some(slot) = self.0.get_mut((op_index as usize) % HISTORY) {
+                *slot = done_at;
+            }
+        }
+    }
+    let mut completion = CompletionRing([0u64; HISTORY]);
     let mut front_end_ready: u64 = 0;
     let mut issued_this_cycle: u64 = 0;
     let mut current_cycle: u64 = 0;
@@ -189,20 +205,17 @@ pub fn run_trace(
 
     for i in 0..n_ops {
         let op = generator.next_op();
-        let idx = (i as usize) % HISTORY;
 
         // Data dependence.
         let dep_ready = if op.dep_distance == 0 || u64::from(op.dep_distance) > i {
             0
         } else {
-            let src = ((i - u64::from(op.dep_distance)) as usize) % HISTORY;
-            completion[src]
+            completion.at(i - u64::from(op.dep_distance))
         };
         // Window occupancy (OoO) / program order (in-order).
         let structural_ready = if is_ooo {
             if i >= window {
-                let oldest = ((i - window) as usize) % HISTORY;
-                completion[oldest]
+                completion.at(i - window)
             } else {
                 0
             }
@@ -226,11 +239,11 @@ pub fn run_trace(
         let issue_at = current_cycle;
         issued_this_cycle += 1;
         last_issue = issue_at;
-        issue_times[idx] = issue_at;
-        completion[idx] = issue_at + u64::from(op.latency);
+        let done_at = issue_at + u64::from(op.latency);
+        completion.set(i, done_at);
 
         if op.mispredicted {
-            front_end_ready = completion[idx] + flush_penalty;
+            front_end_ready = done_at + flush_penalty;
         }
 
         // Event accounting.
@@ -259,7 +272,7 @@ pub fn run_trace(
     }
 
     // Drain: the last completion bounds the cycle count.
-    let end = completion.iter().copied().max().unwrap_or(current_cycle);
+    let end = completion.0.iter().copied().max().unwrap_or(current_cycle);
     let cycles = end.max(current_cycle).max(1);
 
     stats.cycles = cycles;

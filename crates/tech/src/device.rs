@@ -161,17 +161,18 @@ impl DeviceParams {
                 [0.55, 0.20, 11.0, 1100.0, 3.0e-2, 2.0e-2, 0.65, 0.47, 0.30]
             }
         };
+        let [vdd, vth, l_phy_nm, i_on_n, i_off_n_ref, i_g_n, c_g_f, c_d_f, lcl] = row;
         DeviceParams {
-            vdd: row[0],
-            vth: row[1],
-            l_phy: row[2] * 1e-9,
-            i_on_n: row[3],
-            i_on_p: row[3] * P_TO_N_DRIVE_RATIO,
-            i_off_n_ref: row[4],
-            i_g_n: row[5],
-            c_g: row[6] * 1e-9,
-            c_d: row[7] * 1e-9,
-            long_channel_leakage_reduction: row[8],
+            vdd,
+            vth,
+            l_phy: l_phy_nm * 1e-9,
+            i_on_n,
+            i_on_p: i_on_n * P_TO_N_DRIVE_RATIO,
+            i_off_n_ref,
+            i_g_n,
+            c_g: c_g_f * 1e-9,
+            c_d: c_d_f * 1e-9,
+            long_channel_leakage_reduction: lcl,
             t_slope: DEFAULT_T_SLOPE,
         }
     }

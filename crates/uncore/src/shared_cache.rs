@@ -46,6 +46,18 @@ impl SharedCacheConfig {
                 "no MSHRs configured; modeling a single blocking miss register",
             );
         }
+        if self.wb_buffer_entries == 0 {
+            diags.warning(
+                at("wb_buffer_entries"),
+                "no writeback buffer configured; modeling a single-entry buffer",
+            );
+        }
+        if self.fill_buffer_entries == 0 {
+            diags.warning(
+                at("fill_buffer_entries"),
+                "no fill buffer configured; modeling a single-entry buffer",
+            );
+        }
         if self.directory_sharers > 1024 {
             diags.error(
                 at("directory_sharers"),
