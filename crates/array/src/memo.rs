@@ -24,16 +24,26 @@
 //! build fan-out rarely contend on the same lock. A poisoned shard
 //! (impossible unless a panic escapes the panic-free core) is recovered
 //! with [`std::sync::PoisonError::into_inner`] rather than propagated.
-//! Misses solve *outside* the lock; two threads racing on the same key
-//! both solve and one result wins — wasted work, never a wrong answer,
-//! and no lock is held across a (milliseconds-long) solve.
+//! Misses solve *outside* the lock — no lock is held across a
+//! (milliseconds-long) solve.
+//!
+//! **In-flight coalescing.** Concurrent requests for the *same* key —
+//! the common case when an exploration batch fans identical candidate
+//! chips across the pool — do not race to duplicate the solve: the
+//! first requester marks the key *pending* and solves; later
+//! requesters park on the shard's condvar and replay the stored result
+//! when it lands (counted as hits, sub-counted in
+//! [`SolveCacheStats::coalesced`]). The pending mark is cleared by a
+//! drop guard, so even a (bug-only) panicking solver wakes the waiters
+//! and the next one takes over — never a stuck key.
 
 use crate::solve::{ArrayError, SolvedArray};
 use crate::spec::{ArrayKind, ArraySpec, OptTarget};
 use mcpat_tech::TechParams;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 /// Number of independently locked map shards.
 const SHARDS: usize = 16;
@@ -78,7 +88,7 @@ fn tech_words(tech: &TechParams) -> [u64; 16] {
 
 /// The full content-addressed cache key. The spec's `name` is excluded
 /// on purpose — see the module docs.
-#[derive(Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
     tech: [u64; 16],
     entries: u64,
@@ -131,21 +141,56 @@ impl Key {
     }
 }
 
-type Shard = Mutex<HashMap<Key, Result<SolvedArray, ArrayError>>>;
+/// One shard: the result map, the set of keys currently being solved,
+/// and a condvar waking waiters when either changes.
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<Key, Result<SolvedArray, ArrayError>>,
+    pending: HashSet<Key>,
+}
+
+/// Heartbeat for waiters parked on an in-flight solve — defense in
+/// depth against a missed wake-up (degrades to slow polling, never a
+/// hang).
+const PENDING_POLL: Duration = Duration::from_millis(100);
 
 fn shards() -> &'static [Shard; SHARDS] {
     static SHARDS_CELL: OnceLock<[Shard; SHARDS]> = OnceLock::new();
-    SHARDS_CELL.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashMap::new())))
+    SHARDS_CELL.get_or_init(|| {
+        std::array::from_fn(|_| Shard {
+            state: Mutex::new(ShardState::default()),
+            cv: Condvar::new(),
+        })
+    })
 }
 
-fn lock(shard: &Shard) -> MutexGuard<'_, HashMap<Key, Result<SolvedArray, ArrayError>>> {
-    shard
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+fn lock(shard: &Shard) -> MutexGuard<'_, ShardState> {
+    shard.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears a key's pending mark (and wakes waiters) on all exit paths
+/// of the solving thread, including a hypothetical panic unwinding
+/// through `solve_fn` — waiters then re-check and one takes over.
+struct PendingGuard<'a> {
+    shard: &'a Shard,
+    key: Key,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        lock(self.shard).pending.remove(&self.key);
+        self.shard.cv.notify_all();
+    }
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static COALESCED: AtomicU64 = AtomicU64::new(0);
 
 /// Cache mode: 0 = auto (on unless `MCPAT_SOLVE_CACHE=0`),
 /// 1 = forced on, 2 = forced off.
@@ -172,13 +217,16 @@ fn enabled() -> bool {
     }
 }
 
-/// Drops every cached solve and zeroes the hit/miss counters.
+/// Drops every cached solve and zeroes the hit/miss counters. Pending
+/// marks are left alone — their owning threads are mid-solve and will
+/// clear them.
 pub fn clear() {
     for shard in shards() {
-        lock(shard).clear();
+        lock(shard).map.clear();
     }
     HITS.store(0, Ordering::SeqCst);
     MISSES.store(0, Ordering::SeqCst);
+    COALESCED.store(0, Ordering::SeqCst);
 }
 
 /// A snapshot of the solve cache's effectiveness.
@@ -188,6 +236,9 @@ pub struct SolveCacheStats {
     pub hits: u64,
     /// Solves that ran the optimizer.
     pub misses: u64,
+    /// Subset of `hits` that parked on another thread's in-flight
+    /// solve of the same key instead of duplicating it.
+    pub coalesced: u64,
     /// Distinct (tech, spec, target) keys currently stored.
     pub entries: u64,
 }
@@ -203,10 +254,11 @@ impl SolveCacheStats {
 /// Current process-wide cache statistics.
 #[must_use]
 pub fn stats() -> SolveCacheStats {
-    let entries = shards().iter().map(|s| lock(s).len() as u64).sum();
+    let entries = shards().iter().map(|s| lock(s).map.len() as u64).sum();
     SolveCacheStats {
         hits: HITS.load(Ordering::SeqCst),
         misses: MISSES.load(Ordering::SeqCst),
+        coalesced: COALESCED.load(Ordering::SeqCst),
         entries,
     }
 }
@@ -251,13 +303,42 @@ pub fn lookup_or_solve(
         // fallback (solve uncached) is cheaper than a panic path.
         return solve_fn(tech, spec, target);
     };
-    if let Some(cached) = lock(shard).get(&key).cloned() {
-        HITS.fetch_add(1, Ordering::SeqCst);
-        return relabel(cached, &spec.name);
+
+    // Hit, coalesce onto an in-flight solve, or claim the key.
+    let mut waited = false;
+    {
+        let mut st = lock(shard);
+        loop {
+            if let Some(cached) = st.map.get(&key) {
+                let cached = cached.clone();
+                drop(st);
+                HITS.fetch_add(1, Ordering::SeqCst);
+                if waited {
+                    COALESCED.fetch_add(1, Ordering::SeqCst);
+                }
+                return relabel(cached, &spec.name);
+            }
+            if st.pending.contains(&key) {
+                waited = true;
+                let (guard, _) = shard
+                    .cv
+                    .wait_timeout(st, PENDING_POLL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+                continue;
+            }
+            st.pending.insert(key.clone());
+            break;
+        }
     }
+
+    // This thread owns the solve; the guard clears the pending mark
+    // (and wakes waiters) on every exit path.
+    let guard = PendingGuard { shard, key };
     MISSES.fetch_add(1, Ordering::SeqCst);
     let res = solve_fn(tech, spec, target);
-    lock(shard).insert(key, res.clone());
+    lock(shard).map.insert(guard.key.clone(), res.clone());
+    drop(guard);
     res
 }
 
@@ -377,6 +458,44 @@ mod tests {
         set_auto();
         assert_eq!(e1, ArrayError::DegenerateSpec { name: "a".into() });
         assert_eq!(e2, ArrayError::DegenerateSpec { name: "b".into() });
+    }
+
+    #[test]
+    fn racing_identical_solves_coalesce_to_one() {
+        let _mode = MODE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let t = tech();
+        // Unique geometry so this test owns its key process-wide.
+        let calls = AtomicU64::new(0);
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let (t, calls, barrier) = (&t, &calls, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let r = lookup_or_solve(
+                        t,
+                        &ArraySpec::table(613, 29).named(format!("racer{i}")),
+                        OptTarget::Delay,
+                        |t, s2, tg| {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_millis(30));
+                            crate::solve::solve_uncached(t, s2, tg)
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(r.name, format!("racer{i}"));
+                });
+            }
+        });
+        set_auto();
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "racing identical solves must coalesce onto one solver"
+        );
     }
 
     #[test]

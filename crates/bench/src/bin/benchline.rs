@@ -1,9 +1,20 @@
 //! Tool-speed benchmark line: times the modeling stack itself (array
-//! solves, core builds, chip builds, an exploration sweep) in three
-//! execution modes — serial, thread-parallel, and warm solve-cache —
-//! and writes `BENCH_toolspeed.json` for trend tracking in CI.
+//! solves, core builds, chip builds, exploration sweeps, clock
+//! bisection) in three execution modes — serial, thread-parallel, and
+//! warm solve-cache — and writes `BENCH_toolspeed.json` for trend
+//! tracking in CI.
 //!
-//! Run with: `cargo run --release -p mcpat-bench --bin benchline [--quick] [--out PATH]`
+//! Run with: `cargo run --release -p mcpat-bench --bin benchline
+//! [--quick] [--out PATH] [--gate BASELINE.json]`
+//!
+//! `--gate` turns the run into a regression check against a previously
+//! committed JSON: on a multi-core host the exploration sweep must not
+//! be slower in parallel than serially, and when the baseline was
+//! recorded on a host with the same CPU label *and* the same rep count
+//! (`--quick` and full runs take different medians), no benchmark's
+//! `serial_ms` may regress by more than 15%. A mismatched CPU label or
+//! rep count skips the wall-clock comparison (the numbers are not
+//! comparable) but still enforces the speedup invariant.
 //!
 //! The JSON is stamped with the git revision and records the host's
 //! available parallelism alongside every number: on a single-core
@@ -11,7 +22,10 @@
 //! parallel speedups only across runs whose `host.available_parallelism`
 //! agrees.
 
-use mcpat::{explore, Budgets, MetricSet, Processor, ProcessorConfig};
+use mcpat::{
+    explore, explore_batch, max_clock_under_power_budget, register_alloc_probe, Budgets, MetricSet,
+    Processor, ProcessorConfig,
+};
 use mcpat_array::{memo, ArraySpec, OptTarget};
 use mcpat_mcore::config::CoreConfig;
 use mcpat_mcore::core::CoreModel;
@@ -87,6 +101,12 @@ fn allocs_of(mut f: impl FnMut()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
+/// Reader handed to [`register_alloc_probe`] so `ExplorePerf::allocs`
+/// reports this process's counting-allocator traffic.
+fn current_allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
 struct Row {
     name: &'static str,
     serial_ms: f64,
@@ -145,6 +165,107 @@ fn explore_candidates() -> Vec<ProcessorConfig> {
         .collect()
 }
 
+/// The pre-incremental clock bisection: every probe rebuilds the full
+/// chip. Kept as the benchmark baseline `clock_bisection_incremental`
+/// is measured against.
+fn bisection_full_rebuild(
+    config: &ProcessorConfig,
+    budget_w: f64,
+    lo_hz: f64,
+    hi_hz: f64,
+) -> Option<f64> {
+    let power_at = |clock: f64| -> f64 {
+        let mut cfg = config.clone();
+        cfg.clock_hz = clock;
+        cfg.core.clock_hz = clock;
+        match Processor::build(&cfg) {
+            Ok(chip) => chip.peak_power().total(),
+            Err(e) => die(&format!("bisection build failed: {e}")),
+        }
+    };
+    if power_at(lo_hz) > budget_w {
+        return None;
+    }
+    if power_at(hi_hz) <= budget_w {
+        return Some(hi_hz);
+    }
+    let (mut lo, mut hi) = (lo_hz, hi_hz);
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if power_at(mid) <= budget_w {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Regression gate: compares this run's rows against a committed
+/// baseline JSON. Returns every violated invariant.
+fn gate_failures(
+    baseline: &serde_json::Value,
+    rows: &[Row],
+    explore_parallel_speedup: f64,
+    host_threads: usize,
+    host_label: &str,
+    reps: usize,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if host_threads > 1 && explore_parallel_speedup < 1.0 {
+        failures.push(format!(
+            "explore_parallel_vs_serial is {explore_parallel_speedup:.3} (< 1.0) on a \
+             {host_threads}-way host: the parallel path must not lose to serial"
+        ));
+    }
+    let base_label = baseline
+        .get("host")
+        .and_then(|h| h.get("label"))
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("");
+    if base_label != host_label {
+        eprintln!(
+            "benchline: gate skips serial_ms comparison (baseline host \"{base_label}\" \
+             != \"{host_label}\"; wall-clock is not comparable)"
+        );
+        return failures;
+    }
+    let base_reps = baseline
+        .get("reps_per_mode")
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or(0.0);
+    if base_reps != reps as f64 {
+        eprintln!(
+            "benchline: gate skips serial_ms comparison (baseline took the median of \
+             {base_reps} reps, this run {reps}; medians are not comparable)"
+        );
+        return failures;
+    }
+    let base_rows = baseline
+        .get("benchmarks")
+        .and_then(serde_json::Value::as_seq)
+        .unwrap_or(&[]);
+    for row in rows {
+        let base_ms = base_rows.iter().find_map(|b| {
+            let name = b.get("name").and_then(serde_json::Value::as_str)?;
+            if name == row.name {
+                b.get("serial_ms").and_then(serde_json::Value::as_f64)
+            } else {
+                None
+            }
+        });
+        // Rows the baseline predates are informational only.
+        let Some(base_ms) = base_ms else { continue };
+        if base_ms > 0.0 && row.serial_ms > base_ms * 1.15 {
+            failures.push(format!(
+                "{}: serial {:.3} ms regressed more than 15% over baseline {:.3} ms",
+                row.name, row.serial_ms, base_ms
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -153,7 +274,12 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_toolspeed.json", String::as_str);
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1));
     let reps = if quick { 3 } else { 7 };
+    register_alloc_probe(current_allocs);
 
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let revision = git_revision();
@@ -210,6 +336,36 @@ fn main() {
         }
     }));
 
+    rows.push(bench("explore_batch_16_candidates", explore_reps, || {
+        let r = explore_batch(&cands, Budgets::default(), |c| {
+            MetricSet::from_power(10.0, 1.0, c.die_area())
+        });
+        if let Err(e) = r {
+            die(&format!("batched exploration failed: {e}"));
+        }
+    }));
+
+    let clk_cfg = ProcessorConfig::manycore(
+        "clk",
+        TechNode::N32,
+        CoreConfig::generic_inorder(),
+        4,
+        2,
+        1024 * 1024,
+    );
+    rows.push(bench("clock_bisection_full", explore_reps, || {
+        if bisection_full_rebuild(&clk_cfg, 25.0, 0.5e9, 6.0e9).is_none() {
+            die("full-rebuild bisection found no feasible clock");
+        }
+    }));
+    rows.push(bench("clock_bisection_incremental", explore_reps, || {
+        match max_clock_under_power_budget(&clk_cfg, 25.0, 0.5e9, 6.0e9) {
+            Ok(Some(_)) => {}
+            Ok(None) => die("incremental bisection found no feasible clock"),
+            Err(e) => die(&format!("incremental bisection failed: {e}")),
+        }
+    }));
+
     let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
     let find = |n: &str| {
         rows.iter()
@@ -218,9 +374,14 @@ fn main() {
     };
     let chip = find("chip_build_niagara2");
     let expl = find("explore_16_candidates");
+    let batch = find("explore_batch_16_candidates");
+    let bisect_full = find("clock_bisection_full");
+    let bisect_incr = find("clock_bisection_incremental");
     let chip_parallel_speedup = ratio(chip.serial_ms, chip.parallel_ms);
     let explore_parallel_speedup = ratio(expl.serial_ms, expl.parallel_ms);
     let chip_warm_speedup = ratio(chip.serial_ms, chip.warm_cache_ms);
+    let batch_vs_explore_speedup = ratio(expl.serial_ms, batch.serial_ms);
+    let bisection_speedup = ratio(bisect_full.serial_ms, bisect_incr.serial_ms);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -254,7 +415,15 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"chip_build_warm_cache_vs_cold\": {chip_warm_speedup:.3}"
+        "    \"chip_build_warm_cache_vs_cold\": {chip_warm_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"explore_batch_vs_explore_serial\": {batch_vs_explore_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"bisection_incremental_vs_full\": {bisection_speedup:.3}"
     );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
@@ -263,4 +432,31 @@ fn main() {
         die(&format!("cannot write {out_path}: {e}"));
     }
     eprintln!("benchline: wrote {out_path}");
+
+    if let Some(gate_path) = gate_path {
+        let text = std::fs::read_to_string(gate_path)
+            .unwrap_or_else(|e| die(&format!("cannot read gate baseline {gate_path}: {e}")));
+        let baseline: serde_json::Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("gate baseline {gate_path} is not JSON: {e}")));
+        let label = format!("{host_threads}cpu");
+        let failures = gate_failures(
+            &baseline,
+            &rows,
+            explore_parallel_speedup,
+            host_threads,
+            &label,
+            reps,
+        );
+        if failures.is_empty() {
+            eprintln!("benchline: gate passed against {gate_path}");
+        } else {
+            for f in &failures {
+                eprintln!("benchline: GATE FAILURE: {f}");
+            }
+            die(&format!(
+                "{} regression(s) against {gate_path}",
+                failures.len()
+            ));
+        }
+    }
 }

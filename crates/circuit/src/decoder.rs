@@ -24,11 +24,15 @@ use mcpat_tech::TechParams;
 /// assert_eq!(dec.address_bits(), 8);
 /// assert!(dec.metrics().delay > 0.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct RowDecoder {
     num_rows: usize,
     address_bits: u32,
-    predecoders: Vec<LogicGate>,
+    /// All predecoders are identically sized 2-input NANDs, so one
+    /// prototype plus a count replaces the per-candidate `Vec` the
+    /// partition sweep used to allocate on every evaluation.
+    predecoder: LogicGate,
+    num_predecoders: u32,
     row_gate: LogicGate,
     wordline_driver: BufferChain,
     tech: TechParams,
@@ -43,9 +47,7 @@ impl RowDecoder {
         let address_bits = (num_rows.max(2) as f64).log2().ceil() as u32;
         // One 2-bit (4-output) predecoder per address-bit pair.
         let num_predecoders = address_bits.div_ceil(2);
-        let predecoders = (0..num_predecoders)
-            .map(|_| LogicGate::new(tech, GateKind::Nand(2), 2.0))
-            .collect();
+        let predecoder = LogicGate::new(tech, GateKind::Nand(2), 2.0);
         // Final row gate combines predecoder outputs.
         let fan_in = num_predecoders.clamp(2, 4);
         let row_gate = LogicGate::new(tech, GateKind::Nand(fan_in), 1.0);
@@ -53,7 +55,8 @@ impl RowDecoder {
         RowDecoder {
             num_rows,
             address_bits,
-            predecoders,
+            predecoder,
+            num_predecoders,
             row_gate,
             wordline_driver,
             tech: *tech,
@@ -77,7 +80,10 @@ impl RowDecoder {
     pub fn input_cap_per_bit(&self) -> f64 {
         // Each address bit (true + complement) feeds half the predecoder
         // inputs on average.
-        2.0 * self.predecoders.first().map_or(0.0, LogicGate::input_cap)
+        if self.num_predecoders == 0 {
+            return 0.0;
+        }
+        2.0 * self.predecoder.input_cap()
     }
 
     /// Metrics of one decode operation (one row fires).
@@ -89,17 +95,18 @@ impl RowDecoder {
         // each predecode line.
         let rows_per_line = (self.num_rows as f64 / 4.0).max(1.0);
         let predecode_load = rows_per_line * self.row_gate.input_cap();
-        let pre = self
-            .predecoders
-            .first()
-            .map_or_else(CircuitMetrics::zero, |p| p.metrics(predecode_load));
+        let pre = if self.num_predecoders == 0 {
+            CircuitMetrics::zero()
+        } else {
+            self.predecoder.metrics(predecode_load)
+        };
         let row = self.row_gate.metrics(self.wordline_driver.input_cap());
         let driver = self.wordline_driver.metrics();
 
         // Energy: all predecoders switch; one predecode line per group
         // toggles; one row gate and one driver fire. Area: predecoders +
         // one row gate and driver *per row*.
-        let num_pre = self.predecoders.len() as f64;
+        let num_pre = f64::from(self.num_predecoders);
         let energy = pre.energy_per_op * num_pre + row.energy_per_op + driver.energy_per_op;
         let area = pre.area * num_pre + (row.area + driver.area) * self.num_rows as f64;
         let leakage = pre.leakage.scaled(num_pre)

@@ -204,9 +204,18 @@ impl LogicGate {
 ///
 /// Stage count is chosen so each stage has electrical fanout ≈ 4, which is
 /// delay-optimal for static CMOS.
-#[derive(Debug, Clone)]
+///
+/// Stage sizes form a pure geometric sequence (`1, r, r², …`), so the
+/// chain stores only `(n_stages, r)` and materializes each [`LogicGate`]
+/// on the fly — a chain is built per candidate inside the array
+/// partition sweep's hot loop, and this keeps it allocation-free. The
+/// running size is accumulated by the same repeated multiplication the
+/// stored-`Vec` representation used, so every derived number is
+/// bit-identical.
+#[derive(Debug, Clone, Copy)]
 pub struct BufferChain {
-    stages: Vec<LogicGate>,
+    n_stages: usize,
+    per_stage: f64,
     c_load: f64,
     tech: TechParams,
 }
@@ -226,14 +235,9 @@ impl BufferChain {
             .ceil()
             .max(1.0) as usize;
         let per_stage = total_effort.powf(1.0 / n_stages as f64);
-        let mut stages = Vec::with_capacity(n_stages);
-        let mut size = 1.0;
-        for _ in 0..n_stages {
-            stages.push(LogicGate::new(tech, GateKind::Inverter, size));
-            size *= per_stage;
-        }
         BufferChain {
-            stages,
+            n_stages,
+            per_stage,
             c_load,
             tech: *tech,
         }
@@ -242,29 +246,35 @@ impl BufferChain {
     /// Number of inverter stages.
     #[must_use]
     pub fn num_stages(&self) -> usize {
-        self.stages.len()
+        self.n_stages
     }
 
     /// Capacitance presented to whatever drives the chain, F.
     #[must_use]
     pub fn input_cap(&self) -> f64 {
-        self.stages.first().map_or(0.0, LogicGate::input_cap)
+        if self.n_stages == 0 {
+            return 0.0;
+        }
+        LogicGate::new(&self.tech, GateKind::Inverter, 1.0).input_cap()
     }
 
     /// Metrics of one full transition through the chain into the load.
     #[must_use]
     pub fn metrics(&self) -> CircuitMetrics {
         let mut acc = CircuitMetrics::zero();
-        for (i, stage) in self.stages.iter().enumerate() {
-            let load = match self.stages.get(i + 1) {
-                Some(next) => next.input_cap(),
-                None => self.c_load,
+        let mut size = 1.0;
+        for i in 0..self.n_stages {
+            let stage = LogicGate::new(&self.tech, GateKind::Inverter, size);
+            size *= self.per_stage;
+            let load = if i + 1 < self.n_stages {
+                LogicGate::new(&self.tech, GateKind::Inverter, size).input_cap()
+            } else {
+                self.c_load
             };
             acc = acc.in_series(&stage.metrics(load));
         }
         // The load itself still has to be charged by the final stage's
         // energy; `switch_energy` already accounted for it.
-        let _ = self.tech;
         acc
     }
 }

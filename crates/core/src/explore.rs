@@ -9,8 +9,9 @@
 
 use crate::config::ProcessorConfig;
 use crate::error::McpatError;
-use crate::metrics::{best_index, Metric, MetricSet};
+use crate::metrics::{best_index_of, Metric, MetricSet};
 use crate::processor::Processor;
+use std::sync::OnceLock;
 
 /// Physical budgets a candidate must respect.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,18 +59,18 @@ impl Exploration {
     /// The feasible candidate minimizing a metric.
     #[must_use]
     pub fn best(&self, metric: Metric) -> Option<&Candidate> {
-        let sets: Vec<MetricSet> = self.feasible.iter().map(|c| c.metrics).collect();
-        best_index(&sets, metric).and_then(|i| self.feasible.get(i))
+        best_index_of(self.feasible.iter().map(|c| &c.metrics), metric)
+            .and_then(|i| self.feasible.get(i))
     }
 
     /// True if every per-metric winner lies on the Pareto front
     /// (a consistency invariant of correct dominance filtering).
     #[must_use]
     pub fn winners_are_pareto(&self) -> bool {
-        let sets: Vec<MetricSet> = self.feasible.iter().map(|c| c.metrics).collect();
-        Metric::ALL
-            .iter()
-            .all(|&m| best_index(&sets, m).is_none_or(|i| self.pareto.contains(&i)))
+        Metric::ALL.iter().all(|&m| {
+            best_index_of(self.feasible.iter().map(|c| &c.metrics), m)
+                .is_none_or(|i| self.pareto.contains(&i))
+        })
     }
 }
 
@@ -78,6 +79,21 @@ fn dominates(a: &MetricSet, b: &MetricSet) -> bool {
     let le = a.energy <= b.energy && a.delay <= b.delay && a.area <= b.area;
     let lt = a.energy < b.energy || a.delay < b.delay || a.area < b.area;
     le && lt
+}
+
+/// Indices (into `feasible`) of the non-dominated points.
+fn pareto_front(feasible: &[Candidate]) -> Vec<usize> {
+    feasible
+        .iter()
+        .enumerate()
+        .filter(|&(i, cand)| {
+            !feasible
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(&other.metrics, &cand.metrics))
+        })
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// Builds and evaluates every candidate, filters by budgets, and
@@ -115,15 +131,215 @@ where
 
     let mut feasible = Vec::new();
     let mut rejected = Vec::new();
-    for (cfg, built) in candidates.iter().zip(builds) {
+    for built in builds {
+        // The built chip echoes its config, so its name can be moved
+        // out instead of cloned from the input slice.
         let chip = built?;
+        let area = chip.die_area();
+        let peak = chip.peak_power().total();
+        if area > budgets.max_area || peak > budgets.max_peak_power {
+            rejected.push(chip.config.name);
+            continue;
+        }
+        let metrics = evaluate(&chip);
+        feasible.push(Candidate {
+            name: chip.config.name,
+            area,
+            peak_power: peak,
+            metrics,
+        });
+    }
+
+    let pareto = pareto_front(&feasible);
+    Ok(Exploration {
+        feasible,
+        rejected,
+        pareto,
+    })
+}
+
+/// Process-wide allocation-count probe, registered by tooling (the
+/// benchmark harness installs a counting allocator and points this at
+/// its counter). `None` until registered; [`ExplorePerf::allocs`] reads
+/// 0 without one.
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Registers the allocation-count probe used by [`explore_batch`] to
+/// attribute allocator traffic. First registration wins; returns
+/// whether this call installed the probe.
+pub fn register_alloc_probe(probe: fn() -> u64) -> bool {
+    ALLOC_PROBE.set(probe).is_ok()
+}
+
+fn alloc_count() -> u64 {
+    ALLOC_PROBE.get().map_or(0, |probe| probe())
+}
+
+/// How a [`explore_batch`] call performed: where its builds went and
+/// what the caches and the thread pool did on its behalf.
+///
+/// The cache and pool deltas attribute process-wide counters, so they
+/// are exact for a lone call and an attribution when calls overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExplorePerf {
+    /// Worker threads the fan-out could use.
+    pub threads: usize,
+    /// Candidates submitted.
+    pub candidates: usize,
+    /// Distinct configurations actually built.
+    pub unique_builds: usize,
+    /// Candidates served by another candidate's build (identical
+    /// configuration up to the name).
+    pub deduped: usize,
+    /// Array solves answered by the content-addressed cache.
+    pub solve_cache_hits: u64,
+    /// Array solves that ran the optimizer.
+    pub solve_cache_misses: u64,
+    /// Tasks stolen between pool workers while building.
+    pub pool_steals: u64,
+    /// Fan-out elements executed inline (serial cutoffs and nested
+    /// calls that never reached the pool).
+    pub pool_inline: u64,
+    /// Heap allocations over the call, if a probe is registered (see
+    /// [`register_alloc_probe`]); 0 otherwise.
+    pub allocs: u64,
+}
+
+/// True if two configurations describe the same chip, ignoring the
+/// report name.
+fn eq_ignoring_name(a: &ProcessorConfig, b: &ProcessorConfig) -> bool {
+    // Exhaustive destructure: adding a field to `ProcessorConfig`
+    // breaks this compile, forcing the dedup key to be revisited — a
+    // silently stale key would merge genuinely different candidates.
+    let ProcessorConfig {
+        name,
+        node,
+        device_type,
+        temperature_k,
+        projection,
+        long_channel_leakage,
+        clock_hz,
+        num_cores,
+        core,
+        l2,
+        num_l2s,
+        l3,
+        fabric,
+        mc,
+        io_bandwidth,
+        num_shared_fpus,
+        power_gating,
+        vdd_scale,
+    } = a;
+    // An empty name changes validation warnings, so emptiness (though
+    // not the name itself) must match for the builds to be identical.
+    name.is_empty() == b.name.is_empty()
+        && *node == b.node
+        && *device_type == b.device_type
+        && *temperature_k == b.temperature_k
+        && *projection == b.projection
+        && *long_channel_leakage == b.long_channel_leakage
+        && *clock_hz == b.clock_hz
+        && *num_cores == b.num_cores
+        && *core == b.core
+        && *l2 == b.l2
+        && *num_l2s == b.num_l2s
+        && *l3 == b.l3
+        && *fabric == b.fabric
+        && *mc == b.mc
+        && *io_bandwidth == b.io_bandwidth
+        && *num_shared_fpus == b.num_shared_fpus
+        && *power_gating == b.power_gating
+        && *vdd_scale == b.vdd_scale
+}
+
+/// [`explore`], batched: identical candidate configurations (up to the
+/// name) are built once and shared, pre-warming nothing and skipping
+/// the redundant builds outright instead of rediscovering them solve by
+/// solve in the array cache.
+///
+/// Results stream in input order and are field-for-field identical to
+/// calling [`explore`] on the same slice: budget filtering, the
+/// injected evaluator, and error propagation all observe the same
+/// chips in the same order (duplicates are re-labeled with their own
+/// candidate's name before the evaluator sees them).
+///
+/// The second return value reports how the batch performed; see
+/// [`ExplorePerf`].
+///
+/// # Errors
+///
+/// Propagates the first build failure in candidate order, exactly like
+/// [`explore`].
+pub fn explore_batch<F>(
+    candidates: &[ProcessorConfig],
+    budgets: Budgets,
+    mut evaluate: F,
+) -> Result<(Exploration, ExplorePerf), McpatError>
+where
+    F: FnMut(&Processor) -> MetricSet,
+{
+    let cache_before = mcpat_array::memo::stats();
+    let pool_before = mcpat_par::pool::stats();
+    let allocs_before = alloc_count();
+
+    // Assign every candidate to the first candidate with the same
+    // configuration; representatives build, the rest share.
+    let mut unique: Vec<&ProcessorConfig> = Vec::new();
+    let mut assignment: Vec<usize> = Vec::with_capacity(candidates.len());
+    for cfg in candidates {
+        let slot = unique
+            .iter()
+            .position(|rep| eq_ignoring_name(rep, cfg))
+            .unwrap_or_else(|| {
+                unique.push(cfg);
+                unique.len() - 1
+            });
+        assignment.push(slot);
+    }
+
+    let builds = mcpat_par::par_map(&unique, 2, |_, cfg| Processor::build(cfg)).map_err(|e| {
+        McpatError::Array(mcpat_diag::AtPath::new(
+            "explore",
+            mcpat_array::ArrayError::Worker {
+                name: String::from("explore"),
+                detail: e.to_string(),
+            },
+        ))
+    })?;
+    // Error priority matches `explore`: representatives are in
+    // first-occurrence order, and duplicates of a failing config fail
+    // identically, so the first failing representative is the first
+    // failing candidate.
+    let mut chips = Vec::with_capacity(builds.len());
+    for built in builds {
+        chips.push(built?);
+    }
+
+    let mut feasible = Vec::new();
+    let mut rejected = Vec::new();
+    for (cfg, &slot) in candidates.iter().zip(&assignment) {
+        // Every slot indexes a built representative by construction.
+        let Some(rep) = chips.get(slot) else { continue };
+        // Duplicates get a re-labeled copy so the evaluator and the
+        // result rows observe exactly the chip `explore` would hand
+        // them — same values, this candidate's name.
+        let relabeled;
+        let chip: &Processor = if rep.config.name == cfg.name {
+            rep
+        } else {
+            let mut c = rep.clone();
+            c.config.name.clone_from(&cfg.name);
+            relabeled = c;
+            &relabeled
+        };
         let area = chip.die_area();
         let peak = chip.peak_power().total();
         if area > budgets.max_area || peak > budgets.max_peak_power {
             rejected.push(cfg.name.clone());
             continue;
         }
-        let metrics = evaluate(&chip);
+        let metrics = evaluate(chip);
         feasible.push(Candidate {
             name: cfg.name.clone(),
             area,
@@ -132,23 +348,43 @@ where
         });
     }
 
-    let pareto = feasible
-        .iter()
-        .enumerate()
-        .filter(|&(i, cand)| {
-            !feasible
-                .iter()
-                .enumerate()
-                .any(|(j, other)| j != i && dominates(&other.metrics, &cand.metrics))
-        })
-        .map(|(i, _)| i)
-        .collect();
+    let pareto = pareto_front(&feasible);
 
-    Ok(Exploration {
-        feasible,
-        rejected,
-        pareto,
-    })
+    let cache_after = mcpat_array::memo::stats();
+    let pool_after = mcpat_par::pool::stats();
+    let perf = ExplorePerf {
+        threads: mcpat_par::threads(),
+        candidates: candidates.len(),
+        unique_builds: unique.len(),
+        deduped: candidates.len() - unique.len(),
+        solve_cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+        solve_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+        pool_steals: pool_after.steals.saturating_sub(pool_before.steals),
+        pool_inline: pool_after
+            .inline_execs
+            .saturating_sub(pool_before.inline_execs),
+        allocs: alloc_count().saturating_sub(allocs_before),
+    };
+
+    Ok((
+        Exploration {
+            feasible,
+            rejected,
+            pareto,
+        },
+        perf,
+    ))
+}
+
+/// Probe accounting of [`max_clock_under_power_budget_with_perf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BisectionPerf {
+    /// Full `Processor::build` runs: the anchoring base build, plus one
+    /// per probe when `core.enforce_timing` forces the fallback.
+    pub full_builds: u64,
+    /// Probes served by the incremental clock-only rebuild
+    /// ([`Processor::rebuild_with_clock`]).
+    pub incremental_probes: u64,
 }
 
 /// Finds the highest clock (within `lo..hi` Hz) at which the chip's
@@ -157,28 +393,53 @@ where
 ///
 /// This is the inverse question McPAT's integrated model makes cheap:
 /// instead of "what does this clock cost", "what clock does this budget
-/// buy".
+/// buy". One full build anchors the clock-invariant array geometry;
+/// every probe — `lo`, `hi`, and all midpoints — then re-evaluates
+/// through [`Processor::rebuild_with_clock`] instead of re-solving the
+/// chip.
 ///
 /// # Errors
 ///
-/// Propagates [`McpatError`] from any rebuild.
+/// Propagates [`McpatError`] from the base build or any probe.
 pub fn max_clock_under_power_budget(
     config: &ProcessorConfig,
     budget_w: f64,
     lo_hz: f64,
     hi_hz: f64,
 ) -> Result<Option<f64>, McpatError> {
-    let power_at = |clock: f64| -> Result<f64, McpatError> {
-        let mut cfg = config.clone();
-        cfg.clock_hz = clock;
-        cfg.core.clock_hz = clock;
-        Ok(Processor::build(&cfg)?.peak_power().total())
+    max_clock_under_power_budget_with_perf(config, budget_w, lo_hz, hi_hz).map(|(r, _)| r)
+}
+
+/// [`max_clock_under_power_budget`] with probe accounting; see
+/// [`BisectionPerf`].
+///
+/// # Errors
+///
+/// Propagates [`McpatError`] from the base build or any probe.
+pub fn max_clock_under_power_budget_with_perf(
+    config: &ProcessorConfig,
+    budget_w: f64,
+    lo_hz: f64,
+    hi_hz: f64,
+) -> Result<(Option<f64>, BisectionPerf), McpatError> {
+    let base = Processor::build(config)?;
+    let mut perf = BisectionPerf {
+        full_builds: 1,
+        incremental_probes: 0,
+    };
+    let mut power_at = |clock: f64| -> Result<f64, McpatError> {
+        if config.core.enforce_timing {
+            perf.full_builds += 1;
+        } else {
+            perf.incremental_probes += 1;
+        }
+        Ok(base.rebuild_with_clock(clock)?.peak_power().total())
     };
     if power_at(lo_hz)? > budget_w {
-        return Ok(None);
+        return Ok((None, perf));
     }
     if power_at(hi_hz)? <= budget_w {
-        return Ok(Some(hi_hz));
+        return Ok((Some(hi_hz), perf));
     }
     let (mut lo, mut hi) = (lo_hz, hi_hz);
     for _ in 0..12 {
@@ -189,7 +450,7 @@ pub fn max_clock_under_power_budget(
             hi = mid;
         }
     }
-    Ok(Some(lo))
+    Ok((Some(lo), perf))
 }
 
 #[cfg(test)]
@@ -284,6 +545,65 @@ mod tests {
         over.core.clock_hz = clock * 1.1;
         let p_over = Processor::build(&over).unwrap().peak_power().total();
         assert!(p_over > budget, "budget not saturated: {p_over}");
+    }
+
+    #[test]
+    fn explore_batch_matches_explore_field_for_field() {
+        let mut cands = candidates();
+        let mut dup = cands[1].clone();
+        dup.name = String::from("m4-copy");
+        cands.push(dup);
+        let serial = explore(&cands, Budgets::default(), fake_eval).unwrap();
+        let (batched, perf) = explore_batch(&cands, Budgets::default(), fake_eval).unwrap();
+        assert_eq!(perf.candidates, 4);
+        assert_eq!(perf.unique_builds, 3);
+        assert_eq!(perf.deduped, 1);
+        assert_eq!(serial.rejected, batched.rejected);
+        assert_eq!(serial.pareto, batched.pareto);
+        assert_eq!(serial.feasible.len(), batched.feasible.len());
+        for (a, b) in serial.feasible.iter().zip(&batched.feasible) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.area.to_bits(), b.area.to_bits());
+            assert_eq!(a.peak_power.to_bits(), b.peak_power.to_bits());
+            assert_eq!(a.metrics.energy.to_bits(), b.metrics.energy.to_bits());
+            assert_eq!(a.metrics.delay.to_bits(), b.metrics.delay.to_bits());
+            assert_eq!(a.metrics.area.to_bits(), b.metrics.area.to_bits());
+        }
+    }
+
+    #[test]
+    fn deduped_candidates_are_relabeled_for_the_evaluator() {
+        let mut cands = candidates();
+        let mut dup = cands[0].clone();
+        dup.name = String::from("m2-copy");
+        cands.push(dup);
+        let mut seen = Vec::new();
+        let (ex, _) = explore_batch(&cands, Budgets::default(), |chip| {
+            seen.push(chip.config.name.clone());
+            fake_eval(chip)
+        })
+        .unwrap();
+        assert_eq!(seen, ["m2", "m4", "m8", "m2-copy"]);
+        assert_eq!(ex.feasible.len(), 4);
+    }
+
+    #[test]
+    fn bisection_probes_are_incremental() {
+        let cfg = ProcessorConfig::manycore(
+            "clk",
+            TechNode::N32,
+            CoreConfig::generic_inorder(),
+            4,
+            2,
+            1024 * 1024,
+        );
+        let (clock, perf) =
+            max_clock_under_power_budget_with_perf(&cfg, 25.0, 0.5e9, 6.0e9).unwrap();
+        assert!(clock.is_some());
+        // One anchoring build; lo, hi, and all 12 midpoints re-evaluate
+        // incrementally.
+        assert_eq!(perf.full_builds, 1);
+        assert_eq!(perf.incremental_probes, 14);
     }
 
     #[test]

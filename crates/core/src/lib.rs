@@ -51,7 +51,10 @@ pub mod thermal;
 pub use config::ProcessorConfig;
 pub use dvfs::DvfsPoint;
 pub use error::McpatError;
-pub use explore::{explore, Budgets, Exploration};
+pub use explore::{
+    explore, explore_batch, max_clock_under_power_budget, max_clock_under_power_budget_with_perf,
+    register_alloc_probe, BisectionPerf, Budgets, Candidate, Exploration, ExplorePerf,
+};
 pub use floorplan::{Floorplan, Tile};
 pub use metrics::MetricSet;
 pub use power::{ChipPower, ChipPowerItem};

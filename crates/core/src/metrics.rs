@@ -117,8 +117,20 @@ impl Metric {
 /// input.
 #[must_use]
 pub fn best_index(points: &[MetricSet], metric: Metric) -> Option<usize> {
+    best_index_of(points.iter(), metric)
+}
+
+/// Index of the best (minimum) point under a metric over any stream of
+/// points, without materializing a slice first; `None` for empty input.
+///
+/// Ties resolve exactly like [`best_index`] (the last minimal point,
+/// per `Iterator::min_by`).
+pub fn best_index_of<'a, I>(points: I, metric: Metric) -> Option<usize>
+where
+    I: IntoIterator<Item = &'a MetricSet>,
+{
     points
-        .iter()
+        .into_iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| metric.of(a).total_cmp(&metric.of(b)))
         .map(|(i, _)| i)

@@ -267,6 +267,99 @@ impl Processor {
         })
     }
 
+    /// Re-evaluates this chip at a different clock without re-solving
+    /// any storage array.
+    ///
+    /// When no component enforces a cycle-time constraint
+    /// (`core.enforce_timing == false`, the default everywhere), the
+    /// solved array geometry of every component is independent of the
+    /// target clock: the clock enters only query-time power math and
+    /// the closed-form clock-distribution network. This method clones
+    /// the built chip, patches the clock into every config echo,
+    /// re-validates, and re-sizes only the clock network — the result
+    /// is indistinguishable from a full [`Processor::build`] of the
+    /// patched configuration at a small fraction of the cost, which is
+    /// what makes [`crate::explore::max_clock_under_power_budget`]'s
+    /// ~14 bisection probes cheap.
+    ///
+    /// When `core.enforce_timing` is set the array geometry *does*
+    /// depend on the clock, so this transparently falls back to a full
+    /// rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`McpatError::Invalid`] if the patched configuration fails
+    /// validation, or any build error from the full-rebuild fallback.
+    pub fn rebuild_with_clock(&self, clock_hz: f64) -> Result<Processor, McpatError> {
+        let mut config = self.config.clone();
+        config.clock_hz = clock_hz;
+        config.core.clock_hz = clock_hz;
+        if config.core.enforce_timing {
+            return Processor::build(&config);
+        }
+
+        // Validation warnings can depend on the clock (e.g. the
+        // "aggressive clock" advisory); recompute them exactly the way
+        // `build` does so the incremental result carries the same
+        // diagnostics a full rebuild would.
+        let mut warnings = config
+            .validate()
+            .into_result()
+            .map_err(McpatError::Invalid)?;
+        warnings.merge_under("core", self.core.relaxation_warnings());
+        if let Some(l2) = &self.l2 {
+            warnings.merge_under("l2", l2.relaxation_warnings());
+        }
+        if let Some(l3) = &self.l3 {
+            warnings.merge_under("l3", l3.relaxation_warnings());
+        }
+        if let Some(mc) = &self.mc {
+            warnings.merge_under("mc", mc.relaxation_warnings());
+        }
+        if let Some(w) = self
+            .noc
+            .router
+            .as_ref()
+            .and_then(|r| r.input_buffer.relaxation_warning())
+        {
+            warnings.push(w.under("fabric"));
+        }
+
+        let mut next = self.clone();
+        next.core.config.clock_hz = clock_hz;
+        next.noc.config.clock_hz = clock_hz;
+        next.config = config;
+        next.warnings = warnings;
+
+        // Die geometry is clock-invariant; the clock network's load and
+        // frequency are not. Recompute with the same formulas `build`
+        // uses so the result is bit-identical.
+        let component_area = Self::component_area_sum(
+            &next.config,
+            &next.core,
+            next.l2.as_ref(),
+            next.l3.as_ref(),
+            &next.noc,
+            next.mc.as_ref(),
+            &next.io,
+            &next.shared_fpu,
+        );
+        let die_area = component_area * DIE_AREA_OVERHEAD;
+        let die_edge = die_area.sqrt();
+        let vdd = next.tech.device.vdd;
+        let core_sink_cap =
+            f64::from(next.config.num_cores) * 2.0 * next.core.pipeline.clock_energy_per_cycle
+                / (vdd * vdd);
+        let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
+        next.clock = ClockNetwork::new(&next.tech, die_edge, die_edge, clock_hz, sink_cap);
+        next.perf = BuildPerf {
+            threads: mcpat_par::threads(),
+            solve_cache_hits: 0,
+            solve_cache_misses: 0,
+        };
+        Ok(next)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn component_area_sum(
         config: &ProcessorConfig,
@@ -641,6 +734,48 @@ mod tests {
     fn feasible_build_has_no_warnings() {
         let chip = Processor::build(&ProcessorConfig::niagara()).unwrap();
         assert!(chip.warnings.is_empty(), "{}", chip.warnings);
+    }
+
+    #[test]
+    fn rebuild_with_clock_matches_full_build_bit_for_bit() {
+        let base = Processor::build(&ProcessorConfig::niagara2()).unwrap();
+        for clock in [0.9e9, 1.4e9, 2.7e9, 12.0e9] {
+            let fast = base.rebuild_with_clock(clock).unwrap();
+            let mut cfg = ProcessorConfig::niagara2();
+            cfg.clock_hz = clock;
+            cfg.core.clock_hz = clock;
+            let full = Processor::build(&cfg).unwrap();
+            assert_eq!(
+                fast.peak_power().total().to_bits(),
+                full.peak_power().total().to_bits(),
+                "peak power at {clock:e} Hz"
+            );
+            assert_eq!(fast.die_area().to_bits(), full.die_area().to_bits());
+            assert_eq!(
+                fast.clock.dynamic_power_gated(0.0).to_bits(),
+                full.clock.dynamic_power_gated(0.0).to_bits()
+            );
+            // The >10 GHz advisory must appear on the incremental path
+            // exactly as it does on the full one.
+            assert_eq!(fast.warnings.len(), full.warnings.len(), "at {clock:e} Hz");
+        }
+    }
+
+    #[test]
+    fn rebuild_with_clock_falls_back_under_enforced_timing() {
+        let mut cfg = ProcessorConfig::niagara();
+        cfg.core.enforce_timing = true;
+        let base = Processor::build(&cfg).unwrap();
+        let fast = base.rebuild_with_clock(2.4e9).unwrap();
+        let mut at = cfg.clone();
+        at.clock_hz = 2.4e9;
+        at.core.clock_hz = 2.4e9;
+        let full = Processor::build(&at).unwrap();
+        assert_eq!(
+            fast.peak_power().total().to_bits(),
+            full.peak_power().total().to_bits()
+        );
+        assert_eq!(fast.warnings.len(), full.warnings.len());
     }
 
     #[test]

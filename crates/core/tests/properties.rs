@@ -1,10 +1,17 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Property-based tests for the whole-chip assembly.
 
-use mcpat::{ChipStats, DvfsPoint, Processor, ProcessorConfig};
+use mcpat::{
+    explore, explore_batch, Budgets, ChipStats, DvfsPoint, MetricSet, Processor, ProcessorConfig,
+};
 use mcpat_mcore::config::CoreConfig;
 use mcpat_tech::TechNode;
 use proptest::prelude::*;
+
+fn batch_eval(chip: &Processor) -> MetricSet {
+    let n = f64::from(chip.config.num_cores.max(1));
+    MetricSet::from_power(10.0 * n, 1.0 / n, chip.die_area())
+}
 
 fn any_node() -> impl Strategy<Value = TechNode> {
     prop::sample::select(TechNode::SCALING_STUDY.to_vec())
@@ -96,6 +103,63 @@ proptest! {
         let low = chip.runtime_power_at(&stats, DvfsPoint::ladder(v)).unwrap();
         let high = chip.runtime_power_at(&stats, DvfsPoint::ladder(v + 0.05)).unwrap();
         prop_assert!(high.power.total() > low.power.total());
+    }
+
+    #[test]
+    fn explore_batch_equals_per_candidate_explore(
+        a in any_manycore(),
+        b in any_manycore(),
+        take_second in prop::bool::ANY,
+        dup_first in prop::bool::ANY,
+    ) {
+        let mut cands: Vec<ProcessorConfig> = vec![a];
+        if take_second {
+            cands.push(b);
+        }
+        for (i, c) in cands.iter_mut().enumerate() {
+            c.name = format!("cand{i}");
+        }
+        if dup_first {
+            if let Some(mut d) = cands.first().cloned() {
+                d.name = String::from("cand-dup");
+                cands.push(d);
+            }
+        }
+        let serial = explore(&cands, Budgets::default(), batch_eval).unwrap();
+        let (batched, perf) = explore_batch(&cands, Budgets::default(), batch_eval).unwrap();
+        prop_assert_eq!(perf.candidates, cands.len());
+        prop_assert!(perf.unique_builds + perf.deduped == cands.len());
+        if dup_first {
+            prop_assert!(perf.deduped >= 1);
+        }
+        prop_assert_eq!(&serial.rejected, &batched.rejected);
+        prop_assert_eq!(&serial.pareto, &batched.pareto);
+        prop_assert_eq!(serial.feasible.len(), batched.feasible.len());
+        for (a, b) in serial.feasible.iter().zip(&batched.feasible) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.area.to_bits(), b.area.to_bits());
+            prop_assert_eq!(a.peak_power.to_bits(), b.peak_power.to_bits());
+            prop_assert_eq!(a.metrics.energy.to_bits(), b.metrics.energy.to_bits());
+            prop_assert_eq!(a.metrics.delay.to_bits(), b.metrics.delay.to_bits());
+            prop_assert_eq!(a.metrics.area.to_bits(), b.metrics.area.to_bits());
+        }
+    }
+
+    #[test]
+    fn rebuild_with_clock_equals_full_build(cfg in any_manycore(), scale in 0.5..2.0f64) {
+        let base = Processor::build(&cfg).unwrap();
+        let clock = cfg.clock_hz * scale;
+        let fast = base.rebuild_with_clock(clock).unwrap();
+        let mut patched = cfg.clone();
+        patched.clock_hz = clock;
+        patched.core.clock_hz = clock;
+        let full = Processor::build(&patched).unwrap();
+        prop_assert_eq!(
+            fast.peak_power().total().to_bits(),
+            full.peak_power().total().to_bits()
+        );
+        prop_assert_eq!(fast.die_area().to_bits(), full.die_area().to_bits());
+        prop_assert_eq!(fast.warnings.len(), full.warnings.len());
     }
 
     #[test]

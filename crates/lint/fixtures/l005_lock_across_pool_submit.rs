@@ -1,0 +1,9 @@
+//! L005 fixture: a mutex guard held in a scope that submits work to
+//! the persistent thread pool.
+
+pub fn enqueue(m: &std::sync::Mutex<u32>, shared: &'static Shared, tasks: Vec<TaskRef>) {
+    let guard = m.lock();
+    submit(shared, tasks);
+    help_until(shared, &|| true);
+    let _ = guard;
+}

@@ -20,6 +20,7 @@ fn every_fixture_trips_its_rule() {
         ("l003_env_read.rs", "L003"),
         ("l004_unvalidated_field.rs", "L004"),
         ("l005_lock_across_fanout.rs", "L005"),
+        ("l005_lock_across_pool_submit.rs", "L005"),
         ("l006_panicking_call.rs", "L006"),
     ] {
         let report = lint_source(file, &fixture(file));

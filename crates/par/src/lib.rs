@@ -1,11 +1,16 @@
-//! # mcpat-par — scoped-thread fan-out for the modeling stack
+//! # mcpat-par — pooled fan-out for the modeling stack
 //!
 //! The modeling layers are trivially parallel at three levels (array
 //! partition sweeps, per-unit core builds, per-candidate chip builds),
 //! but the build environment vendors every dependency, so this crate
 //! provides the minimal primitives instead of rayon: [`par_map`] over a
 //! fixed worker count plus heterogeneous joins ([`join2`] … [`join6`]),
-//! all built on [`std::thread::scope`].
+//! all running on one lazily-started, process-wide work-stealing
+//! thread pool ([`pool`]: per-worker deques plus an injector queue).
+//! Nested fan-outs are **nesting-aware**: a call made from a pool
+//! worker pushes onto that worker's own deque and the worker helps
+//! drain the queues while it waits, so a candidate sweep over N chips
+//! saturates the machine exactly once instead of N × depth times.
 //!
 //! Three properties every helper guarantees:
 //!
@@ -13,11 +18,12 @@
 //!   reduce must use an order-independent (totally ordered) merge, and
 //!   then serial and parallel execution are bit-identical.
 //! * **Panic containment** — a panicking worker never unwinds across
-//!   the scope (which would poison shared state or abort): every closure
+//!   the pool (which would poison shared state or abort): every closure
 //!   runs under `catch_unwind` and a panic surfaces as a typed
-//!   [`ParError`] carrying the payload text.
+//!   [`ParError`] carrying the payload text. The pool itself stays
+//!   usable after any number of contained panics.
 //! * **Serial fallback** — with one thread (or inputs below the caller's
-//!   threshold) no thread is spawned at all; the closures run inline on
+//!   threshold) the pool is never touched; the closures run inline on
 //!   the calling thread.
 //!
 //! The worker count is resolved per call by [`threads`]: an in-process
@@ -26,13 +32,16 @@
 //! seam), else [`std::thread::available_parallelism`].
 
 pub mod knobs;
+pub mod pool;
+
+pub use pool::PoolStats;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Hard ceiling on the worker count, however it is requested.
-const MAX_THREADS: usize = 64;
+pub(crate) const MAX_THREADS: usize = 64;
 
 /// A failure inside a fanned-out worker.
 ///
@@ -59,7 +68,7 @@ impl ParError {
         ParError::WorkerPanicked { detail }
     }
 
-    fn vanished() -> ParError {
+    pub(crate) fn vanished() -> ParError {
         ParError::WorkerPanicked {
             detail: String::from("worker terminated without producing a result"),
         }
@@ -140,34 +149,14 @@ where
 {
     let workers = threads().min(items.len());
     if workers <= 1 || items.len() < min_parallel.max(2) {
+        pool::note_inline(items.len() as u64);
         let mut out = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
             out.push(catch(|| f(i, item))?);
         }
         return Ok(out);
     }
-
-    let chunk = items.len().div_ceil(workers);
-    let mut slots: Vec<Option<Result<T, ParError>>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    std::thread::scope(|s| {
-        for (ci, (in_chunk, out_chunk)) in
-            items.chunks(chunk).zip(slots.chunks_mut(chunk)).enumerate()
-        {
-            let f = &f;
-            s.spawn(move || {
-                let base = ci * chunk;
-                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
-                    *slot = Some(catch(|| f(base + j, item)));
-                }
-            });
-        }
-    });
-    let mut out = Vec::with_capacity(items.len());
-    for slot in slots {
-        out.push(slot.unwrap_or_else(|| Err(ParError::vanished()))?);
-    }
-    Ok(out)
+    pool::par_map_pooled(items, &f)
 }
 
 /// Runs two independent closures, in parallel when [`threads`] > 1.
@@ -183,14 +172,10 @@ where
     FB: FnOnce() -> B + Send,
 {
     if threads() <= 1 {
+        pool::note_inline(2);
         return Ok((catch(fa)?, catch(fb)?));
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(|| catch(fb));
-        let a = catch(fa);
-        let b = hb.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        Ok((a?, b?))
-    })
+    pool::join2_pooled(fa, fb)
 }
 
 /// Runs four independent closures, in parallel when [`threads`] > 1.
@@ -215,18 +200,10 @@ where
     FD: FnOnce() -> D + Send,
 {
     if threads() <= 1 {
+        pool::note_inline(4);
         return Ok((catch(fa)?, catch(fb)?, catch(fc)?, catch(fd)?));
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(|| catch(fb));
-        let hc = s.spawn(|| catch(fc));
-        let hd = s.spawn(|| catch(fd));
-        let a = catch(fa);
-        let b = hb.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        let c = hc.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        let d = hd.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        Ok((a?, b?, c?, d?))
-    })
+    pool::join4_pooled(fa, fb, fc, fd)
 }
 
 /// Runs six independent closures, in parallel when [`threads`] > 1.
@@ -258,6 +235,7 @@ where
     FG: FnOnce() -> G + Send,
 {
     if threads() <= 1 {
+        pool::note_inline(6);
         return Ok((
             catch(fa)?,
             catch(fb)?,
@@ -267,20 +245,7 @@ where
             catch(fg)?,
         ));
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(|| catch(fb));
-        let hc = s.spawn(|| catch(fc));
-        let hd = s.spawn(|| catch(fd));
-        let he = s.spawn(|| catch(fe));
-        let hg = s.spawn(|| catch(fg));
-        let a = catch(fa);
-        let b = hb.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        let c = hc.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        let d = hd.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        let e = he.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        let g = hg.join().unwrap_or_else(|_| Err(ParError::vanished()));
-        Ok((a?, b?, c?, d?, e?, g?))
-    })
+    pool::join6_pooled(fa, fb, fc, fd, fe, fg)
 }
 
 #[cfg(test)]
@@ -361,6 +326,64 @@ mod tests {
             join2(|| 1, || -> i32 { panic!("join boom") }).unwrap_err()
         });
         assert!(err.to_string().contains("join boom"), "{err}");
+    }
+
+    #[test]
+    fn nested_fanout_runs_on_the_pool_without_oversubscription() {
+        let got = with_override(4, || {
+            let items: Vec<usize> = (0..8).collect();
+            par_map(&items, 2, |_, &x| {
+                let (a, b, c, d) = join4(|| x, || x + 1, || x + 2, || x + 3).unwrap();
+                let (e, f, g, h, i, j) =
+                    join6(|| a, || b, || c, || d, || x * 10, || x * 100).unwrap();
+                e + f + g + h + i + j
+            })
+            .unwrap()
+        });
+        let want: Vec<usize> = (0..8).map(|x| 4 * x + 6 + 10 * x + 100 * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_join_panic_is_contained_and_pool_stays_usable() {
+        let err = with_override(4, || {
+            let items: Vec<usize> = (0..6).collect();
+            par_map(&items, 2, |_, &x| {
+                join6(
+                    || x,
+                    || x,
+                    || x,
+                    || x,
+                    || x,
+                    || {
+                        assert!(x != 3, "inner boom {x}");
+                        x
+                    },
+                )
+                .unwrap()
+                .0
+            })
+            .unwrap_err()
+        });
+        assert!(err.to_string().contains("inner boom 3"), "{err}");
+        // The pool must remain fully usable after the contained panic.
+        let ok = with_override(4, || {
+            let items: Vec<usize> = (0..32).collect();
+            par_map(&items, 2, |_, &x| x + 1).unwrap()
+        });
+        assert_eq!(ok, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_calls_submit_tasks_and_report_stats() {
+        let before = pool::stats();
+        let _ = with_override(4, || {
+            let items: Vec<usize> = (0..16).collect();
+            par_map(&items, 2, |_, &x| x).unwrap()
+        });
+        let after = pool::stats();
+        assert!(after.submitted >= before.submitted + 16, "{after:?}");
+        assert!(after.workers >= 1);
     }
 
     #[test]

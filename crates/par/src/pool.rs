@@ -1,0 +1,588 @@
+//! The persistent work-stealing pool behind the fan-out helpers.
+//!
+//! PR 2 fanned work out with `std::thread::scope`, spawning fresh OS
+//! threads on every `par_map`/`join*` call. That is correct but
+//! catastrophic under nesting: `explore` → `join4` (chip units) →
+//! `join6` (core units) → partition sweeps spawns `N × depth` threads
+//! and oversubscribes the machine (the committed baseline measured
+//! 0.78× *slow-down* for parallel explore). This module replaces the
+//! spawning with one process-wide pool:
+//!
+//! * **Injector + per-worker deques.** External callers push task
+//!   batches onto a shared injector queue; pool workers push nested
+//!   fan-outs onto their own deque. A worker pops its own deque LIFO
+//!   (locality), then the injector FIFO, then *steals* FIFO from a
+//!   sibling's deque. All queues live under one short-hold mutex —
+//!   tasks here are microseconds to milliseconds of modeling work, so
+//!   queue transfer cost is noise.
+//! * **Help-while-wait.** A caller that submitted a batch does not
+//!   block: it executes queued tasks (its own, or anyone's) until its
+//!   batch latch opens. Workers blocked on a *nested* fan-out do the
+//!   same, so every OS thread stays busy and nested joins can never
+//!   deadlock the pool.
+//! * **Lazy, growable sizing.** No thread is spawned until the first
+//!   parallel call. The pool grows to `threads() - 1` resident workers
+//!   (the submitting thread is the final lane) and honors the same
+//!   resolution as [`crate::threads`]: override, then `MCPAT_THREADS`
+//!   (via [`crate::knobs`] — this module reads no environment), then
+//!   detected parallelism.
+//!
+//! # Safety
+//!
+//! Tasks are type-erased pointers to stack frames of the submitting
+//! caller ([`TaskRef`]). This is sound because every submission path
+//! blocks (helping) until its batch latch reports completion, and a
+//! task's final touch of batch memory is the latch update itself; the
+//! wake-up signal afterwards only touches the pool's `'static` state.
+//! Panics never unwind through the pool: user closures run under
+//! [`crate::catch`], latches open via drop guards, and the worker loop
+//! carries a defense-in-depth `catch_unwind` so a buggy task can never
+//! kill or poison a worker.
+
+use crate::ParError;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Upper bound on resident workers (one below [`crate::MAX_THREADS`]:
+/// the submitting thread is always the extra lane).
+const MAX_WORKERS: usize = crate::MAX_THREADS - 1;
+
+/// Heartbeat for idle waits. Wake-ups are edge-triggered through the
+/// condvar; the timeout is pure defense in depth so a (hypothetical)
+/// missed notification degrades to slow polling instead of a hang.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Snapshot of the pool's monotonic activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Resident worker threads (0 until the first parallel call).
+    pub workers: usize,
+    /// Tasks pushed onto the injector or a worker deque.
+    pub submitted: u64,
+    /// Tasks executed by a thread other than their queue's owner.
+    pub steals: u64,
+    /// Closures run inline on the calling thread without submission
+    /// (serial fallback and the leading closure of each join).
+    pub inline_execs: u64,
+}
+
+/// A type-erased pointer to a task living on a submitting caller's
+/// stack. See the module-level safety argument.
+#[derive(Clone, Copy)]
+pub(crate) struct TaskRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is a `Sync` batch structure owned by a caller
+// that outlives execution (it blocks on the batch latch), so handing
+// the pointer to another thread is sound.
+unsafe impl Send for TaskRef {}
+
+struct Queues {
+    injector: VecDeque<TaskRef>,
+    locals: Vec<VecDeque<TaskRef>>,
+}
+
+struct Shared {
+    queues: Mutex<Queues>,
+    cv: Condvar,
+    submitted: AtomicU64,
+    steals: AtomicU64,
+    inline_execs: AtomicU64,
+}
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        queues: Mutex::new(Queues {
+            injector: VecDeque::new(),
+            locals: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        submitted: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        inline_execs: AtomicU64::new(0),
+    })
+}
+
+/// Locks the queue mutex, shrugging off poisoning: no user code ever
+/// runs while the guard is held, so the protected state cannot be
+/// mid-mutation even after a panic elsewhere.
+fn lock(shared: &Shared) -> MutexGuard<'_, Queues> {
+    shared.queues.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Current counter snapshot. Counters are process-global and
+/// monotonic; callers measure phases by differencing two snapshots.
+#[must_use]
+pub fn stats() -> PoolStats {
+    let shared = shared();
+    PoolStats {
+        workers: lock(shared).locals.len(),
+        submitted: shared.submitted.load(Ordering::Relaxed),
+        steals: shared.steals.load(Ordering::Relaxed),
+        inline_execs: shared.inline_execs.load(Ordering::Relaxed),
+    }
+}
+
+/// Records `n` closures executed inline without pool submission.
+pub(crate) fn note_inline(n: u64) {
+    shared().inline_execs.fetch_add(n, Ordering::Relaxed);
+}
+
+/// True when the calling thread is a resident pool worker (used by
+/// tests; nested submission routing keys off the same thread-local).
+#[must_use]
+pub fn is_pool_worker() -> bool {
+    WORKER.with(Cell::get).is_some()
+}
+
+/// Grows the pool to `want` resident workers (capped, never shrinks).
+/// Spawn failures degrade gracefully: submitting threads always help
+/// drain the queues, so fewer workers costs throughput, not progress.
+fn ensure_workers(shared: &'static Shared, want: usize) {
+    let want = want.min(MAX_WORKERS);
+    let mut q = lock(shared);
+    while q.locals.len() < want {
+        let index = q.locals.len();
+        q.locals.push(VecDeque::new());
+        let spawned = std::thread::Builder::new()
+            .name(format!("mcpat-par-{index}"))
+            .spawn(move || worker_loop(shared, index));
+        if spawned.is_err() {
+            q.locals.pop();
+            break;
+        }
+    }
+}
+
+/// Pops the best task for `me`: own deque LIFO, injector (FIFO for
+/// workers, LIFO for external helpers — their own batch is on top),
+/// then steal FIFO from a sibling. The bool is "this was a steal".
+fn pop_task(q: &mut Queues, me: Option<usize>) -> Option<(TaskRef, bool)> {
+    if let Some(i) = me {
+        if let Some(t) = q.locals.get_mut(i).and_then(VecDeque::pop_back) {
+            return Some((t, false));
+        }
+        if let Some(t) = q.injector.pop_front() {
+            return Some((t, false));
+        }
+    } else if let Some(t) = q.injector.pop_back() {
+        return Some((t, false));
+    }
+    for (j, deque) in q.locals.iter_mut().enumerate() {
+        if Some(j) == me {
+            continue;
+        }
+        if let Some(t) = deque.pop_front() {
+            return Some((t, true));
+        }
+    }
+    None
+}
+
+/// Runs one task. The task's own `exec` already routes user panics
+/// into [`ParError`] slots and opens its latch via a drop guard; the
+/// outer catch is defense in depth so a worker thread never unwinds.
+fn run_task(task: TaskRef) {
+    // SAFETY: see the module-level argument — the submitting caller
+    // keeps the pointee alive until the batch latch opens.
+    let _ = catch_unwind(AssertUnwindSafe(|| unsafe { (task.exec)(task.data) }));
+}
+
+/// Wakes every parked thread after queue or latch state changed. The
+/// empty lock section orders the wake against a helper that checked
+/// its latch under the lock and is about to park.
+fn signal(shared: &Shared) {
+    drop(lock(shared));
+    shared.cv.notify_all();
+}
+
+fn worker_loop(shared: &'static Shared, me: usize) {
+    WORKER.with(|w| w.set(Some(me)));
+    loop {
+        let (task, stolen) = {
+            let mut q = lock(shared);
+            loop {
+                if let Some(found) = pop_task(&mut q, Some(me)) {
+                    break found;
+                }
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(q, IDLE_POLL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        if stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        run_task(task);
+        signal(shared);
+    }
+}
+
+/// Pushes a batch of tasks: nested submissions (from a pool worker) go
+/// to that worker's own deque, external ones to the injector.
+fn submit(shared: &'static Shared, tasks: impl IntoIterator<Item = TaskRef>) {
+    let me = WORKER.with(Cell::get);
+    let mut pushed = 0u64;
+    {
+        let mut q = lock(shared);
+        match me.and_then(|i| q.locals.get_mut(i)) {
+            Some(local) => {
+                for t in tasks {
+                    local.push_back(t);
+                    pushed += 1;
+                }
+            }
+            None => {
+                for t in tasks {
+                    q.injector.push_back(t);
+                    pushed += 1;
+                }
+            }
+        }
+    }
+    shared.submitted.fetch_add(pushed, Ordering::Relaxed);
+    shared.cv.notify_all();
+}
+
+/// Executes queued tasks until `done` reports the caller's batch
+/// latch open. This is what makes nested fan-out safe: a blocked
+/// submitter is indistinguishable from a worker.
+fn help_until(shared: &'static Shared, done: &dyn Fn() -> bool) {
+    let me = WORKER.with(Cell::get);
+    loop {
+        if done() {
+            return;
+        }
+        let popped = {
+            let mut q = lock(shared);
+            let popped = pop_task(&mut q, me);
+            if popped.is_none() {
+                // Re-check under the lock: a completion signal takes
+                // this same lock, so parking here cannot lose it.
+                if done() {
+                    return;
+                }
+                let _ = shared
+                    .cv
+                    .wait_timeout(q, IDLE_POLL)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            popped
+        };
+        if let Some((task, stolen)) = popped {
+            if stolen {
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            run_task(task);
+            signal(shared);
+        }
+    }
+}
+
+/// One result slot of a `par_map` batch. Each slot is written by
+/// exactly one task and read by the owner only after the batch latch
+/// opens, so the unsynchronized cell is race-free.
+struct Slot<T>(UnsafeCell<Option<Result<T, ParError>>>);
+
+// SAFETY: disjoint single-writer access before the latch, owner-only
+// access after (ordered by the Acquire/Release latch counter).
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Shared state of one `par_map` call, borrowed by its tasks.
+struct MapCall<'a, I, T, F> {
+    items: &'a [I],
+    f: &'a F,
+    slots: &'a [Slot<T>],
+    remaining: &'a AtomicUsize,
+}
+
+/// One item-task of a `par_map` call.
+struct MapTask<'a, I, T, F> {
+    call: &'a MapCall<'a, I, T, F>,
+    index: usize,
+}
+
+/// Opens a counting latch on drop, then wakes parked threads. Runs
+/// even if the slot write path has a bug that panics, so the owner can
+/// never hang on a lost decrement.
+struct OpenLatch<'a> {
+    remaining: &'a AtomicUsize,
+}
+
+impl Drop for OpenLatch<'_> {
+    fn drop(&mut self) {
+        // The decrement is the task's final touch of caller memory;
+        // `signal` below only touches the pool's 'static state.
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        signal(shared());
+    }
+}
+
+unsafe fn exec_map_task<I, T, F>(data: *const ())
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    // SAFETY: `data` points at a live `MapTask` per the submission
+    // contract (owner helps until `remaining` reaches zero).
+    let task = unsafe { &*data.cast::<MapTask<'_, I, T, F>>() };
+    let call = task.call;
+    let _latch = OpenLatch {
+        remaining: call.remaining,
+    };
+    if let (Some(item), Some(slot)) = (call.items.get(task.index), call.slots.get(task.index)) {
+        let result = crate::catch(|| (call.f)(task.index, item));
+        // SAFETY: this task is the slot's only writer (disjoint
+        // indices), and the owner reads only after the latch opens.
+        unsafe { *slot.0.get() = Some(result) };
+    }
+}
+
+/// The pooled backend of [`crate::par_map`]: one task per item, input
+/// order restored through indexed slots, serial-order error priority.
+pub(crate) fn par_map_pooled<I, T, F>(items: &[I], f: &F) -> Result<Vec<T>, ParError>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let shared = shared();
+    ensure_workers(shared, crate::threads().saturating_sub(1));
+    let slots: Vec<Slot<T>> = (0..items.len())
+        .map(|_| Slot(UnsafeCell::new(None)))
+        .collect();
+    let remaining = AtomicUsize::new(items.len());
+    let call = MapCall {
+        items,
+        f,
+        slots: &slots,
+        remaining: &remaining,
+    };
+    let tasks: Vec<MapTask<'_, I, T, F>> = (0..items.len())
+        .map(|index| MapTask { call: &call, index })
+        .collect();
+    submit(
+        shared,
+        tasks.iter().map(|t| TaskRef {
+            data: std::ptr::from_ref(t).cast(),
+            exec: exec_map_task::<I, T, F>,
+        }),
+    );
+    help_until(shared, &|| remaining.load(Ordering::Acquire) == 0);
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        out.push(
+            slot.0
+                .into_inner()
+                .unwrap_or_else(|| Err(ParError::vanished()))?,
+        );
+    }
+    Ok(out)
+}
+
+/// One heterogeneous closure of a join, parked on the caller's stack
+/// until a pool thread (or the helping caller itself) runs it.
+pub(crate) struct StackJob<R, F> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<Result<R, ParError>>>,
+    done: AtomicBool,
+}
+
+// SAFETY: `f`/`result` are touched by exactly one executing thread
+// before `done` flips (Release), and by the owner only after it
+// observes `done` (Acquire).
+unsafe impl<R: Send, F: Send> Sync for StackJob<R, F> {}
+
+impl<R, F> StackJob<R, F>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    pub(crate) fn new(f: F) -> StackJob<R, F> {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn as_task(&self) -> TaskRef {
+        TaskRef {
+            data: std::ptr::from_ref(self).cast(),
+            exec: exec_stack_job::<R, F>,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn take(self) -> Result<R, ParError> {
+        self.result
+            .into_inner()
+            .unwrap_or_else(|| Err(ParError::vanished()))
+    }
+}
+
+/// Flips a boolean latch open on drop, then wakes parked threads.
+struct OpenFlag<'a> {
+    done: &'a AtomicBool,
+}
+
+impl Drop for OpenFlag<'_> {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Release);
+        signal(shared());
+    }
+}
+
+unsafe fn exec_stack_job<R, F>(data: *const ())
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    // SAFETY: `data` points at a live `StackJob` per the submission
+    // contract (owner helps until `done` flips).
+    let job = unsafe { &*data.cast::<StackJob<R, F>>() };
+    let _latch = OpenFlag { done: &job.done };
+    // SAFETY: sole pre-latch accessor of `f` and `result`.
+    let f = unsafe { (*job.f.get()).take() };
+    if let Some(f) = f {
+        let result = crate::catch(f);
+        unsafe { *job.result.get() = Some(result) };
+    }
+}
+
+/// Submits `jobs` and runs `lead` inline, helping until every job's
+/// latch opens. The shared skeleton of `join2/4/6`.
+fn join_with<A, FA>(lead: FA, jobs: &[TaskRef], all_done: &dyn Fn() -> bool) -> Result<A, ParError>
+where
+    A: Send,
+    FA: FnOnce() -> A + Send,
+{
+    let shared = shared();
+    ensure_workers(shared, crate::threads().saturating_sub(1));
+    submit(shared, jobs.iter().copied());
+    note_inline(1);
+    let lead_result = crate::catch(lead);
+    help_until(shared, all_done);
+    lead_result
+}
+
+pub(crate) fn join2_pooled<A, B, FA, FB>(fa: FA, fb: FB) -> Result<(A, B), ParError>
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    let jb = StackJob::new(fb);
+    let a = join_with(fa, &[jb.as_task()], &|| jb.is_done());
+    let b = jb.take();
+    Ok((a?, b?))
+}
+
+pub(crate) fn join4_pooled<A, B, C, D, FA, FB, FC, FD>(
+    fa: FA,
+    fb: FB,
+    fc: FC,
+    fd: FD,
+) -> Result<(A, B, C, D), ParError>
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    D: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+    FC: FnOnce() -> C + Send,
+    FD: FnOnce() -> D + Send,
+{
+    let jb = StackJob::new(fb);
+    let jc = StackJob::new(fc);
+    let jd = StackJob::new(fd);
+    let a = join_with(fa, &[jb.as_task(), jc.as_task(), jd.as_task()], &|| {
+        jb.is_done() && jc.is_done() && jd.is_done()
+    });
+    let (b, c, d) = (jb.take(), jc.take(), jd.take());
+    Ok((a?, b?, c?, d?))
+}
+
+#[allow(clippy::many_single_char_names)]
+pub(crate) fn join6_pooled<A, B, C, D, E, G, FA, FB, FC, FD, FE, FG>(
+    fa: FA,
+    fb: FB,
+    fc: FC,
+    fd: FD,
+    fe: FE,
+    fg: FG,
+) -> Result<(A, B, C, D, E, G), ParError>
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    D: Send,
+    E: Send,
+    G: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+    FC: FnOnce() -> C + Send,
+    FD: FnOnce() -> D + Send,
+    FE: FnOnce() -> E + Send,
+    FG: FnOnce() -> G + Send,
+{
+    let jb = StackJob::new(fb);
+    let jc = StackJob::new(fc);
+    let jd = StackJob::new(fd);
+    let je = StackJob::new(fe);
+    let jg = StackJob::new(fg);
+    let a = join_with(
+        fa,
+        &[
+            jb.as_task(),
+            jc.as_task(),
+            jd.as_task(),
+            je.as_task(),
+            jg.as_task(),
+        ],
+        &|| jb.is_done() && jc.is_done() && jd.is_done() && je.is_done() && jg.is_done(),
+    );
+    let (b, c, d, e, g) = (jb.take(), jc.take(), jd.take(), je.take(), jg.take());
+    Ok((a?, b?, c?, d?, e?, g?))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_monotonic_and_start_consistent() {
+        let before = stats();
+        note_inline(3);
+        let after = stats();
+        assert!(after.inline_execs >= before.inline_execs + 3);
+        assert!(after.submitted >= before.submitted);
+        assert!(after.steals >= before.steals);
+    }
+
+    #[test]
+    fn pool_worker_flag_is_false_on_external_threads() {
+        assert!(!is_pool_worker());
+    }
+}

@@ -12,7 +12,12 @@
 //! before releasing it.
 
 use mcpat::array::memo;
-use mcpat::{Processor, ProcessorConfig};
+use mcpat::{
+    explore, explore_batch, max_clock_under_power_budget, Budgets, Exploration, MetricSet,
+    Processor, ProcessorConfig,
+};
+use mcpat_mcore::config::CoreConfig;
+use mcpat_tech::TechNode;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Serializes every test that touches the global thread/cache knobs.
@@ -94,6 +99,41 @@ fn assert_identical(a: &[(String, u64)], b: &[(String, u64)], what: &str) {
     }
 }
 
+fn sweep_candidates() -> Vec<ProcessorConfig> {
+    [2u32, 4, 8]
+        .into_iter()
+        .map(|n| {
+            ProcessorConfig::manycore(
+                &format!("m{n}"),
+                TechNode::N32,
+                CoreConfig::generic_inorder(),
+                n,
+                n.min(2),
+                1024 * 1024,
+            )
+        })
+        .collect()
+}
+
+fn sweep_eval(chip: &Processor) -> MetricSet {
+    let n = f64::from(chip.config.num_cores.max(1));
+    MetricSet::from_power(10.0 * n, 1.0 / n, chip.die_area())
+}
+
+/// Every f64 of an exploration result as exact bit patterns, keyed by
+/// candidate name.
+fn exploration_fingerprint(ex: &Exploration) -> Vec<(String, u64)> {
+    let mut v = Vec::new();
+    for c in &ex.feasible {
+        v.push((format!("{}.area", c.name), c.area.to_bits()));
+        v.push((format!("{}.peak", c.name), c.peak_power.to_bits()));
+        v.push((format!("{}.energy", c.name), c.metrics.energy.to_bits()));
+        v.push((format!("{}.delay", c.name), c.metrics.delay.to_bits()));
+        v.push((format!("{}.marea", c.name), c.metrics.area.to_bits()));
+    }
+    v
+}
+
 #[test]
 fn serial_and_parallel_builds_are_bit_identical() {
     let _guard = knob_lock();
@@ -171,6 +211,94 @@ fn cached_solve_equals_uncached_across_presets() {
         let cached = fingerprint(&Processor::build(&cfg).unwrap());
         assert_identical(&uncached, &cached, &cfg.name);
     }
+}
+
+#[test]
+fn explore_is_bit_identical_across_pool_thread_counts() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    let cands = sweep_candidates();
+    mcpat::par::set_thread_override(1);
+    let reference = explore(&cands, Budgets::default(), sweep_eval).unwrap();
+    let ref_fp = exploration_fingerprint(&reference);
+    for threads in [2, 3, 8, 16] {
+        mcpat::par::set_thread_override(threads);
+        let ex = explore(&cands, Budgets::default(), sweep_eval).unwrap();
+        let what = format!("explore at {threads} pool threads");
+        assert_eq!(reference.rejected, ex.rejected, "{what}: rejected set");
+        assert_eq!(reference.pareto, ex.pareto, "{what}: pareto front");
+        assert_identical(&ref_fp, &exploration_fingerprint(&ex), &what);
+    }
+}
+
+#[test]
+fn explore_batch_is_bit_identical_to_serial_explore() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    let mut cands = sweep_candidates();
+    // One duplicate configuration under a different name exercises the
+    // dedup path against the serial reference.
+    let mut dup = cands[0].clone();
+    dup.name = String::from("m2-copy");
+    cands.push(dup);
+
+    mcpat::par::set_thread_override(1);
+    let reference = explore(&cands, Budgets::default(), sweep_eval).unwrap();
+    let ref_fp = exploration_fingerprint(&reference);
+    for threads in [1, 4] {
+        mcpat::par::set_thread_override(threads);
+        let (batched, perf) = explore_batch(&cands, Budgets::default(), sweep_eval).unwrap();
+        let what = format!("explore_batch at {threads} pool threads");
+        assert_eq!(perf.candidates, cands.len(), "{what}");
+        assert_eq!(perf.deduped, 1, "{what}: the copy must dedupe");
+        assert_eq!(reference.rejected, batched.rejected, "{what}: rejected");
+        assert_eq!(reference.pareto, batched.pareto, "{what}: pareto");
+        assert_identical(&ref_fp, &exploration_fingerprint(&batched), &what);
+    }
+}
+
+#[test]
+fn incremental_bisection_equals_full_rebuild_bisection() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    mcpat::par::set_thread_override(1);
+    let cfg = ProcessorConfig::manycore(
+        "clk",
+        TechNode::N32,
+        CoreConfig::generic_inorder(),
+        4,
+        2,
+        1024 * 1024,
+    );
+    // The pre-incremental algorithm: rebuild the whole chip per probe.
+    let power_at = |clock: f64| -> f64 {
+        let mut c = cfg.clone();
+        c.clock_hz = clock;
+        c.core.clock_hz = clock;
+        Processor::build(&c).unwrap().peak_power().total()
+    };
+    let (budget, lo_hz, hi_hz) = (25.0, 0.5e9, 6.0e9);
+    assert!(power_at(lo_hz) <= budget && power_at(hi_hz) > budget);
+    let (mut lo, mut hi) = (lo_hz, hi_hz);
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if power_at(mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let incremental = max_clock_under_power_budget(&cfg, budget, lo_hz, hi_hz)
+        .unwrap()
+        .expect("a feasible clock exists");
+    assert_eq!(
+        incremental.to_bits(),
+        lo.to_bits(),
+        "incremental bisection diverged: {incremental:e} vs {lo:e}"
+    );
 }
 
 #[test]
