@@ -316,6 +316,7 @@ pub fn lookup_or_solve(
                 if waited {
                     COALESCED.fetch_add(1, Ordering::SeqCst);
                 }
+                mcpat_obs::record_solve(true, waited);
                 return relabel(cached, &spec.name);
             }
             if st.pending.contains(&key) {
@@ -336,6 +337,7 @@ pub fn lookup_or_solve(
     // (and wakes waiters) on every exit path.
     let guard = PendingGuard { shard, key };
     MISSES.fetch_add(1, Ordering::SeqCst);
+    mcpat_obs::record_solve(false, false);
     let res = solve_fn(tech, spec, target);
     lock(shard).map.insert(guard.key.clone(), res.clone());
     drop(guard);

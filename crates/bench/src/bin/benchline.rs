@@ -14,7 +14,10 @@
 //! (`--quick` and full runs take different medians), no benchmark's
 //! `serial_ms` may regress by more than 15%. A mismatched CPU label or
 //! rep count skips the wall-clock comparison (the numbers are not
-//! comparable) but still enforces the speedup invariant.
+//! comparable) but still enforces the speedup invariant and the
+//! host-independent trace-overhead ceiling: a build inside an entered
+//! `mcpat::obs::Collector` scope with tracing disabled must cost at
+//! most 1% over a plain build.
 //!
 //! The JSON is stamped with the git revision and records the host's
 //! available parallelism alongside every number: on a single-core
@@ -31,21 +34,32 @@ use mcpat_mcore::config::CoreConfig;
 use mcpat_mcore::core::CoreModel;
 use mcpat_tech::{DeviceType, TechNode, TechParams};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Counts heap allocations so the benchmark can report allocations per
 /// solve — the direct measure of the enumeration loop's cheapness.
+/// A process-global total feeds the per-row `allocs_serial` column; a
+/// per-thread count feeds the `mcpat-obs` probe, whose contract is
+/// "the calling thread's allocations" (each thread flushes its own
+/// delta to the scope chain active on it).
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
 // SAFETY: delegates every operation to `System` unchanged; the counter
-// update has no effect on allocation behavior.
+// updates have no effect on allocation behavior (`try_with` shrugs off
+// TLS teardown instead of re-entering the allocator or panicking).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
@@ -101,10 +115,11 @@ fn allocs_of(mut f: impl FnMut()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
-/// Reader handed to [`register_alloc_probe`] so `ExplorePerf::allocs`
-/// reports this process's counting-allocator traffic.
-fn current_allocs() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
+/// Reader handed to [`register_alloc_probe`] so scoped collectors
+/// (`BuildPerf`/`ExplorePerf::allocs`) can bill each thread's
+/// allocations to the scope active on that thread.
+fn current_thread_allocs() -> u64 {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
 }
 
 struct Row {
@@ -201,12 +216,98 @@ fn bisection_full_rebuild(
     Some(lo)
 }
 
+/// Ceiling on the tracing-disabled observability overhead: a build
+/// inside an entered collector (spans compiled in but inert, counters
+/// billed per-scope) may cost at most 1% over the identical build with
+/// no scope active.
+const MAX_TRACE_DISABLED_OVERHEAD: f64 = 1.01;
+
+/// Measures the marginal cost of the observability layer with tracing
+/// disabled: the ratio of a cold-cache serial chip build run inside an
+/// entered [`mcpat::obs::Collector`] scope to the same build with no
+/// scope active. The solve cache is cleared before every sample so each
+/// build does its full solver work — the representative workload the
+/// ≤1% claim is about. (A warm-cache rebuild finishes in microseconds,
+/// where per-event counter billing amplifies to a few percent relative
+/// but only single-digit microseconds absolute; gating on that would
+/// flake on timer noise without protecting anything real.) Pairs are
+/// interleaved and reduced with `min` so both modes see the same drift
+/// and converge to their noise floors.
+fn trace_disabled_overhead_ratio() -> f64 {
+    mcpat::obs::set_tracing(false);
+    let cfg = ProcessorConfig::niagara2();
+    let build = || {
+        if let Err(e) = Processor::build(&cfg) {
+            die(&format!("overhead-probe build failed: {e}"));
+        }
+    };
+    mcpat_par::set_thread_override(1);
+    memo::set_enabled(true);
+    memo::clear();
+    build(); // warm the code paths (the cache is cleared per sample)
+    let collector = mcpat::obs::Collector::new();
+    let mut plain = f64::INFINITY;
+    let mut scoped = f64::INFINITY;
+    for _ in 0..25 {
+        memo::clear();
+        let t = Instant::now();
+        build();
+        plain = plain.min(t.elapsed().as_secs_f64());
+        memo::clear();
+        let t = Instant::now();
+        {
+            let _scope = collector.enter();
+            build();
+        }
+        scoped = scoped.min(t.elapsed().as_secs_f64());
+    }
+    memo::set_auto();
+    mcpat_par::set_thread_override(0);
+    if plain > 0.0 {
+        scoped / plain
+    } else {
+        1.0
+    }
+}
+
+/// Runs one tracing-enabled chip build and prints its per-phase span
+/// summary, then disables tracing again. Purely informational: the
+/// bit-identity of traced builds is asserted by `tests/perf_identity.rs`.
+fn print_span_summary() {
+    mcpat::obs::set_tracing(true);
+    let collector = mcpat::obs::Collector::new();
+    {
+        let _scope = collector.enter();
+        if let Err(e) = Processor::build(&ProcessorConfig::niagara2()) {
+            die(&format!("traced build failed: {e}"));
+        }
+    }
+    mcpat::obs::set_tracing(false);
+    let trace = collector.trace();
+    eprintln!(
+        "benchline: traced niagara2 build, {} span(s):",
+        trace.spans.len()
+    );
+    for s in &trace.spans {
+        eprintln!(
+            "benchline:   {:<18} {:>9.3} ms | cache {} hit(s) / {} miss(es) | {} alloc(s) | {} relaxation(s)",
+            s.path,
+            s.wall_s * 1e3,
+            s.solve_cache_hits,
+            s.solve_cache_misses,
+            s.allocs,
+            s.relaxations
+        );
+    }
+}
+
 /// Regression gate: compares this run's rows against a committed
 /// baseline JSON. Returns every violated invariant.
 fn gate_failures(
     baseline: &serde_json::Value,
     rows: &[Row],
     explore_parallel_speedup: f64,
+    trace_overhead_ratio: f64,
     host_threads: usize,
     host_label: &str,
     reps: usize,
@@ -218,6 +319,14 @@ fn gate_failures(
              {host_threads}-way host: the parallel path must not lose to serial"
         ));
     }
+    // Host-independent: the ratio compares two builds on *this* host,
+    // so it is enforced even when the wall-clock comparison is skipped.
+    if trace_overhead_ratio > MAX_TRACE_DISABLED_OVERHEAD {
+        failures.push(format!(
+            "trace_disabled_overhead_ratio is {trace_overhead_ratio:.4} \
+             (> {MAX_TRACE_DISABLED_OVERHEAD}): disabled tracing must cost <= 1%"
+        ));
+    }
     let base_label = baseline
         .get("host")
         .and_then(|h| h.get("label"))
@@ -225,8 +334,8 @@ fn gate_failures(
         .unwrap_or("");
     if base_label != host_label {
         eprintln!(
-            "benchline: gate skips serial_ms comparison (baseline host \"{base_label}\" \
-             != \"{host_label}\"; wall-clock is not comparable)"
+            "benchline: gate skipped: CPU-label mismatch (baseline host \"{base_label}\" \
+             != \"{host_label}\"; wall-clock serial_ms is not comparable)"
         );
         return failures;
     }
@@ -279,7 +388,7 @@ fn main() {
         .position(|a| a == "--gate")
         .and_then(|i| args.get(i + 1));
     let reps = if quick { 3 } else { 7 };
-    register_alloc_probe(current_allocs);
+    register_alloc_probe(current_thread_allocs);
 
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let revision = git_revision();
@@ -383,6 +492,13 @@ fn main() {
     let batch_vs_explore_speedup = ratio(expl.serial_ms, batch.serial_ms);
     let bisection_speedup = ratio(bisect_full.serial_ms, bisect_incr.serial_ms);
 
+    let trace_overhead_ratio = trace_disabled_overhead_ratio();
+    eprintln!(
+        "benchline: trace-disabled overhead ratio {trace_overhead_ratio:.4} \
+         (scoped cold build vs plain; gate ceiling {MAX_TRACE_DISABLED_OVERHEAD})"
+    );
+    print_span_summary();
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"mcpat-benchline-v1\",");
@@ -394,6 +510,11 @@ fn main() {
         "  \"host\": {{ \"available_parallelism\": {host_threads}, \"label\": \"{host_threads}cpu\" }},"
     );
     let _ = writeln!(json, "  \"units\": \"milliseconds, median of reps\",");
+    let _ = writeln!(
+        json,
+        "  \"trace\": {{ \"disabled_overhead_ratio\": {trace_overhead_ratio:.4}, \
+         \"max_allowed_ratio\": {MAX_TRACE_DISABLED_OVERHEAD} }},"
+    );
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -443,6 +564,7 @@ fn main() {
             &baseline,
             &rows,
             explore_parallel_speedup,
+            trace_overhead_ratio,
             host_threads,
             &label,
             reps,

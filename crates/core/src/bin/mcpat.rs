@@ -8,6 +8,7 @@
 //! mcpat --preset niagara --validate      # diagnostics only, no build
 //! mcpat chip.json                        # model a JSON configuration
 //! mcpat chip.json --stats stats.json     # + runtime power from stats
+//! mcpat --preset tulsa --trace t.json    # + JSON build trace (spans)
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage error, 3 invalid configuration,
@@ -63,6 +64,7 @@ fn usage() -> &'static str {
      \x20 --validate       print every validation diagnostic, do not build\n\
      \x20 --emit-config    dump the configuration as a JSON template and exit\n\
      \x20 --floorplan      append an ASCII floorplan sketch to the report\n\
+     \x20 --trace <file>   enable build tracing and write the span trace as JSON\n\
      \n\
      Models the configured processor and prints the power/area/timing\n\
      report. Exit codes: 0 success, 2 usage error, 3 invalid\n\
@@ -80,6 +82,7 @@ fn run() -> Result<(), CliError> {
     let mut emit_config = false;
     let mut validate_only = false;
     let mut show_floorplan = false;
+    let mut trace_path: Option<String> = None;
     let mut config: Option<ProcessorConfig> = None;
     let mut stats: Option<ChipStats> = None;
     let mut i = 0;
@@ -117,6 +120,13 @@ fn run() -> Result<(), CliError> {
             "--floorplan" => {
                 show_floorplan = true;
                 i += 1;
+            }
+            "--trace" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--trace needs a file path".into()))?;
+                trace_path = Some(path.clone());
+                i += 2;
             }
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!(
@@ -173,10 +183,21 @@ fn run() -> Result<(), CliError> {
         return Ok(());
     }
 
+    if trace_path.is_some() {
+        mcpat::obs::set_tracing(true);
+    }
     let chip = Processor::build(&config).map_err(|e| match e {
         mcpat::McpatError::Invalid(_) => CliError::InvalidConfig(e.to_string()),
         mcpat::McpatError::Array(_) => CliError::Infeasible(e.to_string()),
     })?;
+    if let Some(path) = &trace_path {
+        let json = chip
+            .trace
+            .as_ref()
+            .map_or_else(|| mcpat::obs::Trace::default().to_json(), |t| t.to_json());
+        std::fs::write(path, json)
+            .map_err(|e| CliError::InvalidConfig(format!("cannot write `{path}`: {e}")))?;
+    }
     println!("{}", chip.report());
     if show_floorplan {
         println!("Floorplan:");

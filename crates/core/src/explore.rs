@@ -11,7 +11,11 @@ use crate::config::ProcessorConfig;
 use crate::error::McpatError;
 use crate::metrics::{best_index_of, Metric, MetricSet};
 use crate::processor::Processor;
-use std::sync::OnceLock;
+
+// The allocation-count probe now lives in `mcpat-obs` (allocations are
+// billed to scoped collectors, not differenced globally); the
+// registration entry point stays re-exported here for compatibility.
+pub use mcpat_obs::register_alloc_probe;
 
 /// Physical budgets a candidate must respect.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +119,7 @@ pub fn explore<F>(
 where
     F: FnMut(&Processor) -> MetricSet,
 {
+    let _span = mcpat_obs::span("explore");
     // Candidate chips are independent: build them all concurrently,
     // then walk the results serially so budget filtering, the injected
     // (FnMut) evaluator, and error propagation all see input order.
@@ -158,28 +163,12 @@ where
     })
 }
 
-/// Process-wide allocation-count probe, registered by tooling (the
-/// benchmark harness installs a counting allocator and points this at
-/// its counter). `None` until registered; [`ExplorePerf::allocs`] reads
-/// 0 without one.
-static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
-
-/// Registers the allocation-count probe used by [`explore_batch`] to
-/// attribute allocator traffic. First registration wins; returns
-/// whether this call installed the probe.
-pub fn register_alloc_probe(probe: fn() -> u64) -> bool {
-    ALLOC_PROBE.set(probe).is_ok()
-}
-
-fn alloc_count() -> u64 {
-    ALLOC_PROBE.get().map_or(0, |probe| probe())
-}
-
 /// How a [`explore_batch`] call performed: where its builds went and
 /// what the caches and the thread pool did on its behalf.
 ///
-/// The cache and pool deltas attribute process-wide counters, so they
-/// are exact for a lone call and an attribution when calls overlap.
+/// The counters come from a scoped [`mcpat_obs::Collector`] entered for
+/// the duration of the call, so each call reports exactly its own
+/// traffic even when several run concurrently on separate threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExplorePerf {
     /// Worker threads the fan-out could use.
@@ -279,10 +268,41 @@ pub fn explore_batch<F>(
 where
     F: FnMut(&Processor) -> MetricSet,
 {
-    let cache_before = mcpat_array::memo::stats();
-    let pool_before = mcpat_par::pool::stats();
-    let allocs_before = alloc_count();
+    // Scope the whole batch: builds fan out to pool workers, but every
+    // task carries this scope's chain, so the counters below are this
+    // call's own traffic — never a concurrent caller's.
+    let collector = mcpat_obs::Collector::new();
+    let result = {
+        let _scope = collector.enter();
+        let _span = mcpat_obs::span("explore_batch");
+        explore_batch_scoped(candidates, budgets, &mut evaluate)
+    };
+    let snap = collector.snapshot();
+    let (exploration, unique_builds) = result?;
+    let perf = ExplorePerf {
+        threads: mcpat_par::threads(),
+        candidates: candidates.len(),
+        unique_builds,
+        deduped: candidates.len() - unique_builds,
+        solve_cache_hits: snap.solve_cache_hits,
+        solve_cache_misses: snap.solve_cache_misses,
+        pool_steals: snap.pool_steals,
+        pool_inline: snap.pool_inline,
+        allocs: snap.allocs,
+    };
+    Ok((exploration, perf))
+}
 
+/// The body of [`explore_batch`], run inside its collector scope.
+/// Returns the exploration plus the number of unique builds.
+fn explore_batch_scoped<F>(
+    candidates: &[ProcessorConfig],
+    budgets: Budgets,
+    evaluate: &mut F,
+) -> Result<(Exploration, usize), McpatError>
+where
+    F: FnMut(&Processor) -> MetricSet,
+{
     // Assign every candidate to the first candidate with the same
     // configuration; representatives build, the rest share.
     let mut unique: Vec<&ProcessorConfig> = Vec::new();
@@ -349,30 +369,13 @@ where
     }
 
     let pareto = pareto_front(&feasible);
-
-    let cache_after = mcpat_array::memo::stats();
-    let pool_after = mcpat_par::pool::stats();
-    let perf = ExplorePerf {
-        threads: mcpat_par::threads(),
-        candidates: candidates.len(),
-        unique_builds: unique.len(),
-        deduped: candidates.len() - unique.len(),
-        solve_cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
-        solve_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
-        pool_steals: pool_after.steals.saturating_sub(pool_before.steals),
-        pool_inline: pool_after
-            .inline_execs
-            .saturating_sub(pool_before.inline_execs),
-        allocs: alloc_count().saturating_sub(allocs_before),
-    };
-
     Ok((
         Exploration {
             feasible,
             rejected,
             pareto,
         },
-        perf,
+        unique.len(),
     ))
 }
 
@@ -422,6 +425,7 @@ pub fn max_clock_under_power_budget_with_perf(
     lo_hz: f64,
     hi_hz: f64,
 ) -> Result<(Option<f64>, BisectionPerf), McpatError> {
+    let _span = mcpat_obs::span("clock_bisection");
     let base = Processor::build(config)?;
     let mut perf = BisectionPerf {
         full_builds: 1,

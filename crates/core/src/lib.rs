@@ -71,6 +71,12 @@ pub use mcpat_diag::{AtPath, Diagnostic, Diagnostics, Severity};
 /// variable the stack honors is declared and parsed there.
 pub use mcpat_par::knobs;
 
+/// Scoped observability: collectors, spans, tracing control and the
+/// JSON trace export (`Processor::build` populates
+/// [`processor::Processor::trace`] while `obs::set_tracing(true)` is
+/// active).
+pub use mcpat_obs as obs;
+
 // Re-export the layers so downstream users need only one dependency.
 pub use mcpat_array as array;
 pub use mcpat_circuit as circuit;

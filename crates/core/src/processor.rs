@@ -66,10 +66,10 @@ impl TimingReport {
 /// How the build itself performed: worker threads available to the
 /// fan-out and the array-solve cache's effectiveness over this build.
 ///
-/// The hit/miss deltas are exact for a lone build; when several builds
-/// run concurrently (e.g. [`crate::explore::explore`]) they share the
-/// process-wide counters, so each build's delta is an attribution of
-/// the shared traffic, not an isolated measurement.
+/// The counters come from a scoped [`mcpat_obs::Collector`] entered for
+/// the duration of the build, so they are exact even when several
+/// builds run concurrently: pool tasks carry their submitter's scope
+/// chain, and stolen work still bills the build that submitted it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BuildPerf {
     /// Worker threads the build fan-out could use (see
@@ -109,6 +109,10 @@ pub struct Processor {
     pub warnings: Diagnostics,
     /// Threading and solve-cache statistics of this build.
     pub perf: BuildPerf,
+    /// Structured build spans, populated only while
+    /// [`mcpat_obs::set_tracing`]`(true)` is active (e.g. `--trace` on
+    /// the CLI). `None` in the default, tracing-off configuration.
+    pub trace: Option<mcpat_obs::Trace>,
 }
 
 impl Processor {
@@ -125,11 +129,36 @@ impl Processor {
     /// (with the complete findings), or [`McpatError::Array`] naming the
     /// component whose storage array could not be solved.
     pub fn build(config: &ProcessorConfig) -> Result<Processor, McpatError> {
-        let cache_before = mcpat_array::memo::stats();
-        let mut warnings = config
-            .validate()
-            .into_result()
-            .map_err(McpatError::Invalid)?;
+        // The collector scope makes every solve-cache lookup, pool
+        // event and (probed) allocation of this build — including work
+        // stolen by other pool workers — bill to this build alone.
+        let collector = mcpat_obs::Collector::new();
+        let result = {
+            let _scope = collector.enter();
+            let _span = mcpat_obs::span("build");
+            Self::build_inner(config)
+        };
+        let snap = collector.snapshot();
+        let mut chip = result?;
+        chip.perf = BuildPerf {
+            threads: mcpat_par::threads(),
+            solve_cache_hits: snap.solve_cache_hits,
+            solve_cache_misses: snap.solve_cache_misses,
+        };
+        if mcpat_obs::tracing_enabled() {
+            chip.trace = Some(collector.trace());
+        }
+        Ok(chip)
+    }
+
+    fn build_inner(config: &ProcessorConfig) -> Result<Processor, McpatError> {
+        let mut warnings = {
+            let _span = mcpat_obs::span("build.validate");
+            config
+                .validate()
+                .into_result()
+                .map_err(McpatError::Invalid)?
+        };
         let mut tech = TechParams::new(config.node, config.device_type, config.temperature_k)
             .with_projection(config.projection)
             .with_long_channel_leakage(config.long_channel_leakage);
@@ -145,35 +174,55 @@ impl Processor {
         // l2, l3, mc — the same order the serial build reported in.
         let (core, l2, l3, mc) = mcpat_par::join4(
             || {
-                CoreModel::build(&tech, &core_cfg).map_err(|e| match e {
+                let span = mcpat_obs::span("build.core");
+                let r = CoreModel::build(&tech, &core_cfg).map_err(|e| match e {
                     CoreBuildError::Invalid(d) => {
                         let mut all = Diagnostics::new();
                         all.merge_under("core", d);
                         McpatError::Invalid(all)
                     }
                     CoreBuildError::Array(e) => McpatError::Array(e.under("core")),
-                })
+                });
+                if let Ok(core) = &r {
+                    span.note_relaxations(core.relaxation_warnings().len() as u64);
+                }
+                r
             },
             || {
-                config
+                let span = mcpat_obs::span("build.l2");
+                let r = config
                     .l2
                     .as_ref()
                     .map(|c| c.build(&tech).at("l2"))
-                    .transpose()
+                    .transpose();
+                if let Ok(Some(l2)) = &r {
+                    span.note_relaxations(l2.relaxation_warnings().len() as u64);
+                }
+                r
             },
             || {
-                config
+                let span = mcpat_obs::span("build.l3");
+                let r = config
                     .l3
                     .as_ref()
                     .map(|c| c.build(&tech).at("l3"))
-                    .transpose()
+                    .transpose();
+                if let Ok(Some(l3)) = &r {
+                    span.note_relaxations(l3.relaxation_warnings().len() as u64);
+                }
+                r
             },
             || {
-                config
+                let span = mcpat_obs::span("build.mc");
+                let r = config
                     .mc
                     .as_ref()
                     .map(|c| MemCtrl::build(&tech, c).at("mc"))
-                    .transpose()
+                    .transpose();
+                if let Ok(Some(mc)) = &r {
+                    span.note_relaxations(mc.relaxation_warnings().len() as u64);
+                }
+                r
             },
         )
         .map_err(|e| {
@@ -193,6 +242,7 @@ impl Processor {
         let cluster_area = core.area() * f64::from(config.cores_per_cluster())
             + l2.as_ref().map_or(0.0, SharedCache::area);
         let link_length = cluster_area.max(1e-12).sqrt();
+        let fabric_span = mcpat_obs::span("build.fabric");
         let noc = NocConfig {
             topology: config.fabric.topology,
             flit_bits: config.fabric.flit_bits,
@@ -203,6 +253,7 @@ impl Processor {
         }
         .build(&tech)
         .at("fabric")?;
+        drop(fabric_span);
 
         // Any array the solver could only place by degrading becomes a
         // warning on the chip, rooted at the owning component.
@@ -225,6 +276,7 @@ impl Processor {
         }
 
         // Die area and the clock network over it.
+        let clock_span = mcpat_obs::span("build.clock");
         let component_area = Self::component_area_sum(
             config,
             &core,
@@ -243,13 +295,10 @@ impl Processor {
             f64::from(config.num_cores) * 2.0 * core.pipeline.clock_energy_per_cycle / (vdd * vdd);
         let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
         let clock = ClockNetwork::new(&tech, die_edge, die_edge, config.clock_hz, sink_cap);
+        drop(clock_span);
 
-        let cache_after = mcpat_array::memo::stats();
-        let perf = BuildPerf {
-            threads: mcpat_par::threads(),
-            solve_cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
-            solve_cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
-        };
+        // `build` overwrites `perf` (and `trace`) from its collector.
+        let perf = BuildPerf::default();
 
         Ok(Processor {
             config: config.clone(),
@@ -264,6 +313,7 @@ impl Processor {
             clock,
             warnings,
             perf,
+            trace: None,
         })
     }
 
@@ -297,7 +347,34 @@ impl Processor {
         if config.core.enforce_timing {
             return Processor::build(&config);
         }
+        let collector = mcpat_obs::Collector::new();
+        let result = {
+            let _scope = collector.enter();
+            let _span = mcpat_obs::span("rebuild_with_clock");
+            self.rebuild_incremental(config, clock_hz)
+        };
+        let snap = collector.snapshot();
+        let mut next = result?;
+        next.perf = BuildPerf {
+            threads: mcpat_par::threads(),
+            solve_cache_hits: snap.solve_cache_hits,
+            solve_cache_misses: snap.solve_cache_misses,
+        };
+        next.trace = if mcpat_obs::tracing_enabled() {
+            Some(collector.trace())
+        } else {
+            None
+        };
+        Ok(next)
+    }
 
+    /// The incremental body of [`Processor::rebuild_with_clock`]: no
+    /// array re-solves, clock-dependent state only.
+    fn rebuild_incremental(
+        &self,
+        config: ProcessorConfig,
+        clock_hz: f64,
+    ) -> Result<Processor, McpatError> {
         // Validation warnings can depend on the clock (e.g. the
         // "aggressive clock" advisory); recompute them exactly the way
         // `build` does so the incremental result carries the same
@@ -352,11 +429,6 @@ impl Processor {
                 / (vdd * vdd);
         let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
         next.clock = ClockNetwork::new(&next.tech, die_edge, die_edge, clock_hz, sink_cap);
-        next.perf = BuildPerf {
-            threads: mcpat_par::threads(),
-            solve_cache_hits: 0,
-            solve_cache_misses: 0,
-        };
         Ok(next)
     }
 

@@ -90,6 +90,21 @@ impl Processor {
             self.perf.threads, self.perf.solve_cache_hits, self.perf.solve_cache_misses
         );
 
+        if let Some(trace) = &self.trace {
+            let _ = writeln!(out, "  Trace ({} span(s)):", trace.spans.len());
+            for s in &trace.spans {
+                let _ = writeln!(
+                    out,
+                    "    {:<20} {:>9.3} ms  cache {} hit(s) / {} miss(es), {} relaxation(s)",
+                    s.path,
+                    s.wall_s * 1e3,
+                    s.solve_cache_hits,
+                    s.solve_cache_misses,
+                    s.relaxations
+                );
+            }
+        }
+
         if !self.warnings.is_empty() {
             let _ = writeln!(out, "  Warnings ({}):", self.warnings.len());
             for w in &self.warnings {

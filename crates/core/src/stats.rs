@@ -33,6 +33,16 @@ pub struct ChipStats {
     pub core_wakeups: u64,
 }
 
+/// Splits an aggregate access count into the peak model's 3:1
+/// read:write mix so that `reads + writes == total` for every input.
+/// (Independent truncation — `total*3/4` and `total/4` — leaks up to
+/// one access per call and saturates inconsistently near `u64::MAX`;
+/// deriving reads as the complement conserves the aggregate exactly.)
+fn split_rw(total: u64) -> (u64, u64) {
+    let writes = total / 4;
+    (total - writes, writes)
+}
+
 impl ChipStats {
     /// A TDP-style worst-case interval of `duration_s` seconds for a chip
     /// with `num_cores` cores at `clock_hz`, issue width `w`.
@@ -50,13 +60,14 @@ impl ChipStats {
         // Aggregate accesses across cores; saturate so absurd
         // clock/width inputs degrade instead of overflowing.
         let chip = l2_accesses.saturating_mul(u64::from(num_cores));
+        let (l2_reads, l2_writes) = split_rw(chip);
         ChipStats {
             duration_s,
             cores: vec![core],
             l2: SharedCacheStats {
                 interval_s: duration_s,
-                reads: chip.saturating_mul(3) / 4,
-                writes: chip / 4,
+                reads: l2_reads,
+                writes: l2_writes,
                 misses: chip / 10,
                 writebacks: chip / 20,
                 snoops: chip / 8,
@@ -108,6 +119,51 @@ impl ChipStats {
 #[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn l2_split_conserves_the_aggregate(total in 0u64..u64::MAX) {
+            let (reads, writes) = split_rw(total);
+            prop_assert_eq!(reads.checked_add(writes), Some(total));
+            // The mix stays read-dominated (3:1 up to truncation).
+            prop_assert!(reads >= writes.saturating_mul(2));
+        }
+    }
+
+    #[test]
+    fn l2_split_conserves_at_the_extremes() {
+        let edges = [
+            0,
+            1,
+            2,
+            3,
+            4,
+            5,
+            7,
+            u64::MAX - 3,
+            u64::MAX - 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for total in edges {
+            let (reads, writes) = split_rw(total);
+            assert_eq!(
+                reads.checked_add(writes),
+                Some(total),
+                "split of {total} leaks accesses"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_peak_traffic_still_conserves_reads_plus_writes() {
+        // Absurd clock × core count saturates the aggregate to
+        // u64::MAX; the split must still sum back exactly.
+        let s = ChipStats::peak(1.0, u32::MAX, 1e30, 8, 8);
+        assert_eq!(s.l2.reads.checked_add(s.l2.writes), Some(u64::MAX));
+    }
 
     #[test]
     fn peak_stats_populate_every_domain() {

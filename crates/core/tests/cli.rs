@@ -73,6 +73,54 @@ fn emit_config_round_trips_through_a_file() {
 }
 
 #[test]
+fn trace_flag_writes_a_span_trace_and_reports_it() {
+    let path = std::env::temp_dir().join("mcpat-cli-test-trace.json");
+    let out = mcpat_bin()
+        .args(["--preset", "niagara2", "--trace"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 0);
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        report.contains("Trace ("),
+        "report lacks a trace section:\n{report}"
+    );
+    assert!(report.contains("build.core"), "{report}");
+
+    let json = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let parsed: serde_json::Value = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("trace file is not valid JSON: {e}\n{json}"));
+    assert_eq!(
+        parsed.get("schema").and_then(serde_json::Value::as_str),
+        Some("mcpat-trace-v1"),
+        "{json}"
+    );
+    let spans = parsed
+        .get("spans")
+        .and_then(serde_json::Value::as_seq)
+        .expect("trace has a spans array");
+    assert!(
+        spans
+            .iter()
+            .any(|s| { s.get("path").and_then(serde_json::Value::as_str) == Some("build") }),
+        "trace lacks the root build span: {json}"
+    );
+}
+
+#[test]
+fn without_trace_flag_the_report_has_no_trace_section() {
+    let out = mcpat_bin().args(["--preset", "niagara2"]).output().unwrap();
+    assert_eq!(exit_code(&out), 0);
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        !report.contains("Trace ("),
+        "tracing must stay off by default:\n{report}"
+    );
+}
+
+#[test]
 fn validate_mode_reports_a_valid_preset_without_building() {
     let out = mcpat_bin()
         .args(["--preset", "niagara", "--validate"])

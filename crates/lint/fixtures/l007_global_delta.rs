@@ -1,0 +1,11 @@
+//! L007 fixture: a before/after delta over the global solve-cache
+//! counters. Any concurrent build bills its misses into this window.
+
+use mcpat_array::memo;
+
+pub fn cache_misses_of(mut work: impl FnMut()) -> u64 {
+    let before = memo::stats();
+    work();
+    let after = memo::stats();
+    after.misses.saturating_sub(before.misses)
+}

@@ -154,7 +154,8 @@ pub fn lint_sources(sources: &[Source]) -> Report {
     for src in sources {
         let lexed = lexer::lex(&src.text);
         let knobs_file = src.path.ends_with("knobs.rs");
-        let analysis = rules::analyze(&src.path, &lexed, knobs_file);
+        let obs_crate = src.crate_name == "obs";
+        let analysis = rules::analyze(&src.path, &lexed, knobs_file, obs_crate);
         findings.extend(analysis.findings.iter().cloned());
         findings.extend(analysis.annotation_warnings.iter().cloned());
         allows_by_file

@@ -1,4 +1,4 @@
-//! The project-invariant rules, L001–L006.
+//! The project-invariant rules, L001–L007.
 //!
 //! Each rule is a pure function over one file's token stream (plus, for
 //! L004, a per-crate accumulation step). Rules never look inside
@@ -14,6 +14,7 @@
 //! | L004 | every `*Config`/`*Spec` field mentioned in a `validate()` |
 //! | L005 | no `.lock()` guard bound in a scope that fans out |
 //! | L006 | no `unwrap`/`expect`/`panic!` family in library code |
+//! | L007 | no before/after deltas over global `memo`/`pool` counters |
 //!
 //! A violation is silenced by `// lint: allow(L00n, reason)` — trailing
 //! on the offending line, or on its own line immediately above (the
@@ -40,6 +41,9 @@ pub enum Rule {
     L005,
     /// `unwrap`/`expect`/`panic!`-family call in library code.
     L006,
+    /// Before/after delta over the global `memo::stats()` /
+    /// `pool::stats()` counters outside `mcpat-obs`.
+    L007,
     /// A `lint: allow` annotation that silenced nothing, or is
     /// malformed (missing its mandatory reason).
     Allowance,
@@ -56,6 +60,7 @@ impl Rule {
             Rule::L004 => "L004",
             Rule::L005 => "L005",
             Rule::L006 => "L006",
+            Rule::L007 => "L007",
             Rule::Allowance => "allow",
         }
     }
@@ -68,6 +73,7 @@ impl Rule {
             "L004" => Some(Rule::L004),
             "L005" => Some(Rule::L005),
             "L006" => Some(Rule::L006),
+            "L007" => Some(Rule::L007),
             _ => None,
         }
     }
@@ -147,9 +153,12 @@ pub struct StructDef {
 }
 
 /// Analyzes one lexed file against every single-file rule and collects
-/// the L004 raw material. `knobs_file` exempts the file from L003.
+/// the L004 raw material. `knobs_file` exempts the file from L003;
+/// `obs_crate` exempts it from L007 (the observability crate is where
+/// scoped attribution is implemented, so it legitimately reconciles
+/// global counters).
 #[must_use]
-pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool) -> FileAnalysis {
+pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool, obs_crate: bool) -> FileAnalysis {
     let tokens = &lexed.tokens;
     let test_spans = test_spans(tokens);
     let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
@@ -164,6 +173,9 @@ pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool) -> FileAnalysis 
     }
     check_lock_across_fanout(rel_path, tokens, &in_test, &mut out.findings);
     check_panicking_calls(rel_path, tokens, &in_test, &mut out.findings);
+    if !obs_crate {
+        check_global_deltas(rel_path, tokens, &in_test, &mut out.findings);
+    }
 
     collect_structs(rel_path, tokens, &in_test, &mut out.structs);
     collect_validate_idents(tokens, &mut out);
@@ -530,6 +542,66 @@ fn check_panicking_calls(
                 ),
             });
         }
+    }
+}
+
+/// L007 — a before/after delta over the process-global counter
+/// accessors: a function body that both calls `memo::stats()` or
+/// `pool::stats()` and computes a `saturating_sub` is attributing
+/// process-wide traffic to itself. Concurrent callers cross-bill each
+/// other's cache misses, steals and allocations; scoped attribution
+/// lives in `mcpat-obs` (enter a `Collector`, read its snapshot), the
+/// one crate exempt from this rule. Tests are exempt too: a test that
+/// serializes itself may legitimately assert on the globals.
+fn check_global_deltas(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while let Some(t) = tok(tokens, i) {
+        if !is_ident(t, "fn") || in_test(i) {
+            i = i.saturating_add(1);
+            continue;
+        }
+        let Some((body_start, body_end)) = fn_body_span(tokens, i) else {
+            i = i.saturating_add(1);
+            continue;
+        };
+        let body = tokens.get(body_start..=body_end).unwrap_or_default();
+        let subtracts = body.iter().any(|bt| is_ident(bt, "saturating_sub"));
+        if subtracts {
+            for (j, bt) in body.iter().enumerate() {
+                let stats_call = is_ident(bt, "stats")
+                    && j.checked_sub(1)
+                        .and_then(|k| body.get(k))
+                        .is_some_and(|p| is_punct(p, "::"))
+                    && j.checked_sub(2)
+                        .and_then(|k| body.get(k))
+                        .is_some_and(|p| is_ident(p, "memo") || is_ident(p, "pool"))
+                    && body
+                        .get(j.saturating_add(1))
+                        .is_some_and(|n| is_punct(n, "("));
+                if stats_call {
+                    findings.push(Finding {
+                        rule: Rule::L007,
+                        severity: Rule::L007.severity(),
+                        file: file.to_owned(),
+                        line: bt.line,
+                        alt_line: None,
+                        message: String::from(
+                            "before/after delta over the global memo/pool counters; concurrent \
+                             callers cross-bill each other — enter an mcpat_obs::Collector scope \
+                             and read its snapshot, or justify with `// lint: allow(L007, reason)`",
+                        ),
+                    });
+                }
+            }
+        }
+        // Continue after the signature, not the body: nested fns are
+        // re-scanned in their own right.
+        i = body_start.saturating_add(1);
     }
 }
 

@@ -22,6 +22,7 @@ fn every_fixture_trips_its_rule() {
         ("l005_lock_across_fanout.rs", "L005"),
         ("l005_lock_across_pool_submit.rs", "L005"),
         ("l006_panicking_call.rs", "L006"),
+        ("l007_global_delta.rs", "L007"),
     ] {
         let report = lint_source(file, &fixture(file));
         assert!(

@@ -71,11 +71,13 @@ pub struct PoolStats {
 }
 
 /// A type-erased pointer to a task living on a submitting caller's
-/// stack. See the module-level safety argument.
+/// stack. See the module-level safety argument. `exec` receives
+/// "this execution was a steal" so the task can bill the steal to the
+/// scope chain it captured at submission time (see `mcpat-obs`).
 #[derive(Clone, Copy)]
 pub(crate) struct TaskRef {
     data: *const (),
-    exec: unsafe fn(*const ()),
+    exec: unsafe fn(*const (), bool),
 }
 
 // SAFETY: the pointee is a `Sync` batch structure owned by a caller
@@ -135,9 +137,11 @@ pub fn stats() -> PoolStats {
     }
 }
 
-/// Records `n` closures executed inline without pool submission.
+/// Records `n` closures executed inline without pool submission, both
+/// globally and against the caller's active scope chain.
 pub(crate) fn note_inline(n: u64) {
     shared().inline_execs.fetch_add(n, Ordering::Relaxed);
+    mcpat_obs::record_pool_inline(n);
 }
 
 /// True when the calling thread is a resident pool worker (used by
@@ -194,10 +198,12 @@ fn pop_task(q: &mut Queues, me: Option<usize>) -> Option<(TaskRef, bool)> {
 /// Runs one task. The task's own `exec` already routes user panics
 /// into [`ParError`] slots and opens its latch via a drop guard; the
 /// outer catch is defense in depth so a worker thread never unwinds.
-fn run_task(task: TaskRef) {
+fn run_task(task: TaskRef, stolen: bool) {
     // SAFETY: see the module-level argument — the submitting caller
     // keeps the pointee alive until the batch latch opens.
-    let _ = catch_unwind(AssertUnwindSafe(|| unsafe { (task.exec)(task.data) }));
+    let _ = catch_unwind(AssertUnwindSafe(|| unsafe {
+        (task.exec)(task.data, stolen)
+    }));
 }
 
 /// Wakes every parked thread after queue or latch state changed. The
@@ -227,7 +233,7 @@ fn worker_loop(shared: &'static Shared, me: usize) {
         if stolen {
             shared.steals.fetch_add(1, Ordering::Relaxed);
         }
-        run_task(task);
+        run_task(task, stolen);
         signal(shared);
     }
 }
@@ -255,6 +261,7 @@ fn submit(shared: &'static Shared, tasks: impl IntoIterator<Item = TaskRef>) {
         }
     }
     shared.submitted.fetch_add(pushed, Ordering::Relaxed);
+    mcpat_obs::record_pool_submitted(pushed);
     shared.cv.notify_all();
 }
 
@@ -287,7 +294,7 @@ fn help_until(shared: &'static Shared, done: &dyn Fn() -> bool) {
             if stolen {
                 shared.steals.fetch_add(1, Ordering::Relaxed);
             }
-            run_task(task);
+            run_task(task, stolen);
             signal(shared);
         }
     }
@@ -302,12 +309,15 @@ struct Slot<T>(UnsafeCell<Option<Result<T, ParError>>>);
 // access after (ordered by the Acquire/Release latch counter).
 unsafe impl<T: Send> Sync for Slot<T> {}
 
-/// Shared state of one `par_map` call, borrowed by its tasks.
+/// Shared state of one `par_map` call, borrowed by its tasks. The
+/// submitter's scope chain rides along so that a task executed (or
+/// stolen) by any thread still bills the submitting scope.
 struct MapCall<'a, I, T, F> {
     items: &'a [I],
     f: &'a F,
     slots: &'a [Slot<T>],
     remaining: &'a AtomicUsize,
+    chain: mcpat_obs::ScopeChain,
 }
 
 /// One item-task of a `par_map` call.
@@ -332,7 +342,7 @@ impl Drop for OpenLatch<'_> {
     }
 }
 
-unsafe fn exec_map_task<I, T, F>(data: *const ())
+unsafe fn exec_map_task<I, T, F>(data: *const (), stolen: bool)
 where
     I: Sync,
     T: Send,
@@ -342,6 +352,13 @@ where
     // contract (owner helps until `remaining` reaches zero).
     let task = unsafe { &*data.cast::<MapTask<'_, I, T, F>>() };
     let call = task.call;
+    // Declared before the latch so the latch (the final touch of
+    // caller memory) drops first; the chain guard owns only Arcs and
+    // thread-local state, so its later drop never touches the caller.
+    let _chain = call.chain.activate();
+    if stolen {
+        mcpat_obs::record_pool_steal();
+    }
     let _latch = OpenLatch {
         remaining: call.remaining,
     };
@@ -372,6 +389,7 @@ where
         f,
         slots: &slots,
         remaining: &remaining,
+        chain: mcpat_obs::current_chain(),
     };
     let tasks: Vec<MapTask<'_, I, T, F>> = (0..items.len())
         .map(|index| MapTask { call: &call, index })
@@ -401,6 +419,7 @@ pub(crate) struct StackJob<R, F> {
     f: UnsafeCell<Option<F>>,
     result: UnsafeCell<Option<Result<R, ParError>>>,
     done: AtomicBool,
+    chain: mcpat_obs::ScopeChain,
 }
 
 // SAFETY: `f`/`result` are touched by exactly one executing thread
@@ -418,6 +437,7 @@ where
             f: UnsafeCell::new(Some(f)),
             result: UnsafeCell::new(None),
             done: AtomicBool::new(false),
+            chain: mcpat_obs::current_chain(),
         }
     }
 
@@ -451,7 +471,7 @@ impl Drop for OpenFlag<'_> {
     }
 }
 
-unsafe fn exec_stack_job<R, F>(data: *const ())
+unsafe fn exec_stack_job<R, F>(data: *const (), stolen: bool)
 where
     R: Send,
     F: FnOnce() -> R + Send,
@@ -459,6 +479,12 @@ where
     // SAFETY: `data` points at a live `StackJob` per the submission
     // contract (owner helps until `done` flips).
     let job = unsafe { &*data.cast::<StackJob<R, F>>() };
+    // Chain guard before the latch: the latch must stay the final
+    // touch of caller memory (see `exec_map_task`).
+    let _chain = job.chain.activate();
+    if stolen {
+        mcpat_obs::record_pool_steal();
+    }
     let _latch = OpenFlag { done: &job.done };
     // SAFETY: sole pre-latch accessor of `f` and `result`.
     let f = unsafe { (*job.f.get()).take() };

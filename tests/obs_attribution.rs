@@ -1,0 +1,211 @@
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! Scoped-attribution guarantees of the `mcpat-obs` collector layer.
+//!
+//! The perf blocks on `BuildPerf`/`ExplorePerf` are billed through the
+//! thread-scoped collector chain, not global before/after deltas, so a
+//! run must report only its own traffic no matter what else the
+//! process is doing. Two concurrent `explore_batch` calls each see
+//! their solo counts; work stolen by a pool worker bills the scope
+//! that submitted it, not whatever the stealing worker was doing.
+//!
+//! Tests here flip process-global knobs (thread override, cache mode),
+//! so they serialize on one mutex and restore defaults on exit.
+
+use mcpat::array::memo;
+use mcpat::{
+    explore_batch, register_alloc_probe, Budgets, ExplorePerf, MetricSet, ProcessorConfig,
+};
+use mcpat_mcore::config::CoreConfig;
+use mcpat_tech::TechNode;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Counts each thread's allocations so the registered probe satisfies
+/// the `mcpat-obs` contract ("the calling thread's allocation count").
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates to `System` unchanged; the const-initialized TLS
+// counter neither allocates nor panics (`try_with` covers teardown).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn current_thread_allocs() -> u64 {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Serializes every test that touches the global knobs.
+fn knob_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    lock.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Restores the default knobs when a test exits (even by panic).
+struct KnobReset;
+impl Drop for KnobReset {
+    fn drop(&mut self) {
+        mcpat::par::set_thread_override(0);
+        memo::set_auto();
+        mcpat::obs::set_tracing(false);
+    }
+}
+
+/// `n` distinct manycore candidates at `node`. Different tech nodes
+/// give two sets fully disjoint solve-cache keys, so concurrent runs
+/// cannot serve each other's arrays.
+fn candidates(node: TechNode, n: u32) -> Vec<ProcessorConfig> {
+    (0..n)
+        .map(|i| {
+            ProcessorConfig::manycore(
+                &format!("{node}-c{i}"),
+                node,
+                CoreConfig::generic_inorder(),
+                2 + (i % 4) * 2,
+                1 + (i % 4),
+                u64::from(1 + (i % 4)) * 1024 * 1024,
+            )
+        })
+        .collect()
+}
+
+fn run_batch(cands: &[ProcessorConfig]) -> ExplorePerf {
+    let (_ex, perf) = explore_batch(cands, Budgets::default(), |c| {
+        MetricSet::from_power(10.0, 1.0, c.die_area())
+    })
+    .unwrap();
+    perf
+}
+
+#[test]
+fn concurrent_explore_batches_report_only_their_own_traffic() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    register_alloc_probe(current_thread_allocs);
+    // Serial inside each call: the concurrency under test is the two
+    // *outer* threads, and serial builds keep the miss counts exact.
+    mcpat::par::set_thread_override(1);
+    memo::set_enabled(true);
+
+    let small = candidates(TechNode::N32, 2);
+    let large = candidates(TechNode::N45, 6);
+
+    memo::clear();
+    let solo_small = run_batch(&small);
+    memo::clear();
+    let solo_large = run_batch(&large);
+    assert!(solo_small.solve_cache_misses > 0);
+    assert!(solo_large.solve_cache_misses > solo_small.solve_cache_misses);
+    assert!(solo_small.allocs > 0, "the alloc probe must be live");
+
+    memo::clear();
+    let (perf_small, perf_large) = std::thread::scope(|s| {
+        let a = s.spawn(|| run_batch(&small));
+        let b = s.spawn(|| run_batch(&large));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    for (what, solo, concurrent) in [
+        ("small batch", &solo_small, &perf_small),
+        ("large batch", &solo_large, &perf_large),
+    ] {
+        assert_eq!(
+            concurrent.unique_builds, solo.unique_builds,
+            "{what}: unique_builds must not absorb the other run's builds"
+        );
+        assert_eq!(
+            concurrent.solve_cache_misses, solo.solve_cache_misses,
+            "{what}: cache misses must not cross-bill between threads"
+        );
+        // Allocation counts jitter slightly (hash seeding, vector
+        // growth), but cross-billing would multiply them: the small
+        // batch would absorb the large batch's >3x traffic.
+        assert!(
+            concurrent.allocs >= solo.allocs / 2 && concurrent.allocs <= solo.allocs * 2,
+            "{what}: allocs {} drifted past 2x from solo {}",
+            concurrent.allocs,
+            solo.allocs
+        );
+    }
+}
+
+#[test]
+fn stolen_pool_tasks_bill_the_submitting_scope() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    mcpat::par::set_thread_override(4);
+
+    let submitter = mcpat::obs::Collector::new();
+    let mut outer_steals = 0u64;
+    // Steals come from worker-local deques, which only nested fan-outs
+    // fill: each outer task runs a join4 whose lead closure sleeps, so
+    // idle workers steal the three queued siblings out of the busy
+    // worker's deque. Whether a steal lands is still a scheduling
+    // race; retry until one does. Every attempt asserts the negative
+    // half: observer scopes entered *inside* the tasks (which submit
+    // nothing themselves) never see a steal event.
+    for _attempt in 0..50 {
+        let steals_in_tasks = AtomicU64::new(0);
+        {
+            let _scope = submitter.enter();
+            let items: Vec<u64> = (0..2).collect();
+            let out = mcpat::par::par_map(&items, 2, |_, &x| {
+                let executor = mcpat::obs::Collector::new();
+                let observed = {
+                    let _inner = executor.enter();
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    executor.snapshot().pool_steals
+                };
+                steals_in_tasks.fetch_add(observed, Ordering::Relaxed);
+                // Nested fan-out outside the observer scope: its jobs
+                // bill the chain active here — the outer submitter.
+                let sleep_then = |us: u64, v: u64| {
+                    move || -> u64 {
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                        v
+                    }
+                };
+                let (a, b, c, d) = mcpat::par::join4(
+                    sleep_then(1000, 1),
+                    sleep_then(100, 1),
+                    sleep_then(100, 1),
+                    sleep_then(100, 1),
+                )
+                .unwrap();
+                x + a + b + c + d
+            })
+            .unwrap();
+            assert_eq!(out.len(), 2);
+        }
+        assert_eq!(
+            steals_in_tasks.load(Ordering::Relaxed),
+            0,
+            "a steal must bill the scope that submitted the task, \
+             never a scope opened on the stealing worker"
+        );
+        outer_steals = submitter.snapshot().pool_steals;
+        if outer_steals > 0 {
+            break;
+        }
+    }
+    assert!(
+        outer_steals > 0,
+        "no steal observed in 50 attempts of a nested fan-out on a 4-thread pool"
+    );
+}

@@ -34,6 +34,7 @@ impl Drop for KnobReset {
     fn drop(&mut self) {
         mcpat::par::set_thread_override(0);
         memo::set_auto();
+        mcpat::obs::set_tracing(false);
     }
 }
 
@@ -299,6 +300,41 @@ fn incremental_bisection_equals_full_rebuild_bisection() {
         lo.to_bits(),
         "incremental bisection diverged: {incremental:e} vs {lo:e}"
     );
+}
+
+#[test]
+fn traced_builds_are_bit_identical_across_presets() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    mcpat::par::set_thread_override(1);
+    for cfg in presets() {
+        mcpat::obs::set_tracing(false);
+        let off = Processor::build(&cfg).unwrap();
+        assert!(
+            off.trace.is_none(),
+            "{}: a tracing-off build must not carry a trace",
+            cfg.name
+        );
+        mcpat::obs::set_tracing(true);
+        let on = Processor::build(&cfg).unwrap();
+        mcpat::obs::set_tracing(false);
+        let trace = on
+            .trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: tracing-on build records a trace", cfg.name));
+        assert!(
+            trace.spans.iter().any(|s| s.path == "build"),
+            "{}: trace is missing the root build span: {:?}",
+            cfg.name,
+            trace.spans
+        );
+        assert_identical(
+            &fingerprint(&off),
+            &fingerprint(&on),
+            &format!("{}: traced vs untraced", cfg.name),
+        );
+    }
 }
 
 #[test]
