@@ -40,13 +40,18 @@
 use crate::solve::{ArrayError, SolvedArray};
 use crate::spec::{ArrayKind, ArraySpec, OptTarget};
 use mcpat_tech::TechParams;
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Number of independently locked map shards.
 const SHARDS: usize = 16;
+
+/// Approximate per-entry byte allowance used to derive each shard's
+/// byte cap from its entry cap (key + entry struct + name heap are a
+/// few hundred bytes; 1 KiB is a conservative upper bound).
+const ENTRY_BYTE_ALLOWANCE: u64 = 1024;
 
 /// Maps an `f64` to canonical key bits: `-0.0` and `+0.0` key equally,
 /// and every NaN keys as one canonical NaN.
@@ -148,10 +153,90 @@ struct Shard {
     cv: Condvar,
 }
 
+/// One cached solve plus its CLOCK bookkeeping.
+struct Entry {
+    value: Result<SolvedArray, ArrayError>,
+    /// Approximate resident bytes ([`approx_entry_bytes`]).
+    bytes: u64,
+    /// CLOCK referenced bit: set on every hit, cleared (one reprieve)
+    /// when the eviction hand sweeps past.
+    referenced: bool,
+}
+
 #[derive(Default)]
 struct ShardState {
-    map: HashMap<Key, Result<SolvedArray, ArrayError>>,
+    map: HashMap<Key, Entry>,
     pending: HashSet<Key>,
+    /// CLOCK ring of resident keys; the eviction hand is the front.
+    ring: VecDeque<Key>,
+    /// Approximate resident bytes across `map`.
+    bytes: u64,
+}
+
+/// Approximate resident bytes of one cache entry: the key, the entry
+/// struct, and the heap strings the stored value owns.
+fn approx_entry_bytes(value: &Result<SolvedArray, ArrayError>) -> u64 {
+    let heap = match value {
+        Ok(s) => s.name.capacity(),
+        Err(
+            ArrayError::DegenerateSpec { name }
+            | ArrayError::NoFeasiblePartition { name, .. }
+            | ArrayError::Budget { name, .. },
+        ) => name.capacity(),
+        Err(ArrayError::Worker { name, detail }) => {
+            name.capacity().saturating_add(detail.capacity())
+        }
+    };
+    (std::mem::size_of::<Key>() + std::mem::size_of::<Entry>()) as u64 + heap as u64
+}
+
+/// Whether a solve result may be stored. Deterministic outcomes — a
+/// successful solve, a degenerate spec, an infeasible partition — are
+/// facts about the key and cache fine. Worker panics and budget trips
+/// (cancellation, deadline, memory ceiling) are facts about *this
+/// call's circumstances*; caching one would poison the key for every
+/// future caller, so they are never stored.
+fn is_cacheable(value: &Result<SolvedArray, ArrayError>) -> bool {
+    match value {
+        Ok(_) | Err(ArrayError::DegenerateSpec { .. } | ArrayError::NoFeasiblePartition { .. }) => {
+            true
+        }
+        Err(ArrayError::Worker { .. } | ArrayError::Budget { .. }) => false,
+    }
+}
+
+/// Evicts entries CLOCK-style until the shard is within its entry and
+/// byte caps. Returns the number of evictions.
+fn evict_over_cap(st: &mut ShardState, cap_entries: usize) -> u64 {
+    if cap_entries == 0 {
+        return 0; // Unbounded.
+    }
+    let cap_bytes = (cap_entries as u64).saturating_mul(ENTRY_BYTE_ALLOWANCE);
+    let mut evicted = 0u64;
+    // Each resident key is visited at most twice (reprieve, then
+    // eviction), so bound the sweep accordingly — a stale ring entry
+    // (defensive; should not happen) can then never spin the loop.
+    let mut sweeps = st.ring.len().saturating_mul(2).saturating_add(1);
+    while (st.map.len() > cap_entries || st.bytes > cap_bytes) && sweeps > 0 {
+        sweeps -= 1;
+        let Some(key) = st.ring.pop_front() else {
+            break;
+        };
+        match st.map.get_mut(&key) {
+            Some(entry) if entry.referenced => {
+                entry.referenced = false;
+                st.ring.push_back(key);
+            }
+            Some(_) => {
+                if let Some(old) = st.map.remove(&key) {
+                    st.bytes = st.bytes.saturating_sub(old.bytes);
+                    evicted += 1;
+                }
+            }
+            None => {} // Stale ring slot; drop it.
+        }
+    }
+    evicted
 }
 
 /// Heartbeat for waiters parked on an in-flight solve — defense in
@@ -191,6 +276,39 @@ impl Drop for PendingGuard<'_> {
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static COALESCED: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// In-process entry-cap override; `usize::MAX` means "not set" (fall
+/// back to the `MCPAT_SOLVE_CACHE_CAP` knob).
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Overrides the cache's total entry cap for this process: `Some(0)`
+/// disables the cap entirely, `None` restores the
+/// `MCPAT_SOLVE_CACHE_CAP` knob (default 4096). Intended for tests and
+/// benchmarks forcing eviction pressure without mutating the process
+/// environment.
+pub fn set_cap(cap: Option<usize>) {
+    CAP_OVERRIDE.store(cap.unwrap_or(usize::MAX), Ordering::SeqCst);
+}
+
+/// The effective total entry cap (0 = unbounded).
+fn total_cap() -> usize {
+    let forced = CAP_OVERRIDE.load(Ordering::SeqCst);
+    if forced != usize::MAX {
+        return forced;
+    }
+    mcpat_par::knobs::solve_cache_cap()
+}
+
+/// The per-shard entry cap derived from [`total_cap`] (0 = unbounded).
+fn shard_cap() -> usize {
+    let total = total_cap();
+    if total == 0 {
+        0
+    } else {
+        total.div_ceil(SHARDS).max(1)
+    }
+}
 
 /// Cache mode: 0 = auto (on unless `MCPAT_SOLVE_CACHE=0`),
 /// 1 = forced on, 2 = forced off.
@@ -222,11 +340,15 @@ fn enabled() -> bool {
 /// clear them.
 pub fn clear() {
     for shard in shards() {
-        lock(shard).map.clear();
+        let mut st = lock(shard);
+        st.map.clear();
+        st.ring.clear();
+        st.bytes = 0;
     }
     HITS.store(0, Ordering::SeqCst);
     MISSES.store(0, Ordering::SeqCst);
     COALESCED.store(0, Ordering::SeqCst);
+    EVICTIONS.store(0, Ordering::SeqCst);
 }
 
 /// A snapshot of the solve cache's effectiveness.
@@ -241,6 +363,11 @@ pub struct SolveCacheStats {
     pub coalesced: u64,
     /// Distinct (tech, spec, target) keys currently stored.
     pub entries: u64,
+    /// Entries evicted by the CLOCK cap since the last [`clear`] —
+    /// nonzero means the working set exceeds `MCPAT_SOLVE_CACHE_CAP`.
+    pub evictions: u64,
+    /// Approximate resident bytes across all shards.
+    pub bytes: u64,
 }
 
 impl SolveCacheStats {
@@ -254,12 +381,19 @@ impl SolveCacheStats {
 /// Current process-wide cache statistics.
 #[must_use]
 pub fn stats() -> SolveCacheStats {
-    let entries = shards().iter().map(|s| lock(s).map.len() as u64).sum();
+    let (mut entries, mut bytes) = (0u64, 0u64);
+    for shard in shards() {
+        let st = lock(shard);
+        entries += st.map.len() as u64;
+        bytes = bytes.saturating_add(st.bytes);
+    }
     SolveCacheStats {
         hits: HITS.load(Ordering::SeqCst),
         misses: MISSES.load(Ordering::SeqCst),
         coalesced: COALESCED.load(Ordering::SeqCst),
         entries,
+        evictions: EVICTIONS.load(Ordering::SeqCst),
+        bytes,
     }
 }
 
@@ -274,15 +408,20 @@ fn relabel(
         Err(
             ArrayError::DegenerateSpec { name: n }
             | ArrayError::NoFeasiblePartition { name: n, .. }
-            | ArrayError::Worker { name: n, .. },
+            | ArrayError::Worker { name: n, .. }
+            | ArrayError::Budget { name: n, .. },
         ) => n.replace_range(.., name),
     }
     res
 }
 
 /// Answers a solve from the cache, or runs `solve_fn` and stores its
-/// result (errors included — an infeasible array is infeasible every
-/// time it is asked for).
+/// result when it is a fact about the key ([`is_cacheable`]:
+/// successful solves and deterministic errors are stored — an
+/// infeasible array is infeasible every time it is asked for — while
+/// worker panics and budget trips are never stored). Storage is
+/// bounded: each shard evicts CLOCK-style beyond its share of the
+/// `MCPAT_SOLVE_CACHE_CAP` entry cap (see [`set_cap`]).
 ///
 /// # Errors
 ///
@@ -309,8 +448,9 @@ pub fn lookup_or_solve(
     {
         let mut st = lock(shard);
         loop {
-            if let Some(cached) = st.map.get(&key) {
-                let cached = cached.clone();
+            if let Some(entry) = st.map.get_mut(&key) {
+                entry.referenced = true;
+                let cached = entry.value.clone();
                 drop(st);
                 HITS.fetch_add(1, Ordering::SeqCst);
                 if waited {
@@ -339,7 +479,38 @@ pub fn lookup_or_solve(
     MISSES.fetch_add(1, Ordering::SeqCst);
     mcpat_obs::record_solve(false, false);
     let res = solve_fn(tech, spec, target);
-    lock(shard).map.insert(guard.key.clone(), res.clone());
+    if is_cacheable(&res) {
+        let bytes = approx_entry_bytes(&res);
+        let evicted = {
+            let mut st = lock(shard);
+            let prev = st.map.insert(
+                guard.key.clone(),
+                Entry {
+                    value: res.clone(),
+                    bytes,
+                    referenced: false,
+                },
+            );
+            match prev {
+                // Defensive: the pending mark makes a re-insert of a
+                // live key unreachable, but keep the books balanced.
+                Some(old) => st.bytes = st.bytes.saturating_sub(old.bytes).saturating_add(bytes),
+                None => {
+                    let key = guard.key.clone();
+                    st.ring.push_back(key);
+                    st.bytes = st.bytes.saturating_add(bytes);
+                }
+            }
+            evict_over_cap(&mut st, shard_cap())
+        };
+        if evicted > 0 {
+            EVICTIONS.fetch_add(evicted, Ordering::SeqCst);
+            mcpat_obs::record_solve_evictions(evicted);
+        }
+    }
+    // A non-cacheable result leaves no entry behind; dropping the
+    // guard clears the pending mark and wakes any waiters, and the
+    // first of them claims the key and re-solves.
     drop(guard);
     res
 }
@@ -498,6 +669,100 @@ mod tests {
             1,
             "racing identical solves must coalesce onto one solver"
         );
+    }
+
+    #[test]
+    fn budget_and_worker_errors_are_never_cached() {
+        let _mode = MODE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let t = tech();
+        let calls = std::cell::Cell::new(0u32);
+        // Unique geometry so this test owns its key process-wide.
+        let spec = ArraySpec::table(883, 17).named("flaky");
+        #[derive(Clone, Copy)]
+        enum Mode {
+            Worker,
+            Budget,
+            Real,
+        }
+        let run = |mode: Mode| {
+            lookup_or_solve(&t, &spec, OptTarget::Delay, |t, s, tg| {
+                calls.set(calls.get() + 1);
+                match mode {
+                    Mode::Worker => Err(ArrayError::Worker {
+                        name: s.name.clone(),
+                        detail: "injected".into(),
+                    }),
+                    Mode::Budget => Err(ArrayError::Budget {
+                        name: s.name.clone(),
+                        reason: mcpat_guard::GuardError::Cancelled {
+                            progress: mcpat_guard::Progress::default(),
+                        },
+                    }),
+                    Mode::Real => crate::solve::solve_uncached(t, s, tg),
+                }
+            })
+        };
+        assert!(matches!(run(Mode::Worker), Err(ArrayError::Worker { .. })));
+        assert!(matches!(run(Mode::Budget), Err(ArrayError::Budget { .. })));
+        assert!(run(Mode::Real).is_ok(), "clean rerun must solve normally");
+        assert!(run(Mode::Real).is_ok());
+        set_auto();
+        assert_eq!(
+            calls.get(),
+            3,
+            "worker/budget errors must re-solve; only the success is cached"
+        );
+    }
+
+    #[test]
+    fn cap_bounds_entries_and_counts_evictions() {
+        let _mode = MODE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        set_cap(Some(1));
+        let t = tech();
+        let before = stats().evictions;
+        let calls = std::cell::Cell::new(0u32);
+        let run = |i: u64| {
+            lookup_or_solve(
+                &t,
+                // Unique geometries so this test owns its keys.
+                &ArraySpec::table(1009 + 2 * i, 19).named("capped"),
+                OptTarget::Delay,
+                |t, s, tg| {
+                    calls.set(calls.get() + 1);
+                    crate::solve::solve_uncached(t, s, tg)
+                },
+            )
+            .unwrap()
+        };
+        for i in 0..40 {
+            run(i);
+        }
+        let after = stats();
+        // A total cap of 1 clamps every shard to one resident entry.
+        assert!(
+            after.entries <= SHARDS as u64,
+            "cap must bound residency: {} entries",
+            after.entries
+        );
+        // 40 inserts into <= SHARDS slots force evictions by pigeonhole.
+        assert!(
+            after.evictions - before >= 40 - SHARDS as u64,
+            "expected evictions under pressure, got {}",
+            after.evictions - before
+        );
+        assert!(after.bytes > 0, "resident entries must carry byte weight");
+        // The most recent insert is still resident in its shard.
+        let solved = calls.get();
+        run(39);
+        assert_eq!(calls.get(), solved, "latest entry must still hit");
+        set_cap(None);
+        set_auto();
     }
 
     #[test]

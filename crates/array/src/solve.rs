@@ -46,6 +46,16 @@ pub enum ArrayError {
         /// Panic payload text from the failed worker.
         detail: String,
     },
+    /// A resource budget tripped at one of the solver's cooperative
+    /// checkpoints (deadline, cancellation, or memory ceiling — see
+    /// `mcpat-guard`). Never cached: a timed-out solve is a fact about
+    /// this call, not about the array.
+    Budget {
+        /// Array name from the spec.
+        name: String,
+        /// The budget violation, with partial-progress metadata.
+        reason: mcpat_guard::GuardError,
+    },
 }
 
 impl fmt::Display for ArrayError {
@@ -69,6 +79,9 @@ impl fmt::Display for ArrayError {
             },
             ArrayError::Worker { name, detail } => {
                 write!(f, "array `{name}`: solver worker failed: {detail}")
+            }
+            ArrayError::Budget { name, reason } => {
+                write!(f, "array `{name}`: solve aborted: {reason}")
             }
         }
     }
@@ -337,7 +350,21 @@ const CYCLE_RELAX_FACTORS: [f64; 4] = [1.1, 1.25, 1.5, 2.0];
 /// nested spawning only oversubscribes the machine.
 const PAR_SWEEP_MIN_BITS: u64 = 1 << 20;
 
+/// Maps a tripped budget to the solver's typed error for `spec`.
+fn budget_check(spec: &ArraySpec) -> Result<(), ArrayError> {
+    mcpat_guard::check().map_err(|reason| ArrayError::Budget {
+        name: spec.name.clone(),
+        reason,
+    })
+}
+
 /// Sweeps `ndwl` for one outer cell, reducing into per-threshold bests.
+///
+/// Checks the ambient [`mcpat_guard`] budget once per candidate
+/// evaluation, so a deadline or cancellation stops the sweep between
+/// candidates — never mid-evaluation — and the partial bests are simply
+/// dropped (budget errors are not cacheable, so nothing poisoned lands
+/// in the solve cache).
 fn sweep_cell(
     tech: &TechParams,
     spec: &ArraySpec,
@@ -345,11 +372,12 @@ fn sweep_cell(
     bounds: &SearchBounds,
     thresholds: &[Option<f64>],
     cell: &OuterCell,
-) -> (Vec<Option<Scored>>, f64) {
+) -> Result<(Vec<Option<Scored>>, f64), ArrayError> {
     let access_bits = spec.access_bits.max(1) as usize;
     let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
     let mut best_cycle_seen = f64::INFINITY;
     for ndwl in pow2s_up_to(bounds.max_ndwl.min(cell.cols_total)) {
+        budget_check(spec)?;
         let cols_per_mat = cell.cols_total.div_ceil(ndwl);
         if cols_per_mat > bounds.max_cols_per_mat {
             continue;
@@ -368,8 +396,9 @@ fn sweep_cell(
             best_cycle_seen = best_cycle_seen.min(cand.eval.cycle_time);
             reduce_into(&mut best, thresholds, cand);
         }
+        mcpat_guard::note_candidate();
     }
-    (best, best_cycle_seen)
+    Ok((best, best_cycle_seen))
 }
 
 /// One enumeration pass. For each cycle-time threshold in `thresholds`
@@ -418,6 +447,7 @@ fn enumerate(
     } else {
         usize::MAX
     };
+    budget_check(spec)?;
     let sweeps = mcpat_par::par_map(&cells, min_parallel, |_, cell| {
         sweep_cell(tech, spec, target, bounds, thresholds, cell)
     })
@@ -428,7 +458,10 @@ fn enumerate(
 
     let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
     let mut best_cycle_seen = f64::INFINITY;
-    for (partial, cycle) in sweeps {
+    // Surface per-cell budget trips in input order so the winning error
+    // is deterministic regardless of how the sweep was scheduled.
+    for sweep in sweeps {
+        let (partial, cycle) = sweep?;
         best_cycle_seen = best_cycle_seen.min(cycle);
         for (slot, cand) in best.iter_mut().zip(partial) {
             if let Some(c) = cand {
@@ -488,6 +521,7 @@ pub(crate) fn solve_uncached(
     let req = spec.max_cycle_time;
 
     // Rung 0: the standard search, exactly as requested.
+    budget_check(spec)?;
     let (mut strict, cycle_strict) = enumerate(tech, spec, target, normal, &[req])?;
     if let Some(c) = strict.pop().flatten() {
         return Ok(materialize(spec, c, None));
@@ -501,6 +535,7 @@ pub(crate) fn solve_uncached(
             .collect(),
         None => vec![None],
     };
+    budget_check(spec)?;
     let (rungs, cycle_wide) = enumerate(tech, spec, target, wide, &thresholds)?;
     let last = rungs.len() - 1;
     for (i, cand) in rungs.into_iter().enumerate() {

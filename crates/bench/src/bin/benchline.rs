@@ -14,10 +14,12 @@
 //! (`--quick` and full runs take different medians), no benchmark's
 //! `serial_ms` may regress by more than 15%. A mismatched CPU label or
 //! rep count skips the wall-clock comparison (the numbers are not
-//! comparable) but still enforces the speedup invariant and the
-//! host-independent trace-overhead ceiling: a build inside an entered
+//! comparable) but still enforces the speedup invariant and two
+//! host-independent overhead ceilings: a build inside an entered
 //! `mcpat::obs::Collector` scope with tracing disabled must cost at
-//! most 1% over a plain build.
+//! most 1% over a plain build, and a build inside an entered unbounded
+//! `mcpat::guard::Budget` scope must also cost at most 1% over a build
+//! with no budget active.
 //!
 //! The JSON is stamped with the git revision and records the host's
 //! available parallelism alongside every number: on a single-core
@@ -248,6 +250,7 @@ fn trace_disabled_overhead_ratio() -> f64 {
     let collector = mcpat::obs::Collector::new();
     let mut plain = f64::INFINITY;
     let mut scoped = f64::INFINITY;
+    // lint: allow(L008, timed measurement loop; the builds it times checkpoint internally)
     for _ in 0..25 {
         memo::clear();
         let t = Instant::now();
@@ -257,6 +260,57 @@ fn trace_disabled_overhead_ratio() -> f64 {
         let t = Instant::now();
         {
             let _scope = collector.enter();
+            build();
+        }
+        scoped = scoped.min(t.elapsed().as_secs_f64());
+    }
+    memo::set_auto();
+    mcpat_par::set_thread_override(0);
+    if plain > 0.0 {
+        scoped / plain
+    } else {
+        1.0
+    }
+}
+
+/// Ceiling on the budget-checkpoint overhead: a build running inside an
+/// entered (but unbounded) `mcpat::guard::Budget` scope — every
+/// checkpoint live, none ever tripping — may cost at most 1% over the
+/// identical build with no budget active (the disabled path, where a
+/// checkpoint is a single thread-local load).
+const MAX_GUARD_DISABLED_OVERHEAD: f64 = 1.01;
+
+/// Measures the marginal cost of budget checkpoints on the cold-build
+/// path: the ratio of a cold-cache serial chip build inside an entered
+/// unbounded [`mcpat::guard::Budget`] scope to the same build with no
+/// budget active. Methodology matches [`trace_disabled_overhead_ratio`]:
+/// the cache is cleared per sample so every checkpoint in the solver
+/// sweep actually executes, pairs are interleaved, and each mode is
+/// reduced with `min` over 25 samples.
+fn guard_disabled_overhead_ratio() -> f64 {
+    let cfg = ProcessorConfig::niagara2();
+    let build = || {
+        if let Err(e) = Processor::build(&cfg) {
+            die(&format!("overhead-probe build failed: {e}"));
+        }
+    };
+    mcpat_par::set_thread_override(1);
+    memo::set_enabled(true);
+    memo::clear();
+    build(); // warm the code paths (the cache is cleared per sample)
+    let budget = mcpat::guard::Budget::unbounded();
+    let mut plain = f64::INFINITY;
+    let mut scoped = f64::INFINITY;
+    // lint: allow(L008, timed measurement loop; the builds it times checkpoint internally)
+    for _ in 0..25 {
+        memo::clear();
+        let t = Instant::now();
+        build();
+        plain = plain.min(t.elapsed().as_secs_f64());
+        memo::clear();
+        let t = Instant::now();
+        {
+            let _scope = budget.enter();
             build();
         }
         scoped = scoped.min(t.elapsed().as_secs_f64());
@@ -308,6 +362,7 @@ fn gate_failures(
     rows: &[Row],
     explore_parallel_speedup: f64,
     trace_overhead_ratio: f64,
+    guard_overhead_ratio: f64,
     host_threads: usize,
     host_label: &str,
     reps: usize,
@@ -325,6 +380,12 @@ fn gate_failures(
         failures.push(format!(
             "trace_disabled_overhead_ratio is {trace_overhead_ratio:.4} \
              (> {MAX_TRACE_DISABLED_OVERHEAD}): disabled tracing must cost <= 1%"
+        ));
+    }
+    if guard_overhead_ratio > MAX_GUARD_DISABLED_OVERHEAD {
+        failures.push(format!(
+            "guard_disabled_overhead_ratio is {guard_overhead_ratio:.4} \
+             (> {MAX_GUARD_DISABLED_OVERHEAD}): budget checkpoints must cost <= 1%"
         ));
     }
     let base_label = baseline
@@ -405,6 +466,7 @@ fn main() {
     };
 
     let mut rows: Vec<Row> = Vec::new();
+    // lint: allow(L008, benchmark sweep; solve() checkpoints internally and benchline runs unbudgeted)
     for (name, kb) in [
         ("array_solve_32kb", 32u64),
         ("array_solve_2mb", 2048),
@@ -423,6 +485,7 @@ fn main() {
         }
     }));
 
+    // lint: allow(L008, benchmark sweep; Processor::build checkpoints at every span boundary)
     for (name, cfg) in [
         ("chip_build_niagara2", ProcessorConfig::niagara2()),
         ("chip_build_tulsa", ProcessorConfig::tulsa()),
@@ -497,6 +560,11 @@ fn main() {
         "benchline: trace-disabled overhead ratio {trace_overhead_ratio:.4} \
          (scoped cold build vs plain; gate ceiling {MAX_TRACE_DISABLED_OVERHEAD})"
     );
+    let guard_overhead_ratio = guard_disabled_overhead_ratio();
+    eprintln!(
+        "benchline: guard-disabled overhead ratio {guard_overhead_ratio:.4} \
+         (budget-scoped cold build vs plain; gate ceiling {MAX_GUARD_DISABLED_OVERHEAD})"
+    );
     print_span_summary();
 
     let mut json = String::new();
@@ -514,6 +582,11 @@ fn main() {
         json,
         "  \"trace\": {{ \"disabled_overhead_ratio\": {trace_overhead_ratio:.4}, \
          \"max_allowed_ratio\": {MAX_TRACE_DISABLED_OVERHEAD} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"guard\": {{ \"disabled_overhead_ratio\": {guard_overhead_ratio:.4}, \
+         \"max_allowed_ratio\": {MAX_GUARD_DISABLED_OVERHEAD} }},"
     );
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -565,6 +638,7 @@ fn main() {
             &rows,
             explore_parallel_speedup,
             trace_overhead_ratio,
+            guard_overhead_ratio,
             host_threads,
             &label,
             reps,

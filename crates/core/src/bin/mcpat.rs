@@ -12,10 +12,12 @@
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage error, 3 invalid configuration,
-//! 4 infeasible model (an array could not be solved).
+//! 4 infeasible model (an array could not be solved), 5 budget
+//! exceeded (`--deadline-ms` elapsed or the build was cancelled).
 
 use mcpat::{ChipStats, Processor, ProcessorConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// A classified CLI failure; the variant picks the exit code.
 enum CliError {
@@ -27,6 +29,9 @@ enum CliError {
     /// The configuration is well-formed but no feasible model exists
     /// (the array solver exhausted its relaxation ladder). Exit 4.
     Infeasible(String),
+    /// The build tripped a resource budget: `--deadline-ms` elapsed or
+    /// a `--cancel-on-signal` signal arrived. Exit 5.
+    Budget(String),
 }
 
 impl CliError {
@@ -35,12 +40,45 @@ impl CliError {
             CliError::Usage(_) => ExitCode::from(2),
             CliError::InvalidConfig(_) => ExitCode::from(3),
             CliError::Infeasible(_) => ExitCode::from(4),
+            CliError::Budget(_) => ExitCode::from(5),
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::InvalidConfig(m) | CliError::Infeasible(m) => m,
+            CliError::Usage(m)
+            | CliError::InvalidConfig(m)
+            | CliError::Infeasible(m)
+            | CliError::Budget(m) => m,
+        }
+    }
+}
+
+/// Minimal SIGINT/SIGTERM hook for `--cancel-on-signal`: instead of the
+/// default process kill, a signal flips every live budget's cancel flag
+/// so the in-flight build unwinds through its checkpoints and exits
+/// with the typed budget error (exit 5) and no partial report.
+#[cfg(unix)]
+mod sig {
+    /// C `sighandler_t` shape (`void (*)(int)`).
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        // From libc, which every `*-linux-gnu`/`*-apple-*` binary
+        // already links; declared directly to avoid a dependency.
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_signal(_sig: i32) {
+        // A single atomic fetch-add: async-signal-safe.
+        mcpat::guard::cancel_all();
+    }
+    pub fn install() {
+        // SAFETY: `signal` with a non-returning-into-Rust, async-signal-
+        // safe handler function pointer is the documented C contract.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
         }
     }
 }
@@ -65,10 +103,13 @@ fn usage() -> &'static str {
      \x20 --emit-config    dump the configuration as a JSON template and exit\n\
      \x20 --floorplan      append an ASCII floorplan sketch to the report\n\
      \x20 --trace <file>   enable build tracing and write the span trace as JSON\n\
+     \x20 --deadline-ms <n> abort the build if it runs longer than n milliseconds\n\
+     \x20 --cancel-on-signal  SIGINT/SIGTERM cancels the build cooperatively\n\
      \n\
      Models the configured processor and prints the power/area/timing\n\
      report. Exit codes: 0 success, 2 usage error, 3 invalid\n\
-     configuration, 4 infeasible model."
+     configuration, 4 infeasible model, 5 budget exceeded (deadline\n\
+     elapsed or cancelled)."
 }
 
 fn run() -> Result<(), CliError> {
@@ -83,6 +124,8 @@ fn run() -> Result<(), CliError> {
     let mut validate_only = false;
     let mut show_floorplan = false;
     let mut trace_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut cancel_on_signal = false;
     let mut config: Option<ProcessorConfig> = None;
     let mut stats: Option<ChipStats> = None;
     let mut i = 0;
@@ -127,6 +170,19 @@ fn run() -> Result<(), CliError> {
                     .ok_or_else(|| CliError::Usage("--trace needs a file path".into()))?;
                 trace_path = Some(path.clone());
                 i += 2;
+            }
+            "--deadline-ms" => {
+                let ms = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--deadline-ms needs a number".into()))?;
+                deadline_ms = Some(ms.parse().map_err(|_| {
+                    CliError::Usage(format!("--deadline-ms: `{ms}` is not a number"))
+                })?);
+                i += 2;
+            }
+            "--cancel-on-signal" => {
+                cancel_on_signal = true;
+                i += 1;
             }
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!(
@@ -186,9 +242,34 @@ fn run() -> Result<(), CliError> {
     if trace_path.is_some() {
         mcpat::obs::set_tracing(true);
     }
-    let chip = Processor::build(&config).map_err(|e| match e {
-        mcpat::McpatError::Invalid(_) => CliError::InvalidConfig(e.to_string()),
-        mcpat::McpatError::Array(_) => CliError::Infeasible(e.to_string()),
+    #[cfg(unix)]
+    if cancel_on_signal {
+        sig::install();
+    }
+    #[cfg(not(unix))]
+    let _ = cancel_on_signal;
+    // A budget scope is opened whenever either governance flag is set:
+    // a plain `--cancel-on-signal` run gets an unbounded budget that a
+    // signal can cancel.
+    let budget = match deadline_ms {
+        Some(ms) => Some(mcpat::guard::Budget::with_deadline(Duration::from_millis(
+            ms,
+        ))),
+        None if cancel_on_signal => Some(mcpat::guard::Budget::unbounded()),
+        None => None,
+    };
+    let _budget_scope = budget.as_ref().map(mcpat::guard::Budget::enter);
+    let chip = Processor::build(&config).map_err(|e| {
+        if e.guard_error().is_some() {
+            CliError::Budget(e.to_string())
+        } else {
+            match e {
+                mcpat::McpatError::Invalid(_) => CliError::InvalidConfig(e.to_string()),
+                mcpat::McpatError::Array(_) | mcpat::McpatError::Budget(_) => {
+                    CliError::Infeasible(e.to_string())
+                }
+            }
+        }
     })?;
     if let Some(path) = &trace_path {
         let json = chip

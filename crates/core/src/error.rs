@@ -2,6 +2,7 @@
 
 use mcpat_array::ArrayError;
 use mcpat_diag::{AtPath, Diagnostic, Diagnostics};
+use mcpat_guard::GuardError;
 use std::fmt;
 
 /// Errors produced while building or evaluating a processor model.
@@ -17,6 +18,11 @@ pub enum McpatError {
     /// A storage array — located by its component path, e.g.
     /// `core.lsu.dcache-data` — could not be solved.
     Array(AtPath<ArrayError>),
+    /// A resource budget (deadline, cooperative cancellation, or memory
+    /// ceiling — see [`mcpat_guard`]) tripped at the named build stage.
+    /// Carries partial-progress metadata; the build leaves no poisoned
+    /// state behind and can simply be retried.
+    Budget(AtPath<GuardError>),
 }
 
 impl McpatError {
@@ -33,17 +39,37 @@ impl McpatError {
     pub fn diagnostics(&self) -> Option<&Diagnostics> {
         match self {
             McpatError::Invalid(d) => Some(d),
-            McpatError::Array(_) => None,
+            McpatError::Array(_) | McpatError::Budget(_) => None,
         }
     }
 
-    /// Every finding this error carries, as a flat list (an `Array`
-    /// error becomes one error-severity finding at its path).
+    /// The budget violation behind this error, if a deadline,
+    /// cancellation, or memory ceiling is what stopped the build —
+    /// whether it surfaced at a build-stage checkpoint
+    /// ([`McpatError::Budget`]) or inside the array solver
+    /// ([`ArrayError::Budget`]).
+    #[must_use]
+    pub fn guard_error(&self) -> Option<&GuardError> {
+        match self {
+            McpatError::Budget(e) => Some(&e.source),
+            McpatError::Array(e) => match &e.source {
+                ArrayError::Budget { reason, .. } => Some(reason),
+                _ => None,
+            },
+            McpatError::Invalid(_) => None,
+        }
+    }
+
+    /// Every finding this error carries, as a flat list (an `Array` or
+    /// `Budget` error becomes one error-severity finding at its path).
     #[must_use]
     pub fn findings(&self) -> Vec<Diagnostic> {
         match self {
             McpatError::Invalid(d) => d.clone().into_vec(),
             McpatError::Array(e) => {
+                vec![Diagnostic::error(e.path.clone(), e.source.to_string())]
+            }
+            McpatError::Budget(e) => {
                 vec![Diagnostic::error(e.path.clone(), e.source.to_string())]
             }
         }
@@ -62,6 +88,7 @@ impl fmt::Display for McpatError {
                 )
             }
             McpatError::Array(e) => write!(f, "array solver: {e}"),
+            McpatError::Budget(e) => write!(f, "budget: {e}"),
         }
     }
 }
@@ -71,7 +98,14 @@ impl std::error::Error for McpatError {
         match self {
             McpatError::Invalid(_) => None,
             McpatError::Array(e) => Some(e),
+            McpatError::Budget(e) => Some(e),
         }
+    }
+}
+
+impl From<AtPath<GuardError>> for McpatError {
+    fn from(e: AtPath<GuardError>) -> McpatError {
+        McpatError::Budget(e)
     }
 }
 
@@ -110,6 +144,27 @@ mod tests {
         let e: McpatError = AtPath::new("l2.tag", ae.clone()).into();
         assert_eq!(e, McpatError::Array(AtPath::new("l2.tag", ae)));
         assert!(e.to_string().contains("l2.tag"));
+    }
+
+    #[test]
+    fn budget_errors_locate_and_expose_the_guard_reason() {
+        let ge = GuardError::Cancelled {
+            progress: mcpat_guard::Progress::default(),
+        };
+        let e: McpatError = AtPath::new("build.core", ge.clone()).into();
+        assert_eq!(e.guard_error(), Some(&ge));
+        assert!(e.to_string().contains("build.core"));
+        assert_eq!(e.findings().len(), 1);
+        assert_eq!(e.findings()[0].path, "build.core");
+
+        // The solver-side variant surfaces through the same accessor.
+        let ae = ArrayError::Budget {
+            name: "dcache".into(),
+            reason: ge.clone(),
+        };
+        let e = McpatError::Array(AtPath::new("core.lsu.dcache", ae));
+        assert_eq!(e.guard_error(), Some(&ge));
+        assert!(McpatError::config("x", "y").guard_error().is_none());
     }
 
     #[test]

@@ -123,16 +123,24 @@ where
     // Candidate chips are independent: build them all concurrently,
     // then walk the results serially so budget filtering, the injected
     // (FnMut) evaluator, and error propagation all see input order.
-    let builds =
-        mcpat_par::par_map(candidates, 2, |_, cfg| Processor::build(cfg)).map_err(|e| {
-            McpatError::Array(mcpat_diag::AtPath::new(
-                "explore",
-                mcpat_array::ArrayError::Worker {
-                    name: String::from("explore"),
-                    detail: e.to_string(),
-                },
-            ))
-        })?;
+    let builds = mcpat_par::par_map(candidates, 2, |_, cfg| {
+        // One budget checkpoint per candidate, before its build starts.
+        crate::processor::checkpoint("explore")?;
+        let r = Processor::build(cfg);
+        if r.is_ok() {
+            mcpat_guard::note_candidate();
+        }
+        r
+    })
+    .map_err(|e| {
+        McpatError::Array(mcpat_diag::AtPath::new(
+            "explore",
+            mcpat_array::ArrayError::Worker {
+                name: String::from("explore"),
+                detail: e.to_string(),
+            },
+        ))
+    })?;
 
     let mut feasible = Vec::new();
     let mut rejected = Vec::new();
@@ -318,7 +326,16 @@ where
         assignment.push(slot);
     }
 
-    let builds = mcpat_par::par_map(&unique, 2, |_, cfg| Processor::build(cfg)).map_err(|e| {
+    let builds = mcpat_par::par_map(&unique, 2, |_, cfg| {
+        // One budget checkpoint per representative candidate.
+        crate::processor::checkpoint("explore")?;
+        let r = Processor::build(cfg);
+        if r.is_ok() {
+            mcpat_guard::note_candidate();
+        }
+        r
+    })
+    .map_err(|e| {
         McpatError::Array(mcpat_diag::AtPath::new(
             "explore",
             mcpat_array::ArrayError::Worker {
@@ -432,6 +449,8 @@ pub fn max_clock_under_power_budget_with_perf(
         incremental_probes: 0,
     };
     let mut power_at = |clock: f64| -> Result<f64, McpatError> {
+        // One budget checkpoint per bisection probe.
+        crate::processor::checkpoint("clock_bisection")?;
         if config.core.enforce_timing {
             perf.full_builds += 1;
         } else {

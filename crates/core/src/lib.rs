@@ -77,6 +77,15 @@ pub use mcpat_par::knobs;
 /// active).
 pub use mcpat_obs as obs;
 
+/// Resource governance: deadlines, cooperative cancellation and memory
+/// ceilings for long-running builds. Enter a [`guard::Budget`] around
+/// any build/explore call and every checkpointed loop underneath it
+/// honors the budget, surfacing trips as [`McpatError::Budget`] (or
+/// [`array::ArrayError::Budget`] inside the solver). Named `guard`
+/// because [`Budgets`] — the exploration area/power constraints — is an
+/// unrelated, older concept.
+pub use mcpat_guard as guard;
+
 // Re-export the layers so downstream users need only one dependency.
 pub use mcpat_array as array;
 pub use mcpat_circuit as circuit;

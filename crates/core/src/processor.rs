@@ -79,6 +79,17 @@ pub struct BuildPerf {
     pub solve_cache_hits: u64,
     /// Array solves that ran the optimizer.
     pub solve_cache_misses: u64,
+    /// Cache entries evicted during this build by the bounded solve
+    /// cache (see `MCPAT_SOLVE_CACHE_CAP`). Non-zero values mean the
+    /// cache is under pressure and warm rebuilds may re-solve arrays.
+    pub solve_cache_evictions: u64,
+}
+
+/// Budget checkpoint at a build-stage boundary: a tripped deadline,
+/// cancellation, or memory ceiling surfaces as [`McpatError::Budget`]
+/// located at `stage`. Free when no budget is in scope.
+pub(crate) fn checkpoint(stage: &str) -> Result<(), McpatError> {
+    mcpat_guard::check().map_err(|e| McpatError::Budget(AtPath::new(stage, e)))
 }
 
 /// A fully built processor.
@@ -144,6 +155,7 @@ impl Processor {
             threads: mcpat_par::threads(),
             solve_cache_hits: snap.solve_cache_hits,
             solve_cache_misses: snap.solve_cache_misses,
+            solve_cache_evictions: snap.solve_cache_evictions,
         };
         if mcpat_obs::tracing_enabled() {
             chip.trace = Some(collector.trace());
@@ -152,6 +164,7 @@ impl Processor {
     }
 
     fn build_inner(config: &ProcessorConfig) -> Result<Processor, McpatError> {
+        checkpoint("build.validate")?;
         let mut warnings = {
             let _span = mcpat_obs::span("build.validate");
             config
@@ -159,6 +172,7 @@ impl Processor {
                 .into_result()
                 .map_err(McpatError::Invalid)?
         };
+        mcpat_guard::note_span();
         let mut tech = TechParams::new(config.node, config.device_type, config.temperature_k)
             .with_projection(config.projection)
             .with_long_channel_leakage(config.long_channel_leakage);
@@ -174,6 +188,7 @@ impl Processor {
         // l2, l3, mc — the same order the serial build reported in.
         let (core, l2, l3, mc) = mcpat_par::join4(
             || {
+                checkpoint("build.core")?;
                 let span = mcpat_obs::span("build.core");
                 let r = CoreModel::build(&tech, &core_cfg).map_err(|e| match e {
                     CoreBuildError::Invalid(d) => {
@@ -185,42 +200,55 @@ impl Processor {
                 });
                 if let Ok(core) = &r {
                     span.note_relaxations(core.relaxation_warnings().len() as u64);
+                    mcpat_guard::note_span();
                 }
                 r
             },
             || {
+                checkpoint("build.l2")?;
                 let span = mcpat_obs::span("build.l2");
                 let r = config
                     .l2
                     .as_ref()
-                    .map(|c| c.build(&tech).at("l2"))
+                    .map(|c| c.build(&tech).at("l2").map_err(McpatError::from))
                     .transpose();
-                if let Ok(Some(l2)) = &r {
-                    span.note_relaxations(l2.relaxation_warnings().len() as u64);
+                if let Ok(r) = &r {
+                    if let Some(l2) = r {
+                        span.note_relaxations(l2.relaxation_warnings().len() as u64);
+                    }
+                    mcpat_guard::note_span();
                 }
                 r
             },
             || {
+                checkpoint("build.l3")?;
                 let span = mcpat_obs::span("build.l3");
                 let r = config
                     .l3
                     .as_ref()
-                    .map(|c| c.build(&tech).at("l3"))
+                    .map(|c| c.build(&tech).at("l3").map_err(McpatError::from))
                     .transpose();
-                if let Ok(Some(l3)) = &r {
-                    span.note_relaxations(l3.relaxation_warnings().len() as u64);
+                if let Ok(r) = &r {
+                    if let Some(l3) = r {
+                        span.note_relaxations(l3.relaxation_warnings().len() as u64);
+                    }
+                    mcpat_guard::note_span();
                 }
                 r
             },
             || {
+                checkpoint("build.mc")?;
                 let span = mcpat_obs::span("build.mc");
                 let r = config
                     .mc
                     .as_ref()
-                    .map(|c| MemCtrl::build(&tech, c).at("mc"))
+                    .map(|c| MemCtrl::build(&tech, c).at("mc").map_err(McpatError::from))
                     .transpose();
-                if let Ok(Some(mc)) = &r {
-                    span.note_relaxations(mc.relaxation_warnings().len() as u64);
+                if let Ok(r) = &r {
+                    if let Some(mc) = r {
+                        span.note_relaxations(mc.relaxation_warnings().len() as u64);
+                    }
+                    mcpat_guard::note_span();
                 }
                 r
             },
@@ -242,6 +270,7 @@ impl Processor {
         let cluster_area = core.area() * f64::from(config.cores_per_cluster())
             + l2.as_ref().map_or(0.0, SharedCache::area);
         let link_length = cluster_area.max(1e-12).sqrt();
+        checkpoint("build.fabric")?;
         let fabric_span = mcpat_obs::span("build.fabric");
         let noc = NocConfig {
             topology: config.fabric.topology,
@@ -254,6 +283,7 @@ impl Processor {
         .build(&tech)
         .at("fabric")?;
         drop(fabric_span);
+        mcpat_guard::note_span();
 
         // Any array the solver could only place by degrading becomes a
         // warning on the chip, rooted at the owning component.
@@ -276,6 +306,7 @@ impl Processor {
         }
 
         // Die area and the clock network over it.
+        checkpoint("build.clock")?;
         let clock_span = mcpat_obs::span("build.clock");
         let component_area = Self::component_area_sum(
             config,
@@ -296,6 +327,7 @@ impl Processor {
         let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
         let clock = ClockNetwork::new(&tech, die_edge, die_edge, config.clock_hz, sink_cap);
         drop(clock_span);
+        mcpat_guard::note_span();
 
         // `build` overwrites `perf` (and `trace`) from its collector.
         let perf = BuildPerf::default();
@@ -359,6 +391,7 @@ impl Processor {
             threads: mcpat_par::threads(),
             solve_cache_hits: snap.solve_cache_hits,
             solve_cache_misses: snap.solve_cache_misses,
+            solve_cache_evictions: snap.solve_cache_evictions,
         };
         next.trace = if mcpat_obs::tracing_enabled() {
             Some(collector.trace())
@@ -375,6 +408,7 @@ impl Processor {
         config: ProcessorConfig,
         clock_hz: f64,
     ) -> Result<Processor, McpatError> {
+        checkpoint("rebuild_with_clock")?;
         // Validation warnings can depend on the clock (e.g. the
         // "aggressive clock" advisory); recompute them exactly the way
         // `build` does so the incremental result carries the same

@@ -86,8 +86,11 @@ impl Processor {
 
         let _ = writeln!(
             out,
-            "  Build: {} thread(s), solve cache {} hit(s) / {} miss(es)",
-            self.perf.threads, self.perf.solve_cache_hits, self.perf.solve_cache_misses
+            "  Build: {} thread(s), solve cache {} hit(s) / {} miss(es) / {} eviction(s)",
+            self.perf.threads,
+            self.perf.solve_cache_hits,
+            self.perf.solve_cache_misses,
+            self.perf.solve_cache_evictions
         );
 
         if let Some(trace) = &self.trace {

@@ -111,6 +111,10 @@ pub fn converge(
     let mut power = chip.runtime_power(stats);
 
     while iterations < thermal.max_iterations {
+        // One budget checkpoint per thermal iteration: convergence can
+        // take many full rebuilds, so deadlines must be able to stop it
+        // between them.
+        crate::processor::checkpoint("thermal")?;
         iterations += 1;
         let mut cfg = config.clone();
         cfg.temperature_k = temp;

@@ -1,0 +1,16 @@
+//! L008 fixture: a candidate sweep calling the array solver with no
+//! budget checkpoint in the loop body — a deadline or cancel cannot
+//! interrupt it until the whole sweep finishes.
+
+use mcpat_array::{ArraySpec, OptTarget};
+use mcpat_tech::TechParams;
+
+pub fn sweep_all(tech: &TechParams, specs: &[ArraySpec]) -> usize {
+    let mut solved = 0;
+    for spec in specs {
+        if spec.solve(tech, OptTarget::EnergyDelay).is_ok() {
+            solved += 1;
+        }
+    }
+    solved
+}

@@ -1,4 +1,4 @@
-//! The project-invariant rules, L001–L007.
+//! The project-invariant rules, L001–L008.
 //!
 //! Each rule is a pure function over one file's token stream (plus, for
 //! L004, a per-crate accumulation step). Rules never look inside
@@ -15,6 +15,7 @@
 //! | L005 | no `.lock()` guard bound in a scope that fans out |
 //! | L006 | no `unwrap`/`expect`/`panic!` family in library code |
 //! | L007 | no before/after deltas over global `memo`/`pool` counters |
+//! | L008 | solver/build loops carry a budget checkpoint |
 //!
 //! A violation is silenced by `// lint: allow(L00n, reason)` — trailing
 //! on the offending line, or on its own line immediately above (the
@@ -44,6 +45,9 @@ pub enum Rule {
     /// Before/after delta over the global `memo::stats()` /
     /// `pool::stats()` counters outside `mcpat-obs`.
     L007,
+    /// A loop over candidates/probes/rungs (one calling solver or
+    /// build APIs) with no budget checkpoint in its body.
+    L008,
     /// A `lint: allow` annotation that silenced nothing, or is
     /// malformed (missing its mandatory reason).
     Allowance,
@@ -61,6 +65,7 @@ impl Rule {
             Rule::L005 => "L005",
             Rule::L006 => "L006",
             Rule::L007 => "L007",
+            Rule::L008 => "L008",
             Rule::Allowance => "allow",
         }
     }
@@ -74,6 +79,7 @@ impl Rule {
             "L005" => Some(Rule::L005),
             "L006" => Some(Rule::L006),
             "L007" => Some(Rule::L007),
+            "L008" => Some(Rule::L008),
             _ => None,
         }
     }
@@ -176,6 +182,7 @@ pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool, obs_crate: bool)
     if !obs_crate {
         check_global_deltas(rel_path, tokens, &in_test, &mut out.findings);
     }
+    check_loop_budgets(rel_path, tokens, &in_test, &mut out.findings);
 
     collect_structs(rel_path, tokens, &in_test, &mut out.structs);
     collect_validate_idents(tokens, &mut out);
@@ -602,6 +609,104 @@ fn check_global_deltas(
         // Continue after the signature, not the body: nested fns are
         // re-scanned in their own right.
         i = body_start.saturating_add(1);
+    }
+}
+
+/// Solver/build entry points whose call inside a loop body marks that
+/// loop as iterating candidates, probes, or rungs — the long-running
+/// sweeps that must stay responsive to deadlines and cancellation.
+const BUDGETED_CALLS: &[&str] = &[
+    "solve",
+    "solve_fixed",
+    "solve_uncached",
+    "lookup_or_solve",
+    "evaluate_raw",
+    "sweep_cell",
+    "rebuild_with_clock",
+    "rebuild_incremental",
+    "build",
+    "build_inner",
+];
+
+/// Checkpoint idents that satisfy L008 when called inside the loop:
+/// the `mcpat_guard` entry points and the crate-local wrappers that
+/// forward to them.
+const BUDGET_CHECKS: &[&str] = &["check", "check_self", "budget_check", "checkpoint"];
+
+/// L008 — a `for`/`while`/`loop` body that calls a solver or build API
+/// (candidate sweeps, relaxation rungs, bisection probes, batch builds)
+/// but contains no budget checkpoint. Such a loop cannot honor a
+/// deadline or a cooperative cancel until it finishes on its own.
+fn check_loop_budgets(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while let Some(t) = tok(tokens, i) {
+        let loop_kw = t.kind == Kind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop");
+        if !loop_kw || in_test(i) {
+            i = i.saturating_add(1);
+            continue;
+        }
+        // The loop body is the first `{` at top delimiter depth after
+        // the keyword: Rust bans struct literals in loop headers, so
+        // nothing else opens a brace there.
+        let mut j = i.saturating_add(1);
+        let (mut paren, mut bracket) = (0usize, 0usize);
+        let mut body_start = None;
+        while let Some(h) = tok(tokens, j) {
+            if h.kind == Kind::Punct {
+                match h.text.as_str() {
+                    "(" => paren = paren.saturating_add(1),
+                    ")" => paren = paren.saturating_sub(1),
+                    "[" => bracket = bracket.saturating_add(1),
+                    "]" => bracket = bracket.saturating_sub(1),
+                    "{" if paren == 0 && bracket == 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    ";" if paren == 0 && bracket == 0 => break,
+                    _ => {}
+                }
+            }
+            j = j.saturating_add(1);
+        }
+        let Some(start) = body_start else {
+            i = i.saturating_add(1);
+            continue;
+        };
+        let end = match_close(tokens, start, "{", "}");
+        let body = tokens.get(start..=end).unwrap_or_default();
+        let calls = |names: &[&str]| {
+            body.iter().enumerate().any(|(k, bt)| {
+                bt.kind == Kind::Ident
+                    && names.contains(&bt.text.as_str())
+                    && body
+                        .get(k.saturating_add(1))
+                        .is_some_and(|n| is_punct(n, "("))
+            })
+        };
+        if calls(BUDGETED_CALLS) && !calls(BUDGET_CHECKS) {
+            findings.push(Finding {
+                rule: Rule::L008,
+                severity: Rule::L008.severity(),
+                file: file.to_owned(),
+                line: t.line,
+                alt_line: None,
+                message: String::from(
+                    "loop calls solver/build APIs but has no budget checkpoint; add an \
+                     mcpat_guard::check() (or a wrapper forwarding to it) in the body so \
+                     deadlines and cancellation stay responsive — or justify with \
+                     `// lint: allow(L008, reason)`",
+                ),
+            });
+        }
+        // Advance one token only: nested loops are scanned in their own
+        // right (each iteration layer needs its own checkpoint or an
+        // inner one that covers it).
+        i = i.saturating_add(1);
     }
 }
 

@@ -23,6 +23,7 @@ fn every_fixture_trips_its_rule() {
         ("l005_lock_across_pool_submit.rs", "L005"),
         ("l006_panicking_call.rs", "L006"),
         ("l007_global_delta.rs", "L007"),
+        ("l008_unguarded_loop.rs", "L008"),
     ] {
         let report = lint_source(file, &fixture(file));
         assert!(

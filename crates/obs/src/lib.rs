@@ -54,6 +54,9 @@ pub struct Snapshot {
     pub solve_cache_misses: u64,
     /// Hits that waited for an in-flight identical solve.
     pub solve_cache_coalesced: u64,
+    /// Solve-cache entries evicted (CLOCK cap) while this scope was
+    /// active — nonzero means the working set exceeds the cache cap.
+    pub solve_cache_evictions: u64,
     /// Tasks submitted to the pool from inside this scope.
     pub pool_submitted: u64,
     /// Pool tasks submitted by this scope that another worker stole.
@@ -88,6 +91,7 @@ struct Inner {
     solve_cache_hits: AtomicU64,
     solve_cache_misses: AtomicU64,
     solve_cache_coalesced: AtomicU64,
+    solve_cache_evictions: AtomicU64,
     pool_submitted: AtomicU64,
     pool_steals: AtomicU64,
     pool_inline: AtomicU64,
@@ -143,6 +147,7 @@ impl Collector {
             solve_cache_hits: i.solve_cache_hits.load(Ordering::Relaxed),
             solve_cache_misses: i.solve_cache_misses.load(Ordering::Relaxed),
             solve_cache_coalesced: i.solve_cache_coalesced.load(Ordering::Relaxed),
+            solve_cache_evictions: i.solve_cache_evictions.load(Ordering::Relaxed),
             pool_submitted: i.pool_submitted.load(Ordering::Relaxed),
             pool_steals: i.pool_steals.load(Ordering::Relaxed),
             pool_inline: i.pool_inline.load(Ordering::Relaxed),
@@ -286,6 +291,16 @@ pub fn record_solve(hit: bool, coalesced: bool) {
             i.solve_cache_misses.fetch_add(1, Ordering::Relaxed);
         }
     });
+}
+
+/// Bills `n` solve-cache evictions to the active scope chain (the memo
+/// cache calls this when the CLOCK cap forces entries out).
+pub fn record_solve_evictions(n: u64) {
+    if n > 0 {
+        bill(|i| {
+            i.solve_cache_evictions.fetch_add(n, Ordering::Relaxed);
+        });
+    }
 }
 
 /// Bills `n` pool task submissions to the active scope chain.
@@ -494,11 +509,13 @@ impl Trace {
         let t = self.totals;
         out.push_str(&format!(
             "\n    \"solve_cache_hits\": {},\n    \"solve_cache_misses\": {},\n    \
-             \"solve_cache_coalesced\": {},\n    \"pool_submitted\": {},\n    \
+             \"solve_cache_coalesced\": {},\n    \"solve_cache_evictions\": {},\n    \
+             \"pool_submitted\": {},\n    \
              \"pool_steals\": {},\n    \"pool_inline\": {},\n    \"allocs\": {}\n  }},",
             t.solve_cache_hits,
             t.solve_cache_misses,
             t.solve_cache_coalesced,
+            t.solve_cache_evictions,
             t.pool_submitted,
             t.pool_steals,
             t.pool_inline,

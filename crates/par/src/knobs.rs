@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | `MCPAT_THREADS` | worker count for every fan-out | detected parallelism |
 //! | `MCPAT_SOLVE_CACHE` | `0` disables the array solve cache | enabled |
+//! | `MCPAT_SOLVE_CACHE_CAP` | solve-cache entry cap (`0` = unbounded) | 4096 |
 //!
 //! In-process overrides ([`crate::set_thread_override`],
 //! `mcpat_array::memo::set_enabled`) take precedence over both
@@ -27,6 +28,16 @@ pub const THREADS_VAR: &str = "MCPAT_THREADS";
 /// Environment variable that disables the array solve cache when set
 /// to `0`.
 pub const SOLVE_CACHE_VAR: &str = "MCPAT_SOLVE_CACHE";
+
+/// Environment variable capping the array solve cache's total entry
+/// count (CLOCK eviction beyond the cap; `0` disables the cap).
+pub const SOLVE_CACHE_CAP_VAR: &str = "MCPAT_SOLVE_CACHE_CAP";
+
+/// Default solve-cache entry cap when `MCPAT_SOLVE_CACHE_CAP` is unset:
+/// far above any single build's working set (a chip build solves a few
+/// dozen distinct geometries) yet bounded, so a long-running process
+/// sweeping millions of configs cannot grow without limit.
+pub const SOLVE_CACHE_CAP_DEFAULT: usize = 4096;
 
 /// The `MCPAT_THREADS` knob: `Some(n)` when the variable is set to a
 /// positive integer, `None` when unset or unparseable (callers fall
@@ -47,6 +58,17 @@ pub fn solve_cache() -> bool {
     std::env::var(SOLVE_CACHE_VAR).map_or(true, |v| v.trim() != "0")
 }
 
+/// The `MCPAT_SOLVE_CACHE_CAP` knob: the solve cache's total entry cap.
+/// Unset or unparseable falls back to [`SOLVE_CACHE_CAP_DEFAULT`]; an
+/// explicit `0` disables the cap (unbounded cache).
+#[must_use]
+pub fn solve_cache_cap() -> usize {
+    std::env::var(SOLVE_CACHE_CAP_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(SOLVE_CACHE_CAP_DEFAULT)
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
@@ -61,6 +83,9 @@ mod tests {
         }
         if std::env::var(super::SOLVE_CACHE_VAR).is_err() {
             assert!(super::solve_cache());
+        }
+        if std::env::var(super::SOLVE_CACHE_CAP_VAR).is_err() {
+            assert_eq!(super::solve_cache_cap(), super::SOLVE_CACHE_CAP_DEFAULT);
         }
     }
 }

@@ -130,7 +130,15 @@ pub fn threads() -> usize {
 ///
 /// [`ParError::WorkerPanicked`] if the closure panicked.
 pub fn catch<T>(f: impl FnOnce() -> T) -> Result<T, ParError> {
-    catch_unwind(AssertUnwindSafe(f)).map_err(|p| ParError::from_payload(p.as_ref()))
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| {
+        // The chaos-testing worker-kill marker must keep unwinding on
+        // pool workers (it exists to kill the thread); everything else
+        // is contained as a typed error.
+        if pool::is_kill_payload(p.as_ref()) {
+            std::panic::resume_unwind(p);
+        }
+        ParError::from_payload(p.as_ref())
+    })
 }
 
 /// Maps `f` over `items`, fanning out across [`threads`] workers when

@@ -68,6 +68,11 @@ pub struct PoolStats {
     /// Closures run inline on the calling thread without submission
     /// (serial fallback and the leading closure of each join).
     pub inline_execs: u64,
+    /// Worker threads respawned after dying mid-task (a task that
+    /// unwinds through the defense-in-depth catch — see
+    /// [`chaos_kill_worker`] — kills its worker; a drop guard respawns
+    /// a replacement up to a capped respawn budget).
+    pub workers_respawned: u64,
 }
 
 /// A type-erased pointer to a task living on a submitting caller's
@@ -96,6 +101,7 @@ struct Shared {
     submitted: AtomicU64,
     steals: AtomicU64,
     inline_execs: AtomicU64,
+    respawned: AtomicU64,
 }
 
 thread_local! {
@@ -114,6 +120,7 @@ fn shared() -> &'static Shared {
         submitted: AtomicU64::new(0),
         steals: AtomicU64::new(0),
         inline_execs: AtomicU64::new(0),
+        respawned: AtomicU64::new(0),
     })
 }
 
@@ -134,6 +141,7 @@ pub fn stats() -> PoolStats {
         submitted: shared.submitted.load(Ordering::Relaxed),
         steals: shared.steals.load(Ordering::Relaxed),
         inline_execs: shared.inline_execs.load(Ordering::Relaxed),
+        workers_respawned: shared.respawned.load(Ordering::Relaxed),
     }
 }
 
@@ -162,12 +170,71 @@ fn ensure_workers(shared: &'static Shared, want: usize) {
         q.locals.push(VecDeque::new());
         let spawned = std::thread::Builder::new()
             .name(format!("mcpat-par-{index}"))
-            .spawn(move || worker_loop(shared, index));
+            .spawn(move || worker_main(shared, index));
         if spawned.is_err() {
             q.locals.pop();
             break;
         }
     }
+}
+
+/// Lifetime cap on worker respawns: generous against any plausible bug
+/// rate, but bounded so a pathological kill loop cannot fork-bomb.
+const MAX_RESPAWNS: u64 = 256;
+
+/// Respawns worker lane `me` when its thread dies by panic. The lane's
+/// deque stays registered (and stealable) while the lane is dead, so
+/// queued tasks are never lost either way; the respawn restores
+/// steady-state throughput.
+struct RespawnGuard {
+    shared: &'static Shared,
+    me: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        if self.shared.respawned.load(Ordering::SeqCst) >= MAX_RESPAWNS {
+            return;
+        }
+        let shared = self.shared;
+        let me = self.me;
+        let spawned = std::thread::Builder::new()
+            .name(format!("mcpat-par-{me}"))
+            .spawn(move || worker_main(shared, me));
+        if spawned.is_ok() {
+            shared.respawned.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Marker panic payload used by [`chaos_kill_worker`]. Both unwind
+/// catches on the worker path re-raise it instead of converting it to
+/// a [`ParError`], so the carrying worker thread genuinely dies.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct WorkerKill;
+
+/// Chaos-testing hook: when called from a task running on a resident
+/// pool worker, kills that worker thread mid-task (the task's latch
+/// still opens via its drop guard, so the submitter observes a typed
+/// error instead of a hang, and [`RespawnGuard`] brings a replacement
+/// lane up). A no-op on non-worker threads — external helpers must
+/// never die.
+#[doc(hidden)]
+#[allow(clippy::panic)] // the panic IS the chaos injection: it must unwind the worker
+pub fn chaos_kill_worker() {
+    if is_pool_worker() {
+        std::panic::panic_any(WorkerKill);
+    }
+}
+
+/// True when an unwind payload is the chaos kill marker and the
+/// current thread is a pool worker that should die from it.
+pub(crate) fn is_kill_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<WorkerKill>().is_some() && is_pool_worker()
 }
 
 /// Pops the best task for `me`: own deque LIFO, injector (FIFO for
@@ -201,9 +268,15 @@ fn pop_task(q: &mut Queues, me: Option<usize>) -> Option<(TaskRef, bool)> {
 fn run_task(task: TaskRef, stolen: bool) {
     // SAFETY: see the module-level argument — the submitting caller
     // keeps the pointee alive until the batch latch opens.
-    let _ = catch_unwind(AssertUnwindSafe(|| unsafe {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe {
         (task.exec)(task.data, stolen)
-    }));
+    })) {
+        // The chaos kill marker must actually kill the worker thread;
+        // every other panic is contained here (defense in depth).
+        if is_kill_payload(payload.as_ref()) {
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 /// Wakes every parked thread after queue or latch state changed. The
@@ -212,6 +285,14 @@ fn run_task(task: TaskRef, stolen: bool) {
 fn signal(shared: &Shared) {
     drop(lock(shared));
     shared.cv.notify_all();
+}
+
+/// Worker-thread entry point: installs the respawn guard, then runs
+/// the task loop forever (the loop only exits by unwinding, which
+/// triggers the guard).
+fn worker_main(shared: &'static Shared, me: usize) {
+    let _respawn = RespawnGuard { shared, me };
+    worker_loop(shared, me);
 }
 
 fn worker_loop(shared: &'static Shared, me: usize) {
@@ -318,6 +399,7 @@ struct MapCall<'a, I, T, F> {
     slots: &'a [Slot<T>],
     remaining: &'a AtomicUsize,
     chain: mcpat_obs::ScopeChain,
+    budget: mcpat_guard::BudgetChain,
 }
 
 /// One item-task of a `par_map` call.
@@ -353,9 +435,10 @@ where
     let task = unsafe { &*data.cast::<MapTask<'_, I, T, F>>() };
     let call = task.call;
     // Declared before the latch so the latch (the final touch of
-    // caller memory) drops first; the chain guard owns only Arcs and
-    // thread-local state, so its later drop never touches the caller.
+    // caller memory) drops first; the chain guards own only Arcs and
+    // thread-local state, so their later drops never touch the caller.
     let _chain = call.chain.activate();
+    let _budget = call.budget.activate();
     if stolen {
         mcpat_obs::record_pool_steal();
     }
@@ -390,6 +473,7 @@ where
         slots: &slots,
         remaining: &remaining,
         chain: mcpat_obs::current_chain(),
+        budget: mcpat_guard::current_chain(),
     };
     let tasks: Vec<MapTask<'_, I, T, F>> = (0..items.len())
         .map(|index| MapTask { call: &call, index })
@@ -420,6 +504,7 @@ pub(crate) struct StackJob<R, F> {
     result: UnsafeCell<Option<Result<R, ParError>>>,
     done: AtomicBool,
     chain: mcpat_obs::ScopeChain,
+    budget: mcpat_guard::BudgetChain,
 }
 
 // SAFETY: `f`/`result` are touched by exactly one executing thread
@@ -438,6 +523,7 @@ where
             result: UnsafeCell::new(None),
             done: AtomicBool::new(false),
             chain: mcpat_obs::current_chain(),
+            budget: mcpat_guard::current_chain(),
         }
     }
 
@@ -479,9 +565,10 @@ where
     // SAFETY: `data` points at a live `StackJob` per the submission
     // contract (owner helps until `done` flips).
     let job = unsafe { &*data.cast::<StackJob<R, F>>() };
-    // Chain guard before the latch: the latch must stay the final
+    // Chain guards before the latch: the latch must stay the final
     // touch of caller memory (see `exec_map_task`).
     let _chain = job.chain.activate();
+    let _budget = job.budget.activate();
     if stolen {
         mcpat_obs::record_pool_steal();
     }

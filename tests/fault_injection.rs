@@ -409,6 +409,92 @@ fn parallel_corruptions_surface_as_typed_errors() {
     }
 }
 
+/// Budget-fuzz matrix: ~500 random deadlines, from 0 µs through
+/// generous, against all four presets. Every outcome must be either a
+/// complete report bit-identical to the unbudgeted build or a typed
+/// `GuardError` — never a partial report, never a panic.
+#[test]
+fn random_deadlines_yield_complete_reports_or_typed_guard_errors() {
+    use mcpat::guard::Budget;
+    use std::time::Duration;
+
+    /// Observable result bits: peak-power breakdown, die area, timing.
+    fn budget_fingerprint(chip: &Processor) -> Vec<u64> {
+        let mut v = Vec::new();
+        let power = chip.peak_power();
+        for item in &power.items {
+            v.push(item.dynamic.to_bits());
+            v.push(item.leakage.subthreshold.to_bits());
+            v.push(item.leakage.gate.to_bits());
+        }
+        v.push(chip.die_area().to_bits());
+        v.push(chip.timing().fo4.to_bits());
+        v.push(chip.timing().core_max_clock_hz.to_bits());
+        v
+    }
+
+    let bases = presets();
+    let clean: Vec<Vec<u64>> = bases
+        .iter()
+        .map(|cfg| budget_fingerprint(&Processor::build(cfg).expect("clean build")))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(0x4d63_5041_5442_4744); // "McPATBGD"
+    let mut violations = Vec::new();
+    let mut cases = 0usize;
+    let mut trips = 0usize;
+    while cases < 520 {
+        let which = cases % bases.len();
+        let cfg = &bases[which];
+        // A quarter of the deadlines are generous (must never trip on
+        // these presets); the rest sweep 0 µs up through the range
+        // where a build genuinely races its deadline.
+        let deadline = if rng.gen_range(0u32..4) == 0 {
+            Duration::from_secs(3600)
+        } else {
+            Duration::from_micros(rng.gen_range(0..20_000))
+        };
+        let label = format!("{} + deadline {deadline:?}", cfg.name);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let budget = Budget::with_deadline(deadline);
+            let _scope = budget.enter();
+            Processor::build(cfg)
+        }));
+        match outcome {
+            Err(_) => violations.push(format!("PANIC [{label}]")),
+            Ok(Ok(chip)) => {
+                if budget_fingerprint(&chip) != clean[which] {
+                    violations.push(format!("partial/divergent result [{label}]"));
+                }
+                if chip.report().is_empty() {
+                    violations.push(format!("empty report [{label}]"));
+                }
+            }
+            Ok(Err(e)) => {
+                trips += 1;
+                if e.guard_error().is_none() {
+                    violations.push(format!("untyped budget failure [{label}]: {e}"));
+                }
+            }
+        }
+        cases += 1;
+    }
+    assert!(cases >= 500, "matrix must cover at least 500 cases");
+    assert!(trips > 0, "no deadline ever tripped — fuzz range too lax");
+    report_violations(violations, cases);
+
+    // No deadline trip may poison shared state for later builds.
+    for (which, base) in bases.iter().enumerate() {
+        let chip = Processor::build(base).expect("clean build after deadline fuzz");
+        assert_eq!(
+            budget_fingerprint(&chip),
+            clean[which],
+            "{}: post-fuzz build diverged",
+            base.name
+        );
+    }
+}
+
 /// Every swap corruption on every preset.
 #[test]
 fn swapped_field_corruptions_never_panic() {
