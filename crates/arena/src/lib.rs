@@ -1,0 +1,410 @@
+//! A tiny bump arena for build-scoped scratch memory.
+//!
+//! The modeling stack's hot paths (the array partition sweep, core and
+//! chip assembly) need short-lived buffers whose sizes are known or
+//! tightly bounded at the start of a build. Allocating them from the
+//! global heap costs a malloc/free pair per buffer per build; this crate
+//! replaces that with a per-thread bump arena that is *reused across
+//! builds*: the first build grows the arena to the high-water mark, and
+//! every subsequent build on that thread allocates out of the retained
+//! chunks without touching the system allocator at all.
+//!
+//! # Model
+//!
+//! - [`scratch`] (or [`Arena::scope`]) opens a *scope*: the closure
+//!   receives a [`Scratch`] handle and may allocate through it; when the
+//!   closure returns — or unwinds — the arena cursor rolls back to where
+//!   it was, instantly reclaiming every allocation made inside.
+//! - Allocations are limited to `T: Copy`, so rollback never needs to
+//!   run destructors and a scope can be abandoned at any point.
+//! - Escape is prevented by rank-2 typing: the closure must accept
+//!   `Scratch<'s>` for *every* lifetime `'s`, so its return type cannot
+//!   mention `'s` and references into the arena cannot leave the scope.
+//! - Scopes nest: an inner scope rolls back to its own mark, leaving the
+//!   outer scope's allocations intact.
+//!
+//! The arena is deliberately knob-free: there is no environment
+//! variable, no global registry, and no cross-thread sharing. A thread
+//! that never calls [`scratch`] pays nothing.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+
+/// Smallest chunk the arena requests from the system allocator. Sized
+/// so a typical array-solver sweep (a few KB of cells and geometry
+/// tables) fits in the first chunk.
+const MIN_CHUNK_BYTES: usize = 16 * 1024;
+
+/// Alignment of every chunk, an upper bound on the alignment of the
+/// `Copy` scalar bundles the modeling code allocates. Requests with
+/// larger alignment are still honored — the bump pointer pads — because
+/// [`Arena::grow_for`] reserves `align` slack bytes.
+const CHUNK_ALIGN: usize = 16;
+
+/// One system allocation owned by the arena.
+struct Chunk {
+    ptr: NonNull<u8>,
+    size: usize,
+}
+
+/// A per-thread bump allocator with scope-based rollback. See the
+/// crate-level docs; most callers want the thread-local [`scratch`]
+/// entry point rather than owning an `Arena` directly.
+pub struct Arena {
+    chunks: RefCell<Vec<Chunk>>,
+    /// Index of the chunk the cursor is bumping through.
+    current: Cell<usize>,
+    /// Byte offset of the next allocation within the current chunk.
+    cursor: Cell<usize>,
+}
+
+impl Arena {
+    /// An empty arena: no memory is requested until the first
+    /// allocation.
+    #[must_use]
+    pub fn new() -> Arena {
+        Arena {
+            chunks: RefCell::new(Vec::new()),
+            current: Cell::new(0),
+            cursor: Cell::new(0),
+        }
+    }
+
+    /// Total bytes currently held from the system allocator (the
+    /// high-water footprint; scopes rolling back do not shrink it —
+    /// that retention is the point).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.chunks.borrow().iter().map(|c| c.size).sum()
+    }
+
+    /// Opens an allocation scope. The closure may allocate through the
+    /// [`Scratch`] handle; everything it allocated is reclaimed when the
+    /// closure returns or unwinds. Returns the closure's result.
+    pub fn scope<R>(&self, f: impl for<'s> FnOnce(Scratch<'s>) -> R) -> R {
+        let _guard = ResetGuard {
+            arena: self,
+            chunk: self.current.get(),
+            cursor: self.cursor.get(),
+        };
+        f(Scratch {
+            arena: self,
+            _scope: PhantomData,
+        })
+    }
+
+    /// Bumps the cursor within the current chunk, or fails if it does
+    /// not fit. Never touches the system allocator.
+    fn try_bump(&self, size: usize, align: usize) -> Option<NonNull<u8>> {
+        let chunks = self.chunks.borrow();
+        let chunk = chunks.get(self.current.get())?;
+        let cur = self.cursor.get();
+        let base_addr = chunk.ptr.as_ptr() as usize;
+        // Pad to alignment relative to the chunk's actual address.
+        let rem = base_addr.wrapping_add(cur) % align;
+        let pad = if rem == 0 { 0 } else { align - rem };
+        let off = cur.checked_add(pad)?;
+        let end = off.checked_add(size)?;
+        if end > chunk.size {
+            return None;
+        }
+        self.cursor.set(end);
+        // SAFETY: `off + size <= chunk.size`, so the offset pointer is
+        // in bounds of the chunk's allocation.
+        NonNull::new(unsafe { chunk.ptr.as_ptr().add(off) })
+    }
+
+    /// Makes the current chunk able to hold `size`+`align` bytes, first
+    /// by advancing into retained spare chunks (from a previous, larger
+    /// scope on this thread), then by allocating a fresh chunk with
+    /// doubling growth. Diverges via [`handle_alloc_error`] if the
+    /// system allocator fails, exactly as `Vec` would.
+    fn grow_for(&self, size: usize, align: usize) {
+        let min_size = size.saturating_add(align);
+        let mut chunks = self.chunks.borrow_mut();
+        let mut idx = if chunks.is_empty() {
+            0
+        } else {
+            self.current.get().saturating_add(1)
+        };
+        while let Some(spare) = chunks.get(idx) {
+            if spare.size >= min_size {
+                self.current.set(idx);
+                self.cursor.set(0);
+                return;
+            }
+            idx += 1;
+        }
+        let last_size = chunks.last().map_or(0, |c| c.size);
+        let new_size = min_size
+            .max(last_size.saturating_mul(2))
+            .max(MIN_CHUNK_BYTES);
+        let Ok(layout) = Layout::from_size_align(new_size, CHUNK_ALIGN) else {
+            handle_alloc_error(Layout::new::<u8>())
+        };
+        // SAFETY: `layout` has nonzero size (`new_size >= MIN_CHUNK_BYTES`).
+        let Some(ptr) = NonNull::new(unsafe { alloc(layout) }) else {
+            handle_alloc_error(layout)
+        };
+        chunks.push(Chunk {
+            ptr,
+            size: new_size,
+        });
+        self.current.set(chunks.len() - 1);
+        self.cursor.set(0);
+    }
+
+    /// Bump-allocates `size` bytes at `align`. The `RefCell` borrow is
+    /// confined to [`Arena::try_bump`]/[`Arena::grow_for`]; it is never
+    /// held while caller code runs.
+    fn alloc_raw(&self, size: usize, align: usize) -> NonNull<u8> {
+        if let Some(p) = self.try_bump(size, align) {
+            return p;
+        }
+        self.grow_for(size, align);
+        match self.try_bump(size, align) {
+            Some(p) => p,
+            // Unreachable: grow_for either produced a chunk with
+            // size+align free bytes or diverged.
+            None => handle_alloc_error(Layout::new::<u8>()),
+        }
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Arena {
+        Arena::new()
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        for chunk in self.chunks.get_mut().drain(..) {
+            let Ok(layout) = Layout::from_size_align(chunk.size, CHUNK_ALIGN) else {
+                continue;
+            };
+            // SAFETY: every chunk was allocated in `grow_for` with this
+            // exact layout and is deallocated exactly once, here.
+            unsafe { dealloc(chunk.ptr.as_ptr(), layout) };
+        }
+    }
+}
+
+/// Rolls the arena cursor back to the scope's entry mark, including on
+/// unwind, so a panicking build never leaks arena space.
+struct ResetGuard<'a> {
+    arena: &'a Arena,
+    chunk: usize,
+    cursor: usize,
+}
+
+impl Drop for ResetGuard<'_> {
+    fn drop(&mut self) {
+        self.arena.current.set(self.chunk);
+        self.arena.cursor.set(self.cursor);
+    }
+}
+
+/// The allocation handle passed to a scope closure. `'s` is the scope's
+/// brand lifetime: allocations borrow it, so they cannot outlive the
+/// scope (the rank-2 signature of [`Arena::scope`] keeps `'s` out of
+/// the closure's return type).
+#[derive(Clone, Copy)]
+pub struct Scratch<'s> {
+    arena: &'s Arena,
+    _scope: PhantomData<fn(&'s ()) -> &'s ()>,
+}
+
+impl<'s> Scratch<'s> {
+    /// Allocates a slice of `len` copies of `fill` from the arena.
+    /// Zero-length requests allocate nothing. Like `Vec`, diverges via
+    /// the global allocation-error hook if the system is out of memory;
+    /// it never panics otherwise.
+    #[must_use]
+    pub fn alloc_fill<T: Copy>(&self, len: usize, fill: T) -> &'s mut [T] {
+        if len == 0 || size_of::<T>() == 0 {
+            return &mut [];
+        }
+        let Some(bytes) = size_of::<T>().checked_mul(len) else {
+            handle_alloc_error(Layout::new::<T>())
+        };
+        let ptr = self.arena.alloc_raw(bytes, align_of::<T>()).as_ptr().cast::<T>();
+        // SAFETY: `ptr` is aligned for `T` and points at `bytes` fresh,
+        // exclusively owned bytes: `alloc_raw` never returns overlapping
+        // regions within a scope, and the scope guard only reclaims the
+        // region after `'s` ends. Writing `len` elements initializes
+        // exactly the allocation, and `T: Copy` means no drops are owed.
+        unsafe {
+            for i in 0..len {
+                ptr.add(i).write(fill);
+            }
+            std::slice::from_raw_parts_mut(ptr, len)
+        }
+    }
+
+    /// Bytes currently held by the underlying arena.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.arena.footprint_bytes()
+    }
+}
+
+thread_local! {
+    static TLS_ARENA: Arena = Arena::new();
+}
+
+/// Opens a scope on the calling thread's arena — the standard entry
+/// point. The arena persists for the life of the thread, so repeated
+/// builds reuse the same chunks and steady-state builds make zero
+/// system allocations for their scratch memory.
+pub fn scratch<R>(f: impl for<'s> FnOnce(Scratch<'s>) -> R) -> R {
+    TLS_ARENA.with(|a| a.scope(f))
+}
+
+/// The calling thread's arena footprint in bytes (0 before its first
+/// scope). Exposed for tests and allocation-accounting probes.
+#[must_use]
+pub fn thread_footprint_bytes() -> usize {
+    TLS_ARENA.with(Arena::footprint_bytes)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_and_returns_writable_slices() {
+        let arena = Arena::new();
+        arena.scope(|s| {
+            let xs = s.alloc_fill(5, 7u64);
+            assert_eq!(xs, &[7, 7, 7, 7, 7]);
+            xs[2] = 9;
+            let ys = s.alloc_fill(3, -1i32);
+            assert_eq!(xs[2], 9, "second allocation must not alias the first");
+            assert_eq!(ys, &[-1, -1, -1]);
+        });
+    }
+
+    #[test]
+    fn zero_len_allocates_nothing() {
+        let arena = Arena::new();
+        arena.scope(|s| {
+            let xs: &mut [f64] = s.alloc_fill(0, 0.0);
+            assert!(xs.is_empty());
+        });
+        assert_eq!(arena.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn scopes_reuse_memory_instead_of_growing() {
+        let arena = Arena::new();
+        for _ in 0..100 {
+            arena.scope(|s| {
+                let xs = s.alloc_fill(1000, 1u64);
+                assert_eq!(xs.iter().sum::<u64>(), 1000);
+            });
+        }
+        // 8 KB per scope, 100 scopes: with rollback-and-reuse this fits
+        // in the single initial chunk.
+        assert_eq!(arena.footprint_bytes(), MIN_CHUNK_BYTES);
+    }
+
+    #[test]
+    fn nested_scopes_preserve_outer_allocations() {
+        let arena = Arena::new();
+        arena.scope(|outer| {
+            let a = outer.alloc_fill(16, 0xAAu8);
+            arena.scope(|inner| {
+                let b = inner.alloc_fill(16, 0xBBu8);
+                assert!(b.iter().all(|&x| x == 0xBB));
+            });
+            // A post-inner-scope allocation may recycle the inner
+            // scope's bytes but must not touch the outer allocation.
+            let c = outer.alloc_fill(16, 0xCCu8);
+            assert!(a.iter().all(|&x| x == 0xAA));
+            assert!(c.iter().all(|&x| x == 0xCC));
+        });
+    }
+
+    #[test]
+    fn large_allocations_get_their_own_chunk() {
+        let arena = Arena::new();
+        arena.scope(|s| {
+            let big = s.alloc_fill(MIN_CHUNK_BYTES, 3u8);
+            assert_eq!(big.len(), MIN_CHUNK_BYTES);
+            assert!(big.iter().all(|&x| x == 3));
+        });
+        assert!(arena.footprint_bytes() >= MIN_CHUNK_BYTES);
+    }
+
+    #[test]
+    fn mixed_alignment_allocations_are_aligned() {
+        let arena = Arena::new();
+        arena.scope(|s| {
+            let _odd = s.alloc_fill(3, 1u8);
+            let wide = s.alloc_fill(4, 1.5f64);
+            assert_eq!((wide.as_ptr() as usize) % align_of::<f64>(), 0);
+            let _odd2 = s.alloc_fill(1, 1u8);
+            let wider = s.alloc_fill(2, 2u128);
+            assert_eq!((wider.as_ptr() as usize) % align_of::<u128>(), 0);
+        });
+    }
+
+    #[test]
+    fn unwinding_scope_rolls_back_the_cursor() {
+        let arena = Arena::new();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            arena.scope(|s| {
+                let _xs = s.alloc_fill(100, 1u32);
+                panic!("mid-scope failure");
+            });
+        }));
+        assert!(boom.is_err());
+        // The cursor rolled back: the next scope re-fills from the mark
+        // and the footprint stays at one chunk.
+        arena.scope(|s| {
+            let xs = s.alloc_fill(100, 2u32);
+            assert!(xs.iter().all(|&x| x == 2));
+        });
+        assert_eq!(arena.footprint_bytes(), MIN_CHUNK_BYTES);
+    }
+
+    #[test]
+    fn thread_local_scratch_retains_footprint_across_scopes() {
+        let (first, second) = std::thread::spawn(|| {
+            let first = scratch(|s| {
+                let _xs = s.alloc_fill(512, 0u64);
+                s.footprint_bytes()
+            });
+            let second = scratch(|s| {
+                let _xs = s.alloc_fill(512, 0u64);
+                s.footprint_bytes()
+            });
+            (first, second)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(first, MIN_CHUNK_BYTES);
+        assert_eq!(second, first, "steady state must not grow");
+    }
+
+    #[test]
+    fn spare_chunks_are_reused_in_order() {
+        let arena = Arena::new();
+        // Grow to two chunks…
+        arena.scope(|s| {
+            let _a = s.alloc_fill(MIN_CHUNK_BYTES - 64, 0u8);
+            let _b = s.alloc_fill(MIN_CHUNK_BYTES, 0u8);
+        });
+        let grown = arena.footprint_bytes();
+        // …then run the same scope again: no further growth.
+        arena.scope(|s| {
+            let _a = s.alloc_fill(MIN_CHUNK_BYTES - 64, 0u8);
+            let _b = s.alloc_fill(MIN_CHUNK_BYTES, 0u8);
+        });
+        assert_eq!(arena.footprint_bytes(), grown);
+    }
+}

@@ -44,9 +44,7 @@ impl HTree {
     ) -> HTree {
         let nx = nx.max(1);
         let ny = ny.max(1);
-        let total_w = nx as f64 * mat_w;
-        let total_h = ny as f64 * mat_h;
-        let path_length = (total_w / 2.0 + total_h / 2.0).max(1e-6);
+        let path_length = Self::path_length_of(nx, ny, mat_w, mat_h);
         let wire = RepeatedWire::energy_derated(tech, WireType::Intermediate, path_length, 1.10);
         HTree {
             nx,
@@ -57,6 +55,41 @@ impl HTree {
             wire,
             tech: *tech,
         }
+    }
+
+    /// Builds the tree around an already-sized trunk wire (the partition
+    /// sweep derates it once through `RepeaterInvariants` instead of
+    /// re-running the sweep per candidate). `wire` must be the
+    /// energy-derated `WireType::Intermediate` wire for this grid's
+    /// `path_length` — bit-identity with [`HTree::new`] then follows
+    /// because the remaining metrics code is shared.
+    #[must_use]
+    pub fn from_wire(
+        tech: &TechParams,
+        nx: usize,
+        ny: usize,
+        path_length: f64,
+        addr_bits: u32,
+        data_bits: u32,
+        wire: RepeatedWire,
+    ) -> HTree {
+        HTree {
+            nx: nx.max(1),
+            ny: ny.max(1),
+            path_length,
+            addr_bits,
+            data_bits,
+            wire,
+            tech: *tech,
+        }
+    }
+
+    /// Port-to-farthest-mat trunk length for an `nx × ny` grid, m.
+    #[must_use]
+    pub fn path_length_of(nx: usize, ny: usize, mat_w: f64, mat_h: f64) -> f64 {
+        let total_w = nx.max(1) as f64 * mat_w;
+        let total_h = ny.max(1) as f64 * mat_h;
+        (total_w / 2.0 + total_h / 2.0).max(1e-6)
     }
 
     /// One-way latency from port to the farthest mat, s.

@@ -3,7 +3,7 @@
 //! match lines.
 
 use mcpat_circuit::decoder::RowDecoder;
-use mcpat_circuit::gate::BufferChain;
+use mcpat_circuit::gate::{BufferChain, GateKind, LogicGate};
 use mcpat_circuit::metrics::{CircuitMetrics, StaticPower};
 use mcpat_tech::{TechParams, WireType};
 
@@ -317,6 +317,333 @@ impl Mat {
     }
 }
 
+/// Everything in [`Mat::evaluate`] that depends only on the corner, the
+/// array kind, the port count, and the (spec-fixed) search width —
+/// hoisted out of the partition sweep so it is computed once per solve
+/// instead of once per `Ndwl × Ndbl × Nspd` candidate.
+///
+/// Each cached value is the *same expression* the reference path in
+/// [`Mat`] evaluates, computed exactly once, so the factored evaluation
+/// in [`MatInvariants::evaluate`] is bit-identical to
+/// `Mat::new(..).evaluate(..)` (`soa_matches_reference` below and
+/// `tests/perf_identity.rs` enforce this).
+#[derive(Debug, Clone, Copy)]
+pub struct MatInvariants {
+    kind: ArrayKind,
+    search_bits: u32,
+    cell_height: f64,
+    cell_width: f64,
+    /// Wordline capacitance per column: cell contribution + wire run.
+    wl_per_col: f64,
+    /// Bitline capacitance per row: cell contribution + wire run.
+    bl_per_row: f64,
+    /// Bitline precharge-device capacitance (row-count independent).
+    bl_fixed: f64,
+    i_read: f64,
+    cell_leak: f64,
+    v_swing: f64,
+    senseamp_delay: f64,
+    senseamp_energy: f64,
+    periph_leak_per_col: f64,
+    feature: f64,
+    vdd: f64,
+    fo4: f64,
+    /// Shared 2-input NAND predecoder prototype (size-invariant).
+    predecoder: LogicGate,
+    /// CAM matchline capacitance and discharge time (0 for RAM).
+    c_ml: f64,
+    t_ml: f64,
+    tech: TechParams,
+}
+
+/// The rows-dependent slice of a mat evaluation, shared by every column
+/// partition (`Ndwl`) of the same `rows_per_mat`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatRowPart {
+    rows: usize,
+    c_bl: f64,
+    t_bl: f64,
+    /// Write-driver chain metrics (load is the bitline).
+    wd: CircuitMetrics,
+    row_gate: LogicGate,
+    num_predecoders: u32,
+    /// Predecoder metrics at this row count's predecode load.
+    pre: CircuitMetrics,
+    cells_h: f64,
+    search_energy: f64,
+    search_delay: f64,
+}
+
+/// The columns-dependent slice of a mat evaluation, shared by every row
+/// partition (`Ndbl`) of the same `cols_per_mat`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatColPart {
+    cols: usize,
+    /// Wordline-driver chain metrics and input load.
+    driver: CircuitMetrics,
+    driver_input_cap: f64,
+    e_wl: f64,
+    e_sense: f64,
+    cells_w: f64,
+    periph_leak: f64,
+}
+
+impl MatColPart {
+    /// An inert zero geometry for fixed-size table slots that are never
+    /// evaluated. Not part of the public API contract.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn placeholder() -> MatColPart {
+        MatColPart {
+            cols: 0,
+            driver: CircuitMetrics::zero(),
+            driver_input_cap: 0.0,
+            e_wl: 0.0,
+            e_sense: 0.0,
+            cells_w: 0.0,
+            periph_leak: 0.0,
+        }
+    }
+}
+
+impl MatInvariants {
+    /// Hoists the per-candidate-invariant parts of a mat evaluation.
+    #[must_use]
+    pub fn new(
+        tech: &TechParams,
+        kind: ArrayKind,
+        ports: Ports,
+        search_bits: u32,
+    ) -> MatInvariants {
+        let wire = tech.wire(WireType::Local);
+        let local_pitch = wire.pitch;
+        let (mut cell_h, mut cell_w) = match kind {
+            ArrayKind::Ram => {
+                let c = tech.sram_cell();
+                (c.height, c.width)
+            }
+            ArrayKind::Cam => {
+                let c = tech.cam_cell();
+                (c.height, c.width)
+            }
+            ArrayKind::Edram => {
+                let c = tech.edram_cell();
+                (c.height, c.width)
+            }
+        };
+        let extra_ram = ports.total_ram().saturating_sub(1) as f64;
+        let extra_search = if kind == ArrayKind::Cam {
+            ports.search.saturating_sub(1) as f64
+        } else {
+            0.0
+        };
+        cell_h += (extra_ram + extra_search) * local_pitch;
+        cell_w += (extra_ram + extra_search) * 2.0 * local_pitch;
+
+        let per_cell_wl = match kind {
+            ArrayKind::Ram | ArrayKind::Cam => {
+                tech.sram_cell().wordline_cap_contribution(&tech.device)
+            }
+            ArrayKind::Edram => tech.gate_cap(tech.edram_cell().w_access),
+        };
+        let per_cell_bl = match kind {
+            ArrayKind::Ram | ArrayKind::Cam => {
+                tech.sram_cell().bitline_cap_contribution(&tech.device)
+            }
+            ArrayKind::Edram => tech.drain_cap(tech.edram_cell().w_access),
+        };
+        let vdd = tech.device.vdd;
+        let fo4 = tech.fo4();
+        let i_read = match kind {
+            ArrayKind::Ram | ArrayKind::Cam => tech.sram_cell().read_current(&tech.device),
+            ArrayKind::Edram => {
+                let cell = tech.edram_cell();
+                cell.c_storage * tech.device.vdd / (2.0 * tech.fo4())
+            }
+        };
+        let t = tech.temperature;
+        let lc = tech.device.long_channel_leakage_reduction;
+        let cell_leak = match kind {
+            ArrayKind::Ram => tech.sram_cell().leakage_power(&tech.device, t) * lc,
+            ArrayKind::Cam => tech.cam_cell().leakage_power(&tech.device, t) * lc,
+            ArrayKind::Edram => 0.05 * tech.sram_cell().leakage_power(&tech.device, t),
+        };
+        let v_swing = (SENSE_SWING_FRACTION * vdd).max(0.05);
+        let periph_w = 8.0 * tech.min_w_nmos();
+        let (c_ml, t_ml) = if kind == ArrayKind::Cam && search_bits > 0 {
+            let cam = tech.cam_cell();
+            let c_ml = search_bits as f64 * cam.matchline_cap_contribution(&tech.device)
+                + wire.c_per_m * cell_w;
+            let i_ml = tech.device.i_on_n * cam.w_compare;
+            (c_ml, c_ml * v_swing / i_ml)
+        } else {
+            (0.0, 0.0)
+        };
+        MatInvariants {
+            kind,
+            search_bits,
+            cell_height: cell_h,
+            cell_width: cell_w,
+            wl_per_col: per_cell_wl + wire.c_per_m * cell_w,
+            bl_per_row: per_cell_bl + wire.c_per_m * cell_h,
+            bl_fixed: tech.drain_cap(4.0 * tech.min_w_nmos()),
+            i_read,
+            cell_leak,
+            v_swing,
+            senseamp_delay: SENSEAMP_DELAY_FO4 * fo4,
+            senseamp_energy: SENSEAMP_ENERGY_90NM * tech.node.scale_from_90nm(),
+            periph_leak_per_col: tech.subthreshold_leakage(periph_w, periph_w)
+                + tech.gate_leakage(periph_w, periph_w),
+            feature: tech.node.feature_m(),
+            vdd,
+            fo4,
+            predecoder: LogicGate::new(tech, GateKind::Nand(2), 2.0),
+            c_ml,
+            t_ml,
+            tech: *tech,
+        }
+    }
+
+    /// Physical cell height including port tracks, m.
+    #[must_use]
+    pub fn cell_height(&self) -> f64 {
+        self.cell_height
+    }
+
+    /// Physical cell width including port tracks, m.
+    #[must_use]
+    pub fn cell_width(&self) -> f64 {
+        self.cell_width
+    }
+
+    /// Precomputes the rows-dependent slice for one `rows_per_mat`.
+    #[must_use]
+    pub fn rows_part(&self, rows: usize) -> MatRowPart {
+        let rows = rows.max(1);
+        let tech = &self.tech;
+        let c_bl = rows as f64 * self.bl_per_row + self.bl_fixed;
+        let t_bl = c_bl * self.v_swing / self.i_read;
+        let write_driver = BufferChain::for_load(tech, c_bl);
+        let wd = write_driver.metrics();
+
+        // Rows-side of the decoder (see `RowDecoder::new`/`metrics`).
+        let address_bits = (rows.max(2) as f64).log2().ceil() as u32;
+        let num_predecoders = address_bits.div_ceil(2);
+        let fan_in = num_predecoders.clamp(2, 4);
+        let row_gate = LogicGate::new(tech, GateKind::Nand(fan_in), 1.0);
+        let rows_per_line = (rows as f64 / 4.0).max(1.0);
+        let predecode_load = rows_per_line * row_gate.input_cap();
+        let pre = if num_predecoders == 0 {
+            CircuitMetrics::zero()
+        } else {
+            self.predecoder.metrics(predecode_load)
+        };
+
+        let (search_energy, search_delay) = if self.kind == ArrayKind::Cam && self.search_bits > 0
+        {
+            let cam = tech.cam_cell();
+            let wire = tech.wire(WireType::Local);
+            let c_sl = rows as f64
+                * (cam.searchline_cap_contribution(&tech.device)
+                    + wire.c_per_m * self.cell_height);
+            let sl_driver = BufferChain::for_load(tech, c_sl);
+            let slm = sl_driver.metrics();
+            let e_ml = rows as f64 * self.c_ml * self.vdd * self.v_swing;
+            let e_sl = self.search_bits as f64 * (tech.switch_energy(c_sl) + slm.energy_per_op);
+            let e = e_ml + e_sl + rows as f64 * self.senseamp_energy * 0.25;
+            let d = slm.delay + self.t_ml + self.senseamp_delay;
+            (e, d)
+        } else {
+            (0.0, 0.0)
+        };
+
+        MatRowPart {
+            rows,
+            c_bl,
+            t_bl,
+            wd,
+            row_gate,
+            num_predecoders,
+            pre,
+            cells_h: rows as f64 * self.cell_height,
+            search_energy,
+            search_delay,
+        }
+    }
+
+    /// Precomputes the columns-dependent slice for one `cols_per_mat`.
+    #[must_use]
+    pub fn cols_part(&self, cols: usize) -> MatColPart {
+        let cols = cols.max(1);
+        let c_wl = cols as f64 * self.wl_per_col;
+        let wordline_driver = BufferChain::for_load(&self.tech, c_wl.max(1e-18));
+        MatColPart {
+            cols,
+            driver: wordline_driver.metrics(),
+            driver_input_cap: wordline_driver.input_cap(),
+            e_wl: self.tech.switch_energy(c_wl) * 2.0,
+            e_sense: cols as f64 * self.senseamp_energy,
+            cells_w: cols as f64 * self.cell_width,
+            periph_leak: cols as f64 * self.periph_leak_per_col,
+        }
+    }
+
+    /// Combines the precomputed slices into full mat metrics —
+    /// bit-identical to `Mat::new(..).evaluate(cols, written_cols, ..)`.
+    #[must_use]
+    pub fn evaluate(&self, row: &MatRowPart, col: &MatColPart, written_cols: usize) -> MatMetrics {
+        // Decoder combine, mirroring `RowDecoder::metrics`.
+        let row_m = row.row_gate.metrics(col.driver_input_cap);
+        let num_pre = f64::from(row.num_predecoders);
+        let dec_energy = row.pre.energy_per_op * num_pre + row_m.energy_per_op
+            + col.driver.energy_per_op;
+        let dec_area = row.pre.area * num_pre + (row_m.area + col.driver.area) * row.rows as f64;
+        let dec_leak = row.pre.leakage.scaled(num_pre)
+            + (row_m.leakage + col.driver.leakage).scaled(row.rows as f64);
+        let dec_delay = row.pre.delay + row_m.delay + col.driver.delay;
+
+        let read_delay = dec_delay + row.t_bl + self.senseamp_delay;
+        let e_bl_read = col.cols as f64 * row.c_bl * self.vdd * self.v_swing;
+        let read_energy = dec_energy + col.e_wl + e_bl_read + col.e_sense;
+
+        let e_bl_write = written_cols as f64 * row.c_bl * self.vdd * self.vdd;
+        let write_delay = dec_delay + row.wd.delay + 2.0 * self.fo4;
+        let write_energy = dec_energy + col.e_wl + e_bl_write + row.wd.energy_per_op;
+
+        let dec_strip_w = (dec_area / row.cells_h.max(1e-9)).max(10.0 * self.feature);
+        let periph_h = COLUMN_PERIPHERY_HEIGHT_F * self.feature;
+        let width = col.cells_w + dec_strip_w;
+        let height = row.cells_h + periph_h;
+        let area = width * height;
+
+        let n_cells = (row.rows * col.cols) as f64;
+        let cell_leak = n_cells * self.cell_leak;
+        let leakage = StaticPower {
+            subthreshold: cell_leak + col.periph_leak,
+            gate: 0.0,
+        } + dec_leak;
+
+        let max_stage_delay = dec_delay
+            .max(row.t_bl + self.senseamp_delay)
+            .max(row.wd.delay)
+            .max(row.search_delay);
+
+        MatMetrics {
+            read_delay,
+            write_delay,
+            read_energy,
+            write_energy,
+            search_energy: row.search_energy,
+            search_delay: row.search_delay,
+            area,
+            width,
+            height,
+            leakage,
+            max_stage_delay,
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
@@ -401,6 +728,69 @@ mod tests {
         let edram = Mat::new(&t, 512, 512, ArrayKind::Edram, Ports::single_rw());
         assert!(edram.evaluate_full(0).area < sram.evaluate_full(0).area);
         assert!(edram.evaluate_full(0).leakage.total() < sram.evaluate_full(0).leakage.total());
+    }
+
+    fn assert_metrics_identical(fast: &MatMetrics, reference: &MatMetrics, what: &str) {
+        let pairs = [
+            (fast.read_delay, reference.read_delay, "read_delay"),
+            (fast.write_delay, reference.write_delay, "write_delay"),
+            (fast.read_energy, reference.read_energy, "read_energy"),
+            (fast.write_energy, reference.write_energy, "write_energy"),
+            (fast.search_energy, reference.search_energy, "search_energy"),
+            (fast.search_delay, reference.search_delay, "search_delay"),
+            (fast.area, reference.area, "area"),
+            (fast.width, reference.width, "width"),
+            (fast.height, reference.height, "height"),
+            (
+                fast.leakage.subthreshold,
+                reference.leakage.subthreshold,
+                "leakage.subthreshold",
+            ),
+            (fast.leakage.gate, reference.leakage.gate, "leakage.gate"),
+            (fast.max_stage_delay, reference.max_stage_delay, "max_stage_delay"),
+        ];
+        for (a, b, field) in pairs {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: {field} {a:e} vs {b:e}");
+        }
+    }
+
+    #[test]
+    fn hoisted_invariants_match_reference_bit_for_bit() {
+        let cases = [
+            (ArrayKind::Ram, Ports::single_rw(), 0u32),
+            (ArrayKind::Ram, Ports::reg_file(6, 3), 0),
+            (
+                ArrayKind::Cam,
+                Ports {
+                    search: 2,
+                    ..Ports::single_rw()
+                },
+                40,
+            ),
+            (ArrayKind::Edram, Ports::single_rw(), 0),
+        ];
+        for node in [TechNode::N90, TechNode::N32] {
+            for (kind, ports, sb) in cases {
+                let t = TechParams::new(node, DeviceType::Hp, 360.0);
+                let inv = MatInvariants::new(&t, kind, ports, sb);
+                for rows in [1usize, 64, 256, 1000] {
+                    let rp = inv.rows_part(rows);
+                    for cols in [1usize, 32, 513] {
+                        let cp = inv.cols_part(cols);
+                        for written in [1usize, cols] {
+                            let fast = inv.evaluate(&rp, &cp, written);
+                            let reference =
+                                Mat::new(&t, rows, cols, kind, ports).evaluate(cols, written, sb);
+                            assert_metrics_identical(
+                                &fast,
+                                &reference,
+                                &format!("{kind:?} {rows}x{cols} w{written} sb{sb} {node:?}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! best under the requested objective.
 
 use crate::htree::HTree;
-use crate::mat::Mat;
+use crate::mat::{Mat, MatColPart, MatInvariants};
 use crate::spec::{ArrayKind, ArraySpec, OptTarget};
 use mcpat_circuit::metrics::{CircuitMetrics, StaticPower};
 use mcpat_circuit::mux::Multiplexer;
-use mcpat_tech::TechParams;
+use mcpat_circuit::repeater::RepeaterInvariants;
+use mcpat_tech::{TechParams, WireType};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Area overhead multiplying the raw mat+H-tree area: ECC bits,
 /// row/column redundancy, BIST, and intra-array routing that the
@@ -222,7 +224,7 @@ fn pow2s_up_to(max: usize) -> impl Iterator<Item = usize> {
 /// entirely in these so the innermost sweep allocates nothing; the
 /// winning candidate is materialized into a `SolvedArray` exactly once
 /// per threshold, after the sweep.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Default)]
 struct RawEval {
     rows_per_mat: usize,
     cols_per_mat: usize,
@@ -290,13 +292,14 @@ fn materialize(spec: &ArraySpec, s: Scored, relaxation: Option<Relaxation>) -> S
 }
 
 /// One `(nspd, ndbl)` cell of the outer enumeration space — the unit of
-/// work distributed across sweep threads.
+/// work distributed across sweep threads. `geom_idx` points at the
+/// hoisted per-`nspd` column-geometry table.
 #[derive(Clone, Copy)]
 struct OuterCell {
     nspd: usize,
     ndbl: usize,
     rows_per_mat: usize,
-    cols_total: usize,
+    geom_idx: usize,
 }
 
 /// The `Ndwl × Ndbl × Nspd` enumeration limits for one search pass.
@@ -358,46 +361,366 @@ fn budget_check(spec: &ArraySpec) -> Result<(), ArrayError> {
     })
 }
 
+/// Upper bound on `ndwl` lanes per outer cell: `max_ndwl` never exceeds
+/// 256 in any bounds table (9 powers of two), so 16 fixed lanes hold
+/// every sweep without heap storage.
+const MAX_LANES: usize = 16;
+
+/// Upper bound on simultaneously tracked cycle thresholds: the strict
+/// rung uses 1, the widened ladder pass uses
+/// `1 + CYCLE_RELAX_FACTORS + 1 = 6`.
+const MAX_THRESHOLDS: usize = 6;
+
+/// Upper bound on `nspd` options per bounds table (the widest is 5).
+const MAX_NSPD: usize = 8;
+
+/// Test-only escape hatch: routes [`solve_uncached`] through the
+/// retained [`reference`] implementation so differential tests can
+/// compare whole chip builds against the unhoisted path. Process-global
+/// (not thread-local) so parallel build fan-outs inherit it.
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Selects the reference (unhoisted) solver for subsequent solves.
+/// For differential tests only; solves remain bit-identical either way.
+#[doc(hidden)]
+pub fn set_reference_mode(enabled: bool) {
+    REFERENCE_MODE.store(enabled, Ordering::SeqCst);
+}
+
+/// Everything about one solve that does not depend on the candidate
+/// partitioning: the hoisted mat and repeater invariant tables plus a
+/// few spec-derived scalars. Built once per solve and shared by both
+/// enumeration passes (and, read-only, by all sweep threads).
+struct SolveInvariants {
+    tech: TechParams,
+    mat: MatInvariants,
+    rep: RepeaterInvariants,
+    addr_bits: u32,
+    /// `spec.access_bits.max(1)`, the mux/rollup form.
+    access_bits: usize,
+    /// Raw `spec.access_bits`, the H-tree data payload.
+    data_bits: u32,
+    is_cam: bool,
+}
+
+impl SolveInvariants {
+    fn new(tech: &TechParams, spec: &ArraySpec) -> SolveInvariants {
+        SolveInvariants {
+            tech: *tech,
+            mat: MatInvariants::new(tech, spec.kind, spec.ports, spec.search_bits),
+            rep: RepeaterInvariants::new(tech, WireType::Intermediate),
+            addr_bits: (spec.entries.max(2) as f64).log2().ceil() as u32,
+            access_bits: spec.access_bits.max(1) as usize,
+            data_bits: spec.access_bits,
+            is_cam: spec.kind == ArrayKind::Cam,
+        }
+    }
+}
+
+/// Column geometry for one `(nspd, ndwl)` pair, shared by every `ndbl`
+/// cell at that `nspd`: the wordline-side mat invariants plus the fully
+/// hoisted output-mux metrics. `valid` preserves the reference sweep's
+/// cadence — a column-filtered geometry still consumes one budget
+/// checkpoint but never evaluates or counts as a guard candidate.
+#[derive(Clone, Copy)]
+struct ColGeom {
+    ndwl: usize,
+    valid: bool,
+    cols_per_mat: usize,
+    written_per_mat: usize,
+    col: MatColPart,
+    mux_delay: f64,
+    /// `access_bits × mux energy`, the read-path rollup term.
+    mux_read_energy: f64,
+    /// Mux leakage already scaled by `access_bits`.
+    mux_leak: StaticPower,
+}
+
+impl ColGeom {
+    fn placeholder() -> ColGeom {
+        ColGeom {
+            ndwl: 0,
+            valid: false,
+            cols_per_mat: 0,
+            written_per_mat: 0,
+            col: MatColPart::placeholder(),
+            mux_delay: 0.0,
+            mux_read_energy: 0.0,
+            mux_leak: StaticPower::default(),
+        }
+    }
+}
+
+/// The per-`nspd` table of column geometries, one per candidate `ndwl`.
+#[derive(Clone, Copy)]
+struct GeomSet {
+    n: usize,
+    geoms: [ColGeom; MAX_LANES],
+}
+
+impl GeomSet {
+    fn empty() -> GeomSet {
+        GeomSet {
+            n: 0,
+            geoms: [ColGeom::placeholder(); MAX_LANES],
+        }
+    }
+
+    fn build(inv: &SolveInvariants, bounds: &SearchBounds, cols_total: usize) -> GeomSet {
+        let mut set = GeomSet::empty();
+        // `max_ndwl` ≤ 256 in every bounds table, so the pow2 ladder
+        // fits in MAX_LANES with headroom; `take` is a formality.
+        for ndwl in pow2s_up_to(bounds.max_ndwl.min(cols_total)).take(MAX_LANES) {
+            let cols_per_mat = cols_total.div_ceil(ndwl);
+            let written_per_mat = inv.access_bits.div_ceil(ndwl).min(cols_per_mat);
+            let mux_degree = ((cols_per_mat * ndwl) / inv.access_bits.max(1)).max(1);
+            let mux_m = Multiplexer::new(&inv.tech, mux_degree, 20e-15).metrics();
+            let Some(slot) = set.geoms.get_mut(set.n) else {
+                break;
+            };
+            *slot = ColGeom {
+                ndwl,
+                valid: cols_per_mat <= bounds.max_cols_per_mat,
+                cols_per_mat,
+                written_per_mat,
+                col: inv.mat.cols_part(cols_per_mat),
+                mux_delay: mux_m.delay,
+                mux_read_energy: inv.access_bits as f64 * mux_m.energy_per_op,
+                mux_leak: mux_m.leakage.scaled(inv.access_bits as f64),
+            };
+            set.n += 1;
+        }
+        set
+    }
+
+    fn as_slice(&self) -> &[ColGeom] {
+        self.geoms.get(..self.n).unwrap_or(&[])
+    }
+}
+
+/// Fixed-size per-threshold best slots (at most [`MAX_THRESHOLDS`] are
+/// ever live), replacing the reference path's per-cell `Vec`.
+#[derive(Clone, Copy)]
+struct BestSet {
+    slots: [Option<Scored>; MAX_THRESHOLDS],
+}
+
+impl BestSet {
+    fn empty() -> BestSet {
+        BestSet {
+            slots: [None; MAX_THRESHOLDS],
+        }
+    }
+}
+
+/// Struct-of-arrays candidate lanes for one outer cell's `ndwl` sweep.
+/// The evaluation loop fills plain `f64` lanes; scoring then runs as a
+/// single branch-light pass per objective (the `match` sits outside the
+/// loop); the ordered reduce reads the lanes back in `ndwl` order so the
+/// tie-break sequence is identical to the reference sweep's.
+struct CellLanes {
+    n: usize,
+    ndwl: [usize; MAX_LANES],
+    access: [f64; MAX_LANES],
+    cycle: [f64; MAX_LANES],
+    energy: [f64; MAX_LANES],
+    area: [f64; MAX_LANES],
+    score: [f64; MAX_LANES],
+    evals: [RawEval; MAX_LANES],
+}
+
+impl CellLanes {
+    fn new() -> CellLanes {
+        CellLanes {
+            n: 0,
+            ndwl: [0; MAX_LANES],
+            access: [0.0; MAX_LANES],
+            cycle: [0.0; MAX_LANES],
+            energy: [0.0; MAX_LANES],
+            area: [0.0; MAX_LANES],
+            score: [0.0; MAX_LANES],
+            evals: [RawEval::default(); MAX_LANES],
+        }
+    }
+
+    fn push(&mut self, ndwl: usize, eval: RawEval) {
+        let k = self.n;
+        let (Some(nd), Some(ac), Some(cy), Some(en), Some(ar), Some(ev)) = (
+            self.ndwl.get_mut(k),
+            self.access.get_mut(k),
+            self.cycle.get_mut(k),
+            self.energy.get_mut(k),
+            self.area.get_mut(k),
+            self.evals.get_mut(k),
+        ) else {
+            return;
+        };
+        *nd = ndwl;
+        *ac = eval.access_time;
+        *cy = eval.cycle_time;
+        *en = eval.read_energy;
+        *ar = eval.area;
+        *ev = eval;
+        self.n = k + 1;
+    }
+
+    /// One pass over the lanes per objective; no per-candidate dispatch.
+    fn score(&mut self, target: OptTarget) {
+        let n = self.n;
+        match target {
+            OptTarget::Delay => {
+                for (s, a) in self.score.iter_mut().zip(&self.access).take(n) {
+                    *s = *a;
+                }
+            }
+            OptTarget::Energy => {
+                for (s, e) in self.score.iter_mut().zip(&self.energy).take(n) {
+                    *s = *e;
+                }
+            }
+            OptTarget::EnergyDelay => {
+                let lanes = self.score.iter_mut().zip(&self.energy).zip(&self.access);
+                for ((s, e), a) in lanes.take(n) {
+                    *s = *e * *a;
+                }
+            }
+            OptTarget::EnergyDelaySquared => {
+                let lanes = self.score.iter_mut().zip(&self.energy).zip(&self.access);
+                for ((s, e), a) in lanes.take(n) {
+                    *s = *e * *a * *a;
+                }
+            }
+            OptTarget::Area => {
+                for (s, ar) in self.score.iter_mut().zip(&self.area).take(n) {
+                    *s = *ar;
+                }
+            }
+        }
+    }
+}
+
+/// The hoisted-path candidate evaluation: the same arithmetic as
+/// [`evaluate_raw`] — identical operations in identical order, so the
+/// results match bit for bit (see the differential tests) — with every
+/// candidate-invariant term read from the tables instead of recomputed.
+fn evaluate_fast(
+    inv: &SolveInvariants,
+    row: &crate::mat::MatRowPart,
+    geom: &ColGeom,
+    cell: &OuterCell,
+) -> RawEval {
+    let m = inv.mat.evaluate(row, &geom.col, geom.written_per_mat);
+    let ndwl = geom.ndwl;
+    let ndbl = cell.ndbl;
+
+    let path_length = HTree::path_length_of(ndwl, ndbl, m.width, m.height);
+    let wire = inv.rep.energy_derated(path_length, 1.10);
+    let ht = HTree::from_wire(
+        &inv.tech,
+        ndwl,
+        ndbl,
+        path_length,
+        inv.addr_bits,
+        inv.data_bits,
+        wire,
+    )
+    .metrics();
+
+    let n_mats = (ndwl * ndbl) as f64;
+    let active = ndwl as f64;
+
+    let read_energy = active * m.read_energy + geom.mux_read_energy + ht.energy_per_op;
+    let write_energy = active * m.write_energy + ht.energy_per_op;
+    let search_energy = if inv.is_cam {
+        ndbl as f64 * m.search_energy + ht.energy_per_op
+    } else {
+        0.0
+    };
+
+    let access_time = 2.0 * ht.delay + m.read_delay + geom.mux_delay;
+    let cycle_time = 1.2 * m.max_stage_delay.max(ht.delay);
+
+    let area = (n_mats * m.area + ht.area) * ARRAY_AREA_OVERHEAD;
+    // Aspect ratio from the mat grid; the overhead (ECC/redundancy/
+    // routing) is apportioned as extra height so width × height = area.
+    let width = ndwl as f64 * m.width;
+    let height = area / width.max(1e-9);
+
+    let leakage = m.leakage.scaled(n_mats) + ht.leakage + geom.mux_leak;
+
+    RawEval {
+        rows_per_mat: cell.rows_per_mat,
+        cols_per_mat: geom.cols_per_mat,
+        access_time,
+        cycle_time,
+        read_energy,
+        write_energy,
+        search_energy,
+        leakage,
+        area,
+        height,
+        width,
+    }
+}
+
 /// Sweeps `ndwl` for one outer cell, reducing into per-threshold bests.
 ///
-/// Checks the ambient [`mcpat_guard`] budget once per candidate
-/// evaluation, so a deadline or cancellation stops the sweep between
-/// candidates — never mid-evaluation — and the partial bests are simply
-/// dropped (budget errors are not cacheable, so nothing poisoned lands
-/// in the solve cache).
+/// This is the structure-of-arrays fast path: row invariants are hoisted
+/// once per cell, candidates fill `f64` lanes, scoring runs branch-light
+/// over the lanes, and the ordered reduce replays the reference
+/// tie-break sequence exactly. Budget checkpoints and guard candidate
+/// counts keep the reference cadence — one budget check per `ndwl`
+/// (including column-filtered ones), one guard candidate per evaluated
+/// geometry — so a deadline or cancellation still stops the sweep
+/// between candidates, never mid-evaluation.
 fn sweep_cell(
-    tech: &TechParams,
+    inv: &SolveInvariants,
     spec: &ArraySpec,
     target: OptTarget,
-    bounds: &SearchBounds,
     thresholds: &[Option<f64>],
     cell: &OuterCell,
-) -> Result<(Vec<Option<Scored>>, f64), ArrayError> {
-    let access_bits = spec.access_bits.max(1) as usize;
-    let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
-    let mut best_cycle_seen = f64::INFINITY;
-    for ndwl in pow2s_up_to(bounds.max_ndwl.min(cell.cols_total)) {
+    geoms: &[ColGeom],
+) -> Result<(BestSet, f64), ArrayError> {
+    // lint: hot
+    let row = inv.mat.rows_part(cell.rows_per_mat);
+    let mut lanes = CellLanes::new();
+    for geom in geoms {
         budget_check(spec)?;
-        let cols_per_mat = cell.cols_total.div_ceil(ndwl);
-        if cols_per_mat > bounds.max_cols_per_mat {
+        if !geom.valid {
             continue;
         }
-        if let Some(cand) = evaluate_raw(
-            tech,
-            spec,
-            cell.nspd,
-            ndwl,
-            cell.ndbl,
-            cell.rows_per_mat,
-            cols_per_mat,
-            access_bits,
-            target,
-        ) {
-            best_cycle_seen = best_cycle_seen.min(cand.eval.cycle_time);
-            reduce_into(&mut best, thresholds, cand);
-        }
+        lanes.push(geom.ndwl, evaluate_fast(inv, &row, geom, cell));
         mcpat_guard::note_candidate();
     }
+    lanes.score(target);
+
+    let mut best = BestSet::empty();
+    let mut best_cycle_seen = f64::INFINITY;
+    let scored = lanes
+        .score
+        .iter()
+        .zip(&lanes.ndwl)
+        .zip(&lanes.cycle)
+        .zip(&lanes.evals);
+    for (((&score, &ndwl), &cycle), eval) in scored.take(lanes.n) {
+        // A non-finite score mirrors `evaluate_raw` returning `None`.
+        if !score.is_finite() {
+            continue;
+        }
+        best_cycle_seen = best_cycle_seen.min(cycle);
+        reduce_into(
+            &mut best.slots,
+            thresholds,
+            Scored {
+                score,
+                nspd: cell.nspd,
+                ndwl,
+                ndbl: cell.ndbl,
+                eval: *eval,
+            },
+        );
+    }
+    // lint: hot end
     Ok((best, best_cycle_seen))
 }
 
@@ -407,71 +730,112 @@ fn sweep_cell(
 /// two passes. Also returns the fastest cycle time seen by any
 /// candidate.
 ///
-/// Large arrays distribute the outer `(nspd, ndbl)` cells across
-/// threads; because [`better`] is a total order, merging the per-cell
-/// bests in any grouping yields the same winner, so the parallel sweep
-/// is bit-identical to the serial one.
+/// Column geometry depends only on `(nspd, ndwl)`, so one table per
+/// `nspd` is hoisted out of the per-cell sweep here. Large arrays
+/// distribute the outer `(nspd, ndbl)` cells across threads; because
+/// [`better`] is a total order, merging the per-cell bests in any
+/// grouping yields the same winner, so the parallel sweep is
+/// bit-identical to the serial one.
 fn enumerate(
-    tech: &TechParams,
+    inv: &SolveInvariants,
     spec: &ArraySpec,
     target: OptTarget,
     bounds: &SearchBounds,
     thresholds: &[Option<f64>],
-) -> Result<(Vec<Option<Scored>>, f64), ArrayError> {
+) -> Result<(BestSet, f64), ArrayError> {
     let entries = spec.entries as usize;
     let bits = spec.bits_per_entry as usize;
 
-    let mut cells: Vec<OuterCell> = Vec::new();
-    for &nspd in bounds.nspd_options {
-        if nspd > entries {
-            continue;
-        }
-        let rows_total = entries.div_ceil(nspd);
-        let cols_total = bits * nspd;
-        for ndbl in pow2s_up_to(bounds.max_ndbl.min(rows_total)) {
-            let rows_per_mat = rows_total.div_ceil(ndbl);
-            if rows_per_mat > bounds.max_rows_per_mat {
+    // All enumeration scratch (the cell list and the per-nspd geometry
+    // tables) lives in the thread's bump arena: the first solve on a
+    // thread grows it, every later solve reuses the same chunks and
+    // allocates nothing.
+    mcpat_arena::scratch(|scratch| {
+        let geom_sets = scratch.alloc_fill(MAX_NSPD, GeomSet::empty());
+        let mut n_sets = 0usize;
+        let max_cells = bounds
+            .nspd_options
+            .len()
+            .saturating_mul(pow2s_up_to(bounds.max_ndbl).count());
+        let cells_buf = scratch.alloc_fill(
+            max_cells,
+            OuterCell {
+                nspd: 0,
+                ndbl: 0,
+                rows_per_mat: 0,
+                geom_idx: 0,
+            },
+        );
+        let mut n_cells = 0usize;
+        for &nspd in bounds.nspd_options {
+            budget_check(spec)?;
+            if nspd > entries {
                 continue;
             }
-            cells.push(OuterCell {
-                nspd,
-                ndbl,
-                rows_per_mat,
-                cols_total,
-            });
+            let rows_total = entries.div_ceil(nspd);
+            let cols_total = bits * nspd;
+            let Some(slot) = geom_sets.get_mut(n_sets) else {
+                break;
+            };
+            *slot = GeomSet::build(inv, bounds, cols_total);
+            let geom_idx = n_sets;
+            n_sets += 1;
+            for ndbl in pow2s_up_to(bounds.max_ndbl.min(rows_total)) {
+                let rows_per_mat = rows_total.div_ceil(ndbl);
+                if rows_per_mat > bounds.max_rows_per_mat {
+                    continue;
+                }
+                let Some(cell) = cells_buf.get_mut(n_cells) else {
+                    break;
+                };
+                *cell = OuterCell {
+                    nspd,
+                    ndbl,
+                    rows_per_mat,
+                    geom_idx,
+                };
+                n_cells += 1;
+            }
         }
-    }
+        let cells: &[OuterCell] = cells_buf.get(..n_cells).unwrap_or(&[]);
+        let geom_sets: &[GeomSet] = geom_sets;
 
-    let min_parallel = if spec.total_bits() >= PAR_SWEEP_MIN_BITS {
-        2
-    } else {
-        usize::MAX
-    };
-    budget_check(spec)?;
-    let sweeps = mcpat_par::par_map(&cells, min_parallel, |_, cell| {
-        sweep_cell(tech, spec, target, bounds, thresholds, cell)
-    })
-    .map_err(|e| ArrayError::Worker {
-        name: spec.name.clone(),
-        detail: e.to_string(),
-    })?;
+        let min_parallel = if spec.total_bits() >= PAR_SWEEP_MIN_BITS {
+            2
+        } else {
+            usize::MAX
+        };
+        budget_check(spec)?;
+        let sweeps = mcpat_par::par_map(cells, min_parallel, |_, cell| {
+            let geoms = geom_sets
+                .get(cell.geom_idx)
+                .map(GeomSet::as_slice)
+                .unwrap_or(&[]);
+            sweep_cell(inv, spec, target, thresholds, cell, geoms)
+        })
+        .map_err(|e| ArrayError::Worker {
+            name: spec.name.clone(),
+            detail: e.to_string(),
+        })?;
 
-    let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
-    let mut best_cycle_seen = f64::INFINITY;
-    // Surface per-cell budget trips in input order so the winning error
-    // is deterministic regardless of how the sweep was scheduled.
-    for sweep in sweeps {
-        let (partial, cycle) = sweep?;
-        best_cycle_seen = best_cycle_seen.min(cycle);
-        for (slot, cand) in best.iter_mut().zip(partial) {
-            if let Some(c) = cand {
-                if slot.is_none_or(|b| better(&c, &b)) {
-                    *slot = Some(c);
+        let mut best = BestSet::empty();
+        let mut best_cycle_seen = f64::INFINITY;
+        // Surface per-cell budget trips in input order so the winning
+        // error is deterministic regardless of how the sweep was
+        // scheduled.
+        for sweep in sweeps {
+            let (partial, cycle) = sweep?;
+            best_cycle_seen = best_cycle_seen.min(cycle);
+            for (slot, cand) in best.slots.iter_mut().zip(partial.slots) {
+                if let Some(c) = cand {
+                    if slot.is_none_or(|b| better(&c, &b)) {
+                        *slot = Some(c);
+                    }
                 }
             }
         }
-    }
-    Ok((best, best_cycle_seen))
+        Ok((best, best_cycle_seen))
+    })
 }
 
 /// Runs the optimizer. Prefer [`ArraySpec::solve`].
@@ -509,6 +873,9 @@ pub(crate) fn solve_uncached(
     spec: &ArraySpec,
     target: OptTarget,
 ) -> Result<SolvedArray, ArrayError> {
+    if REFERENCE_MODE.load(Ordering::Relaxed) {
+        return reference::solve_reference(tech, spec, target);
+    }
     if spec.entries == 0 || spec.bits_per_entry == 0 {
         return Err(ArrayError::DegenerateSpec {
             name: spec.name.clone(),
@@ -519,27 +886,37 @@ pub(crate) fn solve_uncached(
     let normal = if is_cam { &NORMAL_CAM } else { &NORMAL_RAM };
     let wide = if is_cam { &WIDE_CAM } else { &WIDE_RAM };
     let req = spec.max_cycle_time;
+    let inv = SolveInvariants::new(tech, spec);
 
     // Rung 0: the standard search, exactly as requested.
     budget_check(spec)?;
-    let (mut strict, cycle_strict) = enumerate(tech, spec, target, normal, &[req])?;
-    if let Some(c) = strict.pop().flatten() {
+    let (strict, cycle_strict) = enumerate(&inv, spec, target, normal, &[req])?;
+    if let Some(c) = strict.slots.first().copied().flatten() {
         return Ok(materialize(spec, c, None));
     }
 
     // Relaxation ladder: one widened pass tracks every rung at once.
-    let thresholds: Vec<Option<f64>> = match req {
-        Some(r) => std::iter::once(Some(r))
-            .chain(CYCLE_RELAX_FACTORS.iter().map(|f| Some(r * f)))
-            .chain(std::iter::once(None))
-            .collect(),
-        None => vec![None],
+    let [f1, f2, f3, f4] = CYCLE_RELAX_FACTORS;
+    let (tvals, tlen): ([Option<f64>; MAX_THRESHOLDS], usize) = match req {
+        Some(r) => (
+            [
+                Some(r),
+                Some(r * f1),
+                Some(r * f2),
+                Some(r * f3),
+                Some(r * f4),
+                None,
+            ],
+            MAX_THRESHOLDS,
+        ),
+        None => ([None; MAX_THRESHOLDS], 1),
     };
+    let thresholds = tvals.get(..tlen).unwrap_or(&[]);
     budget_check(spec)?;
-    let (rungs, cycle_wide) = enumerate(tech, spec, target, wide, &thresholds)?;
-    let last = rungs.len() - 1;
-    for (i, cand) in rungs.into_iter().enumerate() {
-        let Some(c) = cand else { continue };
+    let (rungs, cycle_wide) = enumerate(&inv, spec, target, wide, thresholds)?;
+    let last = tlen - 1;
+    for (i, cand) in rungs.slots.iter().take(tlen).enumerate() {
+        let Some(c) = *cand else { continue };
         let achieved = c.eval.cycle_time;
         let relaxation = Some(match (i, req) {
             (0, _) | (_, None) => Relaxation::WidenedBounds,
@@ -702,6 +1079,196 @@ fn evaluate_raw(
             width,
         },
     })
+}
+
+/// The reference (unhoisted) solver, retained verbatim from before the
+/// invariant-hoisting fast path: every candidate is rebuilt from scratch
+/// through [`Mat`], [`Multiplexer`], and [`HTree::new`] via
+/// [`evaluate_raw`]. The differential tests sweep both implementations
+/// across specs, objectives, and relaxation rungs and require equal
+/// bits; [`set_reference_mode`] routes whole chip builds through here
+/// for the same comparison. Not part of the public API contract.
+#[doc(hidden)]
+pub mod reference {
+    use super::{
+        better, budget_check, evaluate_raw, materialize, pow2s_up_to, reduce_into, ArrayError,
+        ArrayKind, ArraySpec, OptTarget, Relaxation, Scored, SolvedArray, TechParams,
+        CYCLE_RELAX_FACTORS, NORMAL_CAM, NORMAL_RAM, PAR_SWEEP_MIN_BITS, SearchBounds, WIDE_CAM,
+        WIDE_RAM,
+    };
+
+    #[derive(Clone, Copy)]
+    struct SweepCell {
+        nspd: usize,
+        ndbl: usize,
+        rows_per_mat: usize,
+        cols_total: usize,
+    }
+
+    fn sweep_cell(
+        tech: &TechParams,
+        spec: &ArraySpec,
+        target: OptTarget,
+        bounds: &SearchBounds,
+        thresholds: &[Option<f64>],
+        cell: &SweepCell,
+    ) -> Result<(Vec<Option<Scored>>, f64), ArrayError> {
+        let access_bits = spec.access_bits.max(1) as usize;
+        let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
+        let mut best_cycle_seen = f64::INFINITY;
+        for ndwl in pow2s_up_to(bounds.max_ndwl.min(cell.cols_total)) {
+            budget_check(spec)?;
+            let cols_per_mat = cell.cols_total.div_ceil(ndwl);
+            if cols_per_mat > bounds.max_cols_per_mat {
+                continue;
+            }
+            if let Some(cand) = evaluate_raw(
+                tech,
+                spec,
+                cell.nspd,
+                ndwl,
+                cell.ndbl,
+                cell.rows_per_mat,
+                cols_per_mat,
+                access_bits,
+                target,
+            ) {
+                best_cycle_seen = best_cycle_seen.min(cand.eval.cycle_time);
+                reduce_into(&mut best, thresholds, cand);
+            }
+            mcpat_guard::note_candidate();
+        }
+        Ok((best, best_cycle_seen))
+    }
+
+    fn enumerate(
+        tech: &TechParams,
+        spec: &ArraySpec,
+        target: OptTarget,
+        bounds: &SearchBounds,
+        thresholds: &[Option<f64>],
+    ) -> Result<(Vec<Option<Scored>>, f64), ArrayError> {
+        let entries = spec.entries as usize;
+        let bits = spec.bits_per_entry as usize;
+
+        let mut cells: Vec<SweepCell> = Vec::new();
+        for &nspd in bounds.nspd_options {
+            if nspd > entries {
+                continue;
+            }
+            let rows_total = entries.div_ceil(nspd);
+            let cols_total = bits * nspd;
+            for ndbl in pow2s_up_to(bounds.max_ndbl.min(rows_total)) {
+                let rows_per_mat = rows_total.div_ceil(ndbl);
+                if rows_per_mat > bounds.max_rows_per_mat {
+                    continue;
+                }
+                cells.push(SweepCell {
+                    nspd,
+                    ndbl,
+                    rows_per_mat,
+                    cols_total,
+                });
+            }
+        }
+
+        let min_parallel = if spec.total_bits() >= PAR_SWEEP_MIN_BITS {
+            2
+        } else {
+            usize::MAX
+        };
+        budget_check(spec)?;
+        let sweeps = mcpat_par::par_map(&cells, min_parallel, |_, cell| {
+            sweep_cell(tech, spec, target, bounds, thresholds, cell)
+        })
+        .map_err(|e| ArrayError::Worker {
+            name: spec.name.clone(),
+            detail: e.to_string(),
+        })?;
+
+        let mut best: Vec<Option<Scored>> = vec![None; thresholds.len()];
+        let mut best_cycle_seen = f64::INFINITY;
+        for sweep in sweeps {
+            let (partial, cycle) = sweep?;
+            best_cycle_seen = best_cycle_seen.min(cycle);
+            for (slot, cand) in best.iter_mut().zip(partial) {
+                if let Some(c) = cand {
+                    if slot.is_none_or(|b| better(&c, &b)) {
+                        *slot = Some(c);
+                    }
+                }
+            }
+        }
+        Ok((best, best_cycle_seen))
+    }
+
+    /// Solves `spec` with the unhoisted reference sweep. Same contract
+    /// and same results, bit for bit, as [`super::solve_uncached`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ArrayError`]; identical failure behavior to the fast path.
+    pub fn solve_reference(
+        tech: &TechParams,
+        spec: &ArraySpec,
+        target: OptTarget,
+    ) -> Result<SolvedArray, ArrayError> {
+        if spec.entries == 0 || spec.bits_per_entry == 0 {
+            return Err(ArrayError::DegenerateSpec {
+                name: spec.name.clone(),
+            });
+        }
+
+        let is_cam = spec.kind == ArrayKind::Cam;
+        let normal = if is_cam { &NORMAL_CAM } else { &NORMAL_RAM };
+        let wide = if is_cam { &WIDE_CAM } else { &WIDE_RAM };
+        let req = spec.max_cycle_time;
+
+        budget_check(spec)?;
+        let (mut strict, cycle_strict) = enumerate(tech, spec, target, normal, &[req])?;
+        if let Some(c) = strict.pop().flatten() {
+            return Ok(materialize(spec, c, None));
+        }
+
+        let thresholds: Vec<Option<f64>> = match req {
+            Some(r) => std::iter::once(Some(r))
+                .chain(CYCLE_RELAX_FACTORS.iter().map(|f| Some(r * f)))
+                .chain(std::iter::once(None))
+                .collect(),
+            None => vec![None],
+        };
+        budget_check(spec)?;
+        let (rungs, cycle_wide) = enumerate(tech, spec, target, wide, &thresholds)?;
+        let last = rungs.len() - 1;
+        for (i, cand) in rungs.into_iter().enumerate() {
+            let Some(c) = cand else { continue };
+            let achieved = c.eval.cycle_time;
+            let relaxation = Some(match (i, req) {
+                (0, _) | (_, None) => Relaxation::WidenedBounds,
+                (_, Some(_)) if i == last => Relaxation::CycleDropped { achieved },
+                (_, Some(_)) => Relaxation::CycleRelaxed {
+                    factor: i
+                        .checked_sub(1)
+                        .and_then(|j| CYCLE_RELAX_FACTORS.get(j))
+                        .copied()
+                        .unwrap_or(f64::INFINITY),
+                    achieved,
+                },
+            });
+            return Ok(materialize(spec, c, relaxation));
+        }
+
+        let best_cycle = cycle_strict.min(cycle_wide);
+        Err(ArrayError::NoFeasiblePartition {
+            name: spec.name.clone(),
+            required_cycle: req,
+            best_cycle: if best_cycle.is_finite() {
+                best_cycle
+            } else {
+                0.0
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -949,6 +1516,79 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_bit_for_bit_across_rungs_and_targets() {
+        // The hoisted SoA sweep must pick the same organization and
+        // produce the same bits as the retained reference sweep, on
+        // every objective, including specs that exercise the strict
+        // rung, the widened-bounds rung, the dropped-cycle rung, CAMs,
+        // and many-ported register files.
+        let t = tech();
+        let specs = [
+            ArraySpec::ram(32 * 1024, 64).named("rung0"),
+            ArraySpec::table(2 * 1024 * 1024, 8).named("widened"),
+            ArraySpec::ram(1024 * 1024, 64)
+                .with_max_cycle_time(1e-12)
+                .named("dropped"),
+            ArraySpec::cam(64, 64, 48).named("cam"),
+            ArraySpec::table(128, 64)
+                .with_ports(Ports::reg_file(6, 3))
+                .named("rf"),
+        ];
+        let targets = [
+            OptTarget::Delay,
+            OptTarget::Energy,
+            OptTarget::EnergyDelay,
+            OptTarget::EnergyDelaySquared,
+            OptTarget::Area,
+        ];
+        for spec in &specs {
+            for target in targets {
+                let fast = solve_uncached(&t, spec, target).unwrap();
+                let refr = reference::solve_reference(&t, spec, target).unwrap();
+                let ctx = format!("{} / {target:?}", spec.name);
+                assert_eq!(
+                    (fast.ndwl, fast.ndbl, fast.nspd, fast.rows_per_mat, fast.cols_per_mat),
+                    (refr.ndwl, refr.ndbl, refr.nspd, refr.rows_per_mat, refr.cols_per_mat),
+                    "organization diverged: {ctx}"
+                );
+                for (a, b, what) in [
+                    (fast.access_time, refr.access_time, "access_time"),
+                    (fast.cycle_time, refr.cycle_time, "cycle_time"),
+                    (fast.read_energy, refr.read_energy, "read_energy"),
+                    (fast.write_energy, refr.write_energy, "write_energy"),
+                    (fast.search_energy, refr.search_energy, "search_energy"),
+                    (fast.area, refr.area, "area"),
+                    (fast.height, refr.height, "height"),
+                    (fast.width, refr.width, "width"),
+                    (
+                        fast.leakage.subthreshold,
+                        refr.leakage.subthreshold,
+                        "leakage.subthreshold",
+                    ),
+                    (fast.leakage.gate, refr.leakage.gate, "leakage.gate"),
+                ] {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{what} diverged: {ctx}");
+                }
+                assert_eq!(fast.relaxation, refr.relaxation, "relaxation diverged: {ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_mode_routes_solves_through_the_reference_sweep() {
+        let t = tech();
+        let spec = ArraySpec::ram(64 * 1024, 64).named("mode-check");
+        let fast = solve_uncached(&t, &spec, OptTarget::EnergyDelay).unwrap();
+        set_reference_mode(true);
+        let routed = solve_uncached(&t, &spec, OptTarget::EnergyDelay);
+        set_reference_mode(false);
+        let routed = routed.unwrap();
+        assert_eq!(routed.access_time.to_bits(), fast.access_time.to_bits());
+        assert_eq!(routed.read_energy.to_bits(), fast.read_energy.to_bits());
+        assert_eq!((routed.ndwl, routed.ndbl, routed.nspd), (fast.ndwl, fast.ndbl, fast.nspd));
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub struct RepeatedWire {
     pub metrics: CircuitMetrics,
 }
 
+/// Repeater size derating factors swept by `energy_derated`; index 0 is
+/// the delay-optimal sizing.
+const SIZE_DERATES: [f64; 6] = [1.0, 0.8, 0.6, 0.5, 0.4, 0.3];
+
+/// Segment-spacing derating factors swept by `energy_derated`.
+const SPACING_DERATES: [f64; 5] = [1.0, 1.25, 1.5, 2.0, 2.5];
+
 impl RepeatedWire {
     /// Sizes repeaters for minimum delay.
     #[must_use]
@@ -70,9 +77,9 @@ impl RepeatedWire {
         // Sweep size/spacing derating factors; keep the lowest-energy
         // solution inside the delay budget.
         // lint: allow(L008, RepeatedWire::build is closed-form arithmetic — 30 combinations run in microseconds, no solver)
-        for size_derate in [1.0, 0.8, 0.6, 0.5, 0.4, 0.3] {
+        for size_derate in SIZE_DERATES {
             // lint: allow(L008, RepeatedWire::build is closed-form arithmetic — 30 combinations run in microseconds, no solver)
-            for spacing_derate in [1.0, 1.25, 1.5, 2.0, 2.5] {
+            for spacing_derate in SPACING_DERATES {
                 let cand = Self::build(tech, wire_type, length, size_derate, spacing_derate);
                 if cand.metrics.delay <= budget
                     && cand.metrics.energy_per_op < best.metrics.energy_per_op
@@ -155,6 +162,136 @@ impl RepeatedWire {
     }
 }
 
+/// One precomputed repeater prototype of the derating sweep.
+#[derive(Debug, Clone, Copy)]
+struct RepeaterGate {
+    size: f64,
+    input_cap: f64,
+    self_cap: f64,
+    area: f64,
+    leak: StaticPower,
+}
+
+/// Everything in [`RepeatedWire::build`] that does not depend on the wire
+/// *length*: wire RC per metre, the min-inverter constants, the classical
+/// `l_opt`/`s_opt` optima (one `sqrt` each), and one sized repeater gate
+/// per entry of the derating sweep. Hoisted once per `(corner, wire
+/// class)` so a partition sweep evaluating thousands of H-trees pays only
+/// the per-length Elmore arithmetic.
+///
+/// Every cached value is the result of the identical expression the
+/// uncached path evaluates, so [`RepeaterInvariants::energy_derated`] is
+/// bit-identical to [`RepeatedWire::energy_derated`]
+/// (`invariants_match_reference_bit_for_bit` below enforces this).
+#[derive(Debug, Clone, Copy)]
+pub struct RepeaterInvariants {
+    wire_type: WireType,
+    r_per_m: f64,
+    c_per_m: f64,
+    r0: f64,
+    l_opt: f64,
+    vdd: f64,
+    gates: [RepeaterGate; 6],
+}
+
+impl RepeaterInvariants {
+    /// Hoists the length-independent parts of a repeated-wire build.
+    #[must_use]
+    pub fn new(tech: &TechParams, wire_type: WireType) -> RepeaterInvariants {
+        let wire = tech.wire(wire_type);
+        let min_inv = LogicGate::new(tech, GateKind::Inverter, 1.0);
+        let c0 = min_inv.input_cap() + min_inv.self_cap();
+        let r0 = tech.r_eq_n(tech.min_w_nmos());
+        let l_opt = (2.0 * r0 * c0 / (0.38 * wire.r_per_m * wire.c_per_m)).sqrt();
+        let s_opt = ((r0 * wire.c_per_m) / (wire.r_per_m * min_inv.input_cap())).sqrt();
+        let gates = SIZE_DERATES.map(|size_derate| {
+            let size = (s_opt * size_derate).max(1.0);
+            let g = LogicGate::new(tech, GateKind::Inverter, size);
+            RepeaterGate {
+                size,
+                input_cap: g.input_cap(),
+                self_cap: g.self_cap(),
+                area: g.area(),
+                leak: g.leakage(),
+            }
+        });
+        RepeaterInvariants {
+            wire_type,
+            r_per_m: wire.r_per_m,
+            c_per_m: wire.c_per_m,
+            r0,
+            l_opt,
+            vdd: tech.device.vdd,
+            gates,
+        }
+    }
+
+    /// The fast equivalent of [`RepeatedWire::build`] for one sweep entry.
+    fn build(&self, length: f64, gate_idx: usize, spacing_derate: f64) -> RepeatedWire {
+        let seg_len = (self.l_opt * spacing_derate).min(length.max(1e-9));
+        // lint: allow(L001, index is reduced modulo the array length so it is always in bounds)
+        let gate = self.gates[gate_idx % self.gates.len()];
+        let num_repeaters = (length / seg_len).ceil().max(1.0) as usize;
+        let seg_len = length / num_repeaters as f64;
+
+        let c_wire_seg = self.c_per_m * seg_len;
+        let r_wire_seg = self.r_per_m * seg_len;
+        let c_next = gate.input_cap;
+
+        let r_drv = self.r0 / gate.size;
+        let seg_delay = 0.69 * r_drv * (gate.self_cap + c_wire_seg + c_next)
+            + 0.38 * r_wire_seg * c_wire_seg
+            + 0.69 * r_wire_seg * c_next;
+        // Same operation sequence as `TechParams::switch_energy`.
+        let seg_energy = 0.5 * (gate.self_cap + c_wire_seg + c_next) * self.vdd * self.vdd;
+
+        let k = num_repeaters as f64;
+        let metrics = CircuitMetrics {
+            area: gate.area * k,
+            delay: seg_delay * k,
+            energy_per_op: seg_energy * k,
+            leakage: StaticPower {
+                subthreshold: gate.leak.subthreshold * k,
+                gate: gate.leak.gate * k,
+            },
+        };
+        RepeatedWire {
+            wire_type: self.wire_type,
+            length,
+            num_repeaters,
+            repeater_size: gate.size,
+            metrics,
+        }
+    }
+
+    /// The fast equivalent of [`RepeatedWire::energy_derated`]:
+    /// bit-identical output, no per-call `sqrt`/`exp`/gate sizing.
+    #[must_use]
+    pub fn energy_derated(&self, length: f64, delay_tolerance: f64) -> RepeatedWire {
+        let delay_tolerance = if delay_tolerance.is_finite() {
+            delay_tolerance.max(1.0)
+        } else {
+            1.0
+        };
+        let optimal = self.build(length, 0, 1.0);
+        let budget = optimal.metrics.delay * delay_tolerance;
+        let mut best = optimal;
+        // lint: allow(L008, closed-form arithmetic over 30 precomputed combinations — no solver)
+        for gate_idx in 0..SIZE_DERATES.len() {
+            // lint: allow(L008, closed-form arithmetic over 30 precomputed combinations — no solver)
+            for spacing_derate in SPACING_DERATES {
+                let cand = self.build(length, gate_idx, spacing_derate);
+                if cand.metrics.delay <= budget
+                    && cand.metrics.energy_per_op < best.metrics.energy_per_op
+                {
+                    best = cand;
+                }
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 mod tests {
@@ -219,5 +356,53 @@ mod tests {
         let t = tech();
         let rep = RepeatedWire::delay_optimal(&t, WireType::Local, 10e-6);
         assert_eq!(rep.num_repeaters, 1);
+    }
+
+    #[test]
+    fn invariants_match_reference_bit_for_bit() {
+        for node in [TechNode::N90, TechNode::N22] {
+            for proj in [WireProjection::Aggressive, WireProjection::Conservative] {
+                let t = TechParams::new(node, DeviceType::Hp, 360.0).with_projection(proj);
+                for wt in [WireType::Local, WireType::Intermediate, WireType::Global] {
+                    let inv = RepeaterInvariants::new(&t, wt);
+                    for length in [5e-6, 120e-6, 1.7e-3, 12e-3] {
+                        for tol in [1.0, 1.10, 1.5, f64::NAN] {
+                            let fast = inv.energy_derated(length, tol);
+                            let reference = RepeatedWire::energy_derated(&t, wt, length, tol);
+                            assert_eq!(fast.num_repeaters, reference.num_repeaters);
+                            assert_eq!(
+                                fast.repeater_size.to_bits(),
+                                reference.repeater_size.to_bits()
+                            );
+                            for (a, b, field) in [
+                                (fast.metrics.delay, reference.metrics.delay, "delay"),
+                                (
+                                    fast.metrics.energy_per_op,
+                                    reference.metrics.energy_per_op,
+                                    "energy",
+                                ),
+                                (fast.metrics.area, reference.metrics.area, "area"),
+                                (
+                                    fast.metrics.leakage.subthreshold,
+                                    reference.metrics.leakage.subthreshold,
+                                    "sub",
+                                ),
+                                (
+                                    fast.metrics.leakage.gate,
+                                    reference.metrics.leakage.gate,
+                                    "gate",
+                                ),
+                            ] {
+                                assert_eq!(
+                                    a.to_bits(),
+                                    b.to_bits(),
+                                    "{node:?}/{proj:?}/{wt:?} len {length:e} tol {tol}: {field}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -312,88 +312,92 @@ where
     F: FnMut(&Processor) -> MetricSet,
 {
     // Assign every candidate to the first candidate with the same
-    // configuration; representatives build, the rest share.
-    let mut unique: Vec<&ProcessorConfig> = Vec::new();
-    let mut assignment: Vec<usize> = Vec::with_capacity(candidates.len());
-    for cfg in candidates {
-        let slot = unique
-            .iter()
-            .position(|rep| eq_ignoring_name(rep, cfg))
-            .unwrap_or_else(|| {
-                unique.push(cfg);
-                unique.len() - 1
+    // configuration; representatives build, the rest share. The
+    // assignment table is batch-scoped scratch: it lives in the
+    // thread-local arena and its memory is reused by the per-candidate
+    // build scopes of later batches.
+    mcpat_arena::scratch(|scratch| {
+        let mut unique: Vec<&ProcessorConfig> = Vec::new();
+        let assignment = scratch.alloc_fill(candidates.len(), 0usize);
+        for (cfg, slot_out) in candidates.iter().zip(assignment.iter_mut()) {
+            *slot_out = unique
+                .iter()
+                .position(|rep| eq_ignoring_name(rep, cfg))
+                .unwrap_or_else(|| {
+                    unique.push(cfg);
+                    unique.len() - 1
+                });
+        }
+
+        let builds = mcpat_par::par_map(&unique, 2, |_, cfg| {
+            // One budget checkpoint per representative candidate.
+            crate::processor::checkpoint("explore")?;
+            let r = Processor::build(cfg);
+            if r.is_ok() {
+                mcpat_guard::note_candidate();
+            }
+            r
+        })
+        .map_err(|e| {
+            McpatError::Array(mcpat_diag::AtPath::new(
+                "explore",
+                mcpat_array::ArrayError::Worker {
+                    name: String::from("explore"),
+                    detail: e.to_string(),
+                },
+            ))
+        })?;
+        // Error priority matches `explore`: representatives are in
+        // first-occurrence order, and duplicates of a failing config
+        // fail identically, so the first failing representative is the
+        // first failing candidate.
+        let mut chips = Vec::with_capacity(builds.len());
+        for built in builds {
+            chips.push(built?);
+        }
+
+        let mut feasible = Vec::new();
+        let mut rejected = Vec::new();
+        for (cfg, &slot) in candidates.iter().zip(assignment.iter()) {
+            // Every slot indexes a built representative by construction.
+            let Some(rep) = chips.get(slot) else { continue };
+            // Duplicates get a re-labeled copy so the evaluator and the
+            // result rows observe exactly the chip `explore` would hand
+            // them — same values, this candidate's name.
+            let relabeled;
+            let chip: &Processor = if rep.config.name == cfg.name {
+                rep
+            } else {
+                let mut c = rep.clone();
+                c.config.name.clone_from(&cfg.name);
+                relabeled = c;
+                &relabeled
+            };
+            let area = chip.die_area();
+            let peak = chip.peak_power().total();
+            if area > budgets.max_area || peak > budgets.max_peak_power {
+                rejected.push(cfg.name.clone());
+                continue;
+            }
+            let metrics = evaluate(chip);
+            feasible.push(Candidate {
+                name: cfg.name.clone(),
+                area,
+                peak_power: peak,
+                metrics,
             });
-        assignment.push(slot);
-    }
-
-    let builds = mcpat_par::par_map(&unique, 2, |_, cfg| {
-        // One budget checkpoint per representative candidate.
-        crate::processor::checkpoint("explore")?;
-        let r = Processor::build(cfg);
-        if r.is_ok() {
-            mcpat_guard::note_candidate();
         }
-        r
-    })
-    .map_err(|e| {
-        McpatError::Array(mcpat_diag::AtPath::new(
-            "explore",
-            mcpat_array::ArrayError::Worker {
-                name: String::from("explore"),
-                detail: e.to_string(),
+
+        let pareto = pareto_front(&feasible);
+        Ok((
+            Exploration {
+                feasible,
+                rejected,
+                pareto,
             },
+            unique.len(),
         ))
-    })?;
-    // Error priority matches `explore`: representatives are in
-    // first-occurrence order, and duplicates of a failing config fail
-    // identically, so the first failing representative is the first
-    // failing candidate.
-    let mut chips = Vec::with_capacity(builds.len());
-    for built in builds {
-        chips.push(built?);
-    }
-
-    let mut feasible = Vec::new();
-    let mut rejected = Vec::new();
-    for (cfg, &slot) in candidates.iter().zip(&assignment) {
-        // Every slot indexes a built representative by construction.
-        let Some(rep) = chips.get(slot) else { continue };
-        // Duplicates get a re-labeled copy so the evaluator and the
-        // result rows observe exactly the chip `explore` would hand
-        // them — same values, this candidate's name.
-        let relabeled;
-        let chip: &Processor = if rep.config.name == cfg.name {
-            rep
-        } else {
-            let mut c = rep.clone();
-            c.config.name.clone_from(&cfg.name);
-            relabeled = c;
-            &relabeled
-        };
-        let area = chip.die_area();
-        let peak = chip.peak_power().total();
-        if area > budgets.max_area || peak > budgets.max_peak_power {
-            rejected.push(cfg.name.clone());
-            continue;
-        }
-        let metrics = evaluate(chip);
-        feasible.push(Candidate {
-            name: cfg.name.clone(),
-            area,
-            peak_power: peak,
-            metrics,
-        });
-    }
-
-    let pareto = pareto_front(&feasible);
-    Ok((
-        Exploration {
-            feasible,
-            rejected,
-            pareto,
-        },
-        unique.len(),
-    ))
+    })
 }
 
 /// Probe accounting of [`max_clock_under_power_budget_with_perf`].

@@ -147,7 +147,11 @@ impl Processor {
         let result = {
             let _scope = collector.enter();
             let _span = mcpat_obs::span("build");
-            Self::build_inner(config)
+            // One arena mark per chip build: every solver scratch
+            // allocation made inline on this thread rolls back here
+            // when the build finishes, so back-to-back builds (warm
+            // sweeps, exploration) reuse one retained chunk.
+            mcpat_arena::scratch(|_scratch| Self::build_inner(config))
         };
         let snap = collector.snapshot();
         let mut chip = result?;

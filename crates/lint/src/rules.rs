@@ -1,4 +1,4 @@
-//! The project-invariant rules, L001–L008.
+//! The project-invariant rules, L001–L009.
 //!
 //! Each rule is a pure function over one file's token stream (plus, for
 //! L004, a per-crate accumulation step). Rules never look inside
@@ -16,6 +16,7 @@
 //! | L006 | no `unwrap`/`expect`/`panic!` family in library code |
 //! | L007 | no before/after deltas over global `memo`/`pool` counters |
 //! | L008 | solver/build loops carry a budget checkpoint |
+//! | L009 | no per-iteration heap allocation in `lint: hot` regions |
 //!
 //! A violation is silenced by `// lint: allow(L00n, reason)` — trailing
 //! on the offending line, or on its own line immediately above (the
@@ -48,6 +49,9 @@ pub enum Rule {
     /// A loop over candidates/probes/rungs (one calling solver or
     /// build APIs) with no budget checkpoint in its body.
     L008,
+    /// Heap allocation inside a `// lint: hot` region — the solver's
+    /// per-candidate loops and other marked cold-path hot spots.
+    L009,
     /// A `lint: allow` annotation that silenced nothing, or is
     /// malformed (missing its mandatory reason).
     Allowance,
@@ -66,6 +70,7 @@ impl Rule {
             Rule::L006 => "L006",
             Rule::L007 => "L007",
             Rule::L008 => "L008",
+            Rule::L009 => "L009",
             Rule::Allowance => "allow",
         }
     }
@@ -80,6 +85,7 @@ impl Rule {
             "L006" => Some(Rule::L006),
             "L007" => Some(Rule::L007),
             "L008" => Some(Rule::L008),
+            "L009" => Some(Rule::L009),
             _ => None,
         }
     }
@@ -183,6 +189,7 @@ pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool, obs_crate: bool)
         check_global_deltas(rel_path, tokens, &in_test, &mut out.findings);
     }
     check_loop_budgets(rel_path, tokens, &in_test, &mut out.findings);
+    check_hot_allocs(rel_path, lexed, &in_test, &mut out.findings);
 
     collect_structs(rel_path, tokens, &in_test, &mut out.structs);
     collect_validate_idents(tokens, &mut out);
@@ -707,6 +714,118 @@ fn check_loop_budgets(
         // right (each iteration layer needs its own checkpoint or an
         // inner one that covers it).
         i = i.saturating_add(1);
+    }
+}
+
+/// Owning-container types whose `::new`/`::from`/`::with_capacity`
+/// constructors hit the global allocator (or will on first push).
+const ALLOC_OWNERS: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "Box",
+    "String",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+];
+
+/// Constructor idents that allocate when invoked on an owner above.
+const ALLOC_CTORS: &[&str] = &["new", "from", "with_capacity"];
+
+/// Method calls that copy into fresh heap storage.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "clone"];
+
+/// Macros that expand to heap allocation.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// The `// lint: hot` … `// lint: hot end` line ranges of a file:
+/// explicitly marked per-candidate regions (the solver sweep, batch
+/// build inner loops) that L009 patrols for heap allocation. An
+/// unclosed opener extends to end of file.
+fn hot_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut open: Option<usize> = None;
+    for c in &lexed.comments {
+        let Some(at) = c.text.find("lint:") else {
+            continue;
+        };
+        let rest = c.text.get(at.saturating_add(5)..).unwrap_or_default().trim_start();
+        let Some(tail) = rest.strip_prefix("hot") else {
+            continue;
+        };
+        if tail.trim() == "end" {
+            if let Some(start) = open.take() {
+                ranges.push((start, c.line));
+            }
+        } else if tail.trim().is_empty() {
+            open = open.or(Some(c.line));
+        }
+    }
+    if let Some(start) = open {
+        ranges.push((start, usize::MAX));
+    }
+    ranges
+}
+
+/// L009 — heap allocation inside a `// lint: hot` region. Hot regions
+/// mark per-candidate code (the solver's scoring sweep runs tens of
+/// thousands of times per cold build), where a single `Vec::new` or
+/// `.clone()` of a non-`Copy` value turns into allocator churn that
+/// dominates the profile. Flags owning-container constructors,
+/// copy-to-heap methods, and allocating macros; scratch should come
+/// from the arena or fixed-size lanes hoisted out of the loop.
+fn check_hot_allocs(
+    file: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let ranges = hot_ranges(lexed);
+    if ranges.is_empty() {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    let in_hot = |line: usize| ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Ident || !in_hot(t.line) || in_test(i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let next_is = |text: &str| {
+            tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, text))
+        };
+        // `Vec::new(`, `String::with_capacity(`, … — only on the known
+        // owning containers, so `Multiplexer::new` and friends (plain
+        // value constructors) pass untouched.
+        let ctor = ALLOC_CTORS.contains(&name)
+            && next_is("(")
+            && prev(tokens, i).is_some_and(|p| is_punct(p, "::"))
+            && i.checked_sub(2)
+                .and_then(|j| tokens.get(j))
+                .is_some_and(|o| o.kind == Kind::Ident && ALLOC_OWNERS.contains(&o.text.as_str()));
+        // `.to_vec()`, `.to_owned()`, `.clone()` — copies into fresh
+        // heap storage (a `Copy` scalar has no reason to be cloned, so
+        // any `.clone()` in a hot region is worth an audited allow).
+        let method = ALLOC_METHODS.contains(&name)
+            && next_is("(")
+            && prev(tokens, i).is_some_and(|p| is_punct(p, "."));
+        // `vec![…]`, `format!(…)`.
+        let mac = ALLOC_MACROS.contains(&name) && next_is("!");
+        if ctor || method || mac {
+            findings.push(Finding {
+                rule: Rule::L009,
+                severity: Rule::L009.severity(),
+                file: file.to_owned(),
+                line: t.line,
+                alt_line: None,
+                message: format!(
+                    "heap allocation `{name}` inside a `lint: hot` region; reuse arena \
+                     scratch or fixed-size lanes hoisted out of the candidate loop — or \
+                     justify with `// lint: allow(L009, reason)`"
+                ),
+            });
+        }
     }
 }
 

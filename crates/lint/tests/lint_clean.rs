@@ -24,6 +24,7 @@ fn every_fixture_trips_its_rule() {
         ("l006_panicking_call.rs", "L006"),
         ("l007_global_delta.rs", "L007"),
         ("l008_unguarded_loop.rs", "L008"),
+        ("l009_hot_alloc.rs", "L009"),
     ] {
         let report = lint_source(file, &fixture(file));
         assert!(

@@ -395,6 +395,40 @@ mod tests {
     }
 
     #[test]
+    fn single_worker_fanout_is_pure_inline_with_zero_steals() {
+        // The 1-CPU regression mode: with one worker every fan-out —
+        // including nesting shaped like a chip build (par_map over
+        // join4 over join6) — must run inline without ever touching
+        // the pool queues. Submitting with no second lane to drain
+        // the queue is pure overhead (the `clock_bisection_full`
+        // parallel-slower-than-serial anomaly).
+        let (before, after, got) = with_override(1, || {
+            let before = pool::stats();
+            let items: Vec<usize> = (0..12).collect();
+            let got = par_map(&items, 2, |_, &x| {
+                let (a, b, c, d) = join4(|| x, || x + 1, || x + 2, || x + 3).unwrap();
+                let (e, f, ..) = join6(|| a + b, || c + d, || 0, || 0, || 0, || 0).unwrap();
+                e + f
+            })
+            .unwrap();
+            (before, pool::stats(), got)
+        });
+        let want: Vec<usize> = (0..12).map(|x| 4 * x + 6).collect();
+        assert_eq!(got, want);
+        assert_eq!(after.steals, before.steals, "one worker must never steal");
+        assert_eq!(
+            after.submitted, before.submitted,
+            "one worker must never submit to the pool queues"
+        );
+        // Every closure (12 map items + 3 + 5 join arms each) billed
+        // as inline execution.
+        assert!(
+            after.inline_execs >= before.inline_execs + 12 * (1 + 4 + 6),
+            "{after:?} vs {before:?}"
+        );
+    }
+
+    #[test]
     fn override_beats_env_and_detection() {
         with_override(3, || assert_eq!(threads(), 3));
     }

@@ -159,6 +159,19 @@ pub fn is_pool_worker() -> bool {
     WORKER.with(Cell::get).is_some()
 }
 
+/// True when a fan-out from this thread would have no second lane to
+/// run on: the pool holds no resident worker besides (possibly) the
+/// calling thread itself — either worker spawning failed, or the sole
+/// resident worker is the caller of a nested fan-out. Submitting in
+/// that state only round-trips every task through the queue mutex and
+/// condvar back to this same thread (the `clock_bisection_full`
+/// parallel-slower-than-serial anomaly on a 1-CPU host), so the pooled
+/// paths fall back to inline execution instead.
+fn no_second_lane(shared: &Shared) -> bool {
+    let workers = lock(shared).locals.len();
+    workers == 0 || (workers == 1 && is_pool_worker())
+}
+
 /// Grows the pool to `want` resident workers (capped, never shrinks).
 /// Spawn failures degrade gracefully: submitting threads always help
 /// drain the queues, so fewer workers costs throughput, not progress.
@@ -463,6 +476,14 @@ where
 {
     let shared = shared();
     ensure_workers(shared, crate::threads().saturating_sub(1));
+    if no_second_lane(shared) {
+        note_inline(items.len() as u64);
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            out.push(crate::catch(|| f(i, item))?);
+        }
+        return Ok(out);
+    }
     let slots: Vec<Slot<T>> = (0..items.len())
         .map(|_| Slot(UnsafeCell::new(None)))
         .collect();
@@ -590,6 +611,14 @@ where
 {
     let shared = shared();
     ensure_workers(shared, crate::threads().saturating_sub(1));
+    if no_second_lane(shared) {
+        note_inline(1 + jobs.len() as u64);
+        let lead_result = crate::catch(lead);
+        for job in jobs {
+            run_task(*job, false);
+        }
+        return lead_result;
+    }
     submit(shared, jobs.iter().copied());
     note_inline(1);
     let lead_result = crate::catch(lead);

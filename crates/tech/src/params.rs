@@ -40,27 +40,89 @@ pub struct TechParams {
     /// multiplying their subthreshold leakage by the device's
     /// `long_channel_leakage_reduction` factor.
     pub long_channel_leakage: bool,
+    /// Corner-invariant derived constants, recomputed by every
+    /// constructor / `with_*` builder. Private so no caller can desync
+    /// them from the fields above.
+    derived: TechDerived,
+}
+
+/// Values that depend only on the corner itself and are hot on the
+/// per-candidate solver path: temperature-resolved leakage currents
+/// (each hides an `exp`), on-resistances, the FO4 delay, and the three
+/// wire classes. Caching them here makes `subthreshold_leakage`,
+/// `r_eq_n`, `fo4`, and `wire` branch-and-table-free.
+///
+/// Every cached value is the result of evaluating the *same expression*
+/// the uncached accessor used, exactly once — so reads are bit-identical
+/// to recomputation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TechDerived {
+    i_off_n_t: f64,
+    i_off_p_t: f64,
+    r_on_n: f64,
+    r_on_p: f64,
+    fo4: f64,
+    wire_local: WireParams,
+    wire_intermediate: WireParams,
+    wire_global: WireParams,
+}
+
+impl TechDerived {
+    fn compute(
+        node: TechNode,
+        device: &DeviceParams,
+        temperature: f64,
+        projection: WireProjection,
+    ) -> TechDerived {
+        let r_on_n = device.r_on_n();
+        // Same operation sequence as the pre-cache `TechParams::fo4`.
+        let wn = 1.5 * node.feature_m();
+        let wp = 2.0 * wn;
+        let r = r_on_n / wn;
+        let c_in = device.c_g * (wn + wp);
+        let c_self = device.c_d * (wn + wp);
+        TechDerived {
+            i_off_n_t: device.i_off_n(temperature),
+            i_off_p_t: device.i_off_p(temperature),
+            r_on_n,
+            r_on_p: device.r_on_p(),
+            fo4: 0.69 * r * (c_self + 4.0 * c_in),
+            wire_local: WireParams::new(node, WireType::Local, projection),
+            wire_intermediate: WireParams::new(node, WireType::Intermediate, projection),
+            wire_global: WireParams::new(node, WireType::Global, projection),
+        }
+    }
 }
 
 impl TechParams {
     /// Creates a corner with the aggressive interconnect projection.
     #[must_use]
     pub fn new(node: TechNode, device_type: DeviceType, temperature: f64) -> TechParams {
+        let device = DeviceParams::lookup(node, device_type);
+        let projection = WireProjection::Aggressive;
         TechParams {
             node,
             device_type,
             temperature,
-            projection: WireProjection::Aggressive,
-            device: DeviceParams::lookup(node, device_type),
+            projection,
+            device,
             long_channel_leakage: false,
+            derived: TechDerived::compute(node, &device, temperature, projection),
         }
+    }
+
+    /// Recomputes the derived-constant cache after a builder changed one
+    /// of the fields it depends on.
+    fn refreshed(mut self) -> TechParams {
+        self.derived = TechDerived::compute(self.node, &self.device, self.temperature, self.projection);
+        self
     }
 
     /// Replaces the interconnect projection.
     #[must_use]
     pub fn with_projection(mut self, projection: WireProjection) -> TechParams {
         self.projection = projection;
-        self
+        self.refreshed()
     }
 
     /// Enables long-channel devices on non-critical paths.
@@ -80,7 +142,7 @@ impl TechParams {
     #[must_use]
     pub fn with_vdd_scale(mut self, scale: f64) -> TechParams {
         self.device = self.device.with_vdd_scale(scale);
-        self
+        self.refreshed()
     }
 
     /// Returns the same corner with a different device flavor
@@ -89,7 +151,7 @@ impl TechParams {
     pub fn with_device_type(mut self, device_type: DeviceType) -> TechParams {
         self.device_type = device_type;
         self.device = DeviceParams::lookup(self.node, device_type);
-        self
+        self.refreshed()
     }
 
     /// Minimum NMOS width in this process, m.
@@ -119,13 +181,13 @@ impl TechParams {
     /// Equivalent switching resistance of an NMOS of width `w`, Ω.
     #[must_use]
     pub fn r_eq_n(&self, w: f64) -> f64 {
-        self.device.r_on_n() / w
+        self.derived.r_on_n / w
     }
 
     /// Equivalent switching resistance of a PMOS of width `w`, Ω.
     #[must_use]
     pub fn r_eq_p(&self, w: f64) -> f64 {
-        self.device.r_on_p() / w
+        self.derived.r_on_p / w
     }
 
     /// The fanout-of-4 inverter delay of this corner, s.
@@ -134,12 +196,7 @@ impl TechParams {
     /// clock rates are expressed in FO4s by the timing roll-up.
     #[must_use]
     pub fn fo4(&self) -> f64 {
-        let wn = self.min_w_nmos();
-        let wp = self.min_w_pmos();
-        let r = self.r_eq_n(wn);
-        let c_in = self.gate_cap(wn + wp);
-        let c_self = self.drain_cap(wn + wp);
-        0.69 * r * (c_self + 4.0 * c_in)
+        self.derived.fo4
     }
 
     /// Subthreshold leakage power of a gate with total NMOS width `w_n`
@@ -152,8 +209,7 @@ impl TechParams {
             1.0
         };
         0.5 * factor
-            * (self.device.i_off_n(self.temperature) * w_n
-                + self.device.i_off_p(self.temperature) * w_p)
+            * (self.derived.i_off_n_t * w_n + self.derived.i_off_p_t * w_p)
             * self.device.vdd
     }
 
@@ -172,7 +228,11 @@ impl TechParams {
     /// Wire parameters for a wire class under this corner's projection.
     #[must_use]
     pub fn wire(&self, wire_type: WireType) -> WireParams {
-        WireParams::new(self.node, wire_type, self.projection)
+        match wire_type {
+            WireType::Local => self.derived.wire_local,
+            WireType::Intermediate => self.derived.wire_intermediate,
+            WireType::Global => self.derived.wire_global,
+        }
     }
 
     /// Low-swing differential wire parameters for this corner.
@@ -283,6 +343,48 @@ mod tests {
         let w = 1e-6;
         assert!(low.subthreshold_leakage(w, w) < nom.subthreshold_leakage(w, w));
         assert!(low.switch_energy(1e-15) < nom.switch_energy(1e-15));
+    }
+
+    #[test]
+    fn derived_cache_matches_direct_recomputation() {
+        for node in TechNode::ALL {
+            for dt in [DeviceType::Hp, DeviceType::Lstp, DeviceType::Lop] {
+                for t in [
+                    TechParams::new(node, dt, 340.0),
+                    TechParams::new(node, dt, 380.0).with_vdd_scale(0.9),
+                    TechParams::new(node, DeviceType::Hp, 360.0).with_device_type(dt),
+                    TechParams::new(node, dt, 360.0)
+                        .with_projection(WireProjection::Conservative),
+                ] {
+                    let d = &t.derived;
+                    assert_eq!(
+                        d.i_off_n_t.to_bits(),
+                        t.device.i_off_n(t.temperature).to_bits()
+                    );
+                    assert_eq!(
+                        d.i_off_p_t.to_bits(),
+                        t.device.i_off_p(t.temperature).to_bits()
+                    );
+                    assert_eq!(d.r_on_n.to_bits(), t.device.r_on_n().to_bits());
+                    assert_eq!(d.r_on_p.to_bits(), t.device.r_on_p().to_bits());
+                    // The pre-cache fo4 expression, verbatim.
+                    let wn = t.min_w_nmos();
+                    let wp = t.min_w_pmos();
+                    let r = t.r_eq_n(wn);
+                    let c_in = t.gate_cap(wn + wp);
+                    let c_self = t.drain_cap(wn + wp);
+                    let fo4 = 0.69 * r * (c_self + 4.0 * c_in);
+                    assert_eq!(d.fo4.to_bits(), fo4.to_bits());
+                    for wt in [WireType::Local, WireType::Intermediate, WireType::Global] {
+                        let cached = t.wire(wt);
+                        let fresh = WireParams::new(t.node, wt, t.projection);
+                        assert_eq!(cached.r_per_m.to_bits(), fresh.r_per_m.to_bits());
+                        assert_eq!(cached.c_per_m.to_bits(), fresh.c_per_m.to_bits());
+                        assert_eq!(cached.pitch.to_bits(), fresh.pitch.to_bits());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,38 @@ use mcpat::{
 };
 use mcpat_mcore::config::CoreConfig;
 use mcpat_tech::TechNode;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Counts this thread's heap allocations so the arena-reuse test can
+/// assert the cold exploration batch's allocation budget through the
+/// same `register_alloc_probe` seam benchline uses.
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// update has no effect on allocation behavior (`try_with` shrugs off
+// TLS teardown instead of re-entering the allocator or panicking).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn current_thread_allocs() -> u64 {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
 
 /// Serializes every test that touches the global thread/cache knobs.
 fn knob_lock() -> MutexGuard<'static, ()> {
@@ -35,6 +66,7 @@ impl Drop for KnobReset {
         mcpat::par::set_thread_override(0);
         memo::set_auto();
         mcpat::obs::set_tracing(false);
+        mcpat::array::solve::set_reference_mode(false);
     }
 }
 
@@ -351,6 +383,124 @@ fn mcpat_threads_env_one_equals_default() {
     let default = fingerprint(&Processor::build(&cfg).unwrap());
 
     assert_identical(&forced_serial, &default, "MCPAT_THREADS=1 vs default");
+}
+
+#[test]
+fn soa_sweep_matches_reference_solver_across_presets() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    mcpat::par::set_thread_override(1);
+    for cfg in presets() {
+        mcpat::array::solve::set_reference_mode(true);
+        let reference = fingerprint(&Processor::build(&cfg).unwrap());
+        mcpat::array::solve::set_reference_mode(false);
+        let soa = fingerprint(&Processor::build(&cfg).unwrap());
+        assert_identical(
+            &reference,
+            &soa,
+            &format!("{}: SoA sweep vs reference solver", cfg.name),
+        );
+    }
+}
+
+#[test]
+fn soa_sweep_matches_reference_on_both_relaxation_rungs() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    mcpat::par::set_thread_override(1);
+    let tech = mcpat_tech::TechParams::new(TechNode::N32, mcpat_tech::DeviceType::Hp, 360.0);
+    // Strict rung: feasible exactly as asked. Widened rung: a cycle
+    // bound no geometry can meet forces the solver down its
+    // relaxation ladder.
+    let strict = mcpat::array::ArraySpec::ram(32 * 1024, 64);
+    let widened = mcpat::array::ArraySpec::ram(1024 * 1024, 64).with_max_cycle_time(1e-12);
+    for (rung, spec) in [("strict", &strict), ("widened", &widened)] {
+        for target in [
+            mcpat::array::OptTarget::EnergyDelay,
+            mcpat::array::OptTarget::EnergyDelaySquared,
+        ] {
+            mcpat::array::solve::set_reference_mode(true);
+            let r = spec.solve(&tech, target).unwrap();
+            mcpat::array::solve::set_reference_mode(false);
+            let s = spec.solve(&tech, target).unwrap();
+            let what = format!("{rung} rung, {target:?}");
+            assert_eq!(
+                (r.nspd, r.ndwl, r.ndbl, r.rows_per_mat, r.cols_per_mat),
+                (s.nspd, s.ndwl, s.ndbl, s.rows_per_mat, s.cols_per_mat),
+                "{what}: organization"
+            );
+            assert_eq!(r.relaxation, s.relaxation, "{what}: relaxation");
+            for (field, a, b) in [
+                ("access_time", r.access_time, s.access_time),
+                ("cycle_time", r.cycle_time, s.cycle_time),
+                ("read_energy", r.read_energy, s.read_energy),
+                ("write_energy", r.write_energy, s.write_energy),
+                ("search_energy", r.search_energy, s.search_energy),
+                ("area", r.area, s.area),
+                ("height", r.height, s.height),
+                ("width", r.width, s.width),
+                ("leak.sub", r.leakage.subthreshold, s.leakage.subthreshold),
+                ("leak.gate", r.leakage.gate, s.leakage.gate),
+            ] {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{what}: `{field}` differs: {a:e} vs {b:e}"
+                );
+            }
+        }
+    }
+    assert!(
+        widened
+            .solve(&tech, mcpat::array::OptTarget::EnergyDelay)
+            .unwrap()
+            .relaxation
+            .is_some(),
+        "the widened spec must actually exercise the relaxation ladder"
+    );
+}
+
+/// The committed pre-arena baseline ran `explore_batch_16_candidates`
+/// at 3870 serial allocations. The SoA sweep plus per-build arenas
+/// must hold the cold batch at a ≥30% reduction: ≤ 2709.
+const EXPLORE_BATCH_ALLOC_CEILING: u64 = 2709;
+
+#[test]
+fn arena_reuse_cuts_explore_batch_allocs_at_least_30_percent() {
+    let _guard = knob_lock();
+    let _reset = KnobReset;
+    memo::set_enabled(false);
+    mcpat::par::set_thread_override(1);
+    mcpat::register_alloc_probe(current_thread_allocs);
+    // The benchline `explore_batch_16_candidates` workload, verbatim.
+    let cands: Vec<ProcessorConfig> = (0..16u32)
+        .map(|i| {
+            ProcessorConfig::manycore(
+                &format!("c{i}"),
+                TechNode::N32,
+                CoreConfig::generic_inorder(),
+                2 + (i % 4) * 2,
+                1 + (i % 4),
+                u64::from(1 + (i % 4)) * 1024 * 1024,
+            )
+        })
+        .collect();
+    let eval = |c: &Processor| MetricSet::from_power(10.0, 1.0, c.die_area());
+    // One warm-up pass grows the thread-local arenas and lazy
+    // statics; the measured pass is the steady state every sweep
+    // scenario lives in.
+    let _ = explore_batch(&cands, Budgets::default(), eval).unwrap();
+    let (_, perf) = explore_batch(&cands, Budgets::default(), eval).unwrap();
+    assert!(perf.allocs > 0, "the alloc probe must be live");
+    assert!(
+        perf.allocs <= EXPLORE_BATCH_ALLOC_CEILING,
+        "explore_batch_16_candidates ran {} allocations; the arena pass must stay \
+         at or below {} (>=30% under the committed baseline's 3870)",
+        perf.allocs,
+        EXPLORE_BATCH_ALLOC_CEILING
+    );
 }
 
 #[test]
