@@ -10,7 +10,7 @@ use mcpat_tech::{TechParams, WireType};
 const BRANCH_FACTOR: f64 = 1.3;
 
 /// An H-tree over an `nx × ny` grid of mats of physical size
-/// `mat_w × mat_h` meters, carrying `addr_bits` inbound and `data_bits`
+/// `mat_width × mat_h` meters, carrying `addr_bits` inbound and `data_bits`
 /// bidirectional.
 #[derive(Debug, Clone)]
 pub struct HTree {
@@ -37,14 +37,14 @@ impl HTree {
         tech: &TechParams,
         nx: usize,
         ny: usize,
-        mat_w: f64,
+        mat_width: f64,
         mat_h: f64,
         addr_bits: u32,
         data_bits: u32,
     ) -> HTree {
         let nx = nx.max(1);
         let ny = ny.max(1);
-        let path_length = Self::path_length_of(nx, ny, mat_w, mat_h);
+        let path_length = Self::path_length_of(nx, ny, mat_width, mat_h);
         let wire = RepeatedWire::energy_derated(tech, WireType::Intermediate, path_length, 1.10);
         HTree {
             nx,
@@ -86,10 +86,10 @@ impl HTree {
 
     /// Port-to-farthest-mat trunk length for an `nx × ny` grid, m.
     #[must_use]
-    pub fn path_length_of(nx: usize, ny: usize, mat_w: f64, mat_h: f64) -> f64 {
-        let total_w = nx.max(1) as f64 * mat_w;
+    pub fn path_length_of(nx: usize, ny: usize, mat_width: f64, mat_h: f64) -> f64 {
+        let total_width = nx.max(1) as f64 * mat_width;
         let total_h = ny.max(1) as f64 * mat_h;
-        (total_w / 2.0 + total_h / 2.0).max(1e-6)
+        (total_width / 2.0 + total_h / 2.0).max(1e-6)
     }
 
     /// One-way latency from port to the farthest mat, s.

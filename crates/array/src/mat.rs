@@ -81,7 +81,7 @@ impl Mat {
         let cols = cols.max(1);
         let f = tech.node.feature_m();
         let local_pitch = tech.wire(WireType::Local).pitch;
-        let (mut cell_h, mut cell_w) = match kind {
+        let (mut cell_h, mut cell_width) = match kind {
             ArrayKind::Ram => {
                 let c = tech.sram_cell();
                 (c.height, c.width)
@@ -105,7 +105,7 @@ impl Mat {
             0.0
         };
         cell_h += (extra_ram + extra_search) * local_pitch;
-        cell_w += (extra_ram + extra_search) * 2.0 * local_pitch;
+        cell_width += (extra_ram + extra_search) * 2.0 * local_pitch;
         let _ = f;
         Mat {
             rows,
@@ -113,7 +113,7 @@ impl Mat {
             kind,
             ports,
             cell_height: cell_h,
-            cell_width: cell_w,
+            cell_width,
             tech: *tech,
         }
     }
@@ -241,13 +241,13 @@ impl Mat {
         };
 
         // --- Area ---------------------------------------------------------------
-        let cells_w = self.cols as f64 * self.cell_width;
+        let cells_width = self.cols as f64 * self.cell_width;
         let cells_h = self.rows as f64 * self.cell_height;
         // Decoder strip on the left: width from its gate area spread over
         // the rows; column periphery strip on the bottom.
-        let dec_strip_w = (dec.area / cells_h.max(1e-9)).max(10.0 * f);
+        let dec_strip_width = (dec.area / cells_h.max(1e-9)).max(10.0 * f);
         let periph_h = COLUMN_PERIPHERY_HEIGHT_F * f;
-        let width = cells_w + dec_strip_w;
+        let width = cells_width + dec_strip_width;
         let height = cells_h + periph_h;
         let area = width * height;
 
@@ -255,10 +255,10 @@ impl Mat {
         let n_cells = (self.rows * self.cols) as f64;
         let cell_leak = n_cells * self.cell_leakage();
         // Sense amps + precharge + write drivers per column.
-        let periph_w = 8.0 * tech.min_w_nmos();
+        let periph_width = 8.0 * tech.min_w_nmos();
         let periph_leak = self.cols as f64
-            * (tech.subthreshold_leakage(periph_w, periph_w)
-                + tech.gate_leakage(periph_w, periph_w));
+            * (tech.subthreshold_leakage(periph_width, periph_width)
+                + tech.gate_leakage(periph_width, periph_width));
         let leakage = StaticPower {
             subthreshold: cell_leak + periph_leak,
             gate: 0.0,
@@ -384,7 +384,7 @@ pub struct MatColPart {
     driver_input_cap: f64,
     e_wl: f64,
     e_sense: f64,
-    cells_w: f64,
+    cells_width: f64,
     periph_leak: f64,
 }
 
@@ -400,7 +400,7 @@ impl MatColPart {
             driver_input_cap: 0.0,
             e_wl: 0.0,
             e_sense: 0.0,
-            cells_w: 0.0,
+            cells_width: 0.0,
             periph_leak: 0.0,
         }
     }
@@ -417,7 +417,7 @@ impl MatInvariants {
     ) -> MatInvariants {
         let wire = tech.wire(WireType::Local);
         let local_pitch = wire.pitch;
-        let (mut cell_h, mut cell_w) = match kind {
+        let (mut cell_h, mut cell_width) = match kind {
             ArrayKind::Ram => {
                 let c = tech.sram_cell();
                 (c.height, c.width)
@@ -438,7 +438,7 @@ impl MatInvariants {
             0.0
         };
         cell_h += (extra_ram + extra_search) * local_pitch;
-        cell_w += (extra_ram + extra_search) * 2.0 * local_pitch;
+        cell_width += (extra_ram + extra_search) * 2.0 * local_pitch;
 
         let per_cell_wl = match kind {
             ArrayKind::Ram | ArrayKind::Cam => {
@@ -469,11 +469,11 @@ impl MatInvariants {
             ArrayKind::Edram => 0.05 * tech.sram_cell().leakage_power(&tech.device, t),
         };
         let v_swing = (SENSE_SWING_FRACTION * vdd).max(0.05);
-        let periph_w = 8.0 * tech.min_w_nmos();
+        let periph_width = 8.0 * tech.min_w_nmos();
         let (c_ml, t_ml) = if kind == ArrayKind::Cam && search_bits > 0 {
             let cam = tech.cam_cell();
             let c_ml = search_bits as f64 * cam.matchline_cap_contribution(&tech.device)
-                + wire.c_per_m * cell_w;
+                + wire.c_per_m * cell_width;
             let i_ml = tech.device.i_on_n * cam.w_compare;
             (c_ml, c_ml * v_swing / i_ml)
         } else {
@@ -483,8 +483,8 @@ impl MatInvariants {
             kind,
             search_bits,
             cell_height: cell_h,
-            cell_width: cell_w,
-            wl_per_col: per_cell_wl + wire.c_per_m * cell_w,
+            cell_width,
+            wl_per_col: per_cell_wl + wire.c_per_m * cell_width,
             bl_per_row: per_cell_bl + wire.c_per_m * cell_h,
             bl_fixed: tech.drain_cap(4.0 * tech.min_w_nmos()),
             i_read,
@@ -492,8 +492,8 @@ impl MatInvariants {
             v_swing,
             senseamp_delay: SENSEAMP_DELAY_FO4 * fo4,
             senseamp_energy: SENSEAMP_ENERGY_90NM * tech.node.scale_from_90nm(),
-            periph_leak_per_col: tech.subthreshold_leakage(periph_w, periph_w)
-                + tech.gate_leakage(periph_w, periph_w),
+            periph_leak_per_col: tech.subthreshold_leakage(periph_width, periph_width)
+                + tech.gate_leakage(periph_width, periph_width),
             feature: tech.node.feature_m(),
             vdd,
             fo4,
@@ -539,13 +539,11 @@ impl MatInvariants {
             self.predecoder.metrics(predecode_load)
         };
 
-        let (search_energy, search_delay) = if self.kind == ArrayKind::Cam && self.search_bits > 0
-        {
+        let (search_energy, search_delay) = if self.kind == ArrayKind::Cam && self.search_bits > 0 {
             let cam = tech.cam_cell();
             let wire = tech.wire(WireType::Local);
             let c_sl = rows as f64
-                * (cam.searchline_cap_contribution(&tech.device)
-                    + wire.c_per_m * self.cell_height);
+                * (cam.searchline_cap_contribution(&tech.device) + wire.c_per_m * self.cell_height);
             let sl_driver = BufferChain::for_load(tech, c_sl);
             let slm = sl_driver.metrics();
             let e_ml = rows as f64 * self.c_ml * self.vdd * self.v_swing;
@@ -583,7 +581,7 @@ impl MatInvariants {
             driver_input_cap: wordline_driver.input_cap(),
             e_wl: self.tech.switch_energy(c_wl) * 2.0,
             e_sense: cols as f64 * self.senseamp_energy,
-            cells_w: cols as f64 * self.cell_width,
+            cells_width: cols as f64 * self.cell_width,
             periph_leak: cols as f64 * self.periph_leak_per_col,
         }
     }
@@ -595,8 +593,8 @@ impl MatInvariants {
         // Decoder combine, mirroring `RowDecoder::metrics`.
         let row_m = row.row_gate.metrics(col.driver_input_cap);
         let num_pre = f64::from(row.num_predecoders);
-        let dec_energy = row.pre.energy_per_op * num_pre + row_m.energy_per_op
-            + col.driver.energy_per_op;
+        let dec_energy =
+            row.pre.energy_per_op * num_pre + row_m.energy_per_op + col.driver.energy_per_op;
         let dec_area = row.pre.area * num_pre + (row_m.area + col.driver.area) * row.rows as f64;
         let dec_leak = row.pre.leakage.scaled(num_pre)
             + (row_m.leakage + col.driver.leakage).scaled(row.rows as f64);
@@ -610,9 +608,9 @@ impl MatInvariants {
         let write_delay = dec_delay + row.wd.delay + 2.0 * self.fo4;
         let write_energy = dec_energy + col.e_wl + e_bl_write + row.wd.energy_per_op;
 
-        let dec_strip_w = (dec_area / row.cells_h.max(1e-9)).max(10.0 * self.feature);
+        let dec_strip_width = (dec_area / row.cells_h.max(1e-9)).max(10.0 * self.feature);
         let periph_h = COLUMN_PERIPHERY_HEIGHT_F * self.feature;
-        let width = col.cells_w + dec_strip_w;
+        let width = col.cells_width + dec_strip_width;
         let height = row.cells_h + periph_h;
         let area = width * height;
 
@@ -747,7 +745,11 @@ mod tests {
                 "leakage.subthreshold",
             ),
             (fast.leakage.gate, reference.leakage.gate, "leakage.gate"),
-            (fast.max_stage_delay, reference.max_stage_delay, "max_stage_delay"),
+            (
+                fast.max_stage_delay,
+                reference.max_stage_delay,
+                "max_stage_delay",
+            ),
         ];
         for (a, b, field) in pairs {
             assert_eq!(a.to_bits(), b.to_bits(), "{what}: {field} {a:e} vs {b:e}");

@@ -265,7 +265,6 @@ fn trace_disabled_overhead_ratio() -> f64 {
     let collector = mcpat::obs::Collector::new();
     let mut plain = f64::INFINITY;
     let mut scoped = f64::INFINITY;
-    // lint: allow(L008, timed measurement loop; the builds it times checkpoint internally)
     for _ in 0..25 {
         memo::clear();
         let t = Instant::now();
@@ -316,7 +315,6 @@ fn guard_disabled_overhead_ratio() -> f64 {
     let budget = mcpat::guard::Budget::unbounded();
     let mut plain = f64::INFINITY;
     let mut scoped = f64::INFINITY;
-    // lint: allow(L008, timed measurement loop; the builds it times checkpoint internally)
     for _ in 0..25 {
         memo::clear();
         let t = Instant::now();
@@ -530,6 +528,7 @@ fn main() {
     let reps = if quick { 3 } else { 7 };
     register_alloc_probe(current_thread_allocs);
 
+    // lint: allow(L011, host metadata recorded in the report header so runs are only compared across equal hosts; no result depends on it)
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let revision = git_revision();
     eprintln!(
@@ -545,7 +544,6 @@ fn main() {
     };
 
     let mut rows: Vec<Row> = Vec::new();
-    // lint: allow(L008, benchmark sweep; solve() checkpoints internally and benchline runs unbudgeted)
     for (name, kb) in [
         ("array_solve_32kb", 32u64),
         ("array_solve_2mb", 2048),
@@ -564,7 +562,6 @@ fn main() {
         }
     }));
 
-    // lint: allow(L008, benchmark sweep; Processor::build checkpoints at every span boundary)
     for (name, cfg) in [
         ("chip_build_niagara2", ProcessorConfig::niagara2()),
         ("chip_build_tulsa", ProcessorConfig::tulsa()),
@@ -646,14 +643,19 @@ fn main() {
             let text = std::fs::read_to_string(p).ok()?;
             serde_json::from_str(&text).ok()
         });
-    let cold_build_speedup =
-        cold_build_speedup_vs_baseline(baseline_for_speedup.as_ref(), &rows, &format!("{host_threads}cpu"));
+    let cold_build_speedup = cold_build_speedup_vs_baseline(
+        baseline_for_speedup.as_ref(),
+        &rows,
+        &format!("{host_threads}cpu"),
+    );
     if cold_build_speedup > 0.0 {
         eprintln!(
             "benchline: cold chip builds run {cold_build_speedup:.3}x the baseline's serial medians"
         );
     } else {
-        eprintln!("benchline: no comparable baseline for the cold-build speedup row (recorded as 0)");
+        eprintln!(
+            "benchline: no comparable baseline for the cold-build speedup row (recorded as 0)"
+        );
     }
 
     let trace_overhead_ratio = trace_disabled_overhead_ratio();
@@ -667,6 +669,33 @@ fn main() {
          (budget-scoped cold build vs plain; gate ceiling {MAX_GUARD_DISABLED_OVERHEAD})"
     );
     print_span_summary();
+
+    // Lint wall time: the full workspace self-lint, cold (every file
+    // re-analyzed) vs warm (every file served from the content-hash
+    // facts cache, cross-file passes still live). The warm closure
+    // reloads the cache file each rep — that is what a real
+    // `cargo lint --cache` run pays.
+    let lint_srcs = mcpat_lint::collect_workspace_sources(&mcpat_lint::default_root())
+        .unwrap_or_else(|e| die(&format!("cannot enumerate lint sources: {e}")));
+    let lint_cold_ms = median_ms(reps, || {
+        let _ = mcpat_lint::lint_sources(&lint_srcs);
+    });
+    let lint_cache_path =
+        std::env::temp_dir().join(format!("benchline-lint-cache-{revision}.json"));
+    let mut seed_cache = mcpat_lint::cache::Cache::default();
+    let _ = mcpat_lint::lint_sources_cached(&lint_srcs, &mut seed_cache);
+    if let Err(e) = seed_cache.store(&lint_cache_path) {
+        die(&format!("cannot write lint cache: {e}"));
+    }
+    let lint_warm_ms = median_ms(reps, || {
+        let mut cache = mcpat_lint::cache::Cache::load(&lint_cache_path);
+        let _ = mcpat_lint::lint_sources_cached(&lint_srcs, &mut cache);
+    });
+    let _ = std::fs::remove_file(&lint_cache_path);
+    eprintln!(
+        "benchline: workspace self-lint cold {lint_cold_ms:.3} ms | warm-cache {lint_warm_ms:.3} ms ({} files)",
+        lint_srcs.len()
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -688,6 +717,11 @@ fn main() {
         json,
         "  \"guard\": {{ \"disabled_overhead_ratio\": {guard_overhead_ratio:.4}, \
          \"max_allowed_ratio\": {MAX_GUARD_DISABLED_OVERHEAD} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"lint\": {{ \"files\": {}, \"cold_ms\": {lint_cold_ms:.4}, \"warm_cache_ms\": {lint_warm_ms:.4} }},",
+        lint_srcs.len()
     );
     let _ = writeln!(json, "  \"benchmarks\": [");
     for (i, r) in rows.iter().enumerate() {

@@ -194,9 +194,7 @@ pub fn case_study_points_with_tlp(node: TechNode, tlp: f64) -> Vec<CaseStudyPoin
     let total_insts: u64 = 3_200_000_000;
     let total_l2: u64 = 16 * 1024 * 1024; // equal cache budget for all points
     let mut out = Vec::new();
-    // lint: allow(L008, experiment sweep; Processor::build checkpoints at every span boundary)
     for (kind, cores) in [("inorder", 16u32), ("inorder", 32u32), ("ooo", 16u32)] {
-        // lint: allow(L008, experiment sweep; Processor::build checkpoints at every span boundary)
         for cluster in [1u32, 2, 4, 8] {
             let core = case_study_core(kind, node);
             let cfg = ProcessorConfig::manycore(
@@ -418,9 +416,7 @@ pub struct NocRow {
 pub fn noc_sweep() -> Vec<NocRow> {
     let tech = TechParams::new(TechNode::N32, DeviceType::Hp, 360.0);
     let mut rows = Vec::new();
-    // lint: allow(L008, experiment sweep; Router::build solves its buffers through the checkpointed array solver)
     for flit_bits in [32u32, 64, 128, 256] {
-        // lint: allow(L008, experiment sweep; Router::build solves its buffers through the checkpointed array solver)
         for vcs in [2u32, 4, 8] {
             let router = Router::build(
                 &tech,
@@ -503,7 +499,7 @@ pub fn array_ablation() -> Vec<ArrayAblationRow> {
     let tech = TechParams::new(TechNode::N45, DeviceType::Hp, 360.0);
     let spec = ArraySpec::ram(2 * 1024 * 1024, 64).named("abl-l2");
     let mut rows = Vec::new();
-    // lint: allow(L008, ablation over three fixed layouts; solve_fixed is one bounded evaluation each)
+    // lint: allow(L012, ablation over three fixed layouts; solve_fixed is one closed-form evaluation with no search, so it never needs a checkpoint)
     for (label, ndwl, ndbl, nspd) in [
         ("monolithic 1x1", 1usize, 1usize, 1usize),
         ("naive 4x4", 4, 4, 1),
@@ -548,7 +544,6 @@ pub struct GatingRow {
 pub fn gating_ablation() -> Vec<GatingRow> {
     let wl = WorkloadProfile::server_transactional();
     let mut rows = Vec::new();
-    // lint: allow(L008, experiment sweep; Processor::build checkpoints at every span boundary)
     for (label, clock_gating, long_channel) in [
         ("no gating, short-channel", false, false),
         ("clock gating only", true, false),

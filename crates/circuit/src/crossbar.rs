@@ -115,10 +115,10 @@ impl Crossbar {
 
         // Cross-point connector leakage: one pass structure per crossing per bit.
         let crossings = (self.n_in * self.n_out * self.width) as f64;
-        let pass_w = 4.0 * self.tech.min_w_nmos();
+        let pass_width = 4.0 * self.tech.min_w_nmos();
         let xpoint_leak = StaticPower {
-            subthreshold: self.tech.subthreshold_leakage(pass_w, 0.0) * crossings,
-            gate: self.tech.gate_leakage(pass_w, 0.0) * crossings,
+            subthreshold: self.tech.subthreshold_leakage(pass_width, 0.0) * crossings,
+            gate: self.tech.gate_leakage(pass_width, 0.0) * crossings,
         };
         let leakage = in_m.leakage.scaled((self.n_in * self.width) as f64)
             + out_m.leakage.scaled((self.n_out * self.width) as f64)

@@ -76,9 +76,9 @@ impl RepeatedWire {
         let mut best = optimal;
         // Sweep size/spacing derating factors; keep the lowest-energy
         // solution inside the delay budget.
-        // lint: allow(L008, RepeatedWire::build is closed-form arithmetic — 30 combinations run in microseconds, no solver)
+        // lint: allow(L012, RepeatedWire::build is closed-form arithmetic — 30 combinations run in microseconds, no solver)
         for size_derate in SIZE_DERATES {
-            // lint: allow(L008, RepeatedWire::build is closed-form arithmetic — 30 combinations run in microseconds, no solver)
+            // lint: allow(L012, RepeatedWire::build is closed-form arithmetic — 30 combinations run in microseconds, no solver)
             for spacing_derate in SPACING_DERATES {
                 let cand = Self::build(tech, wire_type, length, size_derate, spacing_derate);
                 if cand.metrics.delay <= budget
@@ -276,9 +276,9 @@ impl RepeaterInvariants {
         let optimal = self.build(length, 0, 1.0);
         let budget = optimal.metrics.delay * delay_tolerance;
         let mut best = optimal;
-        // lint: allow(L008, closed-form arithmetic over 30 precomputed combinations — no solver)
+        // lint: allow(L012, closed-form arithmetic over 30 precomputed combinations — no solver)
         for gate_idx in 0..SIZE_DERATES.len() {
-            // lint: allow(L008, closed-form arithmetic over 30 precomputed combinations — no solver)
+            // lint: allow(L012, closed-form arithmetic over 30 precomputed combinations — no solver)
             for spacing_derate in SPACING_DERATES {
                 let cand = self.build(length, gate_idx, spacing_derate);
                 if cand.metrics.delay <= budget

@@ -148,25 +148,25 @@ impl Processor {
         // Near-square cluster grid.
         let gx = (f64::from(num_clusters)).sqrt().ceil() as u32;
         let gy = num_clusters.div_ceil(gx);
-        let cluster_w = cluster_area.sqrt();
-        let cluster_h = cluster_area / cluster_w;
-        let grid_w = f64::from(gx) * cluster_w;
+        let cluster_width = cluster_area.sqrt();
+        let cluster_h = cluster_area / cluster_width;
+        let grid_width = f64::from(gx) * cluster_width;
 
         let mut tiles = Vec::new();
         let mut core_id = 0u32;
         for k in 0..num_clusters {
-            let cx = f64::from(k % gx) * cluster_w;
+            let cx = f64::from(k % gx) * cluster_width;
             let cy = f64::from(k / gx) * cluster_h;
             // Cores in a column on the left, the L2 filling the right.
             let core_frac = (core_area * f64::from(cores_per_cluster) / cluster_area).min(1.0);
-            let core_col_w = cluster_w * core_frac;
+            let core_col_width = cluster_width * core_frac;
             let core_h = cluster_h / f64::from(cores_per_cluster);
             for i in 0..cores_per_cluster {
                 tiles.push(Tile {
                     name: format!("core{core_id}"),
                     x: cx,
                     y: cy + f64::from(i) * core_h,
-                    w: core_col_w,
+                    w: core_col_width,
                     h: core_h,
                 });
                 core_id += 1;
@@ -174,9 +174,9 @@ impl Processor {
             if l2_area > 0.0 {
                 tiles.push(Tile {
                     name: format!("l2-{k}"),
-                    x: cx + core_col_w,
+                    x: cx + core_col_width,
                     y: cy,
-                    w: cluster_w - core_col_w,
+                    w: cluster_width - core_col_width,
                     h: cluster_h,
                 });
             }
@@ -187,12 +187,12 @@ impl Processor {
             if area <= 0.0 {
                 return None;
             }
-            let h = area / grid_w;
+            let h = area / grid_width;
             let t = Tile {
                 name: name.to_owned(),
                 x: 0.0,
                 y: *y,
-                w: grid_w,
+                w: grid_width,
                 h,
             };
             *y += h;
@@ -210,7 +210,7 @@ impl Processor {
 
         Floorplan {
             tiles,
-            width: grid_w,
+            width: grid_width,
             height: y_cursor,
         }
     }

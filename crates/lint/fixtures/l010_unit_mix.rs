@@ -1,0 +1,29 @@
+//! L010 fixture: quantities whose identifier suffixes carry different
+//! units (or the same unit at different scales) must not meet in
+//! additive or comparison operators. Multiplication and division are
+//! conversion seams and stay exempt.
+
+pub fn mixed_scale_add(leakage_w: f64, dynamic_mw: f64) -> f64 {
+    // BAD: watts + milliwatts without a conversion.
+    leakage_w + dynamic_mw
+}
+
+pub fn mixed_dimension_compare(access_ps: f64, budget_nj: f64) -> bool {
+    // BAD: a time compared against an energy.
+    access_ps < budget_nj
+}
+
+pub fn mixed_assign(mut total_w: f64, extra_uw: f64) -> f64 {
+    // BAD: accumulating microwatts into a watt total.
+    total_w += extra_uw;
+    total_w
+}
+
+pub fn conversion_is_fine(energy_nj: f64, delay_ps: f64) -> f64 {
+    // OK: × and ÷ are how units legitimately combine.
+    energy_nj * delay_ps
+}
+
+pub fn same_unit_is_fine(read_nj: f64, write_nj: f64) -> f64 {
+    read_nj + write_nj
+}

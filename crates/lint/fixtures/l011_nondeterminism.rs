@@ -1,0 +1,27 @@
+//! L011 fixture: result-affecting code must not iterate hash-ordered
+//! containers or consult the host's thread configuration — both make
+//! model output vary run to run or host to host.
+
+use std::collections::HashMap;
+
+pub fn sum_in_hash_order(parts: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    // BAD: fold order follows the hash seed, so float summation
+    // differs between runs.
+    for (_, w) in parts.iter() {
+        total += w;
+    }
+    total
+}
+
+pub fn keys_in_hash_order(parts: &HashMap<String, f64>) -> Vec<String> {
+    // BAD: the report's row order would change run to run.
+    parts.keys().cloned().collect()
+}
+
+pub fn host_shaped_result(work: &[f64]) -> f64 {
+    // BAD: the chunk size (and thus float fold order) depends on the
+    // machine the model runs on.
+    let lanes = std::thread::available_parallelism().map_or(1, usize::from);
+    work.chunks(work.len() / lanes.max(1)).map(|c| c.iter().sum::<f64>()).sum()
+}

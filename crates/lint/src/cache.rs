@@ -1,0 +1,483 @@
+//! The content-hash incremental cache (`--cache FILE`).
+//!
+//! Linting is a pure function of a file's bytes — per-file findings,
+//! allow annotations, and the facts the cross-file passes consume
+//! (L004 struct/validate evidence, L008/L012 function summaries). So
+//! the cache stores exactly that: one entry per file keyed by an
+//! FNV-1a hash of its contents. On a warm run an unchanged file skips
+//! lex/parse/analyze entirely; the cross-file passes always re-run
+//! over the (cheap) facts, which keeps interprocedural results correct
+//! when *another* file changed.
+//!
+//! The format is a single JSON document with a version stamp.
+//! [`FORMAT_VERSION`] must be bumped whenever rule logic or the facts
+//! shape changes — a mismatched or unreadable cache degrades to a cold
+//! run, never an error.
+
+use crate::callgraph::CallRef;
+use crate::json::Val;
+use crate::rules::{Allow, FileAnalysis, Finding, FnFact, LoopFact, Rule, StructDef};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Bump on any change to rule logic or the serialized facts shape.
+pub const FORMAT_VERSION: usize = 1;
+
+/// FNV-1a over the file's bytes — fast, dependency-free, and stable
+/// across runs and platforms (unlike `DefaultHasher`).
+#[must_use]
+pub fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache: prior-run entries consulted by [`Cache::take`], and the
+/// current run's entries accumulated for [`Cache::store`]. Files that
+/// disappeared from the workspace are pruned for free — only files
+/// seen this run are written back.
+#[derive(Debug, Default)]
+pub struct Cache {
+    old: BTreeMap<String, (u64, FileAnalysis)>,
+    new: BTreeMap<String, (u64, FileAnalysis)>,
+    /// Files served from the cache this run.
+    pub hits: usize,
+    /// Files re-analyzed this run.
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Loads a cache file; any read/parse/version problem yields an
+    /// empty (cold) cache.
+    #[must_use]
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let Some(doc) = Val::parse(&text) else {
+            return Cache::default();
+        };
+        if doc.get("version").and_then(Val::as_usize) != Some(FORMAT_VERSION) {
+            return Cache::default();
+        }
+        let mut old = BTreeMap::new();
+        for (file, entry) in doc.get("files").and_then(Val::entries).unwrap_or_default() {
+            let hash = entry
+                .get("hash")
+                .and_then(Val::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok());
+            let facts = entry.get("facts").and_then(|v| facts_from_val(file, v));
+            if let (Some(hash), Some(facts)) = (hash, facts) {
+                old.insert(file.clone(), (hash, facts));
+            }
+        }
+        Cache {
+            old,
+            ..Cache::default()
+        }
+    }
+
+    /// Consults the prior run: on a hash match the stored facts are
+    /// recorded into the current run and returned; otherwise the
+    /// caller must analyze and [`Cache::put`] the result.
+    pub fn take(&mut self, file: &str, hash: u64) -> Option<FileAnalysis> {
+        match self.old.get(file) {
+            Some((h, facts)) if *h == hash => {
+                self.hits = self.hits.saturating_add(1);
+                let facts = facts.clone();
+                self.new.insert(file.to_owned(), (hash, facts.clone()));
+                Some(facts)
+            }
+            _ => {
+                self.misses = self.misses.saturating_add(1);
+                None
+            }
+        }
+    }
+
+    /// Records a freshly analyzed file into the current run.
+    pub fn put(&mut self, file: &str, hash: u64, facts: &FileAnalysis) {
+        self.new.insert(file.to_owned(), (hash, facts.clone()));
+    }
+
+    /// Writes the current run's entries back.
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] if the file cannot be written.
+    pub fn store(&self, path: &Path) -> std::io::Result<()> {
+        let files = self
+            .new
+            .iter()
+            .map(|(file, (hash, facts))| {
+                (
+                    file.clone(),
+                    Val::Obj(vec![
+                        (String::from("hash"), Val::Str(format!("{hash:016x}"))),
+                        (String::from("facts"), facts_to_val(facts)),
+                    ]),
+                )
+            })
+            .collect();
+        let doc = Val::Obj(vec![
+            (String::from("version"), num(FORMAT_VERSION)),
+            (String::from("files"), Val::Obj(files)),
+        ]);
+        std::fs::write(path, doc.render())
+    }
+}
+
+fn num(n: usize) -> Val {
+    Val::Num(n as f64)
+}
+
+fn strv(s: &str) -> Val {
+    Val::Str(s.to_owned())
+}
+
+fn finding_to_val(f: &Finding) -> Val {
+    Val::Obj(vec![
+        (String::from("r"), strv(f.rule.id())),
+        (String::from("l"), num(f.line)),
+        (String::from("a"), f.alt_line.map_or(Val::Null, num)),
+        (String::from("m"), strv(&f.message)),
+    ])
+}
+
+fn finding_from_val(file: &str, v: &Val) -> Option<Finding> {
+    let rule = parse_rule(v.get("r")?.as_str()?)?;
+    Some(Finding {
+        rule,
+        severity: rule.severity(),
+        file: file.to_owned(),
+        line: v.get("l")?.as_usize()?,
+        alt_line: v.get("a").and_then(Val::as_usize),
+        message: v.get("m")?.as_str()?.to_owned(),
+    })
+}
+
+/// [`Rule::from_id`] plus the annotation pseudo-rule, which appears in
+/// cached annotation warnings.
+fn parse_rule(id: &str) -> Option<Rule> {
+    if id == Rule::Allowance.id() {
+        return Some(Rule::Allowance);
+    }
+    Rule::from_id(id)
+}
+
+fn call_to_val(c: &CallRef) -> Val {
+    Val::Obj(vec![
+        (String::from("n"), strv(&c.name)),
+        (
+            String::from("p"),
+            Val::Arr(c.path.iter().map(|s| strv(s)).collect()),
+        ),
+    ])
+}
+
+fn call_from_val(v: &Val) -> Option<CallRef> {
+    Some(CallRef {
+        name: v.get("n")?.as_str()?.to_owned(),
+        path: v
+            .get("p")?
+            .as_arr()?
+            .iter()
+            .map(|s| s.as_str().map(str::to_owned))
+            .collect::<Option<Vec<String>>>()?,
+    })
+}
+
+fn facts_to_val(a: &FileAnalysis) -> Val {
+    Val::Obj(vec![
+        (
+            String::from("findings"),
+            Val::Arr(a.findings.iter().map(finding_to_val).collect()),
+        ),
+        (
+            String::from("warnings"),
+            Val::Arr(a.annotation_warnings.iter().map(finding_to_val).collect()),
+        ),
+        (
+            String::from("allows"),
+            Val::Arr(
+                a.allows
+                    .iter()
+                    .map(|al| {
+                        Val::Obj(vec![
+                            (String::from("r"), strv(al.rule.id())),
+                            (String::from("why"), strv(&al.reason)),
+                            (String::from("t"), num(al.target_line)),
+                            (String::from("c"), num(al.comment_line)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            String::from("structs"),
+            Val::Arr(
+                a.structs
+                    .iter()
+                    .map(|s| {
+                        Val::Obj(vec![
+                            (String::from("n"), strv(&s.name)),
+                            (String::from("l"), num(s.line)),
+                            (
+                                String::from("f"),
+                                Val::Arr(
+                                    s.fields
+                                        .iter()
+                                        .map(|(n, l)| Val::Arr(vec![strv(n), num(*l)]))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            String::from("validate_idents"),
+            Val::Arr(a.validate_idents.iter().map(|s| strv(s)).collect()),
+        ),
+        (String::from("has_validate"), Val::Bool(a.has_validate)),
+        (
+            String::from("fns"),
+            Val::Arr(
+                a.fns
+                    .iter()
+                    .map(|f| {
+                        Val::Obj(vec![
+                            (String::from("n"), strv(&f.name)),
+                            (
+                                String::from("i"),
+                                f.impl_type.as_deref().map_or(Val::Null, strv),
+                            ),
+                            (String::from("l"), num(f.line)),
+                            (String::from("t"), Val::Bool(f.is_test)),
+                            (
+                                String::from("c"),
+                                Val::Arr(f.calls.iter().map(call_to_val).collect()),
+                            ),
+                            (
+                                String::from("lp"),
+                                Val::Arr(
+                                    f.loops
+                                        .iter()
+                                        .map(|l| {
+                                            Val::Obj(vec![
+                                                (String::from("l"), num(l.line)),
+                                                (
+                                                    String::from("b"),
+                                                    Val::Arr(
+                                                        l.budgeted
+                                                            .iter()
+                                                            .map(|s| strv(s))
+                                                            .collect(),
+                                                    ),
+                                                ),
+                                                (String::from("d"), Val::Bool(l.direct_checkpoint)),
+                                                (
+                                                    String::from("c"),
+                                                    Val::Arr(
+                                                        l.calls.iter().map(call_to_val).collect(),
+                                                    ),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn facts_from_val(file: &str, v: &Val) -> Option<FileAnalysis> {
+    let findings = v
+        .get("findings")?
+        .as_arr()?
+        .iter()
+        .map(|f| finding_from_val(file, f))
+        .collect::<Option<Vec<Finding>>>()?;
+    let annotation_warnings = v
+        .get("warnings")?
+        .as_arr()?
+        .iter()
+        .map(|f| finding_from_val(file, f))
+        .collect::<Option<Vec<Finding>>>()?;
+    let allows = v
+        .get("allows")?
+        .as_arr()?
+        .iter()
+        .map(|al| {
+            Some(Allow {
+                rule: parse_rule(al.get("r")?.as_str()?)?,
+                reason: al.get("why")?.as_str()?.to_owned(),
+                target_line: al.get("t")?.as_usize()?,
+                comment_line: al.get("c")?.as_usize()?,
+            })
+        })
+        .collect::<Option<Vec<Allow>>>()?;
+    let structs = v
+        .get("structs")?
+        .as_arr()?
+        .iter()
+        .map(|s| {
+            Some(StructDef {
+                name: s.get("n")?.as_str()?.to_owned(),
+                file: file.to_owned(),
+                line: s.get("l")?.as_usize()?,
+                fields: s
+                    .get("f")?
+                    .as_arr()?
+                    .iter()
+                    .map(|pair| {
+                        let items = pair.as_arr()?;
+                        Some((
+                            items.first()?.as_str()?.to_owned(),
+                            items.get(1)?.as_usize()?,
+                        ))
+                    })
+                    .collect::<Option<Vec<(String, usize)>>>()?,
+            })
+        })
+        .collect::<Option<Vec<StructDef>>>()?;
+    let validate_idents: BTreeSet<String> = v
+        .get("validate_idents")?
+        .as_arr()?
+        .iter()
+        .map(|s| s.as_str().map(str::to_owned))
+        .collect::<Option<BTreeSet<String>>>()?;
+    let has_validate = v.get("has_validate")?.as_bool()?;
+    let fns = v
+        .get("fns")?
+        .as_arr()?
+        .iter()
+        .map(|f| {
+            Some(FnFact {
+                name: f.get("n")?.as_str()?.to_owned(),
+                impl_type: match f.get("i")? {
+                    Val::Null => None,
+                    other => Some(other.as_str()?.to_owned()),
+                },
+                line: f.get("l")?.as_usize()?,
+                is_test: f.get("t")?.as_bool()?,
+                calls: f
+                    .get("c")?
+                    .as_arr()?
+                    .iter()
+                    .map(call_from_val)
+                    .collect::<Option<Vec<CallRef>>>()?,
+                loops: f
+                    .get("lp")?
+                    .as_arr()?
+                    .iter()
+                    .map(|l| {
+                        Some(LoopFact {
+                            line: l.get("l")?.as_usize()?,
+                            budgeted: l
+                                .get("b")?
+                                .as_arr()?
+                                .iter()
+                                .map(|s| s.as_str().map(str::to_owned))
+                                .collect::<Option<Vec<String>>>()?,
+                            direct_checkpoint: l.get("d")?.as_bool()?,
+                            calls: l
+                                .get("c")?
+                                .as_arr()?
+                                .iter()
+                                .map(call_from_val)
+                                .collect::<Option<Vec<CallRef>>>()?,
+                        })
+                    })
+                    .collect::<Option<Vec<LoopFact>>>()?,
+            })
+        })
+        .collect::<Option<Vec<FnFact>>>()?;
+    Some(FileAnalysis {
+        findings,
+        allows,
+        annotation_warnings,
+        structs,
+        validate_idents,
+        has_validate,
+        fns,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash("fn main() {}"), content_hash("fn main() {}"));
+        assert_ne!(content_hash("fn main() {}"), content_hash("fn main() { }"));
+    }
+
+    #[test]
+    fn facts_round_trip_through_the_value_tree() {
+        let lexed = crate::lexer::lex(
+            "// lint: allow(L001, audited scratch index)\n\
+             pub struct CoreConfig { pub width: usize }\n\
+             pub fn validate(c: &CoreConfig) -> bool { c.width > 0 }\n\
+             impl Runner { fn run(&self) { for x in 0..3 { solve(x); check(); } } }\n\
+             fn bad(v: &[u32]) -> u32 { v[0] }\n",
+        );
+        let ir = crate::parse::parse(&lexed);
+        let facts = crate::rules::analyze(
+            "crates/demo/src/lib.rs",
+            &lexed,
+            &ir,
+            crate::rules::AnalyzeOptions::default(),
+        );
+        let v = facts_to_val(&facts);
+        let text = v.render();
+        let back = facts_from_val("crates/demo/src/lib.rs", &Val::parse(&text).expect("parse"))
+            .expect("facts");
+        assert_eq!(back, facts);
+        assert!(!back.fns.is_empty());
+        assert!(back.fns.iter().any(|f| !f.loops.is_empty()));
+    }
+
+    #[test]
+    fn cache_take_hits_only_on_matching_hash() {
+        let dir = std::env::temp_dir().join("mcpat_lint_cache_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.json");
+
+        let lexed = crate::lexer::lex("pub fn ok() {}\n");
+        let ir = crate::parse::parse(&lexed);
+        let facts =
+            crate::rules::analyze("a.rs", &lexed, &ir, crate::rules::AnalyzeOptions::default());
+        let hash = content_hash("pub fn ok() {}\n");
+
+        let mut cache = Cache::default();
+        assert!(cache.take("a.rs", hash).is_none());
+        cache.put("a.rs", hash, &facts);
+        cache.store(&path).expect("store");
+
+        let mut warm = Cache::load(&path);
+        assert_eq!(warm.take("a.rs", hash), Some(facts));
+        assert!(warm.take("a.rs", hash.wrapping_add(1)).is_none());
+        assert!(warm.take("missing.rs", hash).is_none());
+        assert_eq!(warm.hits, 1);
+        assert_eq!(warm.misses, 2);
+
+        // Corruption and version skew degrade to a cold cache.
+        std::fs::write(&path, "{not json").expect("write");
+        assert!(Cache::load(&path).old.is_empty());
+        std::fs::write(&path, "{\"version\": 999, \"files\": {}}").expect("write");
+        assert!(Cache::load(&path).old.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,362 @@
+//! A minimal JSON value tree with a total parser and a canonical
+//! writer — just enough for the incremental cache ([`crate::cache`])
+//! to round-trip its own output.
+//!
+//! The linter deliberately depends on nothing but `mcpat-diag`, and it
+//! lints its own sources, so this module follows the house rules: no
+//! panicking indexing, no unwraps, a recursion cap instead of trusting
+//! the input. Anything the parser cannot understand yields `None`, and
+//! the cache treats that as a cold start — never an error.
+
+/// One JSON value. Numbers are kept as `f64`; the cache stores
+/// anything wider (content hashes) as hex strings instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Val>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Val)>),
+}
+
+/// Nesting depth beyond which the parser gives up: the cache writer
+/// never nests past ~8, so 64 is pure defense.
+const MAX_DEPTH: usize = 64;
+
+impl Val {
+    /// Parses a complete JSON document; `None` on any syntax error or
+    /// trailing garbage.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Val> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let v = parse_value(&chars, &mut pos, 0)?;
+        skip_ws(&chars, &mut pos);
+        (pos == chars.len()).then_some(v)
+    }
+
+    /// Serializes the value, compact.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Val::Null => out.push_str("null"),
+            Val::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Val::Num(n) => {
+                // Integral values print without the trailing `.0` so the
+                // output matches what a hand-written emitter produces.
+                // lint: allow(L002, integrality test for canonical printing, not a value comparison)
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Val::Str(s) => write_str(s, out),
+            Val::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Val::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The value rendered as a compact JSON string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Object field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Val> {
+        match self {
+            Val::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integral payload, if this is such a number.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            // lint: allow(L002, integrality test guarding the cast, not a value comparison)
+            Val::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Val]> {
+        match self {
+            Val::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Object entries in insertion order, if this is an object.
+    #[must_use]
+    pub fn entries(&self) -> Option<&[(String, Val)]> {
+        match self {
+            Val::Obj(entries) => Some(entries.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn peek(chars: &[char], pos: usize) -> Option<char> {
+    chars.get(pos).copied()
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while peek(chars, *pos).is_some_and(|c| c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        *pos = pos.saturating_add(1);
+    }
+}
+
+/// Consumes `lit` (after the first char, already matched) or fails.
+fn expect_lit(chars: &[char], pos: &mut usize, lit: &str) -> Option<()> {
+    for want in lit.chars() {
+        if peek(chars, *pos) != Some(want) {
+            return None;
+        }
+        *pos = pos.saturating_add(1);
+    }
+    Some(())
+}
+
+fn parse_value(chars: &[char], pos: &mut usize, depth: usize) -> Option<Val> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    skip_ws(chars, pos);
+    match peek(chars, *pos)? {
+        'n' => expect_lit(chars, pos, "null").map(|()| Val::Null),
+        't' => expect_lit(chars, pos, "true").map(|()| Val::Bool(true)),
+        'f' => expect_lit(chars, pos, "false").map(|()| Val::Bool(false)),
+        '"' => parse_string(chars, pos).map(Val::Str),
+        '[' => {
+            *pos = pos.saturating_add(1);
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if peek(chars, *pos) == Some(']') {
+                *pos = pos.saturating_add(1);
+                return Some(Val::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos, depth.saturating_add(1))?);
+                skip_ws(chars, pos);
+                match peek(chars, *pos)? {
+                    ',' => *pos = pos.saturating_add(1),
+                    ']' => {
+                        *pos = pos.saturating_add(1);
+                        return Some(Val::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        '{' => {
+            *pos = pos.saturating_add(1);
+            let mut entries = Vec::new();
+            skip_ws(chars, pos);
+            if peek(chars, *pos) == Some('}') {
+                *pos = pos.saturating_add(1);
+                return Some(Val::Obj(entries));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = parse_string(chars, pos)?;
+                skip_ws(chars, pos);
+                if peek(chars, *pos) != Some(':') {
+                    return None;
+                }
+                *pos = pos.saturating_add(1);
+                entries.push((key, parse_value(chars, pos, depth.saturating_add(1))?));
+                skip_ws(chars, pos);
+                match peek(chars, *pos)? {
+                    ',' => *pos = pos.saturating_add(1),
+                    '}' => {
+                        *pos = pos.saturating_add(1);
+                        return Some(Val::Obj(entries));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        c if c == '-' || c.is_ascii_digit() => parse_number(chars, pos),
+        _ => None,
+    }
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Option<String> {
+    if peek(chars, *pos) != Some('"') {
+        return None;
+    }
+    *pos = pos.saturating_add(1);
+    let mut out = String::new();
+    loop {
+        let c = peek(chars, *pos)?;
+        *pos = pos.saturating_add(1);
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let esc = peek(chars, *pos)?;
+                *pos = pos.saturating_add(1);
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let h = peek(chars, *pos)?.to_digit(16)?;
+                            code = code.saturating_mul(16).saturating_add(h);
+                            *pos = pos.saturating_add(1);
+                        }
+                        // Surrogates are not paired up — the writer
+                        // never emits them (it only escapes controls).
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return None,
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Option<Val> {
+    let start = *pos;
+    if peek(chars, *pos) == Some('-') {
+        *pos = pos.saturating_add(1);
+    }
+    while peek(chars, *pos).is_some_and(|c| {
+        c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-'
+    }) {
+        *pos = pos.saturating_add(1);
+    }
+    let text: String = chars.get(start..*pos)?.iter().collect();
+    text.parse::<f64>().ok().map(Val::Num)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_cache_shapes() {
+        let v = Val::Obj(vec![
+            (String::from("version"), Val::Num(3.0)),
+            (
+                String::from("files"),
+                Val::Obj(vec![(
+                    String::from("a.rs"),
+                    Val::Obj(vec![
+                        (String::from("hash"), Val::Str(String::from("deadbeef"))),
+                        (String::from("ok"), Val::Bool(true)),
+                        (
+                            String::from("lines"),
+                            Val::Arr(vec![Val::Num(1.0), Val::Num(2.0)]),
+                        ),
+                        (String::from("none"), Val::Null),
+                    ]),
+                )]),
+            ),
+        ]);
+        let text = v.render();
+        let back = Val::parse(&text).expect("round trip");
+        assert_eq!(back, v);
+        assert_eq!(back.get("version").and_then(Val::as_usize), Some(3));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Val::Str(String::from("a\"b\\c\nd\te\u{1}"));
+        let text = v.render();
+        assert_eq!(Val::parse(&text), Some(v));
+    }
+
+    #[test]
+    fn rejects_garbage_without_panicking() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1e", "\"\\q\"", "{} extra",
+        ] {
+            assert_eq!(Val::parse(bad), None, "{bad}");
+        }
+        let deep = "[".repeat(500);
+        assert_eq!(Val::parse(&deep), None);
+    }
+
+    #[test]
+    fn numbers_parse_and_print() {
+        assert_eq!(Val::parse("-12"), Some(Val::Num(-12.0)));
+        assert_eq!(Val::parse("3.5e2"), Some(Val::Num(350.0)));
+        assert_eq!(Val::Num(42.0).render(), "42");
+    }
+}

@@ -33,7 +33,7 @@ pub enum Kind {
     Punct,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and byte span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Lexeme class.
@@ -43,6 +43,12 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: usize,
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last byte. Invariants (fuzzed
+    /// in `tests/fuzz.rs`): `start <= end <= src.len()`, and both fall
+    /// on UTF-8 character boundaries.
+    pub end: usize,
 }
 
 /// One `//` line comment (doc comments included), with position info
@@ -53,6 +59,8 @@ pub struct Comment {
     pub text: String,
     /// 1-based line the comment is on.
     pub line: usize,
+    /// Byte offset of the `//` that opens the comment.
+    pub start: usize,
     /// True when a token precedes the comment on the same line
     /// (a *trailing* comment annotates its own line; an *own-line*
     /// comment annotates the next token-bearing line).
@@ -90,6 +98,7 @@ struct Cursor {
     chars: Vec<char>,
     pos: usize,
     line: usize,
+    byte: usize,
 }
 
 impl Cursor {
@@ -98,6 +107,7 @@ impl Cursor {
             chars: src.chars().collect(),
             pos: 0,
             line: 1,
+            byte: 0,
         }
     }
 
@@ -109,6 +119,7 @@ impl Cursor {
         let c = self.peek(0);
         if let Some(ch) = c {
             self.pos = self.pos.saturating_add(1);
+            self.byte = self.byte.saturating_add(ch.len_utf8());
             if ch == '\n' {
                 self.line = self.line.saturating_add(1);
             }
@@ -157,6 +168,7 @@ pub fn lex(src: &str) -> Lexed {
 
     while let Some(c) = cur.peek(0) {
         let line = cur.line;
+        let start = cur.byte;
 
         // Whitespace.
         if c.is_whitespace() {
@@ -172,6 +184,7 @@ pub fn lex(src: &str) -> Lexed {
             out.comments.push(Comment {
                 text,
                 line,
+                start,
                 trailing: last_token_line == line,
             });
             continue;
@@ -227,6 +240,8 @@ pub fn lex(src: &str) -> Lexed {
                         kind: Kind::Char,
                         text: String::from("<byte>"),
                         line,
+                        start,
+                        end: cur.byte,
                     });
                     last_token_line = line;
                     continue;
@@ -249,6 +264,8 @@ pub fn lex(src: &str) -> Lexed {
                     kind: Kind::Str,
                     text: String::from("<str>"),
                     line,
+                    start,
+                    end: cur.byte,
                 });
                 last_token_line = line;
                 continue;
@@ -263,6 +280,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: Kind::Ident,
                 text,
                 line,
+                start,
+                end: cur.byte,
             });
             last_token_line = line;
             continue;
@@ -279,6 +298,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind,
                 text: String::from("<num>"),
                 line,
+                start,
+                end: cur.byte,
             });
             last_token_line = line;
             continue;
@@ -292,6 +313,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: Kind::Str,
                 text: String::from("<str>"),
                 line,
+                start,
+                end: cur.byte,
             });
             last_token_line = line;
             continue;
@@ -319,6 +342,8 @@ pub fn lex(src: &str) -> Lexed {
                     kind: Kind::Lifetime,
                     text: name,
                     line,
+                    start,
+                    end: cur.byte,
                 });
             } else {
                 lex_char_literal(&mut cur);
@@ -326,6 +351,8 @@ pub fn lex(src: &str) -> Lexed {
                     kind: Kind::Char,
                     text: String::from("<char>"),
                     line,
+                    start,
+                    end: cur.byte,
                 });
             }
             last_token_line = line;
@@ -346,6 +373,8 @@ pub fn lex(src: &str) -> Lexed {
                 kind: Kind::Punct,
                 text: (*p).to_owned(),
                 line,
+                start,
+                end: cur.byte,
             });
             last_token_line = line;
             continue;
@@ -357,6 +386,8 @@ pub fn lex(src: &str) -> Lexed {
             kind: Kind::Punct,
             text: c.to_string(),
             line,
+            start,
+            end: cur.byte,
         });
         last_token_line = line;
     }

@@ -3,25 +3,43 @@
 //! PR 1 made the modeling core panic-free and PR 2 made it concurrent;
 //! this crate makes those properties *enforced* instead of
 //! conventional. It tokenizes every `crates/*/src` file with a small
-//! hand-rolled lexer ([`lexer`]) — no AST, no rustc plumbing, no
-//! network — and checks the project invariants as named rules
-//! ([`rules`]) with `file:line` diagnostics that reuse
+//! hand-rolled lexer ([`lexer`]) — no rustc plumbing, no network —
+//! builds a per-file structural IR ([`parse`], [`ir`]: items, impls,
+//! functions, loops, calls, `use` resolution) and a cross-crate call
+//! graph ([`callgraph`]), and checks the project invariants as named
+//! rules ([`rules`]) with `file:line` diagnostics that reuse
 //! [`mcpat_diag::Severity`].
 //!
-//! Run it as `cargo run -p mcpat-lint` (exit code 1 on violations,
-//! `--json` for a machine-readable report). A violation that is
-//! genuinely fine carries a `// lint: allow(L00n, reason)` annotation
-//! at the site; the reason is mandatory and unused annotations are
-//! themselves reported, so the set of exceptions stays audited.
+//! Run it as `cargo lint` (alias for `cargo run -p mcpat-lint`; exit
+//! code 1 on violations). `--json`/`--sarif` emit machine-readable
+//! reports; `--cache FILE` skips re-analysis of unchanged files by
+//! content hash ([`cache`]). A violation that is genuinely fine
+//! carries a `// lint: allow(L00n, reason)` annotation at the site;
+//! the reason is mandatory and unused annotations are themselves
+//! reported, so the set of exceptions stays audited.
+//!
+//! The pipeline has two stages. Per file (pure in the file's bytes,
+//! hence cacheable): lex → parse → single-file rules → *facts* (allow
+//! annotations, L004 struct/validate evidence, L008/L012 function
+//! summaries). Globally (always re-run, cheap): the per-crate L004
+//! pass, the call-graph build and checkpoint-reachability pass, allow
+//! application.
 //!
 //! See `DESIGN.md` § "Static analysis & invariants" for the rationale
 //! behind each rule.
 
+pub mod cache;
+pub mod callgraph;
+pub mod ir;
+mod json;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+mod sarif;
 
-use rules::{Allow, CrateValidation, Finding};
-use std::collections::HashMap;
+use callgraph::{CallGraph, FnNode};
+use rules::{Allow, AnalyzeOptions, CrateValidation, FileAnalysis, Finding};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// The result of linting a set of sources.
@@ -89,6 +107,13 @@ impl Report {
         out
     }
 
+    /// Renders the report as a SARIF 2.1.0 document for code-scanning
+    /// upload.
+    #[must_use]
+    pub fn to_sarif(&self) -> String {
+        sarif::to_sarif(self)
+    }
+
     /// Renders human-readable diagnostics, one per line, followed by a
     /// summary.
     #[must_use]
@@ -143,19 +168,56 @@ pub struct Source {
     pub text: String,
 }
 
+/// Analyzes one source through the per-file (cacheable) stage:
+/// lex → parse → single-file rules → facts.
+fn analyze_one(src: &Source) -> FileAnalysis {
+    let lexed = lexer::lex(&src.text);
+    let file_ir = parse::parse(&lexed);
+    rules::analyze(
+        &src.path,
+        &lexed,
+        &file_ir,
+        AnalyzeOptions {
+            knobs_file: src.path.ends_with("knobs.rs"),
+            obs_crate: src.crate_name == "obs",
+            par_crate: src.crate_name == "par",
+        },
+    )
+}
+
 /// Lints a set of in-memory sources. This is the whole pipeline:
-/// lex, per-file rules, per-crate L004, allow suppression.
+/// per-file analysis, per-crate L004, the call-graph L008/L012 pass,
+/// allow suppression.
 #[must_use]
 pub fn lint_sources(sources: &[Source]) -> Report {
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut allows_by_file: HashMap<String, Vec<Allow>> = HashMap::new();
-    let mut crates: HashMap<String, CrateValidation> = HashMap::new();
+    lint_sources_cached(sources, &mut cache::Cache::default())
+}
 
-    for src in sources {
-        let lexed = lexer::lex(&src.text);
-        let knobs_file = src.path.ends_with("knobs.rs");
-        let obs_crate = src.crate_name == "obs";
-        let analysis = rules::analyze(&src.path, &lexed, knobs_file, obs_crate);
+/// [`lint_sources`], consulting (and filling) an incremental cache:
+/// a file whose content hash matches reuses its stored facts instead
+/// of being re-analyzed. The cross-file passes always re-run over the
+/// facts, so a change in one file still updates interprocedural
+/// findings everywhere.
+#[must_use]
+pub fn lint_sources_cached(sources: &[Source], file_cache: &mut cache::Cache) -> Report {
+    let analyses: Vec<FileAnalysis> = sources
+        .iter()
+        .map(|src| {
+            let hash = cache::content_hash(&src.text);
+            file_cache.take(&src.path, hash).unwrap_or_else(|| {
+                let analysis = analyze_one(src);
+                file_cache.put(&src.path, hash, &analysis);
+                analysis
+            })
+        })
+        .collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows_by_file: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
+    let mut crates: BTreeMap<String, CrateValidation> = BTreeMap::new();
+    let mut nodes: Vec<FnNode> = Vec::new();
+
+    for (src, analysis) in sources.iter().zip(&analyses) {
         findings.extend(analysis.findings.iter().cloned());
         findings.extend(analysis.annotation_warnings.iter().cloned());
         allows_by_file
@@ -165,7 +227,27 @@ pub fn lint_sources(sources: &[Source]) -> Report {
         crates
             .entry(src.crate_name.clone())
             .or_default()
-            .absorb(&analysis);
+            .absorb(analysis);
+        nodes.extend(analysis.fns.iter().map(|f| FnNode {
+            crate_name: src.crate_name.clone(),
+            file: src.path.clone(),
+            name: f.name.clone(),
+            impl_type: f.impl_type.clone(),
+            line: f.line,
+            is_test: f.is_test,
+            calls: f.calls.clone(),
+        }));
+    }
+
+    let graph = CallGraph::build(nodes);
+    for (src, analysis) in sources.iter().zip(&analyses) {
+        rules::check_loop_reachability(
+            &src.path,
+            &src.crate_name,
+            &analysis.fns,
+            &graph,
+            &mut findings,
+        );
     }
 
     for validation in crates.values() {
@@ -263,6 +345,21 @@ fn collect_rs_files(
 /// An [`std::io::Error`] if sources cannot be enumerated or read.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     Ok(lint_sources(&collect_workspace_sources(root)?))
+}
+
+/// Lints the whole workspace with an incremental cache at
+/// `cache_path`: loaded before, stored after (best-effort — a cache
+/// that cannot be written does not fail the lint).
+///
+/// # Errors
+///
+/// An [`std::io::Error`] if sources cannot be enumerated or read.
+pub fn lint_workspace_cached(root: &Path, cache_path: &Path) -> std::io::Result<Report> {
+    let sources = collect_workspace_sources(root)?;
+    let mut file_cache = cache::Cache::load(cache_path);
+    let report = lint_sources_cached(&sources, &mut file_cache);
+    let _ = file_cache.store(cache_path);
+    Ok(report)
 }
 
 /// The workspace root this crate was compiled in — the default lint

@@ -1,20 +1,26 @@
 //! `mcpat-lint` command-line entry point.
 //!
 //! ```text
-//! cargo run -p mcpat-lint                # human-readable, exit 1 on violations
-//! cargo run -p mcpat-lint -- --json      # JSON report on stdout
-//! cargo run -p mcpat-lint -- --out f.json# also write the JSON report to f.json
-//! cargo run -p mcpat-lint -- --root DIR  # lint a different workspace root
+//! cargo lint                              # alias; human-readable, exit 1 on violations
+//! cargo run -p mcpat-lint -- --json       # JSON report on stdout
+//! cargo run -p mcpat-lint -- --out f.json # also write the JSON report to f.json
+//! cargo run -p mcpat-lint -- --sarif f    # also write a SARIF 2.1.0 report to f
+//! cargo run -p mcpat-lint -- --cache f    # incremental: reuse facts for unchanged files
+//! cargo run -p mcpat-lint -- --deny-warnings # exit 1 on warnings too (unused allows)
+//! cargo run -p mcpat-lint -- --root DIR   # lint a different workspace root
 //! ```
 //!
-//! Exit codes: 0 clean (warnings allowed), 1 violations found, 2 usage
-//! or I/O error.
+//! Exit codes: 0 clean, 1 violations found (warnings count only under
+//! `--deny-warnings`), 2 usage or I/O error.
 
 use std::path::PathBuf;
 
 struct Options {
     json: bool,
     out: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    deny_warnings: bool,
     root: PathBuf,
 }
 
@@ -22,15 +28,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         json: false,
         out: None,
+        sarif: None,
+        cache: None,
+        deny_warnings: false,
         root: mcpat_lint::default_root(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            // `cargo lint` is an alias ending in `--`, so `cargo lint -- --json`
+            // hands us a literal separator; swallow it.
+            "--" => {}
             "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
             "--out" => {
                 let path = it.next().ok_or("--out requires a file path")?;
                 opts.out = Some(PathBuf::from(path));
+            }
+            "--sarif" => {
+                let path = it.next().ok_or("--sarif requires a file path")?;
+                opts.sarif = Some(PathBuf::from(path));
+            }
+            "--cache" => {
+                let path = it.next().ok_or("--cache requires a file path")?;
+                opts.cache = Some(PathBuf::from(path));
             }
             "--root" => {
                 let path = it.next().ok_or("--root requires a directory path")?;
@@ -38,7 +59,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(String::from(
-                    "usage: mcpat-lint [--json] [--out FILE] [--root DIR]",
+                    "usage: mcpat-lint [--json] [--out FILE] [--sarif FILE] \
+                     [--cache FILE] [--deny-warnings] [--root DIR]",
                 ))
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -57,7 +79,11 @@ fn main() {
         }
     };
 
-    let report = match mcpat_lint::lint_workspace(&opts.root) {
+    let lint_result = match &opts.cache {
+        Some(cache_path) => mcpat_lint::lint_workspace_cached(&opts.root, cache_path),
+        None => mcpat_lint::lint_workspace(&opts.root),
+    };
+    let report = match lint_result {
         Ok(r) => r,
         Err(e) => {
             eprintln!(
@@ -74,6 +100,12 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, report.to_sarif()) {
+            eprintln!("mcpat-lint: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
 
     if opts.json {
         print!("{}", report.to_json());
@@ -81,5 +113,6 @@ fn main() {
         print!("{}", report.render());
     }
 
-    std::process::exit(i32::from(report.has_errors()));
+    let fail = report.has_errors() || (opts.deny_warnings && !report.findings.is_empty());
+    std::process::exit(i32::from(fail));
 }

@@ -1,10 +1,12 @@
-//! The project-invariant rules, L001–L009.
+//! The project-invariant rules, L001–L012.
 //!
-//! Each rule is a pure function over one file's token stream (plus, for
-//! L004, a per-crate accumulation step). Rules never look inside
-//! strings or comments — the lexer already hid those — and every rule
-//! skips `#[cfg(test)]` / `#[test]` regions, where panics and direct
-//! env manipulation are legitimate.
+//! Most rules are pure functions over one file's token stream; L004
+//! adds a per-crate accumulation step, and L008/L012 run over the
+//! cross-crate call graph ([`crate::callgraph`]) built from the
+//! per-file IR ([`crate::parse`]). Rules never look inside strings or
+//! comments — the lexer already hid those — and every rule skips
+//! `#[cfg(test)]` / `#[test]` regions, where panics and direct env
+//! manipulation are legitimate.
 //!
 //! | Rule | Invariant |
 //! |---|---|
@@ -15,8 +17,17 @@
 //! | L005 | no `.lock()` guard bound in a scope that fans out |
 //! | L006 | no `unwrap`/`expect`/`panic!` family in library code |
 //! | L007 | no before/after deltas over global `memo`/`pool` counters |
-//! | L008 | solver/build loops carry a budget checkpoint |
+//! | L008 | solver/build loop calls only *opaque* callees and has no checkpoint |
 //! | L009 | no per-iteration heap allocation in `lint: hot` regions |
+//! | L010 | no mixing unit-suffixed identifiers across dimensions/scales |
+//! | L011 | no hash-ordered iteration, thread-dependence, or unordered float reduction |
+//! | L012 | solver/build loops *reach* an `mcpat-guard` checkpoint (call graph) |
+//!
+//! L008 and L012 split one invariant by evidence: a loop whose callees
+//! resolve in the call graph but provably never reach a checkpoint
+//! within [`crate::callgraph::MAX_CHECKPOINT_DEPTH`] frames is an
+//! L012; a loop whose callees are all opaque (closures, std) falls
+//! back to the old syntactic L008.
 //!
 //! A violation is silenced by `// lint: allow(L00n, reason)` — trailing
 //! on the offending line, or on its own line immediately above (the
@@ -24,9 +35,12 @@
 //! mandatory; an annotation that silences nothing is itself reported,
 //! so stale allows cannot accumulate.
 
+use crate::callgraph::{CallGraph, CallRef, BUDGET_CHECKS, MAX_CHECKPOINT_DEPTH};
+use crate::ir::FileIr;
 use crate::lexer::{is_keyword, Kind, Lexed, Token};
+use crate::parse::{fn_body_span, match_close, test_spans};
 use mcpat_diag::Severity;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Identifier of one invariant rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,11 +61,22 @@ pub enum Rule {
     /// `pool::stats()` counters outside `mcpat-obs`.
     L007,
     /// A loop over candidates/probes/rungs (one calling solver or
-    /// build APIs) with no budget checkpoint in its body.
+    /// build APIs) whose callees are all opaque to the call graph and
+    /// whose body has no syntactic budget checkpoint.
     L008,
     /// Heap allocation inside a `// lint: hot` region — the solver's
     /// per-candidate loops and other marked cold-path hot spots.
     L009,
+    /// Unit-suffixed identifiers added/compared/assigned across
+    /// incompatible physical dimensions or scales.
+    L010,
+    /// Nondeterminism hazard in result-affecting code: hash-ordered
+    /// iteration, thread-count/thread-id dependence, or an unordered
+    /// float reduction.
+    L011,
+    /// A solver/build loop whose resolved callees provably never reach
+    /// an `mcpat-guard` checkpoint within the bounded call depth.
+    L012,
     /// A `lint: allow` annotation that silenced nothing, or is
     /// malformed (missing its mandatory reason).
     Allowance,
@@ -71,11 +96,17 @@ impl Rule {
             Rule::L007 => "L007",
             Rule::L008 => "L008",
             Rule::L009 => "L009",
+            Rule::L010 => "L010",
+            Rule::L011 => "L011",
+            Rule::L012 => "L012",
             Rule::Allowance => "allow",
         }
     }
 
-    fn from_id(id: &str) -> Option<Rule> {
+    /// Parses a numbered rule id (`"L004"`); `None` for anything else,
+    /// including the annotation pseudo-rule.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
         match id {
             "L001" => Some(Rule::L001),
             "L002" => Some(Rule::L002),
@@ -86,6 +117,9 @@ impl Rule {
             "L007" => Some(Rule::L007),
             "L008" => Some(Rule::L008),
             "L009" => Some(Rule::L009),
+            "L010" => Some(Rule::L010),
+            "L011" => Some(Rule::L011),
+            "L012" => Some(Rule::L012),
             _ => None,
         }
     }
@@ -97,6 +131,46 @@ impl Rule {
         match self {
             Rule::Allowance => Severity::Warning,
             _ => Severity::Error,
+        }
+    }
+
+    /// Every rule, in report order (for SARIF tool metadata).
+    #[must_use]
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::L001,
+            Rule::L002,
+            Rule::L003,
+            Rule::L004,
+            Rule::L005,
+            Rule::L006,
+            Rule::L007,
+            Rule::L008,
+            Rule::L009,
+            Rule::L010,
+            Rule::L011,
+            Rule::L012,
+            Rule::Allowance,
+        ]
+    }
+
+    /// One-line invariant statement (SARIF `shortDescription`).
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::L001 => "no panicking index expressions in library code",
+            Rule::L002 => "no raw float equality",
+            Rule::L003 => "environment reads confined to the knobs module",
+            Rule::L004 => "every Config/Spec field mentioned in a validate()",
+            Rule::L005 => "no lock guard bound in a scope that fans out",
+            Rule::L006 => "no unwrap/expect/panic-family calls in library code",
+            Rule::L007 => "no before/after deltas over global memo/pool counters",
+            Rule::L008 => "solver/build loop with opaque callees needs a syntactic checkpoint",
+            Rule::L009 => "no per-iteration heap allocation in lint:hot regions",
+            Rule::L010 => "no mixing unit-suffixed identifiers across dimensions or scales",
+            Rule::L011 => "no hash-ordered iteration or thread-dependent values in results",
+            Rule::L012 => "solver/build loops must reach an mcpat-guard checkpoint",
+            Rule::Allowance => "lint allow annotations must be well-formed and in use",
         }
     }
 }
@@ -120,7 +194,7 @@ pub struct Finding {
 }
 
 /// One parsed `// lint: allow(RULE, reason)` annotation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allow {
     /// The silenced rule.
     pub rule: Rule,
@@ -133,8 +207,10 @@ pub struct Allow {
 }
 
 /// Everything one file contributes: raw findings, allow annotations,
-/// and its share of the per-crate L004 state.
-#[derive(Debug, Default)]
+/// and its share of the cross-file state (L004 validation facts,
+/// L008/L012 function summaries). This is exactly what the
+/// incremental cache ([`crate::cache`]) persists per file.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct FileAnalysis {
     /// Raw findings, before allow suppression (L004 excluded — that
     /// rule needs the whole crate).
@@ -145,14 +221,49 @@ pub struct FileAnalysis {
     pub annotation_warnings: Vec<Finding>,
     /// `*Config`/`*Spec` structs defined in this file.
     pub structs: Vec<StructDef>,
-    /// Identifiers mentioned inside `validate*` function bodies.
-    pub validate_idents: HashSet<String>,
+    /// Identifiers mentioned inside `validate*` function bodies
+    /// (ordered — the cache serializes this set).
+    pub validate_idents: BTreeSet<String>,
     /// Whether the file defines any `validate*` function.
     pub has_validate: bool,
+    /// Function summaries for the call-graph passes (L008/L012).
+    pub fns: Vec<FnFact>,
+}
+
+/// One loop inside a function, summarized for the reachability pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopFact {
+    /// 1-based line of the loop keyword.
+    pub line: usize,
+    /// Budgeted (solver/build) callee names seen in the body.
+    pub budgeted: Vec<String>,
+    /// Whether the body syntactically calls a checkpoint.
+    pub direct_checkpoint: bool,
+    /// Every call in the body, for reachability resolution.
+    pub calls: Vec<CallRef>,
+}
+
+/// One function, summarized for the call graph. Derived from the
+/// structural IR; serialized into the incremental cache so unchanged
+/// files contribute to cross-file passes without re-analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnFact {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type, if associated.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the fn lives in a test region.
+    pub is_test: bool,
+    /// Every call expression in the body.
+    pub calls: Vec<CallRef>,
+    /// Loops in the body.
+    pub loops: Vec<LoopFact>,
 }
 
 /// A `*Config`/`*Spec` struct definition found by the light parser.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructDef {
     /// Struct name.
     pub name: String,
@@ -164,13 +275,25 @@ pub struct StructDef {
     pub fields: Vec<(String, usize)>,
 }
 
-/// Analyzes one lexed file against every single-file rule and collects
-/// the L004 raw material. `knobs_file` exempts the file from L003;
-/// `obs_crate` exempts it from L007 (the observability crate is where
-/// scoped attribution is implemented, so it legitimately reconciles
-/// global counters).
+/// Per-file exemptions the caller derives from the file's location.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// The designated knobs module — exempt from L003 (it is *where*
+    /// environment knobs are declared).
+    pub knobs_file: bool,
+    /// The `mcpat-obs` crate — exempt from L007 (scoped attribution is
+    /// implemented there, so it legitimately reconciles the globals).
+    pub obs_crate: bool,
+    /// The `mcpat-par` crate — exempt from L011's thread checks
+    /// (sizing the worker pool is its job).
+    pub par_crate: bool,
+}
+
+/// Analyzes one lexed+parsed file against every single-file rule and
+/// collects the raw material for the cross-file passes: the L004
+/// struct/validate facts and the L008/L012 function summaries.
 #[must_use]
-pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool, obs_crate: bool) -> FileAnalysis {
+pub fn analyze(rel_path: &str, lexed: &Lexed, ir: &FileIr, opts: AnalyzeOptions) -> FileAnalysis {
     let tokens = &lexed.tokens;
     let test_spans = test_spans(tokens);
     let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx <= b);
@@ -180,19 +303,27 @@ pub fn analyze(rel_path: &str, lexed: &Lexed, knobs_file: bool, obs_crate: bool)
 
     check_indexing(rel_path, tokens, &in_test, &mut out.findings);
     check_float_eq(rel_path, tokens, &in_test, &mut out.findings);
-    if !knobs_file {
+    if !opts.knobs_file {
         check_env_reads(rel_path, tokens, &in_test, &mut out.findings);
     }
     check_lock_across_fanout(rel_path, tokens, &in_test, &mut out.findings);
     check_panicking_calls(rel_path, tokens, &in_test, &mut out.findings);
-    if !obs_crate {
+    if !opts.obs_crate {
         check_global_deltas(rel_path, tokens, &in_test, &mut out.findings);
     }
-    check_loop_budgets(rel_path, tokens, &in_test, &mut out.findings);
     check_hot_allocs(rel_path, lexed, &in_test, &mut out.findings);
+    check_unit_mixing(rel_path, tokens, &in_test, &mut out.findings);
+    check_determinism(
+        rel_path,
+        tokens,
+        &in_test,
+        opts.par_crate,
+        &mut out.findings,
+    );
 
     collect_structs(rel_path, tokens, &in_test, &mut out.structs);
     collect_validate_idents(tokens, &mut out);
+    out.fns = collect_fn_facts(ir);
 
     dedupe(&mut out.findings);
     out
@@ -219,86 +350,6 @@ fn is_punct(t: &Token, text: &str) -> bool {
 
 fn is_ident(t: &Token, text: &str) -> bool {
     t.kind == Kind::Ident && t.text == text
-}
-
-/// Token-index spans covered by `#[cfg(test)]` / `#[test]` items.
-///
-/// After a test attribute, every further attribute is skipped and the
-/// next braced block (the `mod`/`fn` body) is the span. An attribute
-/// mentioning `test` on a `mod tests;` external declaration has no
-/// brace and contributes nothing.
-fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut i = 0usize;
-    while let Some(t) = tok(tokens, i) {
-        if is_punct(t, "#") && tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, "[")) {
-            let attr_start = i.saturating_add(1);
-            let attr_end = match_close(tokens, attr_start, "[", "]");
-            let idents: Vec<&str> = tokens
-                .get(attr_start..=attr_end)
-                .unwrap_or_default()
-                .iter()
-                .filter(|t| t.kind == Kind::Ident)
-                .map(|t| t.text.as_str())
-                .collect();
-            // `#[test]` or a positive `#[cfg(... test ...)]` — but not
-            // `#[cfg(not(test))]` (library code!) or `#[cfg_attr(...)]`.
-            let mentions_test = match idents.split_first() {
-                Some((&"test", rest)) => rest.is_empty(),
-                Some((&"cfg", rest)) => rest.contains(&"test") && !rest.contains(&"not"),
-                _ => false,
-            };
-            if mentions_test {
-                // Skip any further attributes, then find the item body.
-                let mut j = attr_end.saturating_add(1);
-                while tok(tokens, j).is_some_and(|t| is_punct(t, "#"))
-                    && tok(tokens, j.saturating_add(1)).is_some_and(|t| is_punct(t, "["))
-                {
-                    j = match_close(tokens, j.saturating_add(1), "[", "]").saturating_add(1);
-                }
-                let mut body_start = None;
-                while let Some(t) = tok(tokens, j) {
-                    if is_punct(t, "{") {
-                        body_start = Some(j);
-                        break;
-                    }
-                    if is_punct(t, ";") {
-                        break;
-                    }
-                    j = j.saturating_add(1);
-                }
-                if let Some(start) = body_start {
-                    let end = match_close(tokens, start, "{", "}");
-                    spans.push((start, end));
-                    i = end.saturating_add(1);
-                    continue;
-                }
-            }
-            i = attr_end.saturating_add(1);
-            continue;
-        }
-        i = i.saturating_add(1);
-    }
-    spans
-}
-
-/// Index of the delimiter closing the one at `open_idx` (which must
-/// hold `open`). Returns the last token index if unbalanced.
-fn match_close(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
-    let mut depth = 0usize;
-    let mut i = open_idx;
-    while let Some(t) = tok(tokens, i) {
-        if is_punct(t, open) {
-            depth = depth.saturating_add(1);
-        } else if is_punct(t, close) {
-            depth = depth.saturating_sub(1);
-            if depth == 0 {
-                return i;
-            }
-        }
-        i = i.saturating_add(1);
-    }
-    tokens.len().saturating_sub(1)
 }
 
 /// L001 — a `[` directly after an expression tail (identifier, `)`,
@@ -477,32 +528,6 @@ fn check_lock_across_fanout(
     }
 }
 
-/// The `{`..`}` token span of the body of the `fn` at `fn_idx`, or
-/// `None` for body-less declarations (trait methods, externs).
-fn fn_body_span(tokens: &[Token], fn_idx: usize) -> Option<(usize, usize)> {
-    let mut i = fn_idx.saturating_add(1);
-    let mut paren_depth = 0usize;
-    let mut angle_depth = 0usize;
-    while let Some(t) = tok(tokens, i) {
-        if t.kind == Kind::Punct {
-            match t.text.as_str() {
-                "(" => paren_depth = paren_depth.saturating_add(1),
-                ")" => paren_depth = paren_depth.saturating_sub(1),
-                "<" => angle_depth = angle_depth.saturating_add(1),
-                ">" => angle_depth = angle_depth.saturating_sub(1),
-                ">>" => angle_depth = angle_depth.saturating_sub(2),
-                "{" if paren_depth == 0 && angle_depth == 0 => {
-                    return Some((i, match_close(tokens, i, "{", "}")));
-                }
-                ";" if paren_depth == 0 => return None,
-                _ => {}
-            }
-        }
-        i = i.saturating_add(1);
-    }
-    None
-}
-
 /// Whether the statement containing token `idx` (scanning back to the
 /// nearest `;`, `{` or `}`) starts with `let` — i.e. binds a name.
 fn stmt_has_let(body: &[Token], idx: usize) -> bool {
@@ -635,99 +660,125 @@ const BUDGETED_CALLS: &[&str] = &[
     "build_inner",
 ];
 
-/// Checkpoint idents that satisfy L008 when called inside the loop:
-/// the `mcpat_guard` entry points and the crate-local wrappers that
-/// forward to them.
-const BUDGET_CHECKS: &[&str] = &["check", "check_self", "budget_check", "checkpoint"];
+/// Summarizes the structural IR into the serializable function facts
+/// the call-graph passes (and the incremental cache) consume.
+#[must_use]
+pub fn collect_fn_facts(ir: &FileIr) -> Vec<FnFact> {
+    let to_ref = |c: &crate::ir::CallIr| CallRef {
+        name: c.name.clone(),
+        path: c.path.clone(),
+    };
+    ir.functions
+        .iter()
+        .map(|f| {
+            let loops = f
+                .loops
+                .iter()
+                .map(|l| {
+                    let body_calls = f.calls_in(l.body);
+                    LoopFact {
+                        line: l.line,
+                        budgeted: body_calls
+                            .iter()
+                            .filter(|c| BUDGETED_CALLS.contains(&c.name.as_str()))
+                            .map(|c| c.name.clone())
+                            .collect(),
+                        direct_checkpoint: body_calls
+                            .iter()
+                            .any(|c| BUDGET_CHECKS.contains(&c.name.as_str())),
+                        calls: body_calls.iter().map(|c| to_ref(c)).collect(),
+                    }
+                })
+                .collect();
+            FnFact {
+                name: f.name.clone(),
+                impl_type: f.impl_type.clone(),
+                line: f.line,
+                is_test: f.is_test,
+                calls: f.calls.iter().map(to_ref).collect(),
+                loops,
+            }
+        })
+        .collect()
+}
 
-/// L008 — a `for`/`while`/`loop` body that calls a solver or build API
-/// (candidate sweeps, relaxation rungs, bisection probes, batch builds)
-/// but contains no budget checkpoint. Such a loop cannot honor a
-/// deadline or a cooperative cancel until it finishes on its own.
-fn check_loop_budgets(
+/// L008/L012 — every solver/build loop must *reach* an `mcpat-guard`
+/// checkpoint: syntactically in its body, or through its callees
+/// within [`MAX_CHECKPOINT_DEPTH`] frames of the call graph. A loop
+/// that fails splits by evidence:
+///
+/// * its budgeted calls **resolve** in the graph but provably never
+///   reach a checkpoint → **L012** (interprocedural, hard evidence);
+/// * its budgeted calls are all **opaque** (closures, trait objects,
+///   vendored code) → **L008** (the old syntactic fallback).
+///
+/// Nested loops are judged independently: each iteration layer needs
+/// its own checkpoint or a reaching callee.
+pub fn check_loop_reachability(
     file: &str,
-    tokens: &[Token],
-    in_test: &dyn Fn(usize) -> bool,
+    crate_name: &str,
+    fns: &[FnFact],
+    graph: &CallGraph,
     findings: &mut Vec<Finding>,
 ) {
-    let mut i = 0usize;
-    while let Some(t) = tok(tokens, i) {
-        let loop_kw = t.kind == Kind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop");
-        if !loop_kw || in_test(i) {
-            i = i.saturating_add(1);
+    for f in fns {
+        if f.is_test {
             continue;
         }
-        // The loop body is the first `{` at top delimiter depth after
-        // the keyword: Rust bans struct literals in loop headers, so
-        // nothing else opens a brace there.
-        let mut j = i.saturating_add(1);
-        let (mut paren, mut bracket) = (0usize, 0usize);
-        let mut body_start = None;
-        while let Some(h) = tok(tokens, j) {
-            if h.kind == Kind::Punct {
-                match h.text.as_str() {
-                    "(" => paren = paren.saturating_add(1),
-                    ")" => paren = paren.saturating_sub(1),
-                    "[" => bracket = bracket.saturating_add(1),
-                    "]" => bracket = bracket.saturating_sub(1),
-                    "{" if paren == 0 && bracket == 0 => {
-                        body_start = Some(j);
-                        break;
-                    }
-                    ";" if paren == 0 && bracket == 0 => break,
-                    _ => {}
-                }
+        for l in &f.loops {
+            if l.budgeted.is_empty() || l.direct_checkpoint {
+                continue;
             }
-            j = j.saturating_add(1);
-        }
-        let Some(start) = body_start else {
-            i = i.saturating_add(1);
-            continue;
-        };
-        let end = match_close(tokens, start, "{", "}");
-        let body = tokens.get(start..=end).unwrap_or_default();
-        let calls = |names: &[&str]| {
-            body.iter().enumerate().any(|(k, bt)| {
-                bt.kind == Kind::Ident
-                    && names.contains(&bt.text.as_str())
-                    && body
-                        .get(k.saturating_add(1))
-                        .is_some_and(|n| is_punct(n, "("))
-            })
-        };
-        if calls(BUDGETED_CALLS) && !calls(BUDGET_CHECKS) {
+            if l.calls
+                .iter()
+                .any(|c| graph.call_reaches_checkpoint(crate_name, c))
+            {
+                continue;
+            }
+            let budgeted_resolves = l
+                .calls
+                .iter()
+                .filter(|c| BUDGETED_CALLS.contains(&c.name.as_str()))
+                .any(|c| graph.resolves(crate_name, c));
+            let (rule, message) = if budgeted_resolves {
+                (
+                    Rule::L012,
+                    format!(
+                        "loop's solver/build calls resolve in the call graph but none \
+                         reaches an mcpat_guard checkpoint within {MAX_CHECKPOINT_DEPTH} \
+                         frames; checkpoint inside the callee or the loop body so deadlines \
+                         and cancellation stay responsive — or justify with \
+                         `// lint: allow(L012, reason)`"
+                    ),
+                )
+            } else {
+                (
+                    Rule::L008,
+                    String::from(
+                        "loop calls solver/build APIs that are opaque to the call graph \
+                         and has no budget checkpoint; add an mcpat_guard::check() (or a \
+                         wrapper forwarding to it) in the body so deadlines and \
+                         cancellation stay responsive — or justify with \
+                         `// lint: allow(L008, reason)`",
+                    ),
+                )
+            };
             findings.push(Finding {
-                rule: Rule::L008,
-                severity: Rule::L008.severity(),
+                rule,
+                severity: rule.severity(),
                 file: file.to_owned(),
-                line: t.line,
+                line: l.line,
                 alt_line: None,
-                message: String::from(
-                    "loop calls solver/build APIs but has no budget checkpoint; add an \
-                     mcpat_guard::check() (or a wrapper forwarding to it) in the body so \
-                     deadlines and cancellation stay responsive — or justify with \
-                     `// lint: allow(L008, reason)`",
-                ),
+                message,
             });
         }
-        // Advance one token only: nested loops are scanned in their own
-        // right (each iteration layer needs its own checkpoint or an
-        // inner one that covers it).
-        i = i.saturating_add(1);
     }
 }
 
 /// Owning-container types whose `::new`/`::from`/`::with_capacity`
 /// constructors hit the global allocator (or will on first push).
 const ALLOC_OWNERS: &[&str] = &[
-    "Vec",
-    "VecDeque",
-    "Box",
-    "String",
-    "BTreeMap",
-    "BTreeSet",
-    "HashMap",
-    "HashSet",
+    "Vec", "VecDeque", "Box", "String", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
 ];
 
 /// Constructor idents that allocate when invoked on an owner above.
@@ -750,7 +801,11 @@ fn hot_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
         let Some(at) = c.text.find("lint:") else {
             continue;
         };
-        let rest = c.text.get(at.saturating_add(5)..).unwrap_or_default().trim_start();
+        let rest = c
+            .text
+            .get(at.saturating_add(5)..)
+            .unwrap_or_default()
+            .trim_start();
         let Some(tail) = rest.strip_prefix("hot") else {
             continue;
         };
@@ -792,9 +847,8 @@ fn check_hot_allocs(
             continue;
         }
         let name = t.text.as_str();
-        let next_is = |text: &str| {
-            tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, text))
-        };
+        let next_is =
+            |text: &str| tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, text));
         // `Vec::new(`, `String::with_capacity(`, … — only on the known
         // owning containers, so `Multiplexer::new` and friends (plain
         // value constructors) pass untouched.
@@ -823,6 +877,339 @@ fn check_hot_allocs(
                     "heap allocation `{name}` inside a `lint: hot` region; reuse arena \
                      scratch or fixed-size lanes hoisted out of the candidate loop — or \
                      justify with `// lint: allow(L009, reason)`"
+                ),
+            });
+        }
+    }
+}
+
+/// The physical-unit suffix table: `(suffix, dimension)`. An
+/// identifier whose final `_`-separated segment appears here carries
+/// that unit. Compatibility is *exact suffix* equality — `_w` against
+/// `_mw` is a scale mismatch, `_w` against `_nj` a dimension mismatch,
+/// and both are L010 findings. Bare `_f` is deliberately absent: it
+/// collides with the feature-size idiom (`tech_f`), not farads.
+const UNIT_SUFFIXES: &[(&str, &str)] = &[
+    ("w", "power"),
+    ("mw", "power"),
+    ("uw", "power"),
+    ("kw", "power"),
+    ("j", "energy"),
+    ("mj", "energy"),
+    ("uj", "energy"),
+    ("nj", "energy"),
+    ("pj", "energy"),
+    ("fj", "energy"),
+    ("s", "time"),
+    ("ms", "time"),
+    ("us", "time"),
+    ("ns", "time"),
+    ("ps", "time"),
+    ("mm2", "area"),
+    ("um2", "area"),
+    ("hz", "frequency"),
+    ("khz", "frequency"),
+    ("mhz", "frequency"),
+    ("ghz", "frequency"),
+    ("v", "voltage"),
+    ("mv", "voltage"),
+    ("ff", "capacitance"),
+    ("pf", "capacitance"),
+    ("nf", "capacitance"),
+    ("ohm", "resistance"),
+    ("kohm", "resistance"),
+];
+
+/// The unit an identifier carries, from its final `_`-suffix:
+/// `leak_w` → `("w", "power")`. `None` when the name has no
+/// underscore, an empty stem, or an unrecognized suffix.
+fn unit_of(name: &str) -> Option<(&'static str, &'static str)> {
+    let (stem, suffix) = name.rsplit_once('_')?;
+    if stem.is_empty() {
+        return None;
+    }
+    UNIT_SUFFIXES
+        .iter()
+        .find(|&&(s, _)| s == suffix)
+        .map(|&(s, d)| (s, d))
+}
+
+/// Binary operators L010 patrols. Multiplication and division are
+/// deliberately absent: they legitimately *change* dimension, so
+/// `energy_nj = power_w * time_ns * 1e9` is the blessed conversion
+/// seam (any operand adjacent to `*` or `/` is exempted below).
+const UNIT_OPS: &[&str] = &["+", "-", "+=", "-=", "=", "==", "!=", "<", ">", "<=", ">="];
+
+/// The first token of the `a.b::c.d` operand chain whose leaf sits at
+/// `idx`, found by walking backwards over `.`/`::` joins.
+fn chain_back(tokens: &[Token], idx: usize) -> usize {
+    let mut k = idx;
+    while let Some(p) = prev(tokens, k) {
+        if !(is_punct(p, ".") || is_punct(p, "::")) {
+            break;
+        }
+        let Some(before) = k.checked_sub(2).and_then(|j| tokens.get(j)) else {
+            break;
+        };
+        if before.kind != Kind::Ident {
+            break;
+        }
+        k = k.saturating_sub(2);
+    }
+    k
+}
+
+/// L010 — unit-suffixed identifiers mixed across incompatible
+/// dimensions or scales in an addition, subtraction, comparison, or
+/// assignment. Both operands must carry recognized suffixes (an
+/// unsuffixed operand is unknowable and passes), and an operand
+/// adjacent to `*` or `/` is inside a conversion expression whose
+/// dimension the suffix no longer describes — exempt.
+fn check_unit_mixing(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Punct || !UNIT_OPS.contains(&t.text.as_str()) || in_test(i) {
+            continue;
+        }
+        // Left operand: the identifier directly before the operator,
+        // its unit read from the suffix, its chain root checked for an
+        // adjacent `*`/`/`.
+        let Some(lhs_idx) = i.checked_sub(1) else {
+            continue;
+        };
+        let Some(lhs) = tokens.get(lhs_idx).filter(|p| p.kind == Kind::Ident) else {
+            continue;
+        };
+        let Some((lsuf, ldim)) = unit_of(&lhs.text) else {
+            continue;
+        };
+        let root = chain_back(tokens, lhs_idx);
+        if prev(tokens, root).is_some_and(|p| is_punct(p, "*") || is_punct(p, "/")) {
+            continue;
+        }
+        // Right operand: skip a unary minus, then walk the
+        // `a.b::c`-style chain forward to its leaf identifier.
+        let mut j = i.saturating_add(1);
+        if tok(tokens, j).is_some_and(|n| is_punct(n, "-")) {
+            j = j.saturating_add(1);
+        }
+        let mut leaf: Option<usize> = None;
+        while let Some(n) = tok(tokens, j) {
+            if n.kind != Kind::Ident {
+                break;
+            }
+            leaf = Some(j);
+            let joined = tok(tokens, j.saturating_add(1))
+                .is_some_and(|p| is_punct(p, ".") || is_punct(p, "::"))
+                && tok(tokens, j.saturating_add(2)).is_some_and(|q| q.kind == Kind::Ident);
+            if !joined {
+                break;
+            }
+            j = j.saturating_add(2);
+        }
+        let Some(leaf_idx) = leaf else { continue };
+        let Some(rhs) = tokens.get(leaf_idx) else {
+            continue;
+        };
+        let Some((rsuf, rdim)) = unit_of(&rhs.text) else {
+            continue;
+        };
+        // Token after the right operand (past a call's argument list):
+        // `*`/`/` there means the operand feeds a conversion product.
+        let mut after_idx = leaf_idx.saturating_add(1);
+        if tok(tokens, after_idx).is_some_and(|n| is_punct(n, "(")) {
+            after_idx = match_close(tokens, after_idx, "(", ")").saturating_add(1);
+        }
+        if tok(tokens, after_idx).is_some_and(|n| is_punct(n, "*") || is_punct(n, "/")) {
+            continue;
+        }
+        if lsuf == rsuf {
+            continue;
+        }
+        let detail = if ldim == rdim {
+            format!("both are {ldim} but at different scales")
+        } else {
+            format!("`_{lsuf}` is {ldim}, `_{rsuf}` is {rdim}")
+        };
+        findings.push(Finding {
+            rule: Rule::L010,
+            severity: Rule::L010.severity(),
+            file: file.to_owned(),
+            line: t.line,
+            alt_line: None,
+            message: format!(
+                "unit mismatch: `{}` (_{lsuf}) {} `{}` (_{rsuf}) — {detail}; convert \
+                 explicitly (multiplication/division seams are exempt) or rename — or \
+                 justify with `// lint: allow(L010, reason)`",
+                lhs.text, t.text, rhs.text
+            ),
+        });
+    }
+}
+
+/// Owning hash containers whose iteration order is nondeterministic.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods whose call on a hash container observes its iteration
+/// order. `retain` is included: its closure runs in hash order, so
+/// any side effect inside is order-dependent.
+const HASH_ITERS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Calls whose result depends on the host's thread configuration.
+const THREAD_DEPENDENT_CALLS: &[&str] = &["available_parallelism", "thread_rng"];
+
+/// Identifier names bound to a hash container in this file: typed
+/// bindings/params/fields (`m: HashMap<…>`, `m: &mut HashSet<…>`) and
+/// constructor assignments (`let m = HashMap::new()`).
+fn hash_bound_names(tokens: &[Token]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `name : [&] [mut] HashMap` — walk back over the type prefix.
+        let mut j = i;
+        while let Some(p) = prev(tokens, j) {
+            if is_punct(p, "&") || is_ident(p, "mut") {
+                j = j.saturating_sub(1);
+            } else {
+                break;
+            }
+        }
+        if prev(tokens, j).is_some_and(|p| is_punct(p, ":")) {
+            if let Some(name) = j
+                .checked_sub(2)
+                .and_then(|k| tokens.get(k))
+                .filter(|n| n.kind == Kind::Ident && !is_keyword(&n.text))
+            {
+                names.insert(name.text.clone());
+            }
+        }
+        // `name = HashMap::new(…)` / `with_capacity` / `from`.
+        if prev(tokens, i).is_some_and(|p| is_punct(p, "="))
+            && tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, "::"))
+        {
+            if let Some(name) = i
+                .checked_sub(2)
+                .and_then(|k| tokens.get(k))
+                .filter(|n| n.kind == Kind::Ident && !is_keyword(&n.text))
+            {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// L011 — nondeterminism hazards in result-affecting code: iterating
+/// a hash container (order varies run to run, so any fold, output, or
+/// first-match over it is unstable) and thread-configuration-dependent
+/// values (`available_parallelism`, `thread::current`). The `par`
+/// crate is exempt from the thread checks — sizing a worker pool is
+/// its job; results must still not depend on the answer, which the
+/// hash check and the perf-identity suite patrol from the other side.
+fn check_determinism(
+    file: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    par_crate: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let hash_names = hash_bound_names(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Ident || in_test(i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        // `m.iter()` / `m.values()` / … on a hash-bound name.
+        if HASH_ITERS.contains(&name)
+            && prev(tokens, i).is_some_and(|p| is_punct(p, "."))
+            && tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, "("))
+        {
+            let recv = i.checked_sub(2).and_then(|k| tokens.get(k));
+            if let Some(r) = recv.filter(|r| hash_names.contains(&r.text)) {
+                findings.push(Finding {
+                    rule: Rule::L011,
+                    severity: Rule::L011.severity(),
+                    file: file.to_owned(),
+                    line: t.line,
+                    alt_line: None,
+                    message: format!(
+                        "hash-ordered iteration `{}.{name}()`; the visit order varies run \
+                         to run — use a BTreeMap/BTreeSet, or collect and sort before \
+                         consuming — or justify with `// lint: allow(L011, reason)`",
+                        r.text
+                    ),
+                });
+            }
+            continue;
+        }
+        // `for x in m` / `for x in &mut m` on a hash-bound name.
+        if hash_names.contains(name)
+            && !tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, "."))
+        {
+            let mut j = i;
+            while let Some(p) = prev(tokens, j) {
+                if is_punct(p, "&") || is_ident(p, "mut") {
+                    j = j.saturating_sub(1);
+                } else {
+                    break;
+                }
+            }
+            if prev(tokens, j).is_some_and(|p| is_ident(p, "in")) {
+                findings.push(Finding {
+                    rule: Rule::L011,
+                    severity: Rule::L011.severity(),
+                    file: file.to_owned(),
+                    line: t.line,
+                    alt_line: None,
+                    message: format!(
+                        "hash-ordered iteration over `{name}`; the visit order varies run \
+                         to run — use a BTreeMap/BTreeSet, or collect and sort before \
+                         consuming — or justify with `// lint: allow(L011, reason)`"
+                    ),
+                });
+            }
+            continue;
+        }
+        if par_crate {
+            continue;
+        }
+        // `available_parallelism()` / `thread_rng()` and
+        // `thread::current()` — host-configuration-dependent values.
+        let thread_call = THREAD_DEPENDENT_CALLS.contains(&name)
+            && tok(tokens, i.saturating_add(1)).is_some_and(|n| is_punct(n, "("));
+        let thread_current = name == "current"
+            && prev(tokens, i).is_some_and(|p| is_punct(p, "::"))
+            && i.checked_sub(2)
+                .and_then(|k| tokens.get(k))
+                .is_some_and(|p| is_ident(p, "thread"));
+        if thread_call || thread_current {
+            findings.push(Finding {
+                rule: Rule::L011,
+                severity: Rule::L011.severity(),
+                file: file.to_owned(),
+                line: t.line,
+                alt_line: None,
+                message: format!(
+                    "`{name}` depends on the host's thread configuration; results must \
+                     not vary with worker count — confine it to mcpat-par's pool sizing \
+                     or justify with `// lint: allow(L011, reason)`"
                 ),
             });
         }
@@ -947,7 +1334,7 @@ pub struct CrateValidation {
     /// All `*Config`/`*Spec` structs in the crate.
     pub structs: Vec<StructDef>,
     /// Union of identifiers mentioned in the crate's validate bodies.
-    pub mentioned: HashSet<String>,
+    pub mentioned: BTreeSet<String>,
     /// Whether any validate function exists in the crate.
     pub has_validate: bool,
 }
@@ -1068,12 +1455,14 @@ fn parse_allows(rel_path: &str, lexed: &Lexed, out: &mut FileAnalysis) {
 
 /// Applies allow annotations to findings: suppressed findings are
 /// removed, allowances that silenced nothing become warnings.
+/// (`BTreeMap`s throughout — the unused-allow warnings come out of an
+/// iteration, and L011 dogfoods this very file.)
 #[must_use]
 pub fn apply_allows(
     findings: Vec<Finding>,
-    allows_by_file: &HashMap<String, Vec<Allow>>,
+    allows_by_file: &BTreeMap<String, Vec<Allow>>,
 ) -> Vec<Finding> {
-    let mut used: HashMap<(String, Rule, usize), bool> = HashMap::new();
+    let mut used: BTreeMap<(String, Rule, usize), bool> = BTreeMap::new();
     for (file, allows) in allows_by_file {
         for a in allows {
             used.entry((file.clone(), a.rule, a.target_line))

@@ -25,6 +25,9 @@ fn every_fixture_trips_its_rule() {
         ("l007_global_delta.rs", "L007"),
         ("l008_unguarded_loop.rs", "L008"),
         ("l009_hot_alloc.rs", "L009"),
+        ("l010_unit_mix.rs", "L010"),
+        ("l011_nondeterminism.rs", "L011"),
+        ("l012_unreachable_checkpoint.rs", "L012"),
     ] {
         let report = lint_source(file, &fixture(file));
         assert!(
@@ -59,6 +62,87 @@ fn an_allow_with_reason_silences_the_fixture() {
         "allow should suppress: {:?}",
         report.findings
     );
+}
+
+#[test]
+fn unit_mix_fires_only_on_additive_and_comparison_ops() {
+    let report = lint_source("l010_unit_mix.rs", &fixture("l010_unit_mix.rs"));
+    let l010_lines: Vec<usize> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule.id() == "L010")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(l010_lines.len(), 3, "{:?}", report.findings);
+    let src = fixture("l010_unit_mix.rs");
+    for (n, line) in src.lines().enumerate() {
+        if line.contains("// OK") || line.contains("_nj * ") || line.contains("read_nj + write_nj")
+        {
+            assert!(
+                !l010_lines.contains(&(n + 1)),
+                "conversion seams and same-unit math must stay clean: line {}",
+                n + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn new_rules_are_silenced_by_reasoned_allows() {
+    for (file, rule, site) in [
+        ("l010_unit_mix.rs", "L010", "leakage_w + dynamic_mw"),
+        (
+            "l011_nondeterminism.rs",
+            "L011",
+            "for (_, w) in parts.iter() {",
+        ),
+        (
+            "l012_unreachable_checkpoint.rs",
+            "L012",
+            "for c in candidates {",
+        ),
+    ] {
+        let count = |report: &mcpat_lint::Report| {
+            report
+                .findings
+                .iter()
+                .filter(|f| f.rule.id() == rule)
+                .count()
+        };
+        let before = count(&lint_source(file, &fixture(file)));
+        let allow = format!("// lint: allow({rule}, fixture demonstrates suppression)\n    {site}");
+        let annotated = fixture(file).replace(site, &allow);
+        let after = count(&lint_source(file, &annotated));
+        assert_eq!(
+            after,
+            before - 1,
+            "{file}: allow should suppress exactly the annotated {rule} site"
+        );
+    }
+}
+
+#[test]
+fn the_linter_lints_its_own_sources() {
+    let sources = mcpat_lint::collect_workspace_sources(&default_root()).unwrap();
+    let own: Vec<&str> = sources
+        .iter()
+        .map(|s| s.path.as_str())
+        .filter(|p| p.starts_with("crates/lint/src/"))
+        .collect();
+    for file in [
+        "crates/lint/src/lib.rs",
+        "crates/lint/src/lexer.rs",
+        "crates/lint/src/parse.rs",
+        "crates/lint/src/ir.rs",
+        "crates/lint/src/callgraph.rs",
+        "crates/lint/src/rules.rs",
+        "crates/lint/src/cache.rs",
+        "crates/lint/src/json.rs",
+        "crates/lint/src/sarif.rs",
+        "crates/lint/src/main.rs",
+    ] {
+        assert!(own.contains(&file), "self-lint must cover {file}: {own:?}");
+    }
 }
 
 #[test]

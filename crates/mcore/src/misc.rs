@@ -66,10 +66,10 @@ impl MiscLogic {
         let c_per_tx = (tech.device.c_g + tech.device.c_d) * w_avg;
         let energy_per_cycle = CONTROL_ACTIVITY * n * c_per_tx * tech.device.vdd * tech.device.vdd;
 
-        let total_w = n * w_avg / 2.0;
+        let total_width = n * w_avg / 2.0;
         let leakage = StaticPower {
-            subthreshold: tech.subthreshold_leakage(total_w / 2.0, total_w / 2.0),
-            gate: tech.gate_leakage(total_w / 2.0, total_w / 2.0),
+            subthreshold: tech.subthreshold_leakage(total_width / 2.0, total_width / 2.0),
+            gate: tech.gate_leakage(total_width / 2.0, total_width / 2.0),
         };
         MiscLogic {
             transistors: n,

@@ -219,13 +219,13 @@ impl DffStorage {
     #[must_use]
     pub fn new(node: TechNode, dev: &DeviceParams) -> DffStorage {
         let f = node.feature_m();
-        let min_w = 1.5 * f; // minimum standard-cell transistor width
+        let min_width = 1.5 * f; // minimum standard-cell transistor width
         DffStorage {
             area_per_bit: Self::AREA_F2 * f * f,
-            c_in: 2.0 * min_w * dev.c_g,
-            c_clock: 2.0 * min_w * dev.c_g,
-            c_internal: 8.0 * min_w * (dev.c_g + dev.c_d),
-            leak_width: 10.0 * min_w,
+            c_in: 2.0 * min_width * dev.c_g,
+            c_clock: 2.0 * min_width * dev.c_g,
+            c_internal: 8.0 * min_width * (dev.c_g + dev.c_d),
+            leak_width: 10.0 * min_width,
         }
     }
 

@@ -19,7 +19,7 @@ const DRIVER_OVERHEAD: f64 = 0.4;
 #[derive(Debug, Clone, Copy)]
 pub struct ClockNetwork {
     /// Die width, m.
-    pub die_w: f64,
+    pub die_width: f64,
     /// Die height, m.
     pub die_h: f64,
     /// Clock frequency, Hz.
@@ -35,24 +35,24 @@ pub struct ClockNetwork {
 }
 
 impl ClockNetwork {
-    /// Builds the network for a `die_w × die_h` die at `clock_hz`, with
+    /// Builds the network for a `die_width × die_h` die at `clock_hz`, with
     /// `sink_cap` farads of latch/array clock-pin load to drive.
     #[must_use]
     pub fn new(
         tech: &TechParams,
-        die_w: f64,
+        die_width: f64,
         die_h: f64,
         clock_hz: f64,
         sink_cap: f64,
     ) -> ClockNetwork {
-        let area = die_w * die_h;
+        let area = die_width * die_h;
         let global = tech.wire(WireType::Global);
         let inter = tech.wire(WireType::Intermediate);
 
         // H-tree: total length ≈ 3× the die half-perimeter per level
         // folded into ~2× diagonal span; grid: two orthogonal wire sets at
         // GRID_PITCH over the whole die.
-        let htree_len = 3.0 * (die_w + die_h);
+        let htree_len = 3.0 * (die_width + die_h);
         let grid_len = 2.0 * area / GRID_PITCH;
         let wire_cap = htree_len * global.c_per_m + grid_len * inter.c_per_m;
         let total_cap = (wire_cap + sink_cap) * (1.0 + DRIVER_OVERHEAD);
@@ -70,7 +70,7 @@ impl ClockNetwork {
         let driver_area = inv.area() * total_driver_width / (3.0 * tech.min_w_nmos());
 
         ClockNetwork {
-            die_w,
+            die_width,
             die_h,
             clock_hz,
             total_cap,
