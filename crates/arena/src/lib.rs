@@ -230,7 +230,11 @@ impl<'s> Scratch<'s> {
         let Some(bytes) = size_of::<T>().checked_mul(len) else {
             handle_alloc_error(Layout::new::<T>())
         };
-        let ptr = self.arena.alloc_raw(bytes, align_of::<T>()).as_ptr().cast::<T>();
+        let ptr = self
+            .arena
+            .alloc_raw(bytes, align_of::<T>())
+            .as_ptr()
+            .cast::<T>();
         // SAFETY: `ptr` is aligned for `T` and points at `bytes` fresh,
         // exclusively owned bytes: `alloc_raw` never returns overlapping
         // regions within a scope, and the scope guard only reclaims the

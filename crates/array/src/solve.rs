@@ -1092,9 +1092,8 @@ fn evaluate_raw(
 pub mod reference {
     use super::{
         better, budget_check, evaluate_raw, materialize, pow2s_up_to, reduce_into, ArrayError,
-        ArrayKind, ArraySpec, OptTarget, Relaxation, Scored, SolvedArray, TechParams,
-        CYCLE_RELAX_FACTORS, NORMAL_CAM, NORMAL_RAM, PAR_SWEEP_MIN_BITS, SearchBounds, WIDE_CAM,
-        WIDE_RAM,
+        ArrayKind, ArraySpec, OptTarget, Relaxation, Scored, SearchBounds, SolvedArray, TechParams,
+        CYCLE_RELAX_FACTORS, NORMAL_CAM, NORMAL_RAM, PAR_SWEEP_MIN_BITS, WIDE_CAM, WIDE_RAM,
     };
 
     #[derive(Clone, Copy)]
@@ -1550,8 +1549,20 @@ mod tests {
                 let refr = reference::solve_reference(&t, spec, target).unwrap();
                 let ctx = format!("{} / {target:?}", spec.name);
                 assert_eq!(
-                    (fast.ndwl, fast.ndbl, fast.nspd, fast.rows_per_mat, fast.cols_per_mat),
-                    (refr.ndwl, refr.ndbl, refr.nspd, refr.rows_per_mat, refr.cols_per_mat),
+                    (
+                        fast.ndwl,
+                        fast.ndbl,
+                        fast.nspd,
+                        fast.rows_per_mat,
+                        fast.cols_per_mat
+                    ),
+                    (
+                        refr.ndwl,
+                        refr.ndbl,
+                        refr.nspd,
+                        refr.rows_per_mat,
+                        refr.cols_per_mat
+                    ),
                     "organization diverged: {ctx}"
                 );
                 for (a, b, what) in [
@@ -1572,7 +1583,10 @@ mod tests {
                 ] {
                     assert_eq!(a.to_bits(), b.to_bits(), "{what} diverged: {ctx}");
                 }
-                assert_eq!(fast.relaxation, refr.relaxation, "relaxation diverged: {ctx}");
+                assert_eq!(
+                    fast.relaxation, refr.relaxation,
+                    "relaxation diverged: {ctx}"
+                );
             }
         }
     }
@@ -1588,7 +1602,10 @@ mod tests {
         let routed = routed.unwrap();
         assert_eq!(routed.access_time.to_bits(), fast.access_time.to_bits());
         assert_eq!(routed.read_energy.to_bits(), fast.read_energy.to_bits());
-        assert_eq!((routed.ndwl, routed.ndbl, routed.nspd), (fast.ndwl, fast.ndbl, fast.nspd));
+        assert_eq!(
+            (routed.ndwl, routed.ndbl, routed.nspd),
+            (fast.ndwl, fast.ndbl, fast.nspd)
+        );
     }
 
     #[test]

@@ -61,6 +61,14 @@ pub struct Exploration {
 
 impl Exploration {
     /// The feasible candidate minimizing a metric.
+    ///
+    /// **Scaling note (soft-deprecated for large sweeps):** this scans
+    /// the fully materialized `feasible` Vec, so it costs O(candidates)
+    /// memory held for the whole exploration. For the 10^5+-candidate
+    /// sweeps the paper's case study implies, use the streaming engine
+    /// instead — [`crate::dse::dse`] keeps memory at
+    /// O(frontier + chunk) and [`crate::frontier::ParetoFrontier::best`]
+    /// answers the same question from tracked winners without a scan.
     #[must_use]
     pub fn best(&self, metric: Metric) -> Option<&Candidate> {
         best_index_of(self.feasible.iter().map(|c| &c.metrics), metric)
@@ -69,6 +77,11 @@ impl Exploration {
 
     /// True if every per-metric winner lies on the Pareto front
     /// (a consistency invariant of correct dominance filtering).
+    ///
+    /// **Scaling note (soft-deprecated for large sweeps):** like
+    /// [`Exploration::best`] this assumes the materialized `feasible`
+    /// Vec; the streaming analog is
+    /// [`crate::frontier::ParetoFrontier::winners_are_pareto`].
     #[must_use]
     pub fn winners_are_pareto(&self) -> bool {
         Metric::ALL.iter().all(|&m| {
@@ -250,6 +263,32 @@ fn eq_ignoring_name(a: &ProcessorConfig, b: &ProcessorConfig) -> bool {
         && *vdd_scale == b.vdd_scale
 }
 
+/// Groups candidates by configuration identity (up to the name):
+/// writes each candidate's representative slot into `assignment` and
+/// returns the representatives' candidate indices in first-occurrence
+/// order. Shared by [`explore_batch`] and the streaming DSE engine
+/// ([`crate::dse`]) so both dedupe with the same key.
+pub(crate) fn assign_duplicates(
+    candidates: &[ProcessorConfig],
+    assignment: &mut [usize],
+) -> Vec<usize> {
+    let mut reps: Vec<usize> = Vec::new();
+    for (i, (cfg, slot_out)) in candidates.iter().zip(assignment.iter_mut()).enumerate() {
+        *slot_out = reps
+            .iter()
+            .position(|&r| {
+                candidates
+                    .get(r)
+                    .is_some_and(|rep| eq_ignoring_name(rep, cfg))
+            })
+            .unwrap_or_else(|| {
+                reps.push(i);
+                reps.len() - 1
+            });
+    }
+    reps
+}
+
 /// [`explore`], batched: identical candidate configurations (up to the
 /// name) are built once and shared, pre-warming nothing and skipping
 /// the redundant builds outright instead of rediscovering them solve by
@@ -317,17 +356,11 @@ where
     // thread-local arena and its memory is reused by the per-candidate
     // build scopes of later batches.
     mcpat_arena::scratch(|scratch| {
-        let mut unique: Vec<&ProcessorConfig> = Vec::new();
         let assignment = scratch.alloc_fill(candidates.len(), 0usize);
-        for (cfg, slot_out) in candidates.iter().zip(assignment.iter_mut()) {
-            *slot_out = unique
-                .iter()
-                .position(|rep| eq_ignoring_name(rep, cfg))
-                .unwrap_or_else(|| {
-                    unique.push(cfg);
-                    unique.len() - 1
-                });
-        }
+        let unique: Vec<&ProcessorConfig> = assign_duplicates(candidates, assignment)
+            .into_iter()
+            .filter_map(|i| candidates.get(i))
+            .collect();
 
         let builds = mcpat_par::par_map(&unique, 2, |_, cfg| {
             // One budget checkpoint per representative candidate.

@@ -37,10 +37,12 @@
 //! ```
 
 pub mod config;
+pub mod dse;
 pub mod dvfs;
 pub mod error;
 pub mod explore;
 pub mod floorplan;
+pub mod frontier;
 pub mod metrics;
 pub mod power;
 pub mod processor;
@@ -49,6 +51,10 @@ pub mod stats;
 pub mod thermal;
 
 pub use config::ProcessorConfig;
+pub use dse::{
+    dse, dse_streaming, AxisGrid, DseCheckpoint, DseEvaluator, DseOptions, DsePerf, DseResult,
+    WorkloadModel,
+};
 pub use dvfs::DvfsPoint;
 pub use error::McpatError;
 pub use explore::{
@@ -56,9 +62,10 @@ pub use explore::{
     register_alloc_probe, BisectionPerf, Budgets, Candidate, Exploration, ExplorePerf,
 };
 pub use floorplan::{Floorplan, Tile};
-pub use metrics::MetricSet;
+pub use frontier::{FrontierPoint, ParetoFrontier};
+pub use metrics::{Metric, MetricSet};
 pub use power::{ChipPower, ChipPowerItem};
-pub use processor::{BuildPerf, Processor};
+pub use processor::{BuildPerf, Delta, Processor};
 pub use stats::ChipStats;
 pub use thermal::{converge, ThermalResult, ThermalSpec};
 

@@ -92,6 +92,42 @@ pub(crate) fn checkpoint(stage: &str) -> Result<(), McpatError> {
     mcpat_guard::check().map_err(|e| McpatError::Budget(AtPath::new(stage, e)))
 }
 
+/// A single-axis change applied to an already-built chip by
+/// [`Processor::rebuild_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delta {
+    /// Retarget the chip (and core) clock, Hz.
+    Clock(f64),
+    /// Rescale the supply voltage (`vdd_scale` on the configuration).
+    Vdd(f64),
+    /// Move the junction temperature, K.
+    Temperature(f64),
+    /// Resize each L2 instance to this capacity, bytes.
+    CacheSize(u64),
+}
+
+impl Delta {
+    /// The configuration `base` describes after this delta is applied.
+    #[must_use]
+    pub fn apply(self, base: &ProcessorConfig) -> ProcessorConfig {
+        let mut config = base.clone();
+        match self {
+            Delta::Clock(hz) => {
+                config.clock_hz = hz;
+                config.core.clock_hz = hz;
+            }
+            Delta::Vdd(scale) => config.vdd_scale = scale,
+            Delta::Temperature(kelvin) => config.temperature_k = kelvin,
+            Delta::CacheSize(bytes) => {
+                if let Some(l2) = &mut config.l2 {
+                    l2.cache.capacity = bytes;
+                }
+            }
+        }
+        config
+    }
+}
+
 /// A fully built processor.
 #[derive(Debug, Clone)]
 pub struct Processor {
@@ -449,6 +485,132 @@ impl Processor {
         // Die geometry is clock-invariant; the clock network's load and
         // frequency are not. Recompute with the same formulas `build`
         // uses so the result is bit-identical.
+        Self::refresh_die_and_clock(&mut next);
+        Ok(next)
+    }
+
+    /// Re-evaluates this chip under a single-axis change, reusing every
+    /// component whose inputs the delta leaves untouched.
+    ///
+    /// The reuse matrix (DESIGN.md §12 argues each row):
+    ///
+    /// * [`Delta::Clock`] — no array re-solves; delegates to
+    ///   [`Processor::rebuild_with_clock`].
+    /// * [`Delta::CacheSize`] — re-solves only the L2 (its geometry is
+    ///   the input that changed) and the fabric (whose link length
+    ///   follows the cluster footprint); the core, L3, memory
+    ///   controller, I/O and shared FPU are reused as-is.
+    /// * [`Delta::Vdd`] / [`Delta::Temperature`] — every solved array
+    ///   depends on the technology corner (the solve memo key covers
+    ///   vdd and temperature), so nothing survives: these honestly fall
+    ///   back to a full [`Processor::build`] of the patched config.
+    ///
+    /// Whichever path runs, the result is bit-identical to a full build
+    /// of `delta.apply(&self.config)` (property-tested per preset).
+    ///
+    /// # Errors
+    ///
+    /// [`McpatError::Invalid`] if the patched configuration fails
+    /// validation, or any build error from the re-solved components.
+    pub fn rebuild_with(&self, delta: Delta) -> Result<Processor, McpatError> {
+        match delta {
+            Delta::Clock(hz) => self.rebuild_with_clock(hz),
+            Delta::Vdd(_) | Delta::Temperature(_) => Processor::build(&delta.apply(&self.config)),
+            Delta::CacheSize(_) => {
+                let config = delta.apply(&self.config);
+                if self.config.l2.is_none() {
+                    // No L2 to resize: the patch is a no-op.
+                    return Processor::build(&config);
+                }
+                let collector = mcpat_obs::Collector::new();
+                let result = {
+                    let _scope = collector.enter();
+                    let _span = mcpat_obs::span("rebuild_with.cache");
+                    mcpat_arena::scratch(|_scratch| self.rebuild_with_cache(config))
+                };
+                let snap = collector.snapshot();
+                let mut next = result?;
+                next.perf = BuildPerf {
+                    threads: mcpat_par::threads(),
+                    solve_cache_hits: snap.solve_cache_hits,
+                    solve_cache_misses: snap.solve_cache_misses,
+                    solve_cache_evictions: snap.solve_cache_evictions,
+                };
+                next.trace = if mcpat_obs::tracing_enabled() {
+                    Some(collector.trace())
+                } else {
+                    None
+                };
+                Ok(next)
+            }
+        }
+    }
+
+    /// The incremental body of the [`Delta::CacheSize`] path: re-solve
+    /// the L2 and the fabric, reuse everything else.
+    fn rebuild_with_cache(&self, config: ProcessorConfig) -> Result<Processor, McpatError> {
+        checkpoint("rebuild_with.cache")?;
+        let mut warnings = config
+            .validate()
+            .into_result()
+            .map_err(McpatError::Invalid)?;
+        let l2 = config
+            .l2
+            .as_ref()
+            .map(|c| c.build(&self.tech).at("l2").map_err(McpatError::from))
+            .transpose()?;
+        mcpat_guard::note_span();
+
+        // The fabric link spans one cluster tile, whose footprint just
+        // changed with the L2; rebuild it with `build`'s exact formula.
+        let cluster_area = self.core.area() * f64::from(config.cores_per_cluster())
+            + l2.as_ref().map_or(0.0, SharedCache::area);
+        let link_length = cluster_area.max(1e-12).sqrt();
+        checkpoint("rebuild_with.fabric")?;
+        let noc = NocConfig {
+            topology: config.fabric.topology,
+            flit_bits: config.fabric.flit_bits,
+            vcs_per_port: config.fabric.vcs_per_port,
+            buffers_per_vc: config.fabric.buffers_per_vc,
+            link_length,
+            clock_hz: config.clock_hz,
+        }
+        .build(&self.tech)
+        .at("fabric")?;
+        mcpat_guard::note_span();
+
+        warnings.merge_under("core", self.core.relaxation_warnings());
+        if let Some(l2) = &l2 {
+            warnings.merge_under("l2", l2.relaxation_warnings());
+        }
+        if let Some(l3) = &self.l3 {
+            warnings.merge_under("l3", l3.relaxation_warnings());
+        }
+        if let Some(mc) = &self.mc {
+            warnings.merge_under("mc", mc.relaxation_warnings());
+        }
+        if let Some(w) = noc
+            .router
+            .as_ref()
+            .and_then(|r| r.input_buffer.relaxation_warning())
+        {
+            warnings.push(w.under("fabric"));
+        }
+
+        let mut next = self.clone();
+        next.l2 = l2;
+        next.noc = noc;
+        next.config = config;
+        next.warnings = warnings;
+        Self::refresh_die_and_clock(&mut next);
+        Ok(next)
+    }
+
+    /// Recomputes the die geometry and clock network from the chip's
+    /// current components with exactly the formulas `build` uses, so
+    /// every incremental rebuild path stays bit-identical to a full
+    /// build of the same configuration.
+    fn refresh_die_and_clock(next: &mut Processor) {
         let component_area = Self::component_area_sum(
             &next.config,
             &next.core,
@@ -466,8 +628,13 @@ impl Processor {
             f64::from(next.config.num_cores) * 2.0 * next.core.pipeline.clock_energy_per_cycle
                 / (vdd * vdd);
         let sink_cap = core_sink_cap + CLOCK_SINK_CAP_PER_M2 * die_area * 0.5;
-        next.clock = ClockNetwork::new(&next.tech, die_edge, die_edge, clock_hz, sink_cap);
-        Ok(next)
+        next.clock = ClockNetwork::new(
+            &next.tech,
+            die_edge,
+            die_edge,
+            next.config.clock_hz,
+            sink_cap,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -869,6 +1036,50 @@ mod tests {
             // exactly as it does on the full one.
             assert_eq!(fast.warnings.len(), full.warnings.len(), "at {clock:e} Hz");
         }
+    }
+
+    #[test]
+    fn rebuild_with_cache_size_matches_full_build_bit_for_bit() {
+        let base = Processor::build(&ProcessorConfig::niagara2()).unwrap();
+        assert!(base.config.l2.is_some(), "preset must carry an L2");
+        for bytes in [1u64 << 20, 3 << 20, 8 << 20] {
+            let fast = base.rebuild_with(Delta::CacheSize(bytes)).unwrap();
+            let full = Processor::build(&Delta::CacheSize(bytes).apply(&base.config)).unwrap();
+            assert_eq!(
+                fast.peak_power().total().to_bits(),
+                full.peak_power().total().to_bits(),
+                "peak power at {bytes} B"
+            );
+            assert_eq!(fast.die_area().to_bits(), full.die_area().to_bits());
+            assert_eq!(fast.warnings.len(), full.warnings.len(), "at {bytes} B");
+        }
+    }
+
+    #[test]
+    fn rebuild_with_corner_deltas_fall_back_to_full_builds() {
+        let base = Processor::build(&ProcessorConfig::niagara2()).unwrap();
+        for delta in [Delta::Vdd(0.9), Delta::Temperature(340.0)] {
+            let fast = base.rebuild_with(delta).unwrap();
+            let full = Processor::build(&delta.apply(&base.config)).unwrap();
+            assert_eq!(
+                fast.peak_power().total().to_bits(),
+                full.peak_power().total().to_bits(),
+                "{delta:?}"
+            );
+            assert_eq!(fast.die_area().to_bits(), full.die_area().to_bits());
+            assert_eq!(fast.warnings.len(), full.warnings.len(), "{delta:?}");
+        }
+    }
+
+    #[test]
+    fn rebuild_with_clock_delta_routes_through_incremental_path() {
+        let base = Processor::build(&ProcessorConfig::niagara2()).unwrap();
+        let via_delta = base.rebuild_with(Delta::Clock(2.1e9)).unwrap();
+        let via_clock = base.rebuild_with_clock(2.1e9).unwrap();
+        assert_eq!(
+            via_delta.peak_power().total().to_bits(),
+            via_clock.peak_power().total().to_bits()
+        );
     }
 
     #[test]

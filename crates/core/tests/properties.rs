@@ -2,7 +2,8 @@
 //! Property-based tests for the whole-chip assembly.
 
 use mcpat::{
-    explore, explore_batch, Budgets, ChipStats, DvfsPoint, MetricSet, Processor, ProcessorConfig,
+    explore, explore_batch, Budgets, ChipStats, Delta, DvfsPoint, MetricSet, Processor,
+    ProcessorConfig,
 };
 use mcpat_mcore::config::CoreConfig;
 use mcpat_tech::TechNode;
@@ -160,6 +161,63 @@ proptest! {
         );
         prop_assert_eq!(fast.die_area().to_bits(), full.die_area().to_bits());
         prop_assert_eq!(fast.warnings.len(), full.warnings.len());
+    }
+
+    /// Mirrors `rebuild_with_clock_equals_full_build` for the other
+    /// delta axes: a `rebuild_with` result must be indistinguishable —
+    /// report bits, warning set and all — from a from-scratch build of
+    /// the delta-patched configuration, on every shipped preset.
+    #[test]
+    fn rebuild_with_delta_equals_full_build(
+        preset in prop::sample::select(vec![
+            ProcessorConfig::niagara(),
+            ProcessorConfig::niagara2(),
+            ProcessorConfig::alpha21364(),
+            ProcessorConfig::tulsa(),
+        ]),
+        which in 0..3usize,
+        vdd_scale in 0.7..1.2f64,
+        kelvin in 320.0..380.0f64,
+        l2_shift in 1u32..4,
+    ) {
+        let delta = match which {
+            0 => Delta::Vdd(vdd_scale),
+            1 => Delta::Temperature(kelvin),
+            // Scale the preset's own L2 capacity by a power of two so
+            // non-power-of-two way counts (niagara is 12-way) keep a
+            // whole number of sets.
+            _ => Delta::CacheSize(
+                preset.l2.as_ref().map_or(1 << 20, |l2| l2.cache.capacity) << l2_shift,
+            ),
+        };
+        let base = Processor::build(&preset).unwrap();
+        let fast = base.rebuild_with(delta).unwrap();
+        let full = Processor::build(&delta.apply(&preset)).unwrap();
+        prop_assert_eq!(
+            fast.peak_power().total().to_bits(),
+            full.peak_power().total().to_bits()
+        );
+        prop_assert_eq!(fast.die_area().to_bits(), full.die_area().to_bits());
+        prop_assert_eq!(fast.total_leakage().total().to_bits(), full.total_leakage().total().to_bits());
+        // Field-for-field: the rendered reports carry every modeled
+        // quantity, so byte equality is the strongest practical check.
+        // The `Build:` line reports how the chip was produced (solve
+        // cache hits, threads), not what was modeled, so it is the one
+        // line allowed to differ between a delta rebuild and a full
+        // build.
+        let modeled = |report: String| -> String {
+            report
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("Build:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        prop_assert_eq!(modeled(fast.report()), modeled(full.report()));
+        prop_assert_eq!(fast.warnings.len(), full.warnings.len());
+        for (a, b) in fast.warnings.iter().zip(full.warnings.iter()) {
+            prop_assert_eq!(&a.path, &b.path);
+            prop_assert_eq!(&a.message, &b.message);
+        }
     }
 
     #[test]

@@ -656,6 +656,8 @@ const BUDGETED_CALLS: &[&str] = &[
     "sweep_cell",
     "rebuild_with_clock",
     "rebuild_incremental",
+    "rebuild_with",
+    "config_at",
     "build",
     "build_inner",
 ];

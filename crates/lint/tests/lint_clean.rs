@@ -28,6 +28,7 @@ fn every_fixture_trips_its_rule() {
         ("l010_unit_mix.rs", "L010"),
         ("l011_nondeterminism.rs", "L011"),
         ("l012_unreachable_checkpoint.rs", "L012"),
+        ("l012_unguarded_dse_loop.rs", "L012"),
     ] {
         let report = lint_source(file, &fixture(file));
         assert!(
@@ -100,6 +101,11 @@ fn new_rules_are_silenced_by_reasoned_allows() {
             "l012_unreachable_checkpoint.rs",
             "L012",
             "for c in candidates {",
+        ),
+        (
+            "l012_unguarded_dse_loop.rs",
+            "L012",
+            "while let Some(clock) = config_at(grid, cursor) {",
         ),
     ] {
         let count = |report: &mcpat_lint::Report| {

@@ -108,17 +108,33 @@ fn detected_parallelism() -> usize {
     })
 }
 
+/// The `MCPAT_THREADS` knob, resolved once per process. `threads()` is
+/// called by every `join*`/`par_map` — hundreds of times inside one
+/// chip build — and `std::env::var` takes a process-global lock and
+/// allocates per call, which on a single-lane host made the
+/// override-free "parallel" mode measurably slower than the pinned
+/// serial mode while executing the exact same inline code (the
+/// `explore_parallel_vs_serial < 1` anomaly on the 1-CPU benchline
+/// baseline). The documented knob contract already directs in-process
+/// callers to [`set_thread_override`] rather than mutating the
+/// environment mid-run, so a one-shot read observes every supported
+/// configuration.
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(knobs::threads)
+}
+
 /// The worker count used by every helper in this crate, resolved as:
 /// [`set_thread_override`] if set, else a positive integer
-/// `MCPAT_THREADS` environment variable, else the machine's available
-/// parallelism. Always ≥ 1 and ≤ 64.
+/// `MCPAT_THREADS` environment variable (read once per process), else
+/// the machine's available parallelism. Always ≥ 1 and ≤ 64.
 #[must_use]
 pub fn threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if forced > 0 {
         return forced;
     }
-    if let Some(n) = knobs::threads() {
+    if let Some(n) = env_threads() {
         return n.min(MAX_THREADS);
     }
     detected_parallelism().min(MAX_THREADS)

@@ -114,7 +114,8 @@ impl TechParams {
     /// Recomputes the derived-constant cache after a builder changed one
     /// of the fields it depends on.
     fn refreshed(mut self) -> TechParams {
-        self.derived = TechDerived::compute(self.node, &self.device, self.temperature, self.projection);
+        self.derived =
+            TechDerived::compute(self.node, &self.device, self.temperature, self.projection);
         self
     }
 
@@ -353,8 +354,7 @@ mod tests {
                     TechParams::new(node, dt, 340.0),
                     TechParams::new(node, dt, 380.0).with_vdd_scale(0.9),
                     TechParams::new(node, DeviceType::Hp, 360.0).with_device_type(dt),
-                    TechParams::new(node, dt, 360.0)
-                        .with_projection(WireProjection::Conservative),
+                    TechParams::new(node, dt, 360.0).with_projection(WireProjection::Conservative),
                 ] {
                     let d = &t.derived;
                     assert_eq!(

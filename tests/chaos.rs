@@ -18,7 +18,11 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use mcpat::array::memo;
 use mcpat::guard::{Budget, GuardError};
-use mcpat::{Processor, ProcessorConfig};
+use mcpat::tech::{DeviceType, TechNode};
+use mcpat::{
+    dse_streaming, AxisGrid, DseCheckpoint, DseOptions, ParetoFrontier, Processor, ProcessorConfig,
+    WorkloadModel,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -222,6 +226,12 @@ fn worker_kills_respawn_and_the_pool_keeps_serving() {
     for round in 0..40 {
         let items: Vec<u64> = (0..64).collect();
         let result = mcpat::par::par_map(&items, 2, |_, &x| {
+            // The sleep blocks whichever thread runs the task, so on a
+            // single-CPU host the helping submitter cedes the core and
+            // the notified resident workers provably pop part of the
+            // batch — instant tasks can be drained entirely inline by
+            // the submitter, and the kill below would never fire.
+            std::thread::sleep(std::time::Duration::from_micros(100));
             // Dies only when running on a resident pool worker; inline
             // execution on the submitting thread is a no-op.
             mcpat::par::pool::chaos_kill_worker();
@@ -300,6 +310,146 @@ fn forced_evictions_never_change_results() {
     );
     assert!(billed > 0, "BuildPerf never billed an eviction under cap 2");
     memo::set_cap(None);
+}
+
+/// Asserts two frontiers are the same down to the last bit: points,
+/// order, names, cursors, and all six tracked winners.
+fn assert_frontier_bits(a: &ParetoFrontier, b: &ParetoFrontier, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: frontier sizes differ");
+    for (x, y) in a.points().iter().zip(b.points().iter()) {
+        assert_eq!(x.name, y.name, "{what}: point name differs");
+        assert_eq!(x.cursor, y.cursor, "{what}: point cursor differs");
+        assert_eq!(x.area.to_bits(), y.area.to_bits(), "{what}: area bits");
+        assert_eq!(
+            x.peak_power.to_bits(),
+            y.peak_power.to_bits(),
+            "{what}: peak bits"
+        );
+        assert_eq!(
+            x.metrics.delay.to_bits(),
+            y.metrics.delay.to_bits(),
+            "{what}: delay bits"
+        );
+        assert_eq!(
+            x.metrics.energy.to_bits(),
+            y.metrics.energy.to_bits(),
+            "{what}: energy bits"
+        );
+    }
+    for (wa, wb) in a.winners().iter().zip(b.winners().iter()) {
+        match (wa, wb) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.cursor, y.cursor, "{what}: winner cursor differs");
+                assert_eq!(
+                    x.metrics.energy.to_bits(),
+                    y.metrics.energy.to_bits(),
+                    "{what}: winner energy bits"
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{what}: winner presence differs"),
+        }
+    }
+}
+
+/// Cancelled sweeps resume losslessly: a DSE run killed by the guard's
+/// cooperative cancel at a randomized checkpoint count, then resumed
+/// from its last emitted checkpoint (possibly through several further
+/// kills), converges on a frontier bit-identical to an uninterrupted
+/// sweep's.
+#[test]
+fn cancelled_dse_sweeps_resume_to_a_bit_identical_frontier() {
+    let _lock = knob_lock();
+    let _reset = KnobReset;
+    mcpat::par::set_thread_override(2);
+    memo::set_enabled(true);
+    let mut rng = StdRng::seed_from_u64(chaos_seed() ^ 0x0D5E_0D5E);
+
+    let grid = AxisGrid::manycore(
+        vec![TechNode::N45, TechNode::N22],
+        vec![DeviceType::Hp],
+        vec![2, 4],
+        vec![1 << 20, 2 << 20],
+        (0..20).map(|i| 1.0e9 + 0.1e9 * f64::from(i)).collect(),
+    );
+    let opts = DseOptions {
+        chunk: 16,
+        checkpoint_every: 32,
+        ..DseOptions::default()
+    };
+    let reference = dse_streaming(
+        &grid,
+        &opts,
+        &mut WorkloadModel::default(),
+        None,
+        |_| Ok(()),
+    )
+    .expect("uninterrupted sweep");
+
+    let mut kills = 0u32;
+    for round in 0..8 {
+        let mut last_cp: Option<DseCheckpoint> = None;
+        // Kill the sweep after a random number of budget checks, then
+        // keep resuming (each resume under a fresh random kill budget)
+        // until one attempt runs to completion.
+        let mut attempts = 0;
+        let finished = loop {
+            attempts += 1;
+            assert!(attempts < 64, "round {round}: resume never converged");
+            let budget = Budget::unbounded();
+            // The whole warm sweep performs a few hundred budget
+            // checks; trip points mostly land inside it, and the tail
+            // of the range occasionally lets a run finish early.
+            let checks = if attempts > 16 {
+                u64::MAX // guarantee convergence in degenerate seeds
+            } else {
+                rng.gen_range(20..400)
+            };
+            budget.cancel_after_checks(checks);
+            let resume_from = last_cp.clone();
+            let mut newest: Option<DseCheckpoint> = None;
+            let outcome = {
+                let _scope = budget.enter();
+                dse_streaming(
+                    &grid,
+                    &opts,
+                    &mut WorkloadModel::default(),
+                    resume_from.as_ref(),
+                    |cp| {
+                        newest = Some(cp.clone());
+                        Ok(())
+                    },
+                )
+            };
+            if newest.is_some() {
+                last_cp = newest;
+            }
+            match outcome {
+                Ok(result) => break result,
+                Err(e) => {
+                    kills += 1;
+                    let g = e
+                        .guard_error()
+                        .unwrap_or_else(|| panic!("round {round}: non-guard error: {e}"));
+                    assert!(
+                        matches!(g, GuardError::Cancelled { .. }),
+                        "round {round}: expected Cancelled, got {g}"
+                    );
+                }
+            }
+        };
+        assert_frontier_bits(
+            &finished.frontier,
+            &reference.frontier,
+            &format!("round {round} ({attempts} attempt(s))"),
+        );
+        // Candidate accounting survives resume exactly; only the
+        // full-vs-delta build split may shift at resume points.
+        assert_eq!(finished.perf.candidates, reference.perf.candidates);
+        assert_eq!(finished.perf.pruned, reference.perf.pruned);
+        assert_eq!(finished.perf.rejected, reference.perf.rejected);
+    }
+    assert!(kills > 0, "chaos never cancelled a sweep");
 }
 
 /// The combined storm: randomized kills, cancels, and cache squeezes

@@ -4,7 +4,8 @@
 //! area-aware metric flip that is the paper's headline result.
 
 use mcpat::metrics::{best_index, Metric, MetricSet};
-use mcpat::{Processor, ProcessorConfig};
+use mcpat::tech::DeviceType;
+use mcpat::{dse, AxisGrid, DseEvaluator, DseOptions, Processor, ProcessorConfig, WorkloadModel};
 use mcpat_mcore::config::CoreConfig;
 use mcpat_sim::{SystemModel, WorkloadProfile};
 use mcpat_tech::TechNode;
@@ -106,6 +107,63 @@ fn metric_choice_changes_the_selected_design() {
         "area-aware metric must not pick a bigger chip: {:?} vs {:?}",
         areas[eda2p_pick],
         areas[ed2p_pick]
+    );
+}
+
+/// The streaming engine's headline contract: every chip on the final
+/// frontier — and every per-metric winner — carries exactly the numbers
+/// a from-scratch `Processor::build` of its configuration produces,
+/// even though the sweep served it through pruning, dedupe, and
+/// cache/clock delta rebuilds. Checked exhaustively over every
+/// survivor, bit for bit.
+#[test]
+fn streaming_dse_survivors_are_bit_identical_to_from_scratch_builds() {
+    let grid = AxisGrid::manycore(
+        vec![TechNode::N45, TechNode::N22],
+        vec![DeviceType::Hp, DeviceType::Lop],
+        vec![4, 8],
+        vec![1 << 20, 2 << 20],
+        (0..8).map(|i| 1.0e9 + 0.25e9 * f64::from(i)).collect(),
+    );
+    let opts = DseOptions {
+        chunk: 48, // several chunks, rows crossing chunk boundaries
+        ..DseOptions::default()
+    };
+    let result = dse(&grid, &opts, &mut WorkloadModel::default()).expect("streaming sweep");
+    assert!(!result.frontier.is_empty(), "sweep produced no frontier");
+    assert_eq!(result.perf.candidates, grid.total());
+
+    let survivors = result
+        .frontier
+        .points()
+        .iter()
+        .chain(result.frontier.winners().iter().flatten());
+    let mut checked = 0;
+    for point in survivors {
+        let cfg = grid
+            .config_at(point.cursor)
+            .expect("survivor cursor in range");
+        assert_eq!(point.name, cfg.name, "survivor name mismatch");
+        let chip = Processor::build(&cfg).expect("from-scratch build");
+        let metrics = WorkloadModel::default().evaluate(&chip);
+        assert_eq!(point.area.to_bits(), chip.die_area().to_bits());
+        assert_eq!(
+            point.peak_power.to_bits(),
+            chip.peak_power().total().to_bits()
+        );
+        assert_eq!(point.metrics.delay.to_bits(), metrics.delay.to_bits());
+        assert_eq!(point.metrics.energy.to_bits(), metrics.energy.to_bits());
+        assert_eq!(point.metrics.area.to_bits(), metrics.area.to_bits());
+        checked += 1;
+    }
+    assert!(checked > 0);
+    assert!(result.frontier.winners_are_pareto());
+    // The streaming path must actually have streamed: delta probes are
+    // the overwhelming majority of builds.
+    assert!(
+        result.perf.probes > result.perf.full_builds * 4,
+        "sweep did not lean on delta rebuilds: {:?}",
+        result.perf
     );
 }
 
