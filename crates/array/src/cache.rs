@@ -207,12 +207,16 @@ impl CacheSpec {
     }
 
     /// Tag width in bits (address bits minus set and block offsets, plus
-    /// state bits).
+    /// state bits). Saturating end to end: corrupted geometry fields
+    /// (which `validate_into` reports) must degrade the estimate, not
+    /// overflow the arithmetic.
     #[must_use]
     pub fn tag_bits(&self) -> u32 {
         let offset_bits = (f64::from(self.block_bytes)).log2().ceil() as u32;
         let index_bits = (self.sets().max(1) as f64).log2().ceil() as u32;
-        self.paddr_bits.saturating_sub(offset_bits + index_bits) + self.state_bits
+        self.paddr_bits
+            .saturating_sub(offset_bits.saturating_add(index_bits))
+            .saturating_add(self.state_bits)
     }
 
     /// Solves the tag and data arrays and assembles the cache.

@@ -376,6 +376,20 @@ impl SolveCacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits.saturating_add(self.misses)
     }
+
+    /// Fraction of lookups answered from the cache, in `[0, 1]`.
+    /// Well-defined on an untouched cache: zero lookups yield `0.0`,
+    /// never NaN — telemetry consumers (the serve daemon's `stats`
+    /// envelope, benchline rows) serialize this directly.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
 }
 
 /// Current process-wide cache statistics.
@@ -523,6 +537,34 @@ mod tests {
 
     fn tech() -> TechParams {
         TechParams::new(TechNode::N45, DeviceType::Hp, 360.0)
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined_without_lookups() {
+        // The empty-cache path: a fresh stats snapshot has performed
+        // zero lookups, and the ratio must be 0.0, not NaN (it is
+        // serialized straight into telemetry JSON).
+        let empty = SolveCacheStats::default();
+        assert_eq!(empty.lookups(), 0);
+        assert_eq!(
+            empty.hit_rate().to_bits(),
+            0.0f64.to_bits(),
+            "zero lookups must yield exactly 0.0"
+        );
+        assert!(empty.hit_rate().is_finite());
+        let mixed = SolveCacheStats {
+            hits: 3,
+            misses: 1,
+            ..SolveCacheStats::default()
+        };
+        assert!((mixed.hit_rate() - 0.75).abs() < 1e-12);
+        let saturating = SolveCacheStats {
+            hits: u64::MAX,
+            misses: u64::MAX,
+            ..SolveCacheStats::default()
+        };
+        assert!(saturating.hit_rate().is_finite());
+        assert!(saturating.hit_rate() <= 1.0);
     }
 
     #[test]

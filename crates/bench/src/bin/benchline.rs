@@ -32,7 +32,10 @@
 //! full-build loop (both throughputs measured in this run, same serial
 //! mode), and on a single-core host the parallel exploration path must
 //! degrade to inline execution — zero worker-pool submissions and wall
-//! clock within 25% of serial. Full (non-`--quick`) runs additionally
+//! clock within 25% of serial. A fifth host-independent gate covers
+//! the `mcpat serve` daemon: a warm shared-cache request over loopback
+//! TCP must complete at least 5x faster than the same request against
+//! a cleared cache (the `serve` block records both latencies). Full (non-`--quick`) runs additionally
 //! time one 10^5-candidate streaming sweep end to end, recorded in the
 //! `dse` block.
 //!
@@ -467,6 +470,80 @@ fn cold_build_speedup_vs_baseline(
 /// same execution mode (so the ratio holds on any host).
 const MIN_DSE_STREAMING_SPEEDUP: f64 = 5.0;
 
+/// Floor on the serve daemon's warm-request advantage: a request whose
+/// solves are all resident in the shared cache must complete at least
+/// this much faster than the same request against a cleared cache.
+/// Both latencies go over a real loopback TCP round trip in this run,
+/// so the ratio is host-independent.
+const MIN_SERVE_WARM_SPEEDUP: f64 = 5.0;
+
+/// Median request latencies against an in-process `mcpat serve`
+/// daemon over real loopback TCP: `(cold_ms, warm_ms)`. Cold clears
+/// the shared solve cache before every request (each build does its
+/// full solver work); warm leaves the cache populated, so the request
+/// pays only lookup + relabel + render + the wire round trip. Serial
+/// requests on one connection — the concurrency story is covered by
+/// the daemon's own tests; this row times the cache seam.
+fn serve_request_latencies(reps: usize) -> (f64, f64) {
+    use std::io::{BufRead as _, BufReader, Write as _};
+
+    let server = mcpat_serve::Server::bind(
+        "127.0.0.1:0",
+        &mcpat_serve::ServeOptions { max_inflight: 4 },
+    )
+    .unwrap_or_else(|e| die(&format!("serve probe: cannot bind loopback: {e}")));
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        if let Err(e) = server.run() {
+            eprintln!("benchline: serve probe server error: {e}");
+        }
+    });
+
+    let stream = std::net::TcpStream::connect(handle.addr())
+        .unwrap_or_else(|e| die(&format!("serve probe: cannot connect: {e}")));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .unwrap_or_else(|e| die(&format!("serve probe: cannot clone stream: {e}"))),
+    );
+    let mut stream = stream;
+    let mut roundtrip = |line: &str| {
+        // One write per request: a trailing-newline second write would
+        // reintroduce the Nagle stall the daemon disables server-side.
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        if stream.write_all(&buf).is_err() {
+            die("serve probe: request write failed");
+        }
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(n) if n > 0 => {}
+            _ => die("serve probe: server closed the connection"),
+        }
+        if !resp.contains("\"status\":\"ok\"") {
+            die(&format!("serve probe: request failed: {}", resp.trim()));
+        }
+    };
+    let request = "{\"type\":\"evaluate\",\"preset\":\"niagara2\"}";
+
+    mcpat_par::set_thread_override(0);
+    memo::set_enabled(true);
+    memo::clear();
+    roundtrip(request); // warm code paths; leaves the cache populated
+    let warm_ms = median_ms(reps, || roundtrip(request));
+    let cold_ms = median_ms(reps, || {
+        memo::clear();
+        roundtrip(request);
+    });
+    memo::set_auto();
+
+    handle.request_drain();
+    let _ = join.join();
+    (cold_ms, warm_ms)
+}
+
 /// Regression gate: compares this run's rows against a committed
 /// baseline JSON. Returns every violated invariant.
 #[allow(clippy::too_many_arguments)]
@@ -477,6 +554,7 @@ fn gate_failures(
     trace_overhead_ratio: f64,
     guard_overhead_ratio: f64,
     dse_streaming_vs_naive: f64,
+    serve_warm_vs_cold: f64,
     explore_pool_submissions: u64,
     host_threads: usize,
     host_label: &str,
@@ -518,6 +596,15 @@ fn gate_failures(
             "dse streaming_vs_naive_speedup is {dse_streaming_vs_naive:.2} \
              (< {MIN_DSE_STREAMING_SPEEDUP}): the streaming engine must beat the naive \
              per-candidate full-build sweep by 5x"
+        ));
+    }
+    // Host-independent: both request latencies go over this run's own
+    // loopback daemon, so the ratio holds on any host.
+    if serve_warm_vs_cold < MIN_SERVE_WARM_SPEEDUP {
+        failures.push(format!(
+            "serve warm_vs_cold_speedup is {serve_warm_vs_cold:.2} \
+             (< {MIN_SERVE_WARM_SPEEDUP}): a warm shared-cache request must beat a \
+             cold evaluation by 5x"
         ));
     }
     // Host-independent: the ratio compares two builds on *this* host,
@@ -869,6 +956,16 @@ fn main() {
         "benchline: guard-disabled overhead ratio {guard_overhead_ratio:.4} \
          (budget-scoped cold build vs plain; gate ceiling {MAX_GUARD_DISABLED_OVERHEAD})"
     );
+
+    // Serve daemon round-trip latency: cold (cache cleared per request)
+    // vs warm (every solve resident in the shared cache), both over a
+    // real loopback TCP connection to an in-process daemon.
+    let (serve_cold_ms, serve_warm_ms) = serve_request_latencies(reps);
+    let serve_warm_vs_cold = ratio(serve_cold_ms, serve_warm_ms);
+    eprintln!(
+        "benchline: serve request cold {serve_cold_ms:.3} ms | warm shared-cache \
+         {serve_warm_ms:.3} ms ({serve_warm_vs_cold:.1}x; gate floor {MIN_SERVE_WARM_SPEEDUP})"
+    );
     print_span_summary();
 
     // Lint wall time: the full workspace self-lint, cold (every file
@@ -923,6 +1020,13 @@ fn main() {
         json,
         "  \"lint\": {{ \"files\": {}, \"cold_ms\": {lint_cold_ms:.4}, \"warm_cache_ms\": {lint_warm_ms:.4} }},",
         lint_srcs.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{ \"cold_request_ms\": {serve_cold_ms:.4}, \
+         \"warm_request_ms\": {serve_warm_ms:.4}, \
+         \"warm_vs_cold_speedup\": {serve_warm_vs_cold:.2}, \
+         \"min_allowed_speedup\": {MIN_SERVE_WARM_SPEEDUP} }},"
     );
     let _ = writeln!(
         json,
@@ -992,6 +1096,7 @@ fn main() {
             trace_overhead_ratio,
             guard_overhead_ratio,
             dse_streaming_vs_naive,
+            serve_warm_vs_cold,
             explore_pool_submissions,
             host_threads,
             &label,

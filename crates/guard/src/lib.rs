@@ -89,6 +89,18 @@ impl GuardError {
             | GuardError::MemoryBudget { progress, .. } => *progress,
         }
     }
+
+    /// A stable machine-readable name for the violation variant — the
+    /// `error.kind` vocabulary the serve daemon's wire protocol and
+    /// other tooling match on, kept independent of the `Display` text.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GuardError::DeadlineExceeded { .. } => "DeadlineExceeded",
+            GuardError::Cancelled { .. } => "Cancelled",
+            GuardError::MemoryBudget { .. } => "MemoryBudget",
+        }
+    }
 }
 
 impl std::fmt::Display for GuardError {

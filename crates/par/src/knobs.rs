@@ -16,6 +16,8 @@
 //! | `MCPAT_THREADS` | worker count for every fan-out | detected parallelism |
 //! | `MCPAT_SOLVE_CACHE` | `0` disables the array solve cache | enabled |
 //! | `MCPAT_SOLVE_CACHE_CAP` | solve-cache entry cap (`0` = unbounded) | 4096 |
+//! | `MCPAT_SERVE_MAX_INFLIGHT` | serve daemon admission cap (`0` = unbounded) | 64 |
+//! | `MCPAT_SERVE_EVAL_HOLD_MS` | serve daemon sleeps this long before each uncoalesced build | 0 |
 //!
 //! In-process overrides ([`crate::set_thread_override`],
 //! `mcpat_array::memo::set_enabled`) take precedence over both
@@ -67,6 +69,46 @@ pub fn solve_cache_cap() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(SOLVE_CACHE_CAP_DEFAULT)
+}
+
+/// Environment variable naming the serve daemon's default admission
+/// cap (concurrently admitted `evaluate` requests; `0` = unbounded).
+/// The `mcpat serve --max-inflight` flag overrides it per invocation.
+pub const SERVE_MAX_INFLIGHT_VAR: &str = "MCPAT_SERVE_MAX_INFLIGHT";
+
+/// Default serve admission cap when `MCPAT_SERVE_MAX_INFLIGHT` is
+/// unset: far above a workstation's parallelism so legitimate bursts
+/// pass, yet bounded, so a runaway client sees a typed `Overloaded`
+/// instead of piling unbounded work onto the pool.
+pub const SERVE_MAX_INFLIGHT_DEFAULT: usize = 64;
+
+/// The `MCPAT_SERVE_MAX_INFLIGHT` knob: the serve daemon's default
+/// admission cap. Unset or unparseable falls back to
+/// [`SERVE_MAX_INFLIGHT_DEFAULT`]; an explicit `0` disables the cap.
+#[must_use]
+pub fn serve_max_inflight() -> usize {
+    std::env::var(SERVE_MAX_INFLIGHT_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(SERVE_MAX_INFLIGHT_DEFAULT)
+}
+
+/// Environment variable making the serve daemon sleep this many
+/// milliseconds before every uncoalesced build. A smoke-test hook: the
+/// sleep pins a request in flight long enough for concurrent clients to
+/// provably contend with it (admission rejections, coalescing), without
+/// depending on how fast the host builds. `0`/unset disables the hold.
+pub const SERVE_EVAL_HOLD_MS_VAR: &str = "MCPAT_SERVE_EVAL_HOLD_MS";
+
+/// The `MCPAT_SERVE_EVAL_HOLD_MS` knob: milliseconds the serve daemon
+/// holds before each uncoalesced build. Unset or unparseable means no
+/// hold.
+#[must_use]
+pub fn serve_eval_hold_ms() -> u64 {
+    std::env::var(SERVE_EVAL_HOLD_MS_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! mcpat chip.json                        # model a JSON configuration
 //! mcpat chip.json --stats stats.json     # + runtime power from stats
 //! mcpat --preset tulsa --trace t.json    # + JSON build trace (spans)
+//! mcpat serve --listen 127.0.0.1:9439    # long-running evaluation daemon
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage error, 3 invalid configuration,
@@ -84,22 +85,27 @@ mod sig {
             signal(SIGTERM, on_signal);
         }
     }
-}
-
-fn preset(name: &str) -> Option<ProcessorConfig> {
-    match name {
-        "niagara" => Some(ProcessorConfig::niagara()),
-        "niagara2" => Some(ProcessorConfig::niagara2()),
-        "alpha21364" => Some(ProcessorConfig::alpha21364()),
-        "tulsa" | "xeon-tulsa" => Some(ProcessorConfig::tulsa()),
-        _ => None,
+    extern "C" fn on_drain_signal(_sig: i32) {
+        // A single atomic store: async-signal-safe. Drain — finish
+        // in-flight requests — rather than cancel them.
+        mcpat_serve::request_drain();
+    }
+    pub fn install_drain() {
+        // SAFETY: as for `install` — async-signal-safe handler.
+        unsafe {
+            signal(SIGINT, on_drain_signal);
+            signal(SIGTERM, on_drain_signal);
+        }
     }
 }
+
+use mcpat_serve::preset;
 
 fn usage() -> &'static str {
     "usage: mcpat [--preset <niagara|niagara2|alpha21364|tulsa>] [options]\n\
      \x20      mcpat <config.json> [options]\n\
      \x20      mcpat dse --axes <spec> [options]   (see `mcpat dse --help`)\n\
+     \x20      mcpat serve --listen <addr> [options]  (see `mcpat serve --help`)\n\
      \n\
      options:\n\
      \x20 --stats <file>   evaluate runtime power from a mcpat::ChipStats JSON file\n\
@@ -478,6 +484,75 @@ fn run_dse(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn serve_usage() -> &'static str {
+    "usage: mcpat serve --listen <host:port> [options]\n\
+     \n\
+     options:\n\
+     \x20 --listen <addr>     address to listen on (e.g. 127.0.0.1:9439; port 0\n\
+     \x20                     binds an ephemeral port, printed at startup)\n\
+     \x20 --max-inflight <n>  concurrent evaluation cap; further requests get a\n\
+     \x20                     typed `Overloaded` rejection (0 = unbounded;\n\
+     \x20                     default: the MCPAT_SERVE_MAX_INFLIGHT knob)\n\
+     \n\
+     Runs a long-lived evaluation daemon over a line-delimited JSON\n\
+     protocol: one request per line, one response line each. The solve\n\
+     cache and worker pool are shared across requests; each request is\n\
+     billed and budgeted separately (see DESIGN.md §13). SIGTERM/SIGINT\n\
+     drain in-flight requests and exit cleanly."
+}
+
+/// The `mcpat serve` subcommand: the long-running evaluation daemon.
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    if matches!(args.first().map(String::as_str), Some("--help" | "-h")) {
+        println!("{}", serve_usage());
+        return Ok(());
+    }
+    let mut listen: Option<String> = None;
+    let mut opts = mcpat_serve::ServeOptions::default();
+    let mut i = 0;
+    while let Some(arg) = args.get(i) {
+        let value = |name: &str| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--listen" => {
+                listen = Some(value("--listen")?);
+                i += 2;
+            }
+            "--max-inflight" => {
+                let v = value("--max-inflight")?;
+                opts.max_inflight = v.parse().map_err(|_| {
+                    CliError::Usage(format!("--max-inflight: `{v}` is not a number"))
+                })?;
+                i += 2;
+            }
+            flag => {
+                return Err(CliError::Usage(format!(
+                    "serve: unknown argument `{flag}`\n{}",
+                    serve_usage()
+                )));
+            }
+        }
+    }
+    let listen = listen.ok_or_else(|| {
+        CliError::Usage(format!("serve: --listen is required\n{}", serve_usage()))
+    })?;
+    let server = mcpat_serve::Server::bind(&listen, &opts)
+        .map_err(|e| CliError::InvalidConfig(format!("cannot listen on `{listen}`: {e}")))?;
+    #[cfg(unix)]
+    sig::install_drain();
+    println!("serve: listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server
+        .run()
+        .map_err(|e| CliError::InvalidConfig(format!("serve: {e}")))?;
+    println!("serve: drained, exiting");
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let first = args.first().map(String::as_str);
@@ -487,6 +562,9 @@ fn run() -> Result<(), CliError> {
     }
     if first == Some("dse") {
         return run_dse(args.get(1..).unwrap_or_default());
+    }
+    if first == Some("serve") {
+        return run_serve(args.get(1..).unwrap_or_default());
     }
 
     let mut emit_config = false;

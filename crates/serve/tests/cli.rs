@@ -299,3 +299,23 @@ fn malformed_stats_file_exits_3() {
     let _ = std::fs::remove_file(&cfg_path);
     let _ = std::fs::remove_file(&stats_path);
 }
+
+#[test]
+fn serve_without_listen_is_a_usage_error() {
+    let out = mcpat_bin().arg("serve").output().unwrap();
+    assert_eq!(exit_code(&out), 2);
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--listen is required"), "{err}");
+    assert!(err.contains("usage: mcpat serve"), "{err}");
+}
+
+#[test]
+fn serve_with_unparseable_cap_is_a_usage_error() {
+    let out = mcpat_bin()
+        .args(["serve", "--listen", "127.0.0.1:0", "--max-inflight", "lots"])
+        .output()
+        .unwrap();
+    assert_eq!(exit_code(&out), 2);
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("is not a number"), "{err}");
+}

@@ -500,6 +500,49 @@ fn random_deadlines_yield_complete_reports_or_typed_guard_errors() {
     }
 }
 
+/// Direct geometry corruption on the cache tag-width arithmetic. The
+/// computation `paddr_bits - (offset_bits + index_bits) + state_bits`
+/// once mixed saturating and unchecked adds; under the saturated-
+/// maximum payloads this harness feeds everywhere else, the unchecked
+/// adds overflow in debug builds. The whole expression must be
+/// saturating: corrupted geometry degrades the estimate, never panics.
+#[test]
+fn corrupted_cache_geometry_keeps_tag_bits_total() {
+    use mcpat_array::CacheSpec;
+    let hostile_bits = [0u32, 1, 63, 64, u32::MAX - 1, u32::MAX];
+    let hostile_blocks = [0u32, 1, 64, u32::MAX];
+    let mut violations = Vec::new();
+    let mut cases = 0usize;
+    for &paddr in &hostile_bits {
+        for &state in &hostile_bits {
+            for &block in &hostile_blocks {
+                for &capacity in &[0u64, 1, 1 << 20, u64::MAX] {
+                    let mut spec = CacheSpec::new("corrupt", capacity, 64, 8);
+                    spec.paddr_bits = paddr;
+                    spec.state_bits = state;
+                    spec.block_bytes = block;
+                    let label = format!(
+                        "tag_bits paddr={paddr} state={state} block={block} cap={capacity}"
+                    );
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| spec.tag_bits())) {
+                        Err(_) => violations.push(format!("PANIC [{label}]")),
+                        Ok(_total_width) => {}
+                    }
+                    cases += 1;
+                }
+            }
+        }
+    }
+    // A sane geometry must still compute the textbook width: 44-bit
+    // physical address, 64 B blocks (6 offset bits), 2048 sets (11
+    // index bits), plus the coherence state bits.
+    let mut sane = CacheSpec::new("sane", 1 << 20, 64, 8);
+    sane.paddr_bits = 44;
+    sane.state_bits = 2;
+    assert_eq!(sane.tag_bits(), 44 - 6 - 11 + 2);
+    report_violations(violations, cases);
+}
+
 /// Every swap corruption on every preset.
 #[test]
 fn swapped_field_corruptions_never_panic() {
